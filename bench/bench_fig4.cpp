@@ -1,0 +1,113 @@
+// Figure 4 reproduction: multinode strong scaling of construction and
+// querying on the three large datasets.
+//
+// Paper (normalized to the smallest core count per dataset):
+//   cosmo_large   6144->49152 cores (8x): construction 4.3x, querying 5.2x
+//   plasma_large 12288->49152 cores (4x): construction 2.7x, querying 4.4x
+//   dayabay_large  768->6144  cores (8x): construction 6.5x, querying 6.6x
+// Shape: querying scales better than construction (construction
+// redistributes the entire dataset; querying ships only per-query
+// records), and scaling flattens as the global tree deepens.
+//
+// This harness sweeps simulated ranks {2,4,8,16} (threads_per_rank=1)
+// over scaled datasets and prints speedups normalized to the smallest
+// rank count.
+#include <cstdio>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "data/generators.hpp"
+#include "dist/dist_kdtree.hpp"
+#include "dist/dist_query.hpp"
+#include "net/cluster.hpp"
+#include "net/comm.hpp"
+
+namespace {
+
+using namespace panda;
+
+struct Timing {
+  double construct = 0.0;
+  double query = 0.0;
+};
+
+Timing run_config(const bench::DatasetSpec& spec, int ranks) {
+  const auto generator = data::make_generator(spec.name, bench::kDataSeed);
+  Timing timing;
+  std::mutex mutex;
+
+  net::ClusterConfig config;
+  config.ranks = ranks;
+  config.threads_per_rank = 1;
+  net::Cluster cluster(config);
+  cluster.run([&](net::Comm& comm) {
+    const data::PointSet slice =
+        generator->generate_slice(spec.points, comm.rank(), comm.size());
+    comm.barrier();
+    WallTimer construct_watch;
+    const dist::DistKdTree tree =
+        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+    comm.barrier();
+    const double construct_seconds = construct_watch.seconds();
+
+    const data::PointSet my_queries = bench::make_query_slice(
+        *generator, spec.points, spec.queries, comm.rank(), comm.size());
+    dist::DistQueryEngine engine(comm, tree);
+    dist::DistQueryConfig qconfig;
+    qconfig.k = spec.k;
+    comm.barrier();
+    WallTimer query_watch;
+    engine.run(my_queries, qconfig);
+    comm.barrier();
+    const double query_seconds = query_watch.seconds();
+
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      timing.construct = construct_seconds;
+      timing.query = query_seconds;
+    }
+  });
+  return timing;
+}
+
+void run_dataset(const char* label, const bench::DatasetSpec& spec,
+                 const char* paper_line) {
+  std::printf("\n%s (%s points, %s queries)\n", label,
+              bench::human_count(spec.points).c_str(),
+              bench::human_count(spec.queries).c_str());
+  std::printf("paper: %s\n", paper_line);
+  std::printf("%6s %12s %12s %14s %14s\n", "ranks", "construct(s)",
+              "query(s)", "C speedup", "Q speedup");
+  const std::vector<int> rank_counts{2, 4, 8, 16};
+  Timing base;
+  for (std::size_t i = 0; i < rank_counts.size(); ++i) {
+    const Timing t = run_config(spec, rank_counts[i]);
+    if (i == 0) base = t;
+    std::printf("%6d %12.3f %12.3f %13.2fx %13.2fx\n", rank_counts[i],
+                t.construct, t.query, base.construct / t.construct,
+                base.query / t.query);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 4 — strong scaling (construction & querying)",
+      "Patwary et al. 2016, Figure 4(a-c)");
+  std::printf("simulated ranks sweep 2..16, 1 thread/rank; speedups\n"
+              "normalized to the 2-rank runtime (paper normalizes to its\n"
+              "smallest core count).\n");
+
+  run_dataset("cosmo_large", bench::large_spec("cosmo"),
+              "8x cores -> construction 4.3x, querying 5.2x");
+  run_dataset("plasma_large", bench::large_spec("plasma"),
+              "4x cores -> construction 2.7x, querying 4.4x");
+  run_dataset("dayabay_large", bench::large_spec("dayabay"),
+              "8x cores -> construction 6.5x, querying 6.6x");
+
+  bench::print_rule();
+  std::printf("expected shape: querying scales at least as well as\n"
+              "construction; both sublinear at the largest rank counts.\n");
+  return 0;
+}

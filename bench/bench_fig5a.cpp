@@ -1,0 +1,104 @@
+// Figure 5(a) reproduction: weak scaling on the cosmology datasets.
+//
+// Paper: ~250M particles per node, 96 -> 768 -> 6144 cores (64x more
+// cores and data). Construction time grows 2.2x, querying 1.5x —
+// i.e. near-flat weak scaling with construction degrading faster
+// (the global tree gains log2(P) levels of full-dataset histogramming
+// and redistribution).
+//
+// This harness fixes points-per-rank and sweeps ranks {1, 4, 16}
+// (the same 16x spread ratio per step as the paper's 96->768->6144),
+// printing times normalized to the 1-rank run.
+#include <cstdio>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "data/generators.hpp"
+#include "dist/dist_kdtree.hpp"
+#include "dist/dist_query.hpp"
+#include "net/cluster.hpp"
+#include "net/comm.hpp"
+
+namespace {
+
+using namespace panda;
+
+struct Timing {
+  double construct = 0.0;
+  double query = 0.0;
+};
+
+Timing run_config(std::uint64_t points_per_rank, double query_fraction,
+                  int ranks) {
+  const std::uint64_t n = points_per_rank * static_cast<std::uint64_t>(ranks);
+  const std::uint64_t n_queries =
+      static_cast<std::uint64_t>(static_cast<double>(n) * query_fraction);
+  const auto generator = data::make_generator("cosmo", bench::kDataSeed);
+  Timing timing;
+  std::mutex mutex;
+
+  net::ClusterConfig config;
+  config.ranks = ranks;
+  config.threads_per_rank = 1;
+  net::Cluster cluster(config);
+  cluster.run([&](net::Comm& comm) {
+    const data::PointSet slice =
+        generator->generate_slice(n, comm.rank(), comm.size());
+    comm.barrier();
+    WallTimer construct_watch;
+    const dist::DistKdTree tree =
+        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+    comm.barrier();
+    const double construct_seconds = construct_watch.seconds();
+
+    const data::PointSet my_queries = bench::make_query_slice(
+        *generator, n, n_queries, comm.rank(), comm.size());
+    dist::DistQueryEngine engine(comm, tree);
+    dist::DistQueryConfig qconfig;
+    qconfig.k = 5;
+    comm.barrier();
+    WallTimer query_watch;
+    engine.run(my_queries, qconfig);
+    comm.barrier();
+    const double query_seconds = query_watch.seconds();
+
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      timing.construct = construct_seconds;
+      timing.query = query_seconds;
+    }
+  });
+  return timing;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 5(a) — weak scaling on cosmology",
+                      "Patwary et al. 2016, Figure 5(a)");
+  const std::uint64_t points_per_rank = 250000;  // paper: ~250M per node
+  const double query_fraction = 0.10;
+  std::printf("%s points per rank, 10%% queries, ranks 1 -> 4 -> 16\n",
+              bench::human_count(points_per_rank).c_str());
+  std::printf("paper: 64x cores/data -> construction 2.2x, querying 1.5x\n\n");
+
+  std::printf("%6s %10s %12s %12s %14s %14s\n", "ranks", "points",
+              "construct(s)", "query(s)", "C normalized", "Q normalized");
+  Timing base;
+  const std::vector<int> rank_counts{1, 4, 16};
+  for (std::size_t i = 0; i < rank_counts.size(); ++i) {
+    const int ranks = rank_counts[i];
+    const Timing t = run_config(points_per_rank, query_fraction, ranks);
+    if (i == 0) base = t;
+    std::printf("%6d %10s %12.3f %12.3f %13.2fx %13.2fx\n", ranks,
+                bench::human_count(points_per_rank *
+                                   static_cast<std::uint64_t>(ranks))
+                    .c_str(),
+                t.construct, t.query, t.construct / base.construct,
+                t.query / base.query);
+  }
+  bench::print_rule();
+  std::printf("expected shape: both curves grow slowly (ideal = 1.0x);\n"
+              "construction grows faster than querying.\n");
+  return 0;
+}

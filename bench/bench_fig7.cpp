@@ -1,0 +1,167 @@
+// Figure 7 reproduction: PANDA vs FLANN-style vs ANN-style baselines
+// on the *_thin datasets — construction (1 thread and 24 threads) and
+// classification/querying (1 thread and 24 threads), plus the tree
+// diagnostics the paper quotes (depths and node traversals).
+//
+// Paper: single-core construction up to 2.2x faster than FLANN and
+// 2.6x than ANN; 24-core construction 39x/59x. Querying up to 48x
+// faster than FLANN and 3x than ANN on one core; up to 22x faster
+// than FLANN on 24 cores (ANN is not parallelizable). Tree depths on
+// cosmo_thin: PANDA 21, FLANN 34, ANN 49; ANN blows up to depth 109
+// on dayabay.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "baselines/ann_style.hpp"
+#include "baselines/flann_style.hpp"
+#include "core/kdtree.hpp"
+#include "data/generators.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace panda;
+
+struct DatasetResult {
+  double panda_build_1 = 0.0;
+  double panda_build_24 = 0.0;
+  double flann_build = 0.0;
+  double ann_build = 0.0;
+  double panda_query_1 = 0.0;
+  double panda_query_24 = 0.0;
+  double flann_query_1 = 0.0;
+  double flann_query_24 = 0.0;
+  double ann_query_1 = 0.0;
+  std::uint32_t panda_depth = 0;
+  std::uint32_t flann_depth = 0;
+  std::uint32_t ann_depth = 0;
+  std::uint64_t panda_nodes_visited = 0;
+  std::uint64_t flann_nodes_visited = 0;
+  std::uint64_t ann_nodes_visited = 0;
+};
+
+DatasetResult run_dataset(const bench::DatasetSpec& spec) {
+  const auto generator = data::make_generator(spec.name, bench::kDataSeed);
+  const data::PointSet points = generator->generate_all(spec.points);
+  const data::PointSet queries =
+      bench::make_queries(*generator, spec.points, spec.queries);
+  DatasetResult result;
+
+  // --- construction ---------------------------------------------------
+  {
+    parallel::ThreadPool pool(1);
+    WallTimer watch;
+    const core::KdTree tree =
+        core::KdTree::build(points, core::BuildConfig{}, pool);
+    result.panda_build_1 = watch.seconds();
+    result.panda_depth = tree.stats().max_depth;
+  }
+  parallel::ThreadPool pool24(24);
+  WallTimer watch24;
+  const core::KdTree panda_tree =
+      core::KdTree::build(points, core::BuildConfig{}, pool24);
+  result.panda_build_24 = watch24.seconds();
+
+  WallTimer flann_watch;
+  const baselines::SimpleKdTree flann = baselines::build_flann_style(points);
+  result.flann_build = flann_watch.seconds();
+  result.flann_depth = flann.max_depth();
+
+  WallTimer ann_watch;
+  const baselines::SimpleKdTree ann = baselines::build_ann_style(points);
+  result.ann_build = ann_watch.seconds();
+  result.ann_depth = ann.max_depth();
+
+  // --- querying -------------------------------------------------------
+  parallel::ThreadPool pool1(1);
+  std::vector<std::vector<core::Neighbor>> results;
+  {
+    core::QueryStats stats;
+    WallTimer watch;
+    panda_tree.query_batch(queries, spec.k, pool1, results,
+                           std::numeric_limits<float>::infinity(),
+                           core::TraversalPolicy::Exact, &stats);
+    result.panda_query_1 = watch.seconds();
+    result.panda_nodes_visited = stats.nodes_visited;
+  }
+  {
+    WallTimer watch;
+    panda_tree.query_batch(queries, spec.k, pool24, results);
+    result.panda_query_24 = watch.seconds();
+  }
+  {
+    core::QueryStats stats;
+    WallTimer watch;
+    flann.query_batch(queries, spec.k, pool1, results, &stats);
+    result.flann_query_1 = watch.seconds();
+    result.flann_nodes_visited = stats.nodes_visited;
+  }
+  {
+    WallTimer watch;
+    flann.query_batch(queries, spec.k, pool24, results);
+    result.flann_query_24 = watch.seconds();
+  }
+  {
+    // The paper could not parallelize ANN (global state); measure one
+    // thread only.
+    core::QueryStats stats;
+    WallTimer watch;
+    ann.query_batch(queries, spec.k, pool1, results, &stats);
+    result.ann_query_1 = watch.seconds();
+    result.ann_nodes_visited = stats.nodes_visited;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 7 — PANDA vs FLANN-style vs ANN-style",
+                      "Patwary et al. 2016, Figure 7(a-c)");
+
+  for (const char* name : {"cosmo", "plasma", "dayabay"}) {
+    const bench::DatasetSpec spec = bench::thin_spec(name);
+    std::printf("\n%s (%s points, %s queries)\n", spec.paper_name.c_str(),
+                bench::human_count(spec.points).c_str(),
+                bench::human_count(spec.queries).c_str());
+    const DatasetResult r = run_dataset(spec);
+
+    std::printf(" construction (Fig 7a):\n");
+    std::printf("   %-12s %10s %10s\n", "", "time(s)", "vs PANDA-1");
+    std::printf("   %-12s %10.3f %9.1fx\n", "FLANN-style", r.flann_build,
+                r.flann_build / r.panda_build_1);
+    std::printf("   %-12s %10.3f %9.1fx\n", "ANN-style", r.ann_build,
+                r.ann_build / r.panda_build_1);
+    std::printf("   %-12s %10.3f %9.1fx\n", "PANDA-1", r.panda_build_1, 1.0);
+    std::printf("   %-12s %10.3f      1/%.0fx\n", "PANDA-24",
+                r.panda_build_24, r.panda_build_1 / r.panda_build_24);
+
+    std::printf(" querying, 1 thread (Fig 7b):\n");
+    std::printf("   %-12s %10.3f %9.1fx\n", "FLANN-style", r.flann_query_1,
+                r.flann_query_1 / r.panda_query_1);
+    std::printf("   %-12s %10.3f %9.1fx\n", "ANN-style", r.ann_query_1,
+                r.ann_query_1 / r.panda_query_1);
+    std::printf("   %-12s %10.3f %9.1fx\n", "PANDA-1", r.panda_query_1, 1.0);
+
+    std::printf(" querying, 24 threads (Fig 7c):\n");
+    std::printf("   %-12s %10.3f %9.1fx\n", "FLANN-style", r.flann_query_24,
+                r.flann_query_24 / r.panda_query_24);
+    std::printf("   %-12s %10.3f %9.1fx\n", "PANDA-24", r.panda_query_24,
+                1.0);
+
+    std::printf(" tree diagnostics: depth PANDA %u / FLANN %u / ANN %u; "
+                "node traversals %llu / %llu / %llu\n",
+                r.panda_depth, r.flann_depth, r.ann_depth,
+                static_cast<unsigned long long>(r.panda_nodes_visited),
+                static_cast<unsigned long long>(r.flann_nodes_visited),
+                static_cast<unsigned long long>(r.ann_nodes_visited));
+  }
+
+  bench::print_rule();
+  std::printf(
+      "paper shapes: PANDA fastest on both phases at both widths;\n"
+      "PANDA's tree is the shallowest; ANN's depth explodes on the\n"
+      "co-located dayabay records (109 vs 32 in the paper).\n");
+  return 0;
+}

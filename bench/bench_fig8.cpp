@@ -1,0 +1,194 @@
+// Figure 8 + Table II reproduction: the Knights Landing experiments.
+//
+// (a) Query throughput on the SDSS photometric sets (psf_mod_mag 10-D,
+//     all_mag 15-D) vs the buffered kd-tree GPU results of [17]. The
+//     paper reports 1.7-3.1x over one Titan Z and 2.2-3.5x over four;
+//     we run our buffered-tree baseline as the comparator and print
+//     the paper's reported GPU throughputs as labelled constants.
+// (b) Shared-tree scaling: the 2M-point tree fits on every rank, so
+//     each rank holds a full replica and answers its share of queries
+//     with zero communication — near-linear scaling (paper: 107x at
+//     128 KNL nodes).
+// (c) Distributed-tree scaling on cosmo/plasma (254M/250M in the
+//     paper, scaled here): paper reports 6.6x from 8 to 64 nodes.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "baselines/buffered_tree.hpp"
+#include "core/kdtree.hpp"
+#include "data/generators.hpp"
+#include "dist/dist_kdtree.hpp"
+#include "dist/dist_query.hpp"
+#include "net/cluster.hpp"
+#include "net/comm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace panda;
+
+// Table II, scaled 1:10 (construction sets) and 1:10 (query sets).
+struct KnlSpec {
+  const char* name;
+  const char* paper_name;
+  std::uint64_t build_points;
+  std::uint64_t query_points;
+};
+constexpr KnlSpec kSdss10{"sdss10", "psf_mod_mag", 200000, 240000};
+constexpr KnlSpec kSdss15{"sdss15", "all_mag", 200000, 240000};
+
+void print_table2() {
+  std::printf("\nTable II — datasets for the KNL experiments (scaled ~1:10\n"
+              "construction, ~1:40 querying)\n");
+  std::printf("%-14s %12s %6s %12s %6s\n", "Name", "Construction", "Dims",
+              "Querying", "Dims");
+  for (const KnlSpec& spec : {kSdss10, kSdss15}) {
+    const auto gen = data::make_generator(spec.name, 1);
+    std::printf("%-14s %12s %6zu %12s %6zu\n", spec.paper_name,
+                bench::human_count(spec.build_points).c_str(), gen->dims(),
+                bench::human_count(spec.query_points).c_str(), gen->dims());
+  }
+  std::printf("%-14s %12s %6d %12s %6d\n", "cosmo", "2.0M", 3, "2.0M", 3);
+  std::printf("%-14s %12s %6d %12s %6d\n", "plasma", "2.0M", 3, "2.0M", 3);
+}
+
+void run_fig8a() {
+  std::printf("\nFigure 8(a) — queries/second, PANDA vs buffered kd-tree\n");
+  std::printf("%-14s %16s %16s %14s\n", "dataset", "PANDA (24t) q/s",
+              "buffered q/s", "PANDA speedup");
+  for (const KnlSpec& spec : {kSdss10, kSdss15}) {
+    const auto generator = data::make_generator(spec.name, bench::kDataSeed);
+    const data::PointSet points = generator->generate_all(spec.build_points);
+    const data::PointSet queries =
+        bench::make_queries(*generator, spec.build_points, spec.query_points);
+    parallel::ThreadPool pool(24);
+
+    const core::KdTree tree =
+        core::KdTree::build(points, core::BuildConfig{}, pool);
+    std::vector<std::vector<core::Neighbor>> results;
+    WallTimer panda_watch;
+    tree.query_batch(queries, 10, pool, results);
+    const double panda_qps =
+        static_cast<double>(queries.size()) / panda_watch.seconds();
+
+    const baselines::BufferedTree buffered =
+        baselines::BufferedTree::build(points, baselines::BufferedConfig{});
+    WallTimer buffered_watch;
+    buffered.query_all(queries, 10, pool);
+    const double buffered_qps =
+        static_cast<double>(queries.size()) / buffered_watch.seconds();
+
+    std::printf("%-14s %16.0f %16.0f %13.1fx\n", spec.paper_name, panda_qps,
+                buffered_qps, panda_qps / buffered_qps);
+  }
+  std::printf("paper reference (absolute, not comparable): Titan Z 1 card\n"
+              "~0.4-0.6 Mq/s; 1 KNL node 1.7-3.1x faster; PANDA beat the\n"
+              "buffered approach by up to 3x.\n");
+}
+
+void run_fig8b() {
+  std::printf("\nFigure 8(b) — shared-tree scaling (replicated kd-tree)\n");
+  std::printf("paper: near-linear, 107x at 128 nodes\n");
+  std::printf("%-14s %6s %10s %10s\n", "dataset", "ranks", "time(s)",
+              "speedup");
+  for (const KnlSpec& spec : {kSdss10, kSdss15}) {
+    const auto generator = data::make_generator(spec.name, bench::kDataSeed);
+    const data::PointSet points = generator->generate_all(spec.build_points);
+    double base = 0.0;
+    for (const int ranks : {1, 2, 4, 8, 16}) {
+      net::ClusterConfig config;
+      config.ranks = ranks;
+      config.threads_per_rank = 1;
+      net::Cluster cluster(config);
+      double elapsed = 0.0;
+      std::mutex mutex;
+      cluster.run([&](net::Comm& comm) {
+        // Every rank builds/holds the same full tree (it is small) and
+        // answers its slice of the queries — the multicard GPU setup
+        // of [17], reproduced with ranks.
+        const core::KdTree tree =
+            core::KdTree::build(points, core::BuildConfig{}, comm.pool());
+        const data::PointSet my_queries = bench::make_query_slice(
+            *generator, spec.build_points, spec.query_points, comm.rank(),
+            comm.size());
+        std::vector<std::vector<core::Neighbor>> results;
+        comm.barrier();
+        WallTimer watch;
+        tree.query_batch(my_queries, 10, comm.pool(), results);
+        comm.barrier();
+        if (comm.rank() == 0) {
+          std::lock_guard<std::mutex> lock(mutex);
+          elapsed = watch.seconds();
+        }
+      });
+      if (ranks == 1) base = elapsed;
+      std::printf("%-14s %6d %10.3f %9.1fx\n", spec.paper_name, ranks,
+                  elapsed, base / elapsed);
+    }
+  }
+}
+
+void run_fig8c() {
+  std::printf("\nFigure 8(c) — distributed-tree scaling (cosmo, plasma)\n");
+  std::printf("paper: 6.6x going from 8 to 64 nodes (8x)\n");
+  std::printf("%-10s %6s %10s %10s\n", "dataset", "ranks", "query(s)",
+              "speedup");
+  for (const char* name : {"cosmo", "plasma"}) {
+    const std::uint64_t n = 2000000;
+    const std::uint64_t n_queries = 200000;
+    const auto generator = data::make_generator(name, bench::kDataSeed);
+    double base = 0.0;
+    bool first = true;
+    for (const int ranks : {2, 4, 8, 16}) {
+      net::ClusterConfig config;
+      config.ranks = ranks;
+      config.threads_per_rank = 1;
+      net::Cluster cluster(config);
+      double elapsed = 0.0;
+      std::mutex mutex;
+      cluster.run([&](net::Comm& comm) {
+        const data::PointSet slice =
+            generator->generate_slice(n, comm.rank(), comm.size());
+        const dist::DistKdTree tree =
+            dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+        const data::PointSet my_queries = bench::make_query_slice(
+            *generator, n, n_queries, comm.rank(), comm.size());
+        dist::DistQueryEngine engine(comm, tree);
+        dist::DistQueryConfig qconfig;
+        qconfig.k = 10;
+        comm.barrier();
+        WallTimer watch;
+        engine.run(my_queries, qconfig);
+        comm.barrier();
+        if (comm.rank() == 0) {
+          std::lock_guard<std::mutex> lock(mutex);
+          elapsed = watch.seconds();
+        }
+      });
+      if (first) {
+        base = elapsed;
+        first = false;
+      }
+      std::printf("%-10s %6d %10.3f %9.1fx\n", name, ranks, elapsed,
+                  base / elapsed);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 8 + Table II — KNL-style experiments",
+                      "Patwary et al. 2016, Figure 8(a-c), Table II");
+  print_table2();
+  run_fig8a();
+  run_fig8b();
+  run_fig8c();
+  bench::print_rule();
+  std::printf("expected shapes: PANDA outruns the buffered baseline (a);\n"
+              "shared-tree scaling is near-linear (b); distributed-tree\n"
+              "scaling is sublinear but strong (c).\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Cost-model extrapolation: from measured single-node rates and the
+// alpha-beta interconnect model to paper-scale predictions.
+//
+// The repository cannot run 49,152 cores, but it can (1) measure this
+// machine's per-core construction and query rates on the real code,
+// (2) measure the distributed algorithm's communication volumes per
+// point and per query, and (3) combine them with the Aries-like
+// alpha-beta parameters of net::CostParams to predict what the paper's
+// configurations would cost. The point of the exercise is a sanity
+// check on plausibility — predictions within an order of magnitude of
+// the paper's Table I times, with the gap directions explained —
+// not a calibrated performance model.
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "core/kdtree.hpp"
+#include "data/generators.hpp"
+#include "dist/dist_kdtree.hpp"
+#include "dist/dist_query.hpp"
+#include "net/cluster.hpp"
+#include "net/comm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace panda;
+
+struct MeasuredRates {
+  double build_points_per_core_second = 0.0;
+  double query_leafwork_per_core_second = 0.0;  // leaf visits/s/core
+  double leaves_per_query_local = 0.0;          // at the probe size
+  double bytes_redistributed_per_point = 0.0;
+  double bytes_per_query = 0.0;
+};
+
+MeasuredRates measure() {
+  MeasuredRates rates;
+  const std::uint64_t n = 1000000;
+  const std::uint64_t nq = 100000;
+  const auto generator = data::make_generator("cosmo", bench::kDataSeed);
+  const data::PointSet points = generator->generate_all(n);
+  const data::PointSet queries = bench::make_queries(*generator, n, nq);
+  const int threads = 8;
+  parallel::ThreadPool pool(threads);
+
+  WallTimer build_watch;
+  const core::KdTree tree =
+      core::KdTree::build(points, core::BuildConfig{}, pool);
+  rates.build_points_per_core_second =
+      static_cast<double>(n) / (build_watch.seconds() * threads);
+
+  std::vector<std::vector<core::Neighbor>> results;
+  core::QueryStats stats;
+  WallTimer query_watch;
+  tree.query_batch(queries, 5, pool, results,
+                   std::numeric_limits<float>::infinity(),
+                   core::TraversalPolicy::Exact, &stats);
+  const double query_seconds = query_watch.seconds();
+  rates.leaves_per_query_local = static_cast<double>(stats.leaves_visited) /
+                                 static_cast<double>(nq);
+  rates.query_leafwork_per_core_second =
+      static_cast<double>(stats.leaves_visited) / (query_seconds * threads);
+
+  // Communication volumes from a small distributed run.
+  net::ClusterConfig config;
+  config.ranks = 8;
+  net::Cluster cluster(config);
+  std::mutex mutex;
+  std::uint64_t build_bytes = 0;
+  std::uint64_t query_bytes = 0;
+  cluster.run([&](net::Comm& comm) {
+    const data::PointSet slice =
+        generator->generate_slice(n, comm.rank(), comm.size());
+    const dist::DistKdTree dtree =
+        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+    const std::uint64_t after_build = comm.stats().bytes_sent;
+    const data::PointSet my_queries =
+        bench::make_query_slice(*generator, n, nq, comm.rank(), comm.size());
+    dist::DistQueryEngine engine(comm, dtree);
+    dist::DistQueryConfig qconfig;
+    qconfig.k = 5;
+    engine.run(my_queries, qconfig);
+    std::lock_guard<std::mutex> lock(mutex);
+    build_bytes += after_build;
+    query_bytes += comm.stats().bytes_sent - after_build;
+  });
+  rates.bytes_redistributed_per_point =
+      static_cast<double>(build_bytes) / static_cast<double>(n);
+  rates.bytes_per_query =
+      static_cast<double>(query_bytes) / static_cast<double>(nq);
+  return rates;
+}
+
+struct PaperRow {
+  const char* name;
+  double points;
+  double queries;
+  int cores;
+  double paper_construct;
+  double paper_query;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Cost-model extrapolation to paper scale (sanity check)",
+      "Patwary et al. 2016, Table I configurations");
+
+  const MeasuredRates r = measure();
+  const net::CostParams aries;  // ~1.5 us latency, 10 GB/s
+
+  std::printf("\nmeasured on this machine (cosmo, 1M points, 8 threads):\n");
+  std::printf("  construction: %.2e points/s/core\n",
+              r.build_points_per_core_second);
+  std::printf("  querying:     %.2e leaf-visits/s/core, %.1f leaves/query "
+              "at 1M points\n",
+              r.query_leafwork_per_core_second, r.leaves_per_query_local);
+  std::printf("  comm volumes: %.1f B/point redistributed, %.1f B/query\n",
+              r.bytes_redistributed_per_point, r.bytes_per_query);
+
+  // Model:
+  //   T_construct = n/(P_cores * build_rate)
+  //               + n_per_node * bytes_pp * beta * ceil(log2 nodes)
+  //   T_query     = q * leaves(n)/(P_cores * leaf_rate)
+  //               + q_per_node * bytes_pq * beta
+  // with leaves(n) scaled from the probe by depth ratio
+  // log2(n/bucket) / log2(n_probe/bucket).
+  const double probe_depth = std::log2(1e6 / 32.0);
+  const std::vector<PaperRow> rows = {
+      {"cosmo_small", 1.1e9, 1.1e8, 96, 23.3, 12.2},
+      {"cosmo_medium", 8.1e9, 8.1e8, 768, 31.4, 14.7},
+      {"cosmo_large", 68.7e9, 6.87e9, 49152, 12.2, 3.8},
+      {"plasma_large", 188.8e9, 18.88e9, 49152, 47.8, 11.6},
+      {"dayabay_large", 2.7e9, 1.35e7, 6144, 4.0, 6.8},
+  };
+  std::printf("\n%-14s %8s | %9s %9s | %9s %9s\n", "dataset", "cores",
+              "pred C(s)", "paper C", "pred Q(s)", "paper Q");
+  bench::print_rule();
+  for (const PaperRow& row : rows) {
+    const int nodes = row.cores / 24;
+    const double n_per_node = row.points / nodes;
+    const double q_per_node = row.queries / nodes;
+    const double levels = std::ceil(std::log2(std::max(2, nodes)));
+
+    const double construct_compute =
+        row.points / (row.cores * r.build_points_per_core_second);
+    const double construct_comm = n_per_node *
+                                  r.bytes_redistributed_per_point *
+                                  aries.beta_seconds_per_byte * levels / 3.0;
+    // levels/3: the probe run's byte count already includes its own
+    // 3 levels (8 ranks), so scale by the level ratio.
+    const double depth_scale = std::log2(row.points / 32.0) / probe_depth;
+    const double query_compute =
+        row.queries * r.leaves_per_query_local * depth_scale /
+        (row.cores * r.query_leafwork_per_core_second);
+    const double query_comm = q_per_node * r.bytes_per_query *
+                              aries.beta_seconds_per_byte;
+
+    std::printf("%-14s %8d | %9.1f %9.1f | %9.1f %9.1f\n", row.name,
+                row.cores, construct_compute + construct_comm,
+                row.paper_construct, query_compute + query_comm,
+                row.paper_query);
+  }
+  bench::print_rule();
+  std::printf(
+      "reading: predictions should land within ~an order of magnitude of\n"
+      "the paper column. Gaps have known directions: Edison's per-core\n"
+      "rates (Ivy Bridge, 2013) are below this machine's; the model\n"
+      "ignores load imbalance, the paper's I/O, and contention, all of\n"
+      "which push the paper's real numbers above a pure rate model.\n");
+  return 0;
+}

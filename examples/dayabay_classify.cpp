@@ -1,0 +1,99 @@
+// Daya Bay event classification (paper Section V-C).
+//
+// The paper's one quantitative science result: KNN majority-vote
+// classification of autoencoded Daya Bay detector records into 3
+// physicist-labeled classes, reaching 87 % accuracy. This example
+// reproduces the experiment on the synthetic 10-D generator: index a
+// labeled training set with the distributed kd-tree, classify a
+// held-out set by majority vote over the k = 5 nearest neighbors, and
+// report accuracy and the per-class confusion matrix.
+//
+// Run:  ./dayabay_classify [train_n] [test_n] [ranks]
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "panda.hpp"
+
+int main(int argc, char** argv) {
+  using namespace panda;
+  const std::uint64_t train_n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+  const std::uint64_t test_n =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
+  const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
+  const std::size_t k = 5;
+
+  const data::DayaBayGenerator generator(data::DayaBayParams{}, /*seed=*/7);
+  // Holdout split by id: train ids [0, train_n), test ids
+  // [train_n, train_n + test_n) — disjoint by construction.
+  const std::uint64_t test_begin = train_n;
+
+  net::ClusterConfig config;
+  config.ranks = ranks;
+  config.threads_per_rank = 2;
+  net::Cluster cluster(config);
+
+  std::vector<int> predicted(test_n, -1);
+  std::mutex mutex;
+
+  cluster.run([&](net::Comm& comm) {
+    const data::PointSet slice =
+        generator.generate_slice(train_n, comm.rank(), comm.size());
+    const dist::DistKdTree tree =
+        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+
+    // Each rank classifies its share of the held-out records.
+    const std::uint64_t q_begin =
+        test_begin + static_cast<std::uint64_t>(comm.rank()) * test_n /
+                         static_cast<std::uint64_t>(comm.size());
+    const std::uint64_t q_end =
+        test_begin + static_cast<std::uint64_t>(comm.rank() + 1) * test_n /
+                         static_cast<std::uint64_t>(comm.size());
+    data::PointSet my_queries(generator.dims());
+    generator.generate(q_begin, q_end, my_queries);
+
+    dist::DistQueryEngine engine(comm, tree);
+    dist::DistQueryConfig query_config;
+    query_config.k = k;
+    const auto results = engine.run(my_queries, query_config);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::uint64_t i = 0; i < results.size(); ++i) {
+      predicted[q_begin - test_begin + i] = ml::classify(
+          results[i],
+          [&](std::uint64_t id) { return generator.label_of(id); },
+          generator.params().classes);
+    }
+  });
+
+  // Score against ground truth with both voting schemes' predictions.
+  const int classes = generator.params().classes;
+  std::vector<int> truth(test_n);
+  for (std::uint64_t i = 0; i < test_n; ++i) {
+    truth[i] = generator.label_of(test_begin + i);
+  }
+  const ml::EvaluationResult eval =
+      ml::evaluate_classifier(predicted, truth, classes);
+
+  std::printf("Daya Bay KNN classification (k=%zu, %llu train, %llu test, "
+              "%d ranks)\n",
+              k, static_cast<unsigned long long>(train_n),
+              static_cast<unsigned long long>(test_n), ranks);
+  std::printf("accuracy: %.1f%%   (paper reports 87%% on the real "
+              "detector data)\n",
+              100.0 * eval.accuracy());
+  std::printf("confusion matrix (rows = truth, cols = predicted):\n");
+  for (int t = 0; t < classes; ++t) {
+    std::printf("  class %d:", t);
+    for (int p = 0; p < classes; ++p) {
+      std::printf(" %8llu",
+                  static_cast<unsigned long long>(
+                      eval.confusion[static_cast<std::size_t>(t)]
+                                    [static_cast<std::size_t>(p)]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Plasma physics: energetic-particle extraction and neighborhood
+// energy analysis.
+//
+// The paper's plasma workflow (Sections II, IV-B2): a VPIC magnetic
+// reconnection simulation is filtered to particles with kinetic energy
+// E > 1.1 mec^2, and the KNN kernel supports classifying features such
+// as flux ropes in the energetic subset. This example reproduces the
+// pipeline: generate particles with energies, apply the E-threshold
+// filter, index the survivors with the distributed kd-tree, and use
+// each particle's k nearest energetic neighbors to measure how
+// spatially concentrated the energetic population is (filament
+// detection by neighborhood energy).
+//
+// Run:  ./plasma_energetic_regions [particles] [ranks]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "panda.hpp"
+
+int main(int argc, char** argv) {
+  using namespace panda;
+  const std::uint64_t n_raw =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400000;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+  const double energy_threshold = 1.1;  // E > 1.1 mec^2, as in the paper
+  const std::size_t k = 6;
+
+  const data::PlasmaGenerator generator(data::PlasmaParams{}, /*seed=*/88);
+
+  // --- energy filter (the paper's extraction step) --------------------
+  // Scan ids once to build the energetic subset; this mirrors reading
+  // the full VPIC snapshot and keeping E > threshold.
+  std::vector<std::uint64_t> energetic_ids;
+  for (std::uint64_t id = 0; id < n_raw; ++id) {
+    if (generator.kinetic_energy(id) > energy_threshold) {
+      energetic_ids.push_back(id);
+    }
+  }
+  const std::uint64_t n = energetic_ids.size();
+  std::printf("energy filter: %llu of %llu particles above %.1f mec^2 "
+              "(%.1f%%)\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(n_raw), energy_threshold,
+              100.0 * static_cast<double>(n) / static_cast<double>(n_raw));
+
+  // Query the energetic subset for each particle's k nearest energetic
+  // neighbors and measure the mean neighborhood radius separately for
+  // filament and background particles.
+  std::vector<float> radius2(n, 0.0f);
+  std::mutex mutex;
+
+  net::ClusterConfig config;
+  config.ranks = ranks;
+  config.threads_per_rank = 2;
+  net::Cluster cluster(config);
+  cluster.run([&](net::Comm& comm) {
+    // Each rank materializes its contiguous share of the filtered ids.
+    const std::uint64_t begin = static_cast<std::uint64_t>(comm.rank()) * n /
+                                static_cast<std::uint64_t>(comm.size());
+    const std::uint64_t end = static_cast<std::uint64_t>(comm.rank() + 1) *
+                              n / static_cast<std::uint64_t>(comm.size());
+    data::PointSet slice(3);
+    {
+      data::PointSet scratch(3);
+      for (std::uint64_t i = begin; i < end; ++i) {
+        scratch.clear();
+        generator.generate(energetic_ids[i], energetic_ids[i] + 1, scratch);
+        std::vector<float> p(3);
+        scratch.copy_point(0, p.data());
+        slice.push_point(p, energetic_ids[i]);
+      }
+    }
+    const dist::DistKdTree tree =
+        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+
+    data::PointSet my_queries(3);
+    {
+      data::PointSet scratch(3);
+      for (std::uint64_t i = begin; i < end; ++i) {
+        scratch.clear();
+        generator.generate(energetic_ids[i], energetic_ids[i] + 1, scratch);
+        std::vector<float> p(3);
+        scratch.copy_point(0, p.data());
+        my_queries.push_point(p, energetic_ids[i]);
+      }
+    }
+    dist::DistQueryEngine engine(comm, tree);
+    dist::DistQueryConfig query_config;
+    query_config.k = k + 1;  // self included
+    const auto results = engine.run(my_queries, query_config);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::uint64_t i = 0; i < results.size(); ++i) {
+      radius2[begin + i] = results[i].back().dist2;
+    }
+  });
+
+  // Filament particles should sit in much denser energetic
+  // neighborhoods than the diffuse energetic background.
+  double filament_radius = 0.0;
+  double background_radius = 0.0;
+  std::uint64_t filament_count = 0;
+  std::uint64_t background_count = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double r = std::sqrt(static_cast<double>(radius2[i]));
+    if (generator.on_filament(energetic_ids[i])) {
+      filament_radius += r;
+      ++filament_count;
+    } else {
+      background_radius += r;
+      ++background_count;
+    }
+  }
+  filament_radius /= std::max<double>(1.0, static_cast<double>(filament_count));
+  background_radius /=
+      std::max<double>(1.0, static_cast<double>(background_count));
+
+  std::printf("energetic particles on filaments: %llu, background: %llu\n",
+              static_cast<unsigned long long>(filament_count),
+              static_cast<unsigned long long>(background_count));
+  std::printf("mean k-NN radius: filament %.5f vs background %.5f "
+              "(ratio %.1fx)\n",
+              filament_radius, background_radius,
+              background_radius / std::max(filament_radius, 1e-12));
+  std::printf("=> energetic particles concentrate along flux ropes; a\n"
+              "   radius threshold separates filament from background.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "baselines/ann_style.hpp"
+
+namespace panda::baselines {
+
+SimpleKdTree build_ann_style(const data::PointSet& points,
+                             std::uint32_t bucket_size) {
+  SimpleBuildConfig config;
+  config.policy = SplitPolicy::AnnStyle;
+  config.bucket_size = bucket_size;
+  return SimpleKdTree::build(points, config);
+}
+
+}  // namespace panda::baselines

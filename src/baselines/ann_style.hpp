@@ -1,0 +1,15 @@
+// ANN-style baseline (Mount & Arya, ANN 1.1.2) — see simple_tree.hpp
+// for the reproduced split policy (max-extent dimension, sliding
+// midpoint). The paper compares against ANN in Figure 7 and notes its
+// depth blow-up on the co-located dayabay data (depth 109 vs 32).
+#pragma once
+
+#include "baselines/simple_tree.hpp"
+
+namespace panda::baselines {
+
+/// Serial construction with ANN's max-extent/midpoint policy.
+SimpleKdTree build_ann_style(const data::PointSet& points,
+                             std::uint32_t bucket_size = 1);
+
+}  // namespace panda::baselines

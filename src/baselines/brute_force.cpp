@@ -1,0 +1,54 @@
+#include "baselines/brute_force.hpp"
+
+#include "common/error.hpp"
+#include "baselines/scatter.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace panda::baselines {
+
+std::vector<core::Neighbor> brute_force_knn(const data::PointSet& points,
+                                            std::span<const float> query,
+                                            std::size_t k) {
+  PANDA_CHECK_MSG(query.size() == points.dims(),
+                  "query dimensionality mismatch");
+  PANDA_CHECK(k >= 1);
+  core::KnnHeap heap(k);
+  const std::size_t dims = points.dims();
+  for (std::uint64_t i = 0; i < points.size(); ++i) {
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const float diff = query[d] - points.at(i, d);
+      acc += diff * diff;
+    }
+    if (acc < heap.bound()) heap.offer(acc, points.id(i));
+  }
+  return heap.take_sorted();
+}
+
+void brute_force_batch(const data::PointSet& points,
+                       const data::PointSet& queries, std::size_t k,
+                       parallel::ThreadPool& pool,
+                       std::vector<std::vector<core::Neighbor>>& results) {
+  results.assign(queries.size(), {});
+  parallel::parallel_for_dynamic(
+      pool, 0, queries.size(), 8,
+      [&](int, std::uint64_t a, std::uint64_t b) {
+        std::vector<float> q(points.dims());
+        for (std::uint64_t i = a; i < b; ++i) {
+          queries.copy_point(i, q.data());
+          results[i] = brute_force_knn(points, q, k);
+        }
+      });
+}
+
+std::vector<std::vector<core::Neighbor>> distributed_exhaustive_knn(
+    net::Comm& comm, const data::PointSet& local_points,
+    const data::PointSet& local_queries, std::size_t k) {
+  return scatter_query_merge(
+      comm, local_queries, k, comm.pool(),
+      [&](std::span<const float> q) {
+        return brute_force_knn(local_points, q, k);
+      });
+}
+
+}  // namespace panda::baselines

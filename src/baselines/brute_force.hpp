@@ -1,0 +1,38 @@
+// Exact linear-scan KNN — the correctness oracle and the
+// distributed-exhaustive baseline ([9], [10] in the paper).
+//
+// brute_force_knn accumulates float distances in dimension order, the
+// same order as the SIMD bucket kernel, so distances are bit-identical
+// to the kd-tree path and tests can compare them exactly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/knn_heap.hpp"
+#include "data/point_set.hpp"
+#include "net/comm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::baselines {
+
+/// k nearest points (ascending by squared distance; global ids).
+std::vector<core::Neighbor> brute_force_knn(const data::PointSet& points,
+                                            std::span<const float> query,
+                                            std::size_t k);
+
+/// Batch version parallelized over queries.
+void brute_force_batch(const data::PointSet& points,
+                       const data::PointSet& queries, std::size_t k,
+                       parallel::ThreadPool& pool,
+                       std::vector<std::vector<core::Neighbor>>& results);
+
+/// Collective. The distributed exhaustive strategy: every rank scans
+/// its local slice for every query; candidates (P*k per query) are
+/// merged at the origin. No acceleration structure — the approach the
+/// paper's introduction argues against.
+std::vector<std::vector<core::Neighbor>> distributed_exhaustive_knn(
+    net::Comm& comm, const data::PointSet& local_points,
+    const data::PointSet& local_queries, std::size_t k);
+
+}  // namespace panda::baselines

@@ -1,0 +1,113 @@
+#include "baselines/buffered_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace panda::baselines {
+
+BufferedTree BufferedTree::build(const data::PointSet& points,
+                                 const BufferedConfig& config) {
+  BufferedTree out;
+  SimpleBuildConfig tree_config;
+  tree_config.policy = SplitPolicy::ExactMedian;
+  tree_config.bucket_size = config.bucket_size;
+  out.tree_ = SimpleKdTree::build(points, tree_config);
+  return out;
+}
+
+std::vector<std::vector<core::Neighbor>> BufferedTree::query_all(
+    const data::PointSet& queries, std::size_t k,
+    parallel::ThreadPool& pool, core::QueryStats* stats) const {
+  PANDA_CHECK_MSG(queries.dims() == tree_.dims(),
+                  "query dimensionality mismatch");
+  const std::size_t nq = queries.size();
+  std::vector<std::vector<core::Neighbor>> results(nq);
+  if (nq == 0 || tree_.size() == 0) return results;
+  const std::size_t dims = tree_.dims();
+
+  // Per-query traversal state: a candidate heap and a stack of
+  // (node, single-plane lower bound) entries, as in Algorithm 1.
+  struct Pending {
+    std::uint32_t node;
+    float bound2;
+  };
+  std::vector<core::KnnHeap> heaps(nq, core::KnnHeap(k));
+  std::vector<std::vector<Pending>> stacks(nq);
+  std::vector<float> coords(nq * dims);
+  for (std::size_t i = 0; i < nq; ++i) {
+    queries.copy_point(i, coords.data() + i * dims);
+    stacks[i].push_back({0, 0.0f});
+  }
+
+  core::QueryStats total_stats;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arrivals;  // leaf,query
+  for (;;) {
+    // Descend every live query to its next unpruned leaf.
+    arrivals.clear();
+    for (std::size_t i = 0; i < nq; ++i) {
+      auto& stack = stacks[i];
+      const float* q = coords.data() + i * dims;
+      while (!stack.empty()) {
+        const Pending e = stack.back();
+        stack.pop_back();
+        const auto& node = tree_.nodes_[e.node];
+        total_stats.nodes_visited += 1;
+        if (node.dim == SimpleKdTree::kLeaf) {
+          arrivals.emplace_back(e.node, static_cast<std::uint32_t>(i));
+          break;
+        }
+        if (e.bound2 >= heaps[i].bound()) continue;
+        const float diff = q[node.dim] - node.split;
+        const std::uint32_t near = diff < 0.0f ? node.left : node.right;
+        const std::uint32_t far = diff < 0.0f ? node.right : node.left;
+        const float far_bound2 = diff * diff;  // single-plane lower bound
+        if (far_bound2 < heaps[i].bound()) {
+          stack.push_back({far, far_bound2});
+        }
+        stack.push_back({near, e.bound2});
+      }
+    }
+    if (arrivals.empty()) break;
+
+    // Group arrivals by leaf and process each leaf's buffered queries
+    // against its bucket in one locality-friendly pass.
+    std::sort(arrivals.begin(), arrivals.end());
+    std::vector<std::pair<std::size_t, std::size_t>> groups;  // [begin,end)
+    for (std::size_t g = 0; g < arrivals.size();) {
+      std::size_t e = g;
+      while (e < arrivals.size() && arrivals[e].first == arrivals[g].first) {
+        ++e;
+      }
+      groups.emplace_back(g, e);
+      g = e;
+    }
+    std::vector<core::QueryStats> per_thread(
+        static_cast<std::size_t>(pool.size()));
+    parallel::parallel_for_dynamic(
+        pool, 0, groups.size(), 1,
+        [&](int tid, std::uint64_t ga, std::uint64_t gb) {
+          auto& st = per_thread[static_cast<std::size_t>(tid)];
+          for (std::uint64_t g = ga; g < gb; ++g) {
+            const auto [begin, end] = groups[g];
+            const auto& leaf = tree_.nodes_[arrivals[begin].first];
+            for (std::size_t a = begin; a < end; ++a) {
+              // A query descends to exactly one leaf per round, so its
+              // heap is touched by exactly one group (one thread).
+              const std::uint32_t qi = arrivals[a].second;
+              tree_.scan_leaf(leaf, coords.data() + qi * dims, heaps[qi],
+                              st);
+            }
+          }
+        });
+    for (const auto& st : per_thread) total_stats += st;
+  }
+
+  for (std::size_t i = 0; i < nq; ++i) results[i] = heaps[i].take_sorted();
+  if (stats != nullptr) *stats += total_stats;
+  return results;
+}
+
+}  // namespace panda::baselines

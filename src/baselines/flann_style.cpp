@@ -1,0 +1,13 @@
+#include "baselines/flann_style.hpp"
+
+namespace panda::baselines {
+
+SimpleKdTree build_flann_style(const data::PointSet& points,
+                               std::uint32_t bucket_size) {
+  SimpleBuildConfig config;
+  config.policy = SplitPolicy::FlannStyle;
+  config.bucket_size = bucket_size;
+  return SimpleKdTree::build(points, config);
+}
+
+}  // namespace panda::baselines

@@ -1,0 +1,15 @@
+// FLANN-style baseline (Muja & Lowe, FLANN 1.8.4) — see
+// simple_tree.hpp for the reproduced split policy. The paper compares
+// PANDA against FLANN in Figure 7 (construction and querying, 1 and 24
+// threads).
+#pragma once
+
+#include "baselines/simple_tree.hpp"
+
+namespace panda::baselines {
+
+/// Serial construction with FLANN's variance/mean-of-first-100 policy.
+SimpleKdTree build_flann_style(const data::PointSet& points,
+                               std::uint32_t bucket_size = 1);
+
+}  // namespace panda::baselines

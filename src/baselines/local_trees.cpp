@@ -1,0 +1,26 @@
+#include "baselines/local_trees.hpp"
+
+#include "baselines/scatter.hpp"
+
+namespace panda::baselines {
+
+LocalTreesStrategy LocalTreesStrategy::build(net::Comm& comm,
+                                             const data::PointSet& local_points,
+                                             const core::BuildConfig& config) {
+  LocalTreesStrategy strategy;
+  strategy.tree_ = core::KdTree::build(local_points, config, comm.pool());
+  return strategy;
+}
+
+std::vector<std::vector<core::Neighbor>> LocalTreesStrategy::query(
+    net::Comm& comm, const data::PointSet& local_queries, std::size_t k,
+    core::TraversalPolicy policy) const {
+  return scatter_query_merge(
+      comm, local_queries, k, comm.pool(),
+      [&](std::span<const float> q) {
+        return tree_.query(q, k, std::numeric_limits<float>::infinity(),
+                           policy);
+      });
+}
+
+}  // namespace panda::baselines

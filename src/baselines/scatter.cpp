@@ -1,0 +1,91 @@
+#include "baselines/scatter.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace panda::baselines {
+
+std::vector<std::vector<core::Neighbor>> scatter_query_merge(
+    net::Comm& comm, const data::PointSet& local_queries, std::size_t k,
+    parallel::ThreadPool& pool,
+    const std::function<std::vector<core::Neighbor>(std::span<const float>)>&
+        answer) {
+  const int ranks = comm.size();
+  const std::size_t dims = local_queries.dims();
+
+  // Broadcast all queries to all ranks.
+  std::vector<std::uint64_t> all_indices(local_queries.size());
+  for (std::uint64_t i = 0; i < local_queries.size(); ++i) all_indices[i] = i;
+  const std::vector<float> my_coords = local_queries.pack_coords(all_indices);
+  std::vector<std::uint64_t> counts;
+  const std::vector<float> all_coords =
+      comm.allgatherv<float>(my_coords, &counts);
+
+  // Answer every query with this rank's local candidates (k fixed
+  // slots per query, padded with +inf).
+  std::uint64_t total_queries = 0;
+  for (const std::uint64_t c : counts) total_queries += c / dims;
+  std::vector<float> cand_dist(total_queries * k,
+                               std::numeric_limits<float>::infinity());
+  std::vector<std::uint64_t> cand_id(total_queries * k, ~std::uint64_t{0});
+  parallel::parallel_for_dynamic(
+      pool, 0, total_queries, 16,
+      [&](int, std::uint64_t a, std::uint64_t b) {
+        for (std::uint64_t i = a; i < b; ++i) {
+          const auto result = answer(
+              std::span<const float>(all_coords.data() + i * dims, dims));
+          PANDA_ASSERT(result.size() <= k);
+          for (std::size_t j = 0; j < result.size(); ++j) {
+            cand_dist[i * k + j] = result[j].dist2;
+            cand_id[i * k + j] = result[j].id;
+          }
+        }
+      });
+
+  // Route each query's candidates back to its origin.
+  std::vector<std::vector<float>> dist_send(static_cast<std::size_t>(ranks));
+  std::vector<std::vector<std::uint64_t>> id_send(
+      static_cast<std::size_t>(ranks));
+  {
+    std::uint64_t q = 0;
+    for (int s = 0; s < ranks; ++s) {
+      const std::uint64_t nq = counts[static_cast<std::size_t>(s)] / dims;
+      auto& dd = dist_send[static_cast<std::size_t>(s)];
+      auto& ii = id_send[static_cast<std::size_t>(s)];
+      dd.assign(cand_dist.begin() + static_cast<std::ptrdiff_t>(q * k),
+                cand_dist.begin() + static_cast<std::ptrdiff_t>((q + nq) * k));
+      ii.assign(cand_id.begin() + static_cast<std::ptrdiff_t>(q * k),
+                cand_id.begin() + static_cast<std::ptrdiff_t>((q + nq) * k));
+      q += nq;
+    }
+  }
+  const auto dist_recv = comm.alltoallv(dist_send);
+  const auto id_recv = comm.alltoallv(id_send);
+
+  // Merge the P candidate lists per local query.
+  std::vector<std::vector<core::Neighbor>> results(local_queries.size());
+  parallel::parallel_for_dynamic(
+      pool, 0, local_queries.size(), 64,
+      [&](int, std::uint64_t a, std::uint64_t b) {
+        for (std::uint64_t i = a; i < b; ++i) {
+          core::KnnHeap heap(k);
+          for (int s = 0; s < ranks; ++s) {
+            const auto& dd = dist_recv[static_cast<std::size_t>(s)];
+            const auto& ii = id_recv[static_cast<std::size_t>(s)];
+            for (std::size_t j = 0; j < k; ++j) {
+              const std::uint64_t id = ii[i * k + j];
+              if (id == ~std::uint64_t{0}) break;  // padding is sorted last
+              const float d2 = dd[i * k + j];
+              if (heap.full() && d2 >= heap.bound()) break;
+              heap.offer(d2, id);
+            }
+          }
+          results[i] = heap.take_sorted();
+        }
+      });
+  return results;
+}
+
+}  // namespace panda::baselines

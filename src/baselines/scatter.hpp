@@ -1,0 +1,34 @@
+// Query-everywhere scatter/gather — the communication pattern of the
+// distributed baselines.
+//
+// Both the exhaustive strategy and the no-redistribution local-trees
+// strategy (Section I's strawman, option (1) of Section III-A) share
+// the same shape: every query is broadcast to every rank, every rank
+// answers with k candidates from its local data, and the origin merges
+// P candidate lists down to k. This transfers P*k candidates per query
+// — the O(P) waste the global kd-tree eliminates (PANDA stage 3
+// contacts only the ranks whose region intersects ball(q, r')).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/knn_heap.hpp"
+#include "data/point_set.hpp"
+#include "net/comm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::baselines {
+
+/// Collective. Gathers every rank's queries, answers each with
+/// `answer` (must return ascending-sorted, at most k candidates over
+/// this rank's local data), routes candidates back, and merges.
+/// Returns results aligned with this rank's `local_queries`.
+std::vector<std::vector<core::Neighbor>> scatter_query_merge(
+    net::Comm& comm, const data::PointSet& local_queries, std::size_t k,
+    parallel::ThreadPool& pool,
+    const std::function<std::vector<core::Neighbor>(std::span<const float>)>&
+        answer);
+
+}  // namespace panda::baselines

@@ -1,0 +1,103 @@
+// Reference single-node kd-trees used as comparison baselines.
+//
+// SimpleKdTree reimplements the documented split policies of the two
+// libraries the paper benchmarks against (Figure 7):
+//   * FlannStyle — FLANN 1.8.4's randomized-tree policy restricted to
+//     one tree: split dimension by variance over the first 100 points,
+//     split value = the *mean* of those samples on that dimension;
+//   * AnnStyle — ANN 1.1.2's default: split dimension by maximum
+//     extent (hi - lo of the bounding box), split value = midpoint of
+//     the extent, with ANN's slide-to-nearest-point rescue when every
+//     point falls on one side (without it, co-located data never
+//     terminates — this sliding is what produces ANN's depth-109 tree
+//     on the dayabay data in the paper);
+//   * ExactMedian — positional nth_element median; used by the
+//     buffered-tree baseline and as a quality reference.
+//
+// Points are stored AoS and construction is serial — both faithful to
+// the baselines ("neither FLANN nor ANN can run in parallel" for
+// construction). Query traversal mirrors Algorithm 1 with the exact
+// incremental bound, so result quality is identical and performance
+// differences isolate tree shape and memory layout.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/kdtree.hpp"
+#include "data/point_set.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::baselines {
+
+enum class SplitPolicy { FlannStyle, AnnStyle, ExactMedian };
+
+struct SimpleBuildConfig {
+  SplitPolicy policy = SplitPolicy::FlannStyle;
+  std::uint32_t bucket_size = 1;
+  /// FLANN's sample count for mean/variance ("first 100 points").
+  std::uint32_t flann_samples = 100;
+};
+
+class SimpleKdTree {
+ public:
+  SimpleKdTree() = default;
+
+  static SimpleKdTree build(const data::PointSet& points,
+                            const SimpleBuildConfig& config);
+
+  std::size_t dims() const { return dims_; }
+  std::size_t size() const { return count_; }
+  std::uint32_t max_depth() const { return max_depth_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  std::vector<core::Neighbor> query(std::span<const float> query,
+                                    std::size_t k,
+                                    float radius = std::numeric_limits<
+                                        float>::infinity(),
+                                    core::QueryStats* stats = nullptr) const;
+
+  void query_batch(const data::PointSet& queries, std::size_t k,
+                   parallel::ThreadPool& pool,
+                   std::vector<std::vector<core::Neighbor>>& results,
+                   core::QueryStats* stats = nullptr) const;
+
+ private:
+  friend class BufferedTree;
+
+  struct Node {
+    float split = 0.0f;
+    std::uint32_t dim = kLeaf;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::uint64_t begin = 0;  // leaf: range in order_
+    std::uint64_t end = 0;
+  };
+  static constexpr std::uint32_t kLeaf = 0xffffffffu;
+
+  std::uint32_t build_node(std::uint64_t lo, std::uint64_t hi,
+                           std::vector<float>& box_lo,
+                           std::vector<float>& box_hi, std::uint32_t depth);
+  void scan_leaf(const Node& node, const float* q, core::KnnHeap& heap,
+                 core::QueryStats& stats) const;
+  void search(std::uint32_t v, const float* q, core::KnnHeap& heap,
+              float region_dist2, float* offsets,
+              core::QueryStats& stats) const;
+
+  float coord(std::uint64_t point, std::size_t d) const {
+    return aos_[point * dims_ + d];
+  }
+
+  std::size_t dims_ = 0;
+  std::uint64_t count_ = 0;
+  SimpleBuildConfig config_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint64_t> order_;  // leaf ranges index into this
+  std::vector<float> aos_;            // count_ x dims_, original order
+  std::vector<std::uint64_t> ids_;
+  std::uint32_t max_depth_ = 0;
+};
+
+}  // namespace panda::baselines

@@ -1,0 +1,58 @@
+// Cache-line / SIMD-width aligned storage.
+//
+// The SIMD kernels in src/simd require their inputs to start on a
+// 64-byte boundary so the compiler can emit aligned vector loads.
+// AlignedVector<T> is the storage type used by PointSet and the packed
+// kd-tree leaf buckets.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace panda {
+
+/// Alignment (bytes) used for all bulk numeric storage. 64 covers
+/// AVX-512 vectors and x86 cache lines.
+inline constexpr std::size_t kSimdAlignment = 64;
+
+/// Minimal std-compatible allocator returning kSimdAlignment-aligned
+/// memory. Propagates on container copy/move like std::allocator.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    const std::size_t bytes =
+        ((n * sizeof(T) + kSimdAlignment - 1) / kSimdAlignment) *
+        kSimdAlignment;
+    void* p = std::aligned_alloc(kSimdAlignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace panda

@@ -1,0 +1,54 @@
+// Error handling primitives for the PANDA library.
+//
+// PANDA_CHECK validates user-facing preconditions and throws
+// panda::Error (derived from std::runtime_error) on violation; it is
+// always on. PANDA_ASSERT guards internal invariants and compiles away
+// in release builds unless PANDA_ENABLE_ASSERTS is defined.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace panda {
+
+/// Exception type thrown by all PANDA precondition failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PANDA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace panda
+
+#define PANDA_CHECK(expr)                                                   \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::panda::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PANDA_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream panda_os_;                                       \
+      panda_os_ << msg;                                                   \
+      ::panda::detail::throw_check_failure(#expr, __FILE__, __LINE__,     \
+                                           panda_os_.str());              \
+    }                                                                     \
+  } while (0)
+
+#if !defined(NDEBUG) || defined(PANDA_ENABLE_ASSERTS)
+#define PANDA_ASSERT(expr) PANDA_CHECK(expr)
+#else
+#define PANDA_ASSERT(expr) ((void)0)
+#endif

@@ -1,0 +1,13 @@
+#include "common/rng.hpp"
+
+namespace panda {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream_id) {
+  SplitMix64 sm(base_seed ^ (0xd1342543de82ef95ULL * (stream_id + 1)));
+  // Burn a few outputs so nearby stream ids decorrelate fully.
+  sm.next();
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace panda

@@ -1,0 +1,36 @@
+// Sampling utilities used by the split-selection heuristics.
+//
+// PANDA never sorts whole datasets to find medians or variances: it
+// samples. The paper uses m = 256 samples per rank for the global tree
+// and 1024 for the local tree. These helpers produce deterministic
+// samples given an Rng.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace panda {
+
+/// Indices of `count` elements sampled without replacement from
+/// [0, n). If count >= n, returns 0..n-1. O(count) expected time
+/// (Floyd's algorithm); result is sorted.
+std::vector<std::uint64_t> sample_indices(std::uint64_t n, std::size_t count,
+                                          Rng& rng);
+
+/// Deterministic strided sample: every ceil(n/count)-th index.
+/// Used where the paper takes "the first N" or evenly spaced points.
+std::vector<std::uint64_t> strided_indices(std::uint64_t n, std::size_t count);
+
+/// Mean and variance of the given values (Welford). Returns {0,0} for
+/// empty input.
+struct MeanVar {
+  double mean = 0.0;
+  double variance = 0.0;  // population variance
+};
+MeanVar mean_variance(std::span<const float> values);
+
+}  // namespace panda

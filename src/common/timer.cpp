@@ -1,0 +1,30 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+
+namespace panda {
+
+PhaseTimer PhaseTimer::merge_max(const std::vector<PhaseTimer>& timers) {
+  PhaseTimer out;
+  for (const auto& t : timers) {
+    for (const auto& [name, s] : t.phases_) {
+      auto it = out.phases_.find(name);
+      if (it == out.phases_.end()) {
+        out.phases_[name] = s;
+      } else {
+        it->second = std::max(it->second, s);
+      }
+    }
+  }
+  return out;
+}
+
+PhaseTimer PhaseTimer::merge_sum(const std::vector<PhaseTimer>& timers) {
+  PhaseTimer out;
+  for (const auto& t : timers) {
+    for (const auto& [name, s] : t.phases_) out.phases_[name] += s;
+  }
+  return out;
+}
+
+}  // namespace panda

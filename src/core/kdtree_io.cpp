@@ -1,0 +1,89 @@
+// Persistence for built kd-trees.
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "core/kdtree.hpp"
+
+namespace panda::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x50414e44414b4454ULL;  // "PANDAKDT"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t dims;
+  std::uint64_t node_count;
+  std::uint64_t packed_count;   // floats
+  std::uint64_t id_count;       // slots
+  TreeStats stats;
+  BuildConfig config;
+};
+
+template <typename T>
+void write_raw(std::ofstream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+void read_raw(std::ifstream& in, T* data, std::size_t count) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+}  // namespace
+
+void KdTree::save(const std::string& path) const {
+  static_assert(std::is_trivially_copyable_v<Node>);
+  static_assert(std::is_trivially_copyable_v<TreeStats>);
+  static_assert(std::is_trivially_copyable_v<BuildConfig>);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PANDA_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+
+  Header header{};
+  header.magic = kMagic;
+  header.version = kVersion;
+  header.dims = static_cast<std::uint32_t>(dims_);
+  header.node_count = nodes_.size();
+  header.packed_count = packed_.size();
+  header.id_count = packed_ids_.size();
+  header.stats = stats_;
+  header.config = config_;
+  write_raw(out, &header, 1);
+  write_raw(out, nodes_.data(), nodes_.size());
+  write_raw(out, packed_.data(), packed_.size());
+  write_raw(out, packed_ids_.data(), packed_ids_.size());
+  out.flush();
+  PANDA_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+KdTree KdTree::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PANDA_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+
+  Header header{};
+  read_raw(in, &header, 1);
+  PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+  PANDA_CHECK_MSG(header.magic == kMagic, "not a PANDA kd-tree: " << path);
+  PANDA_CHECK_MSG(header.version == kVersion,
+                  "unsupported kd-tree version " << header.version);
+
+  KdTree tree;
+  tree.dims_ = header.dims;
+  tree.stats_ = header.stats;
+  tree.config_ = header.config;
+  tree.nodes_.resize(header.node_count);
+  read_raw(in, tree.nodes_.data(), tree.nodes_.size());
+  tree.packed_.resize(header.packed_count);
+  read_raw(in, tree.packed_.data(), tree.packed_.size());
+  tree.packed_ids_.resize(header.id_count);
+  read_raw(in, tree.packed_ids_.data(), tree.packed_ids_.size());
+  PANDA_CHECK_MSG(in.good(), "truncated payload: " << path);
+  return tree;
+}
+
+}  // namespace panda::core

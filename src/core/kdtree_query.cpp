@@ -1,0 +1,292 @@
+// Local KNN querying (paper Algorithm 1 / Section III-C).
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/kdtree.hpp"
+#include "parallel/parallel_for.hpp"
+#include "simd/distance.hpp"
+
+namespace panda::core {
+
+namespace {
+
+/// Scratch distance buffer sized for the largest padded bucket we
+/// expect; grows on demand.
+thread_local std::vector<float> t_dist_buffer;
+
+}  // namespace
+
+void KdTree::scan_leaf(const Node& node, const float* query, KnnHeap& heap,
+                       QueryStats& stats) const {
+  const std::uint64_t stride = simd::padded_count(node.count);
+  if (stride == 0) return;
+  if (t_dist_buffer.size() < stride) t_dist_buffer.resize(stride);
+  const float* block = packed_.data() + node.packed_begin * dims_;
+  // Branch-free over the full padded width: sentinel lanes produce
+  // +inf distances and are rejected by the bound check below.
+  simd::squared_distances_padded(query, block, stride, dims_,
+                                 t_dist_buffer.data());
+  stats.leaves_visited += 1;
+  stats.points_scanned += node.count;
+  for (std::uint64_t i = 0; i < node.count; ++i) {
+    const float d2 = t_dist_buffer[i];
+    if (d2 < heap.bound()) {
+      heap.offer(d2, packed_ids_[node.packed_begin + i]);
+    }
+  }
+}
+
+void KdTree::search_exact(std::uint32_t node_index, const float* query,
+                          KnnHeap& heap, float region_dist2, float* offsets,
+                          QueryStats& stats) const {
+  const Node& node = nodes_[node_index];
+  stats.nodes_visited += 1;
+  if (is_leaf(node)) {
+    scan_leaf(node, query, heap, stats);
+    return;
+  }
+  const std::size_t dim = node.dim;
+  const float diff = query[dim] - node.split;
+  const std::uint32_t near = diff < 0.0f ? node.left : node.right;
+  const std::uint32_t far = diff < 0.0f ? node.right : node.left;
+
+  search_exact(near, query, heap, region_dist2, offsets, stats);
+
+  // Arya–Mount incremental bound: replace this dimension's previous
+  // plane offset with the new one. region_dist2 stays a true lower
+  // bound on the squared distance to any point in the far region.
+  const float old_offset = offsets[dim];
+  const float new_offset = diff;
+  const float far_dist2 =
+      region_dist2 - old_offset * old_offset + new_offset * new_offset;
+  if (far_dist2 < heap.bound()) {
+    offsets[dim] = new_offset;
+    search_exact(far, query, heap, far_dist2, offsets, stats);
+    offsets[dim] = old_offset;
+  }
+}
+
+void KdTree::search_paper(const float* query, KnnHeap& heap,
+                          QueryStats& stats) const {
+  // Iterative traversal with an explicit stack of (node, d) pairs,
+  // following Algorithm 1 line by line; d accumulates successive plane
+  // offsets without same-dimension replacement.
+  struct Entry {
+    std::uint32_t node;
+    float dist2;
+  };
+  std::vector<Entry> stack;
+  stack.reserve(64);
+  stack.push_back({0, 0.0f});
+  while (!stack.empty()) {
+    const Entry e = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[e.node];
+    stats.nodes_visited += 1;
+    if (is_leaf(node)) {
+      scan_leaf(node, query, heap, stats);
+      continue;
+    }
+    if (e.dist2 >= heap.bound()) continue;  // line 17 pruning
+    const float diff = query[node.dim] - node.split;
+    const std::uint32_t near = diff < 0.0f ? node.left : node.right;
+    const std::uint32_t far = diff < 0.0f ? node.right : node.left;
+    const float far_dist2 = e.dist2 + diff * diff;  // lines 18-19
+    if (far_dist2 < heap.bound()) {
+      stack.push_back({far, far_dist2});  // line 23 (C2 pushed first)
+    }
+    stack.push_back({near, e.dist2});  // line 24 (C1 popped first)
+  }
+}
+
+std::vector<Neighbor> KdTree::query(std::span<const float> query,
+                                    std::size_t k, float radius,
+                                    TraversalPolicy policy,
+                                    QueryStats* stats) const {
+  const float r2 = radius < std::numeric_limits<float>::infinity()
+                       ? radius * radius
+                       : std::numeric_limits<float>::infinity();
+  return query_sq(query, k, r2, policy, stats);
+}
+
+std::vector<Neighbor> KdTree::query_sq(std::span<const float> query,
+                                       std::size_t k, float radius2,
+                                       TraversalPolicy policy,
+                                       QueryStats* stats) const {
+  PANDA_CHECK_MSG(query.size() == dims_, "query dimensionality mismatch");
+  PANDA_CHECK_MSG(k >= 1, "k must be >= 1");
+  QueryStats local_stats;
+  KnnHeap heap(k);
+  if (!nodes_.empty()) {
+    // The search radius r of Algorithm 1 seeds the heap bound: filling
+    // the heap with sentinels at r^2 rejects anything farther without
+    // affecting results (sentinels are stripped afterwards).
+    const bool bounded = radius2 < std::numeric_limits<float>::infinity();
+    if (bounded) {
+      for (std::size_t i = 0; i < k; ++i) {
+        heap.offer(radius2, ~std::uint64_t{0});
+      }
+    }
+    if (policy == TraversalPolicy::Exact) {
+      std::vector<float> offsets(dims_, 0.0f);
+      search_exact(0, query.data(), heap, 0.0f, offsets.data(), local_stats);
+    } else {
+      search_paper(query.data(), heap, local_stats);
+    }
+    if (stats != nullptr) *stats += local_stats;
+    auto sorted = heap.take_sorted();
+    if (bounded) {
+      // Strip radius sentinels (dist2 == r^2, id == ~0).
+      while (!sorted.empty() && sorted.back().id == ~std::uint64_t{0}) {
+        sorted.pop_back();
+      }
+    }
+    return sorted;
+  }
+  return {};
+}
+
+void KdTree::query_batch(const data::PointSet& queries, std::size_t k,
+                         parallel::ThreadPool& pool,
+                         std::vector<std::vector<Neighbor>>& results,
+                         float radius, TraversalPolicy policy,
+                         QueryStats* stats) const {
+  PANDA_CHECK_MSG(queries.dims() == dims_, "query dimensionality mismatch");
+  results.assign(queries.size(), {});
+  std::vector<QueryStats> per_thread(static_cast<std::size_t>(pool.size()));
+  parallel::parallel_for_dynamic(
+      pool, 0, queries.size(), 64,
+      [&](int tid, std::uint64_t a, std::uint64_t b) {
+        std::vector<float> q(dims_);
+        for (std::uint64_t i = a; i < b; ++i) {
+          queries.copy_point(i, q.data());
+          results[i] = query(q, k, radius, policy,
+                             &per_thread[static_cast<std::size_t>(tid)]);
+        }
+      });
+  if (stats != nullptr) {
+    for (const auto& s : per_thread) *stats += s;
+  }
+}
+
+void KdTree::search_budgeted(std::uint32_t node_index, const float* query,
+                             KnnHeap& heap, float region_dist2,
+                             float* offsets, std::uint64_t& leaf_budget,
+                             QueryStats& stats) const {
+  if (leaf_budget == 0) return;
+  const Node& node = nodes_[node_index];
+  stats.nodes_visited += 1;
+  if (is_leaf(node)) {
+    scan_leaf(node, query, heap, stats);
+    --leaf_budget;
+    return;
+  }
+  const std::size_t dim = node.dim;
+  const float diff = query[dim] - node.split;
+  const std::uint32_t near = diff < 0.0f ? node.left : node.right;
+  const std::uint32_t far = diff < 0.0f ? node.right : node.left;
+  search_budgeted(near, query, heap, region_dist2, offsets, leaf_budget,
+                  stats);
+  if (leaf_budget == 0) return;
+  const float old_offset = offsets[dim];
+  const float far_dist2 =
+      region_dist2 - old_offset * old_offset + diff * diff;
+  if (far_dist2 < heap.bound()) {
+    offsets[dim] = diff;
+    search_budgeted(far, query, heap, far_dist2, offsets, leaf_budget,
+                    stats);
+    offsets[dim] = old_offset;
+  }
+}
+
+std::vector<Neighbor> KdTree::query_approx(std::span<const float> query,
+                                           std::size_t k,
+                                           std::uint64_t max_leaf_visits,
+                                           QueryStats* stats) const {
+  PANDA_CHECK_MSG(query.size() == dims_, "query dimensionality mismatch");
+  PANDA_CHECK_MSG(k >= 1, "k must be >= 1");
+  PANDA_CHECK_MSG(max_leaf_visits >= 1, "need at least one leaf visit");
+  QueryStats local_stats;
+  KnnHeap heap(k);
+  if (!nodes_.empty()) {
+    std::vector<float> offsets(dims_, 0.0f);
+    std::uint64_t budget = max_leaf_visits;
+    search_budgeted(0, query.data(), heap, 0.0f, offsets.data(), budget,
+                    local_stats);
+  }
+  if (stats != nullptr) *stats += local_stats;
+  return heap.take_sorted();
+}
+
+void KdTree::search_radius(std::uint32_t node_index, const float* query,
+                           float radius2, float region_dist2, float* offsets,
+                           std::vector<Neighbor>& out,
+                           QueryStats& stats) const {
+  const Node& node = nodes_[node_index];
+  stats.nodes_visited += 1;
+  if (is_leaf(node)) {
+    const std::uint64_t stride = simd::padded_count(node.count);
+    if (stride == 0) return;
+    if (t_dist_buffer.size() < stride) t_dist_buffer.resize(stride);
+    const float* block = packed_.data() + node.packed_begin * dims_;
+    simd::squared_distances_padded(query, block, stride, dims_,
+                                   t_dist_buffer.data());
+    stats.leaves_visited += 1;
+    stats.points_scanned += node.count;
+    for (std::uint64_t i = 0; i < node.count; ++i) {
+      const float d2 = t_dist_buffer[i];
+      if (d2 < radius2) {
+        out.push_back({d2, packed_ids_[node.packed_begin + i]});
+      }
+    }
+    return;
+  }
+  const std::size_t dim = node.dim;
+  const float diff = query[dim] - node.split;
+  const std::uint32_t near = diff < 0.0f ? node.left : node.right;
+  const std::uint32_t far = diff < 0.0f ? node.right : node.left;
+  search_radius(near, query, radius2, region_dist2, offsets, out, stats);
+  const float old_offset = offsets[dim];
+  const float far_dist2 =
+      region_dist2 - old_offset * old_offset + diff * diff;
+  if (far_dist2 < radius2) {
+    offsets[dim] = diff;
+    search_radius(far, query, radius2, far_dist2, offsets, out, stats);
+    offsets[dim] = old_offset;
+  }
+}
+
+std::vector<Neighbor> KdTree::query_radius(std::span<const float> query,
+                                           float radius,
+                                           QueryStats* stats) const {
+  PANDA_CHECK_MSG(query.size() == dims_, "query dimensionality mismatch");
+  PANDA_CHECK_MSG(radius >= 0.0f, "radius must be non-negative");
+  std::vector<Neighbor> out;
+  if (nodes_.empty()) return out;
+  QueryStats local_stats;
+  std::vector<float> offsets(dims_, 0.0f);
+  search_radius(0, query.data(), radius * radius, 0.0f, offsets.data(), out,
+                local_stats);
+  std::sort(out.begin(), out.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.dist2 < b.dist2;
+            });
+  if (stats != nullptr) *stats += local_stats;
+  return out;
+}
+
+std::uint32_t KdTree::path_depth(std::span<const float> query) const {
+  PANDA_CHECK_MSG(query.size() == dims_, "query dimensionality mismatch");
+  if (nodes_.empty()) return 0;
+  std::uint32_t depth = 1;
+  std::uint32_t v = 0;
+  while (!is_leaf(nodes_[v])) {
+    const Node& n = nodes_[v];
+    v = query[n.dim] < n.split ? n.left : n.right;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace panda::core

@@ -1,0 +1,19 @@
+#include "core/knn_heap.hpp"
+
+namespace panda::core {
+
+std::vector<Neighbor> merge_topk(const std::vector<std::vector<Neighbor>>& lists,
+                                 std::size_t k) {
+  KnnHeap heap(k);
+  for (const auto& list : lists) {
+    for (const Neighbor& n : list) {
+      // Lists are sorted: once a list's entry cannot beat the bound,
+      // the rest of that list cannot either.
+      if (heap.full() && n.dist2 >= heap.bound()) break;
+      heap.offer(n.dist2, n.id);
+    }
+  }
+  return heap.take_sorted();
+}
+
+}  // namespace panda::core

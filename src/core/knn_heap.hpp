@@ -1,0 +1,108 @@
+// Bounded max-heap of candidate neighbors (the H of Algorithm 1).
+//
+// Holds at most k (distance², id) pairs; the root is the farthest
+// candidate, so bound() — the r′ of the paper — tightens monotonically
+// as better candidates arrive. Distances are squared throughout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace panda::core {
+
+struct Neighbor {
+  float dist2 = std::numeric_limits<float>::infinity();
+  std::uint64_t id = ~std::uint64_t{0};
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+class KnnHeap {
+ public:
+  explicit KnnHeap(std::size_t k) : k_(k) { PANDA_CHECK(k >= 1); }
+
+  std::size_t k() const { return k_; }
+  std::size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Current pruning bound r′² — the distance of the k-th best
+  /// candidate, or +inf while fewer than k candidates are held.
+  float bound() const {
+    return full() ? heap_.front().dist2
+                  : std::numeric_limits<float>::infinity();
+  }
+
+  /// Offers a candidate; keeps it only if it beats the bound.
+  /// Returns true if the candidate was admitted.
+  bool offer(float dist2, std::uint64_t id) {
+    if (!full()) {
+      heap_.push_back({dist2, id});
+      sift_up(heap_.size() - 1);
+      return true;
+    }
+    if (dist2 >= heap_.front().dist2) return false;
+    heap_.front() = {dist2, id};
+    sift_down(0);
+    return true;
+  }
+
+  /// Extracts all candidates sorted ascending by distance; the heap is
+  /// left empty.
+  std::vector<Neighbor> take_sorted() {
+    std::vector<Neighbor> out;
+    out.resize(heap_.size());
+    for (std::size_t i = out.size(); i-- > 0;) {
+      out[i] = heap_.front();
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) sift_down(0);
+    }
+    return out;
+  }
+
+  void clear() { heap_.clear(); }
+
+  /// Reseeds the heap with an initial radius bound: candidates at
+  /// dist² >= r2 will never be admitted even while not full. Used by
+  /// radius-limited remote queries (Algorithm 1's r parameter).
+  /// Implemented by the query driver, not the heap — see
+  /// KdTree::query's radius argument.
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (heap_[parent].dist2 >= heap_[i].dist2) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      std::size_t largest = i;
+      if (l < n && heap_[l].dist2 > heap_[largest].dist2) largest = l;
+      if (r < n && heap_[r].dist2 > heap_[largest].dist2) largest = r;
+      if (largest == i) break;
+      std::swap(heap_[i], heap_[largest]);
+      i = largest;
+    }
+  }
+
+  std::size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+/// Merges any number of ascending-sorted neighbor lists, keeping the k
+/// overall nearest (used by the distributed top-k merge, stage 5).
+std::vector<Neighbor> merge_topk(
+    const std::vector<std::vector<Neighbor>>& lists, std::size_t k);
+
+}  // namespace panda::core

@@ -1,0 +1,92 @@
+#include "core/median.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/sampling.hpp"
+
+namespace panda::core {
+
+double sampled_variance(const data::PointSet& points,
+                        std::span<const std::uint64_t> idx, std::size_t dim,
+                        std::size_t max_samples) {
+  const auto sample_positions = strided_indices(idx.size(), max_samples);
+  const auto coords = points.coordinate(dim);
+  double mean = 0.0;
+  double m2 = 0.0;
+  std::uint64_t count = 0;
+  for (const std::uint64_t s : sample_positions) {
+    const float v = coords[idx[s]];
+    ++count;
+    const double delta = v - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (v - mean);
+  }
+  return count == 0 ? 0.0 : m2 / static_cast<double>(count);
+}
+
+std::size_t choose_dimension_by_variance(const data::PointSet& points,
+                                         std::span<const std::uint64_t> idx,
+                                         std::size_t max_samples,
+                                         double* variance_out) {
+  std::size_t best_dim = 0;
+  double best_var = -1.0;
+  for (std::size_t d = 0; d < points.dims(); ++d) {
+    const double var = sampled_variance(points, idx, d, max_samples);
+    if (var > best_var) {
+      best_var = var;
+      best_dim = d;
+    }
+  }
+  if (variance_out != nullptr) *variance_out = best_var;
+  return best_dim;
+}
+
+std::vector<float> sample_boundaries(const data::PointSet& points,
+                                     std::span<const std::uint64_t> idx,
+                                     std::size_t dim,
+                                     std::size_t max_samples) {
+  const auto sample_positions = strided_indices(idx.size(), max_samples);
+  const auto coords = points.coordinate(dim);
+  std::vector<float> values;
+  values.reserve(sample_positions.size());
+  for (const std::uint64_t s : sample_positions) {
+    values.push_back(coords[idx[s]]);
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+float sample_median(const data::PointSet& points,
+                    std::span<const std::uint64_t> idx, std::size_t dim,
+                    std::size_t max_samples) {
+  PANDA_CHECK(!idx.empty());
+  auto values = sample_boundaries(points, idx, dim, max_samples);
+  return values[values.size() / 2];
+}
+
+std::size_t pick_split_boundary(std::span<const std::uint64_t> hist,
+                                std::uint64_t total, double fraction) {
+  PANDA_CHECK(hist.size() >= 2);
+  const std::size_t boundary_count = hist.size() - 1;
+  const double target = fraction * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  std::size_t best = 0;
+  double best_err = std::numeric_limits<double>::infinity();
+  // Cumulative count through bin B = number of points strictly below
+  // boundaries[B] (IntervalSearcher convention: bin(v) <= B iff
+  // v < boundaries[B]).
+  for (std::size_t b = 0; b < boundary_count; ++b) {
+    cumulative += hist[b];
+    const double err = std::abs(static_cast<double>(cumulative) - target);
+    if (err < best_err) {
+      best_err = err;
+      best = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace panda::core

@@ -1,0 +1,58 @@
+// Split-selection heuristics shared by the local and global kd-trees.
+//
+// Section III-A1 of the paper: the split dimension is the one with
+// maximum variance over a sample (FLANN-like, vs ANN's max range); the
+// split point is an approximate median chosen from a histogram whose
+// non-uniform bin boundaries are sampled coordinate values. The same
+// machinery serves three callers:
+//   * local kd-tree, data-parallel phase — boundaries sampled locally,
+//     histogram counted cooperatively by threads (IntervalSearcher);
+//   * local kd-tree, thread-parallel phase — small subtrees use the
+//     cheaper sample-median / exact positional median;
+//   * global kd-tree — boundaries allgathered across ranks, histogram
+//     allreduced (src/dist/global_tree.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/point_set.hpp"
+
+namespace panda::core {
+
+/// Variance of dimension d over the points selected by `idx`, using at
+/// most `max_samples` strided samples.
+double sampled_variance(const data::PointSet& points,
+                        std::span<const std::uint64_t> idx, std::size_t dim,
+                        std::size_t max_samples);
+
+/// Dimension with maximum sampled variance. Returns the dimension and
+/// writes the winning variance to *variance_out if non-null.
+std::size_t choose_dimension_by_variance(const data::PointSet& points,
+                                         std::span<const std::uint64_t> idx,
+                                         std::size_t max_samples,
+                                         double* variance_out = nullptr);
+
+/// Strided sample of coordinate `dim` values over `idx`, sorted
+/// ascending — the histogram's non-uniform bin boundaries.
+std::vector<float> sample_boundaries(const data::PointSet& points,
+                                     std::span<const std::uint64_t> idx,
+                                     std::size_t dim,
+                                     std::size_t max_samples);
+
+/// Approximate median: the middle of a sorted sample. Cheap path used
+/// by the serial thread-parallel phase.
+float sample_median(const data::PointSet& points,
+                    std::span<const std::uint64_t> idx, std::size_t dim,
+                    std::size_t max_samples);
+
+/// Given per-bin counts (hist.size() == boundaries.size() + 1, bin
+/// convention of simd::IntervalSearcher), chooses the boundary index B
+/// whose cumulative count (points strictly below boundaries[B]) is
+/// closest to fraction*total. Returns boundaries.size() == npos-like
+/// value only if boundaries is empty.
+std::size_t pick_split_boundary(std::span<const std::uint64_t> hist,
+                                std::uint64_t total, double fraction);
+
+}  // namespace panda::core

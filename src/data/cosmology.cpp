@@ -1,0 +1,81 @@
+#include "data/cosmology.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace panda::data {
+
+namespace {
+
+/// Uniform sample inside the unit sphere (rejection-free: direction
+/// from normals, radius from cube root of uniform).
+void unit_ball(Rng& rng, double out[3]) {
+  double n[3] = {rng.normal(), rng.normal(), rng.normal()};
+  double len = std::sqrt(n[0] * n[0] + n[1] * n[1] + n[2] * n[2]);
+  if (len < 1e-12) {
+    out[0] = out[1] = out[2] = 0.0;
+    return;
+  }
+  const double r = std::cbrt(rng.uniform());
+  for (int d = 0; d < 3; ++d) out[d] = r * n[d] / len;
+}
+
+}  // namespace
+
+CosmologyGenerator::CosmologyGenerator(const CosmologyParams& params,
+                                       std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  PANDA_CHECK(params.levels >= 1);
+  PANDA_CHECK(params.eta >= 1);
+  PANDA_CHECK(params.lambda > 1.0);
+  PANDA_CHECK(params.background_fraction >= 0.0 &&
+              params.background_fraction <= 1.0);
+}
+
+void CosmologyGenerator::generate(std::uint64_t begin_id,
+                                  std::uint64_t end_id, PointSet& out) const {
+  const double lam = params_.lambda;
+  const std::uint64_t eta = static_cast<std::uint64_t>(params_.eta);
+  std::vector<float> p(3);
+
+  for (std::uint64_t i = begin_id; i < end_id; ++i) {
+    Rng rng(derive_seed(seed_, i));
+
+    if (rng.uniform() < params_.background_fraction) {
+      for (int d = 0; d < 3; ++d) p[d] = rng.uniform_float();
+      out.push_point(p, i);
+      continue;
+    }
+
+    // Walk a random path through the Soneira-Peebles hierarchy. The
+    // node at path (c1..ck) has a center derived deterministically
+    // from the path, so every point choosing the same path prefix sees
+    // the same center — this is what creates shared clusters.
+    double center[3] = {0.5, 0.5, 0.5};
+    double radius = params_.top_radius;
+    std::uint64_t path = 1;  // leading 1 distinguishes path lengths
+    for (int level = 0; level < params_.levels; ++level) {
+      const std::uint64_t child = rng.uniform_index(eta);
+      path = path * eta + child;
+      Rng node_rng(derive_seed(seed_ ^ 0x5f356495u, path));
+      double offset[3];
+      unit_ball(node_rng, offset);
+      for (int d = 0; d < 3; ++d) center[d] += offset[d] * radius;
+      radius /= lam;
+    }
+    // Final jitter within the leaf sphere.
+    double offset[3];
+    unit_ball(rng, offset);
+    for (int d = 0; d < 3; ++d) {
+      double v = center[d] + offset[d] * radius;
+      // Fold into the unit box (periodic boundary like cosmological
+      // simulation volumes).
+      v = v - std::floor(v);
+      p[d] = static_cast<float>(v);
+    }
+    out.push_point(p, i);
+  }
+}
+
+}  // namespace panda::data

@@ -1,0 +1,46 @@
+// Soneira–Peebles clustered particle generator (cosmology substitute).
+//
+// The paper's cosmo_* datasets are Gadget N-body snapshots: highly
+// clustered 3-D particle positions (halos within filaments within
+// voids). The Soneira–Peebles construction is the standard synthetic
+// model with the same hierarchical clustering statistics: eta centers
+// are placed in a sphere, each spawning a sub-sphere smaller by a
+// factor lambda, recursively for `levels` levels; particles sample
+// random leaves. A small uniform background models field particles.
+//
+// Points are id-addressable (see generators.hpp): the center of every
+// tree node is derived from a hash of its path, so all ranks agree on
+// structure without communication.
+#pragma once
+
+#include <cstdint>
+
+#include "data/generators.hpp"
+
+namespace panda::data {
+
+struct CosmologyParams {
+  int levels = 5;          // hierarchy depth
+  int eta = 4;             // children per level
+  double lambda = 1.9;     // radius shrink factor per level
+  double top_radius = 0.45;  // top sphere radius inside the unit box
+  double background_fraction = 0.05;
+};
+
+class CosmologyGenerator final : public Generator {
+ public:
+  CosmologyGenerator(const CosmologyParams& params, std::uint64_t seed);
+
+  std::size_t dims() const override { return 3; }
+  std::string name() const override { return "cosmo"; }
+  void generate(std::uint64_t begin_id, std::uint64_t end_id,
+                PointSet& out) const override;
+
+  const CosmologyParams& params() const { return params_; }
+
+ private:
+  CosmologyParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace panda::data

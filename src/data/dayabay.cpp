@@ -1,0 +1,112 @@
+#include "data/dayabay.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace panda::data {
+
+DayaBayGenerator::DayaBayGenerator(const DayaBayParams& params,
+                                   std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  PANDA_CHECK(params.classes >= 2);
+  PANDA_CHECK(params.clusters_per_class >= 1);
+  PANDA_CHECK(params.colocated_fraction >= 0.0 &&
+              params.colocated_fraction < 1.0);
+
+  // Class centers sit on scaled coordinate directions in the latent
+  // space; each class owns several sub-clusters around its center.
+  Rng rng(derive_seed(seed_, 0xDA7ABAFULL));
+  const std::size_t total_clusters = static_cast<std::size_t>(
+      params_.classes * params_.clusters_per_class);
+  cluster_centers_.resize(total_clusters * params_.dims);
+  for (int cls = 0; cls < params_.classes; ++cls) {
+    std::vector<double> class_center(params_.dims);
+    for (std::size_t d = 0; d < params_.dims; ++d) {
+      class_center[d] = rng.normal(0.0, 1.0);
+    }
+    // Normalize then scale so classes are class_separation apart.
+    double len = 0.0;
+    for (const double v : class_center) len += v * v;
+    len = std::sqrt(std::max(len, 1e-12));
+    for (auto& v : class_center) {
+      v = v / len * params_.class_separation;
+    }
+    for (int k = 0; k < params_.clusters_per_class; ++k) {
+      const std::size_t cl =
+          static_cast<std::size_t>(cls * params_.clusters_per_class + k);
+      for (std::size_t d = 0; d < params_.dims; ++d) {
+        cluster_centers_[cl * params_.dims + d] = static_cast<float>(
+            class_center[d] + rng.normal(0.0, 0.5));
+      }
+    }
+  }
+
+  // Hotspot prototypes: fully formed records (tanh applied) that a
+  // colocated_fraction of all records copy nearly exactly.
+  hotspots_.resize(static_cast<std::size_t>(params_.hotspot_count) *
+                   params_.dims);
+  hotspot_labels_.resize(static_cast<std::size_t>(params_.hotspot_count));
+  for (int h = 0; h < params_.hotspot_count; ++h) {
+    const int cls = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(params_.classes)));
+    hotspot_labels_[static_cast<std::size_t>(h)] = cls;
+    const std::size_t cl = static_cast<std::size_t>(
+        cls * params_.clusters_per_class +
+        static_cast<int>(rng.uniform_index(
+            static_cast<std::uint64_t>(params_.clusters_per_class))));
+    for (std::size_t d = 0; d < params_.dims; ++d) {
+      const double latent = cluster_centers_[cl * params_.dims + d] +
+                            rng.normal(0.0, params_.cluster_sigma);
+      hotspots_[static_cast<std::size_t>(h) * params_.dims + d] =
+          static_cast<float>(std::tanh(latent));
+    }
+  }
+}
+
+void DayaBayGenerator::latent_point(std::uint64_t id, int* label,
+                                    std::vector<float>& out) const {
+  Rng rng(derive_seed(seed_, id));
+  const bool colocated = rng.uniform() < params_.colocated_fraction;
+  if (colocated) {
+    const std::size_t h = static_cast<std::size_t>(rng.uniform_index(
+        static_cast<std::uint64_t>(params_.hotspot_count)));
+    for (std::size_t d = 0; d < params_.dims; ++d) {
+      out[d] = hotspots_[h * params_.dims + d] +
+               static_cast<float>(rng.normal(0.0, params_.hotspot_jitter));
+    }
+    if (label != nullptr) *label = hotspot_labels_[h];
+    return;
+  }
+  const int cls = static_cast<int>(
+      rng.uniform_index(static_cast<std::uint64_t>(params_.classes)));
+  const std::size_t cl = static_cast<std::size_t>(
+      cls * params_.clusters_per_class +
+      static_cast<int>(rng.uniform_index(
+          static_cast<std::uint64_t>(params_.clusters_per_class))));
+  for (std::size_t d = 0; d < params_.dims; ++d) {
+    const double latent = cluster_centers_[cl * params_.dims + d] +
+                          rng.normal(0.0, params_.cluster_sigma);
+    out[d] = static_cast<float>(std::tanh(latent));
+  }
+  if (label != nullptr) *label = cls;
+}
+
+void DayaBayGenerator::generate(std::uint64_t begin_id, std::uint64_t end_id,
+                                PointSet& out) const {
+  std::vector<float> p(params_.dims);
+  for (std::uint64_t i = begin_id; i < end_id; ++i) {
+    int label = 0;
+    latent_point(i, &label, p);
+    out.push_point(p, i);
+  }
+}
+
+int DayaBayGenerator::label_of(std::uint64_t id) const {
+  std::vector<float> scratch(params_.dims);
+  int label = 0;
+  latent_point(id, &label, scratch);
+  return label;
+}
+
+}  // namespace panda::data

@@ -1,0 +1,107 @@
+#include "data/generators.hpp"
+
+#include "common/error.hpp"
+#include "data/cosmology.hpp"
+#include "data/dayabay.hpp"
+#include "data/plasma.hpp"
+#include "data/sdss.hpp"
+
+namespace panda::data {
+
+PointSet Generator::generate_all(std::uint64_t n) const {
+  PointSet out(dims());
+  out.reserve(n);
+  generate(0, n, out);
+  return out;
+}
+
+PointSet Generator::generate_slice(std::uint64_t n, int rank,
+                                   int ranks) const {
+  PANDA_CHECK(rank >= 0 && rank < ranks);
+  const std::uint64_t r = static_cast<std::uint64_t>(rank);
+  const std::uint64_t p = static_cast<std::uint64_t>(ranks);
+  const std::uint64_t begin = r * n / p;
+  const std::uint64_t end = (r + 1) * n / p;
+  PointSet out(dims());
+  out.reserve(end - begin);
+  generate(begin, end, out);
+  return out;
+}
+
+UniformGenerator::UniformGenerator(std::size_t dims, std::uint64_t seed,
+                                   float lo, float hi)
+    : dims_(dims), seed_(seed), lo_(lo), hi_(hi) {
+  PANDA_CHECK(hi > lo);
+}
+
+void UniformGenerator::generate(std::uint64_t begin_id, std::uint64_t end_id,
+                                PointSet& out) const {
+  std::vector<float> p(dims_);
+  for (std::uint64_t i = begin_id; i < end_id; ++i) {
+    Rng rng(derive_seed(seed_, i));
+    for (std::size_t d = 0; d < dims_; ++d) {
+      p[d] = lo_ + (hi_ - lo_) * rng.uniform_float();
+    }
+    out.push_point(p, i);
+  }
+}
+
+GaussianMixtureGenerator::GaussianMixtureGenerator(std::size_t dims,
+                                                   std::size_t components,
+                                                   double sigma,
+                                                   std::uint64_t seed)
+    : dims_(dims), components_(components), sigma_(sigma), seed_(seed) {
+  PANDA_CHECK(components >= 1);
+  Rng rng(derive_seed(seed, 0xC0FFEEULL));
+  centers_.resize(components_ * dims_);
+  for (auto& c : centers_) c = rng.uniform_float();
+}
+
+std::size_t GaussianMixtureGenerator::component_of(std::uint64_t id) const {
+  Rng rng(derive_seed(seed_, id));
+  return static_cast<std::size_t>(rng.uniform_index(components_));
+}
+
+void GaussianMixtureGenerator::generate(std::uint64_t begin_id,
+                                        std::uint64_t end_id,
+                                        PointSet& out) const {
+  std::vector<float> p(dims_);
+  for (std::uint64_t i = begin_id; i < end_id; ++i) {
+    Rng rng(derive_seed(seed_, i));
+    const std::size_t c =
+        static_cast<std::size_t>(rng.uniform_index(components_));
+    for (std::size_t d = 0; d < dims_; ++d) {
+      p[d] = centers_[c * dims_ + d] +
+             static_cast<float>(rng.normal(0.0, sigma_));
+    }
+    out.push_point(p, i);
+  }
+}
+
+std::unique_ptr<Generator> make_generator(const std::string& name,
+                                          std::uint64_t seed) {
+  if (name == "uniform") {
+    return std::make_unique<UniformGenerator>(3, seed);
+  }
+  if (name == "gmm") {
+    return std::make_unique<GaussianMixtureGenerator>(3, 32, 0.02, seed);
+  }
+  if (name == "cosmo") {
+    return std::make_unique<CosmologyGenerator>(CosmologyParams{}, seed);
+  }
+  if (name == "plasma") {
+    return std::make_unique<PlasmaGenerator>(PlasmaParams{}, seed);
+  }
+  if (name == "dayabay") {
+    return std::make_unique<DayaBayGenerator>(DayaBayParams{}, seed);
+  }
+  if (name == "sdss10") {
+    return std::make_unique<SdssGenerator>(SdssParams::psf_mod_mag(), seed);
+  }
+  if (name == "sdss15") {
+    return std::make_unique<SdssGenerator>(SdssParams::all_mag(), seed);
+  }
+  throw Error("unknown generator name: " + name);
+}
+
+}  // namespace panda::data

@@ -1,0 +1,72 @@
+#include "data/io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace panda::data {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x50414e4441505453ULL;  // "PANDAPTS"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t dims;
+  std::uint64_t count;
+};
+
+}  // namespace
+
+void save_points(const PointSet& points, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PANDA_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+
+  Header header{kMagic, kVersion, static_cast<std::uint32_t>(points.dims()),
+                points.size()};
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  const auto ids = points.ids();
+  out.write(reinterpret_cast<const char*>(ids.data()),
+            static_cast<std::streamsize>(ids.size_bytes()));
+  for (std::size_t d = 0; d < points.dims(); ++d) {
+    const auto coords = points.coordinate(d);
+    out.write(reinterpret_cast<const char*>(coords.data()),
+              static_cast<std::streamsize>(coords.size_bytes()));
+  }
+  out.flush();
+  PANDA_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+PointSet load_points(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PANDA_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+
+  Header header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+  PANDA_CHECK_MSG(header.magic == kMagic, "not a PANDA point file: " << path);
+  PANDA_CHECK_MSG(header.version == kVersion,
+                  "unsupported version " << header.version << ": " << path);
+
+  PointSet points(header.dims, header.count);
+  {
+    std::vector<std::uint64_t> ids(header.count);
+    in.read(reinterpret_cast<char*>(ids.data()),
+            static_cast<std::streamsize>(ids.size() * sizeof(std::uint64_t)));
+    for (std::size_t i = 0; i < ids.size(); ++i) points.set_id(i, ids[i]);
+  }
+  for (std::size_t d = 0; d < header.dims; ++d) {
+    auto coords = points.coordinate(d);
+    in.read(reinterpret_cast<char*>(coords.data()),
+            static_cast<std::streamsize>(coords.size_bytes()));
+  }
+  PANDA_CHECK_MSG(in.good(), "truncated payload: " << path);
+  return points;
+}
+
+}  // namespace panda::data

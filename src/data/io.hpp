@@ -1,0 +1,24 @@
+// Minimal binary container for point sets.
+//
+// The paper stores its science data as HDF5 one-array-per-property;
+// HDF5 is not available offline, so PANDA ships a self-describing
+// little-endian binary format with the same one-array-per-property
+// layout: header (magic, version, dims, count) followed by the id
+// array and one coordinate array per dimension. Used by the examples
+// to persist generated datasets between runs.
+#pragma once
+
+#include <string>
+
+#include "data/point_set.hpp"
+
+namespace panda::data {
+
+/// Writes `points` to `path`. Throws panda::Error on I/O failure.
+void save_points(const PointSet& points, const std::string& path);
+
+/// Reads a PointSet written by save_points. Throws panda::Error on
+/// I/O failure or format mismatch.
+PointSet load_points(const std::string& path);
+
+}  // namespace panda::data

@@ -1,0 +1,113 @@
+#include "data/plasma.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace panda::data {
+
+namespace {
+
+void normalize3(double v[3]) {
+  const double len = std::sqrt(v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+  if (len < 1e-12) {
+    v[0] = 1.0;
+    v[1] = v[2] = 0.0;
+    return;
+  }
+  for (int d = 0; d < 3; ++d) v[d] /= len;
+}
+
+void cross3(const double a[3], const double b[3], double out[3]) {
+  out[0] = a[1] * b[2] - a[2] * b[1];
+  out[1] = a[2] * b[0] - a[0] * b[2];
+  out[2] = a[0] * b[1] - a[1] * b[0];
+}
+
+}  // namespace
+
+PlasmaGenerator::PlasmaGenerator(const PlasmaParams& params,
+                                 std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  PANDA_CHECK(params.filaments >= 1);
+  PANDA_CHECK(params.filament_fraction >= 0.0 &&
+              params.filament_fraction <= 1.0);
+  curves_.reserve(static_cast<std::size_t>(params_.filaments));
+  for (int c = 0; c < params_.filaments; ++c) curves_.push_back(curve(c));
+}
+
+PlasmaGenerator::Curve PlasmaGenerator::curve(int index) const {
+  Rng rng(derive_seed(seed_ ^ 0x9e43b7ULL, static_cast<std::uint64_t>(index)));
+  Curve cv;
+  for (int d = 0; d < 3; ++d) cv.start[d] = rng.uniform();
+  for (int d = 0; d < 3; ++d) cv.dir[d] = rng.normal();
+  normalize3(cv.dir);
+  // Build an orthonormal frame (u, v) perpendicular to dir.
+  double ref[3] = {1.0, 0.0, 0.0};
+  if (std::abs(cv.dir[0]) > 0.9) {
+    ref[0] = 0.0;
+    ref[1] = 1.0;
+  }
+  cross3(cv.dir, ref, cv.u);
+  normalize3(cv.u);
+  cross3(cv.dir, cv.u, cv.v);
+  normalize3(cv.v);
+  cv.length = 0.4 + 0.5 * rng.uniform();
+  cv.phase = rng.uniform(0.0, 6.283185307179586);
+  return cv;
+}
+
+void PlasmaGenerator::sample_point(std::uint64_t id, float out[3],
+                                   bool* filament) const {
+  Rng rng(derive_seed(seed_, id));
+  const bool on = rng.uniform() < params_.filament_fraction;
+  if (filament != nullptr) *filament = on;
+  if (!on) {
+    for (int d = 0; d < 3; ++d) out[d] = rng.uniform_float();
+    return;
+  }
+  const std::size_t c = static_cast<std::size_t>(
+      rng.uniform_index(static_cast<std::uint64_t>(params_.filaments)));
+  const Curve& cv = curves_[c];
+  const double t = rng.uniform();
+  const double angle =
+      cv.phase + params_.helix_turns * 6.283185307179586 * t;
+  const double helix_u = params_.helix_amplitude * std::cos(angle);
+  const double helix_v = params_.helix_amplitude * std::sin(angle);
+  const double radial_u = rng.normal(0.0, params_.cross_section_sigma);
+  const double radial_v = rng.normal(0.0, params_.cross_section_sigma);
+  for (int d = 0; d < 3; ++d) {
+    double p = cv.start[d] + t * cv.length * cv.dir[d] +
+               (helix_u + radial_u) * cv.u[d] + (helix_v + radial_v) * cv.v[d];
+    p = p - std::floor(p);  // periodic box
+    out[d] = static_cast<float>(p);
+  }
+}
+
+void PlasmaGenerator::generate(std::uint64_t begin_id, std::uint64_t end_id,
+                               PointSet& out) const {
+  float p[3];
+  std::vector<float> pv(3);
+  for (std::uint64_t i = begin_id; i < end_id; ++i) {
+    sample_point(i, p, nullptr);
+    pv.assign(p, p + 3);
+    out.push_point(pv, i);
+  }
+}
+
+double PlasmaGenerator::kinetic_energy(std::uint64_t id) const {
+  Rng rng(derive_seed(seed_ ^ 0xE4E46ULL, id));
+  const double temperature = on_filament(id)
+                                 ? params_.filament_temperature
+                                 : params_.background_temperature;
+  // Exponential tail approximates the relativistic Maxwell–Jüttner
+  // energy distribution far from the bulk.
+  return rng.exponential(1.0 / temperature);
+}
+
+bool PlasmaGenerator::on_filament(std::uint64_t id) const {
+  Rng rng(derive_seed(seed_, id));
+  return rng.uniform() < params_.filament_fraction;
+}
+
+}  // namespace panda::data

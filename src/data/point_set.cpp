@@ -1,0 +1,111 @@
+#include "data/point_set.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace panda::data {
+
+PointSet::PointSet(std::size_t dims) : dims_(dims), coords_(dims) {
+  PANDA_CHECK_MSG(dims >= 1, "PointSet needs at least one dimension");
+}
+
+PointSet::PointSet(std::size_t dims, std::size_t count) : PointSet(dims) {
+  resize(count);
+}
+
+std::span<const float> PointSet::coordinate(std::size_t d) const {
+  PANDA_ASSERT(d < dims_);
+  return {coords_[d].data(), count_};
+}
+
+std::span<float> PointSet::coordinate(std::size_t d) {
+  PANDA_ASSERT(d < dims_);
+  return {coords_[d].data(), count_};
+}
+
+void PointSet::copy_point(std::size_t point, float* out) const {
+  PANDA_ASSERT(point < count_);
+  for (std::size_t d = 0; d < dims_; ++d) out[d] = coords_[d][point];
+}
+
+std::size_t PointSet::push_point(std::span<const float> values,
+                                 std::uint64_t id) {
+  PANDA_CHECK_MSG(values.size() == dims_, "point dimensionality mismatch");
+  for (std::size_t d = 0; d < dims_; ++d) coords_[d].push_back(values[d]);
+  ids_.push_back(id);
+  return count_++;
+}
+
+void PointSet::append(const PointSet& other) {
+  PANDA_CHECK_MSG(other.dims_ == dims_, "appending mismatched dims");
+  for (std::size_t d = 0; d < dims_; ++d) {
+    coords_[d].insert(coords_[d].end(), other.coords_[d].begin(),
+                      other.coords_[d].end());
+  }
+  ids_.insert(ids_.end(), other.ids_.begin(), other.ids_.end());
+  count_ += other.count_;
+}
+
+void PointSet::append(const PointSet& other,
+                      std::span<const std::uint64_t> indices) {
+  PANDA_CHECK_MSG(other.dims_ == dims_, "appending mismatched dims");
+  for (std::size_t d = 0; d < dims_; ++d) {
+    auto& dst = coords_[d];
+    const auto& src = other.coords_[d];
+    for (const std::uint64_t i : indices) dst.push_back(src[i]);
+  }
+  for (const std::uint64_t i : indices) ids_.push_back(other.ids_[i]);
+  count_ += indices.size();
+}
+
+PointSet PointSet::extract(std::span<const std::uint64_t> indices) const {
+  PointSet out(dims_);
+  out.reserve(indices.size());
+  out.append(*this, indices);
+  return out;
+}
+
+void PointSet::resize(std::size_t count) {
+  for (auto& c : coords_) c.resize(count, 0.0f);
+  ids_.resize(count, 0);
+  count_ = count;
+}
+
+void PointSet::reserve(std::size_t count) {
+  for (auto& c : coords_) c.reserve(count);
+  ids_.reserve(count);
+}
+
+void PointSet::clear() {
+  for (auto& c : coords_) c.clear();
+  ids_.clear();
+  count_ = 0;
+}
+
+PointSet::Box PointSet::bounding_box() const {
+  Box box;
+  if (count_ == 0) return box;
+  box.lo.resize(dims_, std::numeric_limits<float>::max());
+  box.hi.resize(dims_, std::numeric_limits<float>::lowest());
+  for (std::size_t d = 0; d < dims_; ++d) {
+    const auto [mn, mx] =
+        std::minmax_element(coords_[d].begin(), coords_[d].end());
+    box.lo[d] = *mn;
+    box.hi[d] = *mx;
+  }
+  return box;
+}
+
+std::vector<float> PointSet::pack_coords(
+    std::span<const std::uint64_t> indices) const {
+  std::vector<float> out;
+  out.reserve(indices.size() * dims_);
+  for (const std::uint64_t i : indices) {
+    for (std::size_t d = 0; d < dims_; ++d) out.push_back(coords_[d][i]);
+  }
+  return out;
+}
+
+}  // namespace panda::data

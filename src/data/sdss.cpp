@@ -1,0 +1,41 @@
+#include "data/sdss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace panda::data {
+
+SdssGenerator::SdssGenerator(const SdssParams& params, std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  PANDA_CHECK(params.dims >= 2);
+  PANDA_CHECK(params.brightness_faint > params.brightness_bright);
+  Rng rng(derive_seed(seed_, 0x5D55ULL));
+  band_slopes_.resize(params_.dims);
+  for (auto& s : band_slopes_) {
+    s = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+}
+
+void SdssGenerator::generate(std::uint64_t begin_id, std::uint64_t end_id,
+                             PointSet& out) const {
+  std::vector<float> p(params_.dims);
+  const double range = params_.brightness_faint - params_.brightness_bright;
+  for (std::uint64_t i = begin_id; i < end_id; ++i) {
+    Rng rng(derive_seed(seed_, i));
+    // Number counts rise toward the faint end roughly as a power law;
+    // u^(1/3.5) concentrates mass near 1 (faint).
+    const double brightness =
+        params_.brightness_bright +
+        range * std::pow(rng.uniform(), 1.0 / 3.5);
+    const double color = rng.normal(0.0, 1.0);
+    for (std::size_t d = 0; d < params_.dims; ++d) {
+      p[d] = static_cast<float>(
+          brightness + params_.color_scale * color * band_slopes_[d] +
+          rng.normal(0.0, params_.noise_sigma));
+    }
+    out.push_point(p, i);
+  }
+}
+
+}  // namespace panda::data

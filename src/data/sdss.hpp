@@ -1,0 +1,49 @@
+// SDSS-like photometric magnitude generator (Figure 8 substitute).
+//
+// The KNL experiments of the paper use two photometric feature sets
+// from the Sloan Digital Sky Survey: psf_mod_mag (10-D: PSF + model
+// magnitudes in ugriz) and all_mag (15-D: three magnitude systems).
+// Real photometry is strongly correlated across bands: an object has
+// one overall brightness plus smooth color terms. This generator uses
+// a two-factor latent model (brightness drawn from a faint-end
+// power-law, spectral slope Gaussian) plus per-band noise, giving the
+// elongated correlated clouds characteristic of magnitude spaces.
+#pragma once
+
+#include <cstdint>
+
+#include "data/generators.hpp"
+
+namespace panda::data {
+
+struct SdssParams {
+  std::size_t dims = 10;
+  double brightness_faint = 24.0;  // faint magnitude limit
+  double brightness_bright = 14.0;
+  double color_scale = 1.2;
+  double noise_sigma = 0.08;
+
+  static SdssParams psf_mod_mag() { return SdssParams{.dims = 10}; }
+  static SdssParams all_mag() { return SdssParams{.dims = 15}; }
+};
+
+class SdssGenerator final : public Generator {
+ public:
+  SdssGenerator(const SdssParams& params, std::uint64_t seed);
+
+  std::size_t dims() const override { return params_.dims; }
+  std::string name() const override {
+    return params_.dims == 10 ? "sdss10" : "sdss15";
+  }
+  void generate(std::uint64_t begin_id, std::uint64_t end_id,
+                PointSet& out) const override;
+
+  const SdssParams& params() const { return params_; }
+
+ private:
+  SdssParams params_;
+  std::uint64_t seed_;
+  std::vector<float> band_slopes_;  // color response per dimension
+};
+
+}  // namespace panda::data

@@ -1,0 +1,84 @@
+#include "ml/clustering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace panda::ml {
+
+DisjointSets::DisjointSets(std::size_t n)
+    : parent_(n), size_(n, 1), count_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t DisjointSets::find(std::size_t x) {
+  PANDA_ASSERT(x < parent_.size());
+  std::size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const std::size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool DisjointSets::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --count_;
+  return true;
+}
+
+std::size_t DisjointSets::size_of(std::size_t x) { return size_[find(x)]; }
+
+ClusteringResult label_components(
+    std::size_t n, std::span<const std::vector<core::Neighbor>> neighbors,
+    float linking_length) {
+  PANDA_CHECK_MSG(neighbors.size() == n,
+                  "need one neighbor list per point");
+  PANDA_CHECK_MSG(linking_length >= 0.0f,
+                  "linking length must be non-negative");
+  const float link2 = linking_length * linking_length;
+  DisjointSets sets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const core::Neighbor& edge : neighbors[i]) {
+      if (edge.dist2 >= link2) break;  // lists are sorted ascending
+      if (edge.id >= n) continue;
+      sets.unite(i, static_cast<std::size_t>(edge.id));
+    }
+  }
+
+  ClusteringResult result;
+  result.labels.assign(n, 0);
+  std::vector<std::uint32_t> root_label(n, ~std::uint32_t{0});
+  std::uint32_t next_label = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = sets.find(i);
+    if (root_label[root] == ~std::uint32_t{0}) {
+      root_label[root] = next_label++;
+      result.sizes.push_back(0);
+    }
+    result.labels[i] = root_label[root];
+    result.sizes[root_label[root]]++;
+  }
+  result.cluster_count = next_label;
+  return result;
+}
+
+std::vector<std::uint32_t> clusters_by_size(const ClusteringResult& result) {
+  std::vector<std::uint32_t> order(result.cluster_count);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return result.sizes[a] > result.sizes[b];
+            });
+  return order;
+}
+
+}  // namespace panda::ml

@@ -1,0 +1,62 @@
+// Friends-of-friends clustering on neighbor lists (halo finding).
+//
+// The paper's cosmology motivation (Section II): "A basic analysis
+// task is to find and classify these clusters of particles" — dark-
+// matter halos are the connected components of the friends-of-friends
+// (FoF) graph, where two particles are friends if they lie within a
+// linking length b of each other. BD-CATS ([11]) builds exactly this
+// kind of pipeline on fixed-radius search. PANDA provides the graph
+// piece: feed per-point neighbor lists (from query_radius or KNN) into
+// label_components and get a cluster id per point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/knn_heap.hpp"
+
+namespace panda::ml {
+
+/// Union-find over n elements with path compression and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n);
+
+  std::size_t find(std::size_t x);
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(std::size_t a, std::size_t b);
+  /// Number of distinct sets remaining.
+  std::size_t count() const { return count_; }
+  /// Size of x's set.
+  std::size_t size_of(std::size_t x);
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t count_;
+};
+
+struct ClusteringResult {
+  /// Cluster id per point, in [0, cluster_count); singletons included.
+  std::vector<std::uint32_t> labels;
+  std::uint32_t cluster_count = 0;
+  /// Points per cluster, indexed by cluster id.
+  std::vector<std::uint64_t> sizes;
+};
+
+/// Connected components of the neighbor graph: point i is linked to
+/// every neighbor in neighbors[i] whose squared distance is strictly
+/// below linking_length². neighbors[i] entries carry *global ids*,
+/// interpreted as indices into [0, n) — callers using generator data
+/// (ids 0..n-1) can pass results straight through. Edges to ids >= n
+/// are ignored (e.g. query ids outside the indexed set).
+ClusteringResult label_components(
+    std::size_t n, std::span<const std::vector<core::Neighbor>> neighbors,
+    float linking_length);
+
+/// Convenience: cluster ids sorted by descending size, so
+/// result.sizes[order[0]] is the largest halo.
+std::vector<std::uint32_t> clusters_by_size(const ClusteringResult& result);
+
+}  // namespace panda::ml

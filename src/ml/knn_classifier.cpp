@@ -1,0 +1,81 @@
+#include "ml/knn_classifier.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace panda::ml {
+
+namespace {
+
+double weight_of(const core::Neighbor& n, VoteWeighting weighting) {
+  switch (weighting) {
+    case VoteWeighting::Uniform:
+      return 1.0;
+    case VoteWeighting::InverseDistance:
+      return 1.0 / (1e-12 + std::sqrt(static_cast<double>(n.dist2)));
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+int classify(std::span<const core::Neighbor> neighbors,
+             const LabelLookup& label_of, int classes,
+             VoteWeighting weighting) {
+  PANDA_CHECK_MSG(classes >= 2, "need at least two classes");
+  if (neighbors.empty()) return -1;
+  std::vector<double> votes(static_cast<std::size_t>(classes), 0.0);
+  for (const core::Neighbor& n : neighbors) {
+    const int label = label_of(n.id);
+    PANDA_CHECK_MSG(label >= 0 && label < classes,
+                    "label " << label << " out of range");
+    votes[static_cast<std::size_t>(label)] += weight_of(n, weighting);
+  }
+  int best = 0;
+  for (int c = 1; c < classes; ++c) {
+    if (votes[static_cast<std::size_t>(c)] >
+        votes[static_cast<std::size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+double regress(std::span<const core::Neighbor> neighbors,
+               const ValueLookup& value_of, VoteWeighting weighting) {
+  if (neighbors.empty()) return 0.0;
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (const core::Neighbor& n : neighbors) {
+    const double w = weight_of(n, weighting);
+    weighted_sum += w * value_of(n.id);
+    weight_total += w;
+  }
+  return weighted_sum / weight_total;
+}
+
+EvaluationResult evaluate_classifier(std::span<const int> predictions,
+                                     std::span<const int> truth,
+                                     int classes) {
+  PANDA_CHECK_MSG(predictions.size() == truth.size(),
+                  "prediction/truth size mismatch");
+  PANDA_CHECK(classes >= 2);
+  EvaluationResult result;
+  result.total = predictions.size();
+  result.confusion.assign(
+      static_cast<std::size_t>(classes),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(classes), 0));
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const int t = truth[i];
+    const int p = predictions[i];
+    PANDA_CHECK_MSG(t >= 0 && t < classes, "truth label out of range");
+    if (p < 0 || p >= classes) continue;  // unanswered: wrong, untabulated
+    result.confusion[static_cast<std::size_t>(t)]
+                    [static_cast<std::size_t>(p)]++;
+    if (p == t) result.correct++;
+  }
+  return result;
+}
+
+}  // namespace panda::ml

@@ -1,0 +1,117 @@
+#include "net/cluster.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "net/comm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::net {
+namespace detail {
+
+double AbortableBarrier::arrive_and_wait() {
+  WallTimer watch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  if (--remaining_ == 0) {
+    remaining_ = parties_;
+    ++generation_;
+    cv_.notify_all();
+    return watch.seconds();
+  }
+  cv_.wait(lock, [&] {
+    return generation_ != my_generation ||
+           abort_flag_.load(std::memory_order_acquire);
+  });
+  if (generation_ == my_generation &&
+      abort_flag_.load(std::memory_order_acquire)) {
+    // Leave the barrier consistent for any stragglers, then fail.
+    ++remaining_;
+    throw Error("cluster aborted while waiting at barrier");
+  }
+  return watch.seconds();
+}
+
+void AbortableBarrier::notify_abort() { cv_.notify_all(); }
+
+ClusterState::ClusterState(const ClusterConfig& cfg)
+    : config(cfg),
+      barrier(cfg.ranks, abort_flag),
+      deposits(static_cast<std::size_t>(cfg.ranks), nullptr),
+      opcodes(static_cast<std::size_t>(cfg.ranks), -1),
+      stats(static_cast<std::size_t>(cfg.ranks)) {
+  mailboxes.reserve(static_cast<std::size_t>(cfg.ranks));
+  for (int r = 0; r < cfg.ranks; ++r) {
+    mailboxes.push_back(std::make_unique<Mailbox>(abort_flag));
+  }
+}
+
+void ClusterState::abort() {
+  abort_flag.store(true, std::memory_order_release);
+  barrier.notify_abort();
+  for (auto& mb : mailboxes) mb->notify_abort();
+}
+
+}  // namespace detail
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  PANDA_CHECK_MSG(config.ranks >= 1, "cluster needs at least one rank");
+  PANDA_CHECK_MSG(config.threads_per_rank >= 1,
+                  "each rank needs at least one thread");
+}
+
+void Cluster::run(const std::function<void(Comm&)>& fn) {
+  detail::ClusterState state(config_);
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(config_.ranks));
+  std::vector<bool> is_abort_error(static_cast<std::size_t>(config_.ranks),
+                                   false);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config_.ranks));
+  for (int r = 0; r < config_.ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        parallel::ThreadPool pool(config_.threads_per_rank);
+        Comm comm(state, r, pool);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        is_abort_error[static_cast<std::size_t>(r)] =
+            state.abort_flag.load(std::memory_order_acquire);
+        state.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  last_stats_ = state.stats;
+
+  // Prefer the originating failure over secondary "cluster aborted"
+  // errors raised by ranks that were only collateral damage.
+  std::exception_ptr first;
+  for (std::size_t r = 0; r < errors.size(); ++r) {
+    if (errors[r] && !is_abort_error[r]) {
+      first = errors[r];
+      break;
+    }
+  }
+  if (!first) {
+    for (const auto& e : errors) {
+      if (e) {
+        first = e;
+        break;
+      }
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+CommStats Cluster::total_stats() const {
+  CommStats total;
+  for (const auto& s : last_stats_) total += s;
+  return total;
+}
+
+}  // namespace panda::net

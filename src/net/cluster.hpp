@@ -1,0 +1,103 @@
+// In-process SPMD cluster runtime.
+//
+// Cluster::run(fn) executes fn once per rank, each rank on its own
+// std::thread with its own intra-rank ThreadPool, exchanging data only
+// through Comm (point-to-point messages and collectives). This is the
+// repository's substitute for MPI on a physical cluster (DESIGN.md §2):
+// the algorithms in src/dist are written against Comm exactly as they
+// would be against an MPI communicator.
+//
+// Failure semantics: if any rank throws, the cluster aborts — all
+// blocking operations on other ranks throw, every thread is joined,
+// and the originating exception is rethrown from run(). This is
+// exercised by the failure-injection tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/mailbox.hpp"
+
+namespace panda::net {
+
+class Comm;
+
+/// Cluster-wide configuration.
+struct ClusterConfig {
+  int ranks = 1;
+  /// Threads in each rank's ThreadPool (the "cores per node").
+  int threads_per_rank = 1;
+  CostParams cost;
+};
+
+namespace detail {
+
+/// Sense-reversing counting barrier with abort support.
+class AbortableBarrier {
+ public:
+  AbortableBarrier(int parties, const std::atomic<bool>& abort_flag)
+      : parties_(parties), remaining_(parties), abort_flag_(abort_flag) {}
+
+  /// Blocks until all parties arrive; returns blocked seconds.
+  double arrive_and_wait();
+
+  void notify_abort();
+
+ private:
+  const int parties_;
+  int remaining_;
+  std::uint64_t generation_ = 0;
+  const std::atomic<bool>& abort_flag_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Shared state visible to all Comm instances of one run.
+struct ClusterState {
+  explicit ClusterState(const ClusterConfig& config);
+
+  ClusterConfig config;
+  std::atomic<bool> abort_flag{false};
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  AbortableBarrier barrier;
+  /// Collective rendezvous slots: one deposit pointer per rank plus
+  /// the opcode used for call-sequence mismatch detection.
+  std::vector<const void*> deposits;
+  std::vector<int> opcodes;
+  std::vector<CommStats> stats;
+
+  void abort();
+};
+
+}  // namespace detail
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  int ranks() const { return config_.ranks; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Runs fn(comm) once per rank concurrently; blocks until all ranks
+  /// finish. Rethrows the first real exception raised by any rank.
+  /// Statistics from the completed run are available via stats().
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Per-rank communication statistics of the last run.
+  const std::vector<CommStats>& stats() const { return last_stats_; }
+
+  /// Aggregate of stats() across ranks.
+  CommStats total_stats() const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<CommStats> last_stats_;
+};
+
+}  // namespace panda::net

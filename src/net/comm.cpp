@@ -1,0 +1,93 @@
+#include "net/comm.hpp"
+
+#include <cstring>
+
+#include "common/timer.hpp"
+
+namespace panda::net {
+
+void Comm::barrier() {
+  // Opcode agreement matters for barriers too: a rank calling
+  // barrier() while others are in bcast() is a protocol bug.
+  collective(kOpBarrier, nullptr, [](int, const void*) {});
+  account_collective(0, 0, 0);
+}
+
+void Comm::send_bytes(int destination, int tag, const void* data,
+                      std::size_t bytes) {
+  PANDA_CHECK_MSG(destination >= 0 && destination < size(),
+                  "send destination out of range");
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+  state_.mailboxes[static_cast<std::size_t>(destination)]->put(std::move(m));
+
+  CommStats& st = stats();
+  st.messages_sent += 1;
+  st.bytes_sent += bytes;
+  if (destination != rank_) {
+    st.model_seconds += p2p_cost(cost_params(), bytes);
+  }
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
+  PANDA_CHECK_MSG(source >= 0 && source < size(), "recv source out of range");
+  double waited = 0.0;
+  Message m = state_.mailboxes[static_cast<std::size_t>(rank_)]->take(
+      source, tag, &waited);
+  CommStats& st = stats();
+  st.messages_received += 1;
+  st.bytes_received += m.payload.size();
+  st.wait_seconds += waited;
+  return std::move(m.payload);
+}
+
+bool Comm::poll(int source, int tag) const {
+  return state_.mailboxes[static_cast<std::size_t>(rank_)]->poll(source, tag);
+}
+
+void Comm::collective(int opcode, const void* deposit,
+                      const std::function<void(int, const void*)>& visit) {
+  const std::size_t me = static_cast<std::size_t>(rank_);
+  state_.deposits[me] = deposit;
+  state_.opcodes[me] = opcode;
+
+  CommStats& st = stats();
+  st.wait_seconds += state_.barrier.arrive_and_wait();
+
+  for (int s = 0; s < size(); ++s) {
+    PANDA_CHECK_MSG(
+        state_.opcodes[static_cast<std::size_t>(s)] == opcode,
+        "collective mismatch: rank " << s << " issued opcode "
+            << state_.opcodes[static_cast<std::size_t>(s)] << ", rank "
+            << rank_ << " issued " << opcode);
+  }
+  for (int s = 0; s < size(); ++s) {
+    visit(s, state_.deposits[static_cast<std::size_t>(s)]);
+  }
+
+  st.wait_seconds += state_.barrier.arrive_and_wait();
+}
+
+void Comm::account_collective(std::uint64_t bytes_received,
+                              std::uint64_t bytes_sent,
+                              std::uint64_t bytes_model) {
+  CommStats& st = stats();
+  st.collective_ops += 1;
+  st.bytes_received += bytes_received;
+  st.bytes_sent += bytes_sent;
+  st.model_seconds += tree_collective_cost(cost_params(), size(), bytes_model);
+}
+
+std::uint64_t Comm::exscan_sum(std::uint64_t value) {
+  std::uint64_t acc = 0;
+  collective(kOpExscan, &value, [&](int source, const void* deposit) {
+    if (source < rank_) acc += *static_cast<const std::uint64_t*>(deposit);
+  });
+  account_collective(sizeof(value), sizeof(value), sizeof(value));
+  return acc;
+}
+
+}  // namespace panda::net

@@ -1,0 +1,278 @@
+// Rank-local communicator handle (the MPI-communicator analogue).
+//
+// Typed wrappers (templates, trivially copyable element types only)
+// sit over three byte-level primitives implemented in comm.cpp:
+// send_bytes / recv_bytes for point-to-point, and collective() — a
+// deposit–barrier–visit–barrier rendezvous that every collective is
+// built from. Collectives must be called by all ranks in the same
+// order with the same element type; a mismatched opcode aborts the
+// cluster with a diagnostic (tested by failure injection).
+//
+// Determinism: all visit loops run in rank order, so reductions and
+// concatenations are bit-reproducible regardless of thread timing.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/cluster.hpp"
+#include "net/cost_model.hpp"
+
+namespace panda::parallel {
+class ThreadPool;
+}
+
+namespace panda::net {
+
+enum class ReduceOp { Sum, Min, Max };
+
+class Comm {
+ public:
+  Comm(detail::ClusterState& state, int rank, parallel::ThreadPool& pool)
+      : state_(state), rank_(rank), pool_(pool) {}
+
+  int rank() const { return rank_; }
+  int size() const { return state_.config.ranks; }
+  parallel::ThreadPool& pool() { return pool_; }
+  CommStats& stats() { return state_.stats[static_cast<std::size_t>(rank_)]; }
+  const CostParams& cost_params() const { return state_.config.cost; }
+
+  /// Synchronizes all ranks; blocked time is accounted as wait.
+  void barrier();
+
+  // --- point-to-point -----------------------------------------------------
+
+  /// Buffered, non-blocking send of a POD span (returns immediately).
+  template <typename T>
+  void send(int destination, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(destination, tag, data.data(), data.size_bytes());
+  }
+
+  template <typename T>
+  void send_value(int destination, int tag, const T& value) {
+    send(destination, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Blocking receive of a POD vector sent with send<T>.
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> raw = recv_bytes(source, tag);
+    PANDA_CHECK_MSG(raw.size() % sizeof(T) == 0,
+                    "received payload size not a multiple of element size");
+    std::vector<T> out(raw.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag) {
+    auto v = recv<T>(source, tag);
+    PANDA_CHECK_MSG(v.size() == 1, "expected exactly one element");
+    return v.front();
+  }
+
+  /// True if a message matching (source, tag) is already queued.
+  bool poll(int source, int tag) const;
+
+  // --- collectives ----------------------------------------------------------
+
+  /// Broadcast root's vector to every rank (returned). Non-root inputs
+  /// are ignored and may be empty.
+  template <typename T>
+  std::vector<T> bcast(const std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> result;
+    collective(kOpBcast, &data, [&](int source, const void* deposit) {
+      if (source == root) {
+        result = *static_cast<const std::vector<T>*>(deposit);
+      }
+    });
+    const std::uint64_t bytes = result.size() * sizeof(T);
+    account_collective(bytes, rank_ == root ? bytes : 0, bytes);
+    return result;
+  }
+
+  /// Gathers one value from each rank, indexed by rank.
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> result(static_cast<std::size_t>(size()));
+    collective(kOpAllgather, &value, [&](int source, const void* deposit) {
+      result[static_cast<std::size_t>(source)] =
+          *static_cast<const T*>(deposit);
+    });
+    account_collective(sizeof(T) * static_cast<std::uint64_t>(size()),
+                       sizeof(T), sizeof(T));
+    return result;
+  }
+
+  /// Gathers variable-length spans from all ranks, concatenated in
+  /// rank order. If counts_out != nullptr it receives per-rank counts.
+  template <typename T>
+  std::vector<T> allgatherv(std::span<const T> mine,
+                            std::vector<std::uint64_t>* counts_out = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    struct Deposit {
+      const T* data;
+      std::uint64_t count;
+    };
+    const Deposit my_deposit{mine.data(), mine.size()};
+    std::vector<T> result;
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(size()), 0);
+    collective(kOpAllgatherv, &my_deposit,
+               [&](int source, const void* deposit) {
+                 const auto* d = static_cast<const Deposit*>(deposit);
+                 counts[static_cast<std::size_t>(source)] = d->count;
+                 result.insert(result.end(), d->data, d->data + d->count);
+               });
+    account_collective(result.size() * sizeof(T), mine.size_bytes(),
+                       mine.size_bytes());
+    if (counts_out != nullptr) *counts_out = std::move(counts);
+    return result;
+  }
+
+  /// Personalized exchange: send[d] goes to rank d; returns one vector
+  /// per source rank (self-row copied through).
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& send) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PANDA_CHECK_MSG(send.size() == static_cast<std::size_t>(size()),
+                    "alltoallv needs one send buffer per rank");
+    std::vector<std::vector<T>> received(static_cast<std::size_t>(size()));
+    collective(kOpAlltoallv, &send, [&](int source, const void* deposit) {
+      const auto* rows =
+          static_cast<const std::vector<std::vector<T>>*>(deposit);
+      received[static_cast<std::size_t>(source)] =
+          (*rows)[static_cast<std::size_t>(rank_)];
+    });
+    std::uint64_t bytes_out = 0;
+    int fanout = 0;
+    for (int d = 0; d < size(); ++d) {
+      if (d == rank_) continue;
+      const auto& row = send[static_cast<std::size_t>(d)];
+      if (row.empty()) continue;
+      bytes_out += row.size() * sizeof(T);
+      ++fanout;
+    }
+    std::uint64_t bytes_in = 0;
+    for (int s = 0; s < size(); ++s) {
+      if (s == rank_) continue;
+      bytes_in += received[static_cast<std::size_t>(s)].size() * sizeof(T);
+    }
+    CommStats& st = stats();
+    st.messages_sent += static_cast<std::uint64_t>(fanout);
+    st.bytes_sent += bytes_out;
+    st.bytes_received += bytes_in;
+    st.collective_ops += 1;
+    st.model_seconds += alltoall_cost(cost_params(), fanout, bytes_out);
+    return received;
+  }
+
+  /// Element-count-1 reduction across ranks (deterministic rank order).
+  template <typename T>
+  T allreduce(const T& value, ReduceOp op) {
+    static_assert(std::is_arithmetic_v<T>);
+    T acc{};
+    bool first = true;
+    collective(kOpAllreduce, &value, [&](int, const void* deposit) {
+      const T v = *static_cast<const T*>(deposit);
+      if (first) {
+        acc = v;
+        first = false;
+      } else {
+        acc = combine(acc, v, op);
+      }
+    });
+    account_collective(sizeof(T), sizeof(T), sizeof(T));
+    return acc;
+  }
+
+  /// Elementwise reduction of equal-length spans across ranks; the
+  /// result replaces `values` on every rank.
+  template <typename T>
+  void allreduce_inplace(std::span<T> values, ReduceOp op) {
+    static_assert(std::is_arithmetic_v<T>);
+    struct Deposit {
+      const T* data;
+      std::uint64_t count;
+    };
+    const Deposit my_deposit{values.data(), values.size()};
+    std::vector<T> acc;
+    bool first = true;
+    collective(kOpAllreduceVec, &my_deposit,
+               [&](int, const void* deposit) {
+                 const auto* d = static_cast<const Deposit*>(deposit);
+                 PANDA_CHECK_MSG(d->count == values.size(),
+                                 "allreduce_inplace length mismatch");
+                 if (first) {
+                   acc.assign(d->data, d->data + d->count);
+                   first = false;
+                 } else {
+                   for (std::uint64_t i = 0; i < d->count; ++i) {
+                     acc[i] = combine(acc[i], d->data[i], op);
+                   }
+                 }
+               });
+    // All ranks have passed the read barrier inside collective(), so
+    // writing the shared-visible buffer is race-free here.
+    std::copy(acc.begin(), acc.end(), values.begin());
+    account_collective(values.size_bytes(), values.size_bytes(),
+                       values.size_bytes());
+  }
+
+  /// Exclusive prefix sum over ranks: result on rank r is the sum of
+  /// contributions from ranks < r (0 on rank 0).
+  std::uint64_t exscan_sum(std::uint64_t value);
+
+ private:
+  static constexpr int kOpBarrier = 1;
+  static constexpr int kOpBcast = 2;
+  static constexpr int kOpAllgather = 3;
+  static constexpr int kOpAllgatherv = 4;
+  static constexpr int kOpAlltoallv = 5;
+  static constexpr int kOpAllreduce = 6;
+  static constexpr int kOpAllreduceVec = 7;
+  static constexpr int kOpExscan = 8;
+
+  template <typename T>
+  static T combine(T a, T b, ReduceOp op) {
+    switch (op) {
+      case ReduceOp::Sum:
+        return static_cast<T>(a + b);
+      case ReduceOp::Min:
+        return b < a ? b : a;
+      case ReduceOp::Max:
+        return a < b ? b : a;
+    }
+    return a;
+  }
+
+  void send_bytes(int destination, int tag, const void* data,
+                  std::size_t bytes);
+  std::vector<std::byte> recv_bytes(int source, int tag);
+
+  /// Deposit-barrier-visit-barrier rendezvous; visit(source, deposit)
+  /// is invoked for every rank in ascending order.
+  void collective(int opcode, const void* deposit,
+                  const std::function<void(int, const void*)>& visit);
+
+  /// Books a log-tree collective: total payload `bytes_model` for the
+  /// model clock, plus sent/received byte counters.
+  void account_collective(std::uint64_t bytes_received,
+                          std::uint64_t bytes_sent,
+                          std::uint64_t bytes_model);
+
+  detail::ClusterState& state_;
+  int rank_;
+  parallel::ThreadPool& pool_;
+};
+
+}  // namespace panda::net

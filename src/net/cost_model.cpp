@@ -1,0 +1,45 @@
+#include "net/cost_model.hpp"
+
+#include <bit>
+
+namespace panda::net {
+
+namespace {
+
+int ceil_log2(int n) {
+  if (n <= 1) return 0;
+  return std::bit_width(static_cast<unsigned>(n - 1));
+}
+
+}  // namespace
+
+double p2p_cost(const CostParams& p, std::uint64_t bytes) {
+  return p.alpha_seconds +
+         static_cast<double>(bytes) * p.beta_seconds_per_byte;
+}
+
+double tree_collective_cost(const CostParams& p, int ranks,
+                            std::uint64_t bytes) {
+  const int stages = ceil_log2(ranks);
+  return stages * (p.alpha_seconds +
+                   static_cast<double>(bytes) * p.beta_seconds_per_byte);
+}
+
+double alltoall_cost(const CostParams& p, int fanout,
+                     std::uint64_t bytes_out) {
+  return static_cast<double>(fanout) * p.alpha_seconds +
+         static_cast<double>(bytes_out) * p.beta_seconds_per_byte;
+}
+
+CommStats& CommStats::operator+=(const CommStats& other) {
+  messages_sent += other.messages_sent;
+  bytes_sent += other.bytes_sent;
+  messages_received += other.messages_received;
+  bytes_received += other.bytes_received;
+  collective_ops += other.collective_ops;
+  wait_seconds += other.wait_seconds;
+  model_seconds += other.model_seconds;
+  return *this;
+}
+
+}  // namespace panda::net

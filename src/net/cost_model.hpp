@@ -1,0 +1,57 @@
+// Interconnect cost model and per-rank communication statistics.
+//
+// The paper's cluster experiments ran over a Cray Aries fabric
+// (10 GB/s bidirectional per node). This repository executes ranks as
+// threads of one process, so actual network time does not exist;
+// instead every communication operation accrues time on a per-rank
+// *model clock* using the classic alpha–beta model:
+//
+//   point-to-point message of b bytes:      alpha + b * beta
+//   tree collective over P ranks, b bytes:  ceil(log2 P) * (alpha + b*beta)
+//   personalized all-to-all:                (P-1) * alpha + total_bytes * beta
+//
+// The model clock feeds the EXPERIMENTS.md discussion of communication
+// volumes; measured wall time (including real blocking waits) drives
+// the speedup figures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace panda::net {
+
+/// Alpha–beta parameters. Defaults approximate Aries: ~1.5 us
+/// per-message latency, 10 GB/s bandwidth.
+struct CostParams {
+  double alpha_seconds = 1.5e-6;
+  double beta_seconds_per_byte = 1.0e-10;
+};
+
+/// Modeled seconds for one point-to-point message.
+double p2p_cost(const CostParams& p, std::uint64_t bytes);
+
+/// Modeled seconds for a log-stage tree collective (bcast, reduce,
+/// allreduce, allgather of `bytes` per stage).
+double tree_collective_cost(const CostParams& p, int ranks,
+                            std::uint64_t bytes);
+
+/// Modeled seconds for a personalized exchange where this rank sends
+/// `bytes_out` total to `fanout` distinct destinations.
+double alltoall_cost(const CostParams& p, int fanout, std::uint64_t bytes_out);
+
+/// Communication counters for one rank. wait_seconds is *measured*
+/// wall time spent blocked (recv with no message yet, barriers,
+/// collective rendezvous); model_seconds is the alpha–beta clock.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t collective_ops = 0;
+  double wait_seconds = 0.0;
+  double model_seconds = 0.0;
+
+  CommStats& operator+=(const CommStats& other);
+};
+
+}  // namespace panda::net

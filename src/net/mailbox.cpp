@@ -1,0 +1,54 @@
+#include "net/mailbox.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace panda::net {
+
+void Mailbox::put(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::take(int source, int tag, double* waited_seconds) {
+  WallTimer watch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto match = [&]() -> std::deque<Message>::iterator {
+    return std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+      return m.source == source && m.tag == tag;
+    });
+  };
+  auto it = match();
+  while (it == queue_.end()) {
+    if (abort_flag_.load(std::memory_order_acquire)) {
+      throw Error("cluster aborted while waiting for message");
+    }
+    cv_.wait(lock);
+    it = match();
+  }
+  Message out = std::move(*it);
+  queue_.erase(it);
+  if (waited_seconds != nullptr) *waited_seconds = watch.seconds();
+  return out;
+}
+
+bool Mailbox::poll(int source, int tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return m.source == source && m.tag == tag;
+  });
+}
+
+std::size_t Mailbox::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::notify_abort() { cv_.notify_all(); }
+
+}  // namespace panda::net

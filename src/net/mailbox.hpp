@@ -1,0 +1,55 @@
+// Per-rank message queues for the in-process cluster.
+//
+// Each rank owns one Mailbox; send(dst, ...) enqueues into mailbox
+// dst. Messages match on (source, tag) and are FIFO within a matching
+// pair, mirroring MPI ordering semantics. All blocking waits honor the
+// cluster abort flag so that one failing rank cannot deadlock the rest
+// (see Cluster).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace panda::net {
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  explicit Mailbox(const std::atomic<bool>& abort_flag)
+      : abort_flag_(abort_flag) {}
+
+  /// Enqueues a message (called by the sending rank's thread).
+  void put(Message message);
+
+  /// Blocks until a message matching (source, tag) is available and
+  /// removes it. Throws panda::Error if the cluster aborts while
+  /// waiting. Sets *waited_seconds to the blocked wall time.
+  Message take(int source, int tag, double* waited_seconds);
+
+  /// Non-blocking: true if a matching message is queued.
+  bool poll(int source, int tag) const;
+
+  /// Number of queued messages (any source/tag).
+  std::size_t depth() const;
+
+  /// Wakes all waiters so they can observe an abort.
+  void notify_abort();
+
+ private:
+  const std::atomic<bool>& abort_flag_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace panda::net

@@ -1,0 +1,53 @@
+// Loop- and reduction-parallel helpers layered on ThreadPool::run.
+//
+// parallel_for_static: contiguous per-thread ranges — used where
+// deterministic assignment matters (cooperative histograms, scatter
+// phases with precomputed offsets).
+// parallel_for_dynamic: atomic chunk self-scheduling — used for
+// irregular work (query batches, per-subtree build tasks).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace panda::parallel {
+
+/// Splits [begin, end) into size() contiguous ranges; calls
+/// fn(thread_id, range_begin, range_end) on each thread. Ranges of the
+/// same loop are identical across runs (deterministic).
+void parallel_for_static(
+    ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+    const std::function<void(int, std::uint64_t, std::uint64_t)>& fn);
+
+/// Self-scheduled chunks of `grain` iterations; calls
+/// fn(thread_id, chunk_begin, chunk_end). Chunk-to-thread assignment is
+/// nondeterministic; the set of chunks is not.
+void parallel_for_dynamic(
+    ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+    std::uint64_t grain,
+    const std::function<void(int, std::uint64_t, std::uint64_t)>& fn);
+
+/// Parallel sum-reduction of fn over [begin, end), accumulated in
+/// double per thread then combined in thread order (deterministic).
+double parallel_reduce_sum(ThreadPool& pool, std::uint64_t begin,
+                           std::uint64_t end,
+                           const std::function<double(std::uint64_t)>& fn);
+
+/// Runs a dynamically scheduled task list: tasks[i]() executed exactly
+/// once each, pulled by whichever thread is free.
+void parallel_tasks(ThreadPool& pool,
+                    const std::vector<std::function<void()>>& tasks);
+
+/// Computes the static range of `thread_id` for n items over t threads:
+/// the first n % t ranges get one extra item. Exposed for tests and for
+/// code that must mirror parallel_for_static's assignment.
+std::pair<std::uint64_t, std::uint64_t> static_range(std::uint64_t n,
+                                                     int threads,
+                                                     int thread_id);
+
+}  // namespace panda::parallel

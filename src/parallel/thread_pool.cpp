@@ -1,0 +1,84 @@
+#include "parallel/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace panda::parallel {
+
+ThreadPool::ThreadPool(int num_threads) : size_(num_threads) {
+  PANDA_CHECK_MSG(num_threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(size_) - 1);
+  for (int t = 1; t < size_; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  if (size_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    ++generation_;
+    pending_ = size_ - 1;
+    first_error_ = nullptr;
+  }
+  job_cv_.notify_all();
+
+  // The caller is thread 0.
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop(int thread_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(thread_id);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace panda::parallel

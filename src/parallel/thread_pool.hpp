@@ -1,0 +1,57 @@
+// Intra-node thread parallelism.
+//
+// PANDA's paper parallelizes within a node with OpenMP. This library
+// substitutes a self-contained pool so that many simulated ranks (each
+// a thread of the net::Cluster) can own independent, bounded thread
+// teams without nested-runtime oversubscription (see DESIGN.md §2).
+//
+// The single primitive is run(fn): execute fn(thread_id) on all
+// `size()` threads and wait. The calling thread participates as thread
+// 0, so a pool of size 1 never context-switches. parallel_for and the
+// kd-tree build phases are layered on top.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace panda::parallel {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs jobs on `num_threads` threads
+  /// (num_threads - 1 workers plus the caller). num_threads >= 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  /// Runs fn(thread_id) for thread_id in [0, size()). Blocks until all
+  /// invocations return. Exceptions thrown by any invocation are
+  /// rethrown on the caller (first one wins). Not reentrant: do not
+  /// call run() from inside a job on the same pool.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int thread_id);
+
+  int size_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace panda::parallel

@@ -1,0 +1,97 @@
+#include "simd/distance.hpp"
+
+namespace panda::simd {
+
+float squared_distance(const float* a, const float* b, std::size_t dims) {
+  float acc = 0.0f;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const float diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+namespace {
+
+// Fixed-dims inner loops: with DIMS a compile-time constant GCC fully
+// unrolls the dimension loop and vectorizes over the point index.
+template <std::size_t DIMS>
+void distances_fixed(const float* __restrict query,
+                     const float* __restrict bucket, std::size_t stride,
+                     std::size_t count, float* __restrict out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < DIMS; ++d) {
+      const float diff = query[d] - bucket[d * stride + i];
+      acc += diff * diff;
+    }
+    out[i] = acc;
+  }
+}
+
+void distances_generic(const float* __restrict query,
+                       const float* __restrict bucket, std::size_t stride,
+                       std::size_t count, std::size_t dims,
+                       float* __restrict out) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = 0.0f;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const float q = query[d];
+    const float* __restrict row = bucket + d * stride;
+    for (std::size_t i = 0; i < count; ++i) {
+      const float diff = q - row[i];
+      out[i] += diff * diff;
+    }
+  }
+}
+
+}  // namespace
+
+void squared_distances_soa(const float* query, const float* bucket,
+                           std::size_t stride, std::size_t count,
+                           std::size_t dims, float* out) {
+  switch (dims) {
+    case 1:
+      distances_fixed<1>(query, bucket, stride, count, out);
+      return;
+    case 2:
+      distances_fixed<2>(query, bucket, stride, count, out);
+      return;
+    case 3:
+      distances_fixed<3>(query, bucket, stride, count, out);
+      return;
+    case 4:
+      distances_fixed<4>(query, bucket, stride, count, out);
+      return;
+    case 10:
+      distances_fixed<10>(query, bucket, stride, count, out);
+      return;
+    case 15:
+      distances_fixed<15>(query, bucket, stride, count, out);
+      return;
+    default:
+      distances_generic(query, bucket, stride, count, dims, out);
+      return;
+  }
+}
+
+void squared_distances_padded(const float* query, const float* bucket,
+                              std::size_t stride, std::size_t dims,
+                              float* out) {
+  squared_distances_soa(query, bucket, stride, stride, dims, out);
+}
+
+void squared_distances_reference(const float* query, const float* bucket,
+                                 std::size_t stride, std::size_t count,
+                                 std::size_t dims, float* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double diff = static_cast<double>(query[d]) -
+                          static_cast<double>(bucket[d * stride + i]);
+      acc += diff * diff;
+    }
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace panda::simd

@@ -1,0 +1,58 @@
+// SIMD-friendly distance kernels.
+//
+// The query hot loop of PANDA is "distance from one query to every
+// point in a leaf bucket" (Section III-A step iv / III-C). Buckets are
+// stored SoA — coordinate d of point i lives at data[d * stride + i] —
+// and padded to a multiple of kBucketPad with kPadSentinel so the
+// compiler can vectorize the whole bucket without a tail loop and
+// padded lanes never win (their distance is astronomically large).
+//
+// All distances in PANDA are *squared* Euclidean; square roots are
+// taken only at API boundaries that ask for metric distances.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace panda::simd {
+
+/// Bucket storage is padded to a multiple of this many points.
+inline constexpr std::size_t kBucketPad = 16;
+
+/// Coordinate value stored in padding lanes. Large enough that a
+/// padded point can never enter a k-nearest heap (squared distances
+/// overflow to +inf harmlessly in float).
+inline constexpr float kPadSentinel = 1e30f;
+
+/// Rounds a bucket point count up to the padded stride.
+constexpr std::size_t padded_count(std::size_t n) {
+  return (n + kBucketPad - 1) / kBucketPad * kBucketPad;
+}
+
+/// Squared Euclidean distance between two AoS points of `dims`
+/// coordinates.
+float squared_distance(const float* a, const float* b, std::size_t dims);
+
+/// Computes squared distances from `query` (AoS, dims coords) to
+/// `count` SoA points: coordinate d of point i at bucket[d*stride+i].
+/// Writes `count` results to `out`. `stride` must be >= count; for the
+/// vectorized fast path the caller should pass stride = padded_count
+/// and aligned storage, but any layout is correct.
+void squared_distances_soa(const float* query, const float* bucket,
+                           std::size_t stride, std::size_t count,
+                           std::size_t dims, float* out);
+
+/// As squared_distances_soa, but computes all `stride` lanes including
+/// padding (branch-free inner loop over full padded width). `out` must
+/// hold `stride` floats. Padded lanes receive huge values.
+void squared_distances_padded(const float* query, const float* bucket,
+                              std::size_t stride, std::size_t dims,
+                              float* out);
+
+/// Scalar reference implementation used by tests to validate the
+/// kernels above.
+void squared_distances_reference(const float* query, const float* bucket,
+                                 std::size_t stride, std::size_t count,
+                                 std::size_t dims, float* out);
+
+}  // namespace panda::simd

@@ -1,0 +1,62 @@
+#include "simd/interval_search.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace panda::simd {
+
+IntervalSearcher::IntervalSearcher(std::span<const float> boundaries)
+    : boundaries_(boundaries.begin(), boundaries.end()) {
+  PANDA_CHECK_MSG(std::is_sorted(boundaries_.begin(), boundaries_.end()),
+                  "interval boundaries must be sorted");
+  // sub_[j] = boundaries_[j * stride]; the final partial window is
+  // handled by bounds clamping in bin().
+  const std::size_t n = boundaries_.size();
+  sub_.reserve(n / kSubIntervalStride + 1);
+  for (std::size_t j = 0; j * kSubIntervalStride < n; ++j) {
+    sub_.push_back(boundaries_[j * kSubIntervalStride]);
+  }
+}
+
+std::size_t IntervalSearcher::bin(float value) const {
+  const std::size_t n = boundaries_.size();
+  if (n == 0) return 0;
+  // Counting scan of the sub-interval array: how many promoted
+  // boundaries are <= value. Branch-free accumulation vectorizes.
+  const float* __restrict sub = sub_.data();
+  const std::size_t nsub = sub_.size();
+  std::size_t below = 0;
+  for (std::size_t j = 0; j < nsub; ++j) {
+    below += (sub[j] <= value) ? 1u : 0u;
+  }
+  if (below == 0) {
+    // value < boundaries_[0]
+    return 0;
+  }
+  // The window starting at the last promoted boundary <= value.
+  const std::size_t window_begin = (below - 1) * kSubIntervalStride;
+  const std::size_t window_end = std::min(n, window_begin + kSubIntervalStride);
+  const float* __restrict b = boundaries_.data();
+  std::size_t count = window_begin;
+  for (std::size_t i = window_begin; i < window_end; ++i) {
+    count += (b[i] <= value) ? 1u : 0u;
+  }
+  return count;
+}
+
+std::size_t IntervalSearcher::bin_binary_search(float value) const {
+  // upper_bound with <=: first boundary strictly greater than value.
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  return static_cast<std::size_t>(it - boundaries_.begin());
+}
+
+void IntervalSearcher::bins(std::span<const float> values,
+                            std::span<std::uint32_t> out) const {
+  PANDA_CHECK(values.size() == out.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(bin(values[i]));
+  }
+}
+
+}  // namespace panda::simd

@@ -1,0 +1,54 @@
+// Sub-interval accelerated histogram binning (Section III-A1).
+//
+// During median estimation PANDA builds a histogram whose (non-uniform)
+// bin boundaries are the gathered sample values. Binary search per
+// point suffers branch mispredictions, so the paper pulls every 32nd
+// interval point into a compact sub-interval array, scans that with
+// SIMD-friendly counting compares, then scans the located 32-wide
+// window. IntervalSearcher implements exactly that scheme; tests check
+// it against std::upper_bound, and bench_ablation measures the speedup
+// the paper reports (up to 42 % on local construction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+
+namespace panda::simd {
+
+/// Stride between interval points promoted into the sub-interval array.
+inline constexpr std::size_t kSubIntervalStride = 32;
+
+class IntervalSearcher {
+ public:
+  IntervalSearcher() = default;
+
+  /// `boundaries` must be sorted ascending. Bin b covers
+  /// (boundaries[b-1], boundaries[b]]-style counting: bin(v) returns
+  /// the number of boundaries strictly less than or equal to v, i.e.
+  /// values <= boundaries[0] fall in bin 0 ... values > back() fall in
+  /// bin boundaries.size(). There are boundaries.size()+1 bins.
+  explicit IntervalSearcher(std::span<const float> boundaries);
+
+  /// Bin index of a single value via sub-interval scan + window scan.
+  std::size_t bin(float value) const;
+
+  /// Bin index via std::upper_bound — the baseline the paper replaces.
+  std::size_t bin_binary_search(float value) const;
+
+  /// Batched binning; out.size() must equal values.size().
+  void bins(std::span<const float> values, std::span<std::uint32_t> out) const;
+
+  std::size_t bin_count() const { return boundaries_.size() + 1; }
+  std::size_t boundary_count() const { return boundaries_.size(); }
+  std::span<const float> boundaries() const { return boundaries_; }
+
+ private:
+  AlignedVector<float> boundaries_;
+  AlignedVector<float> sub_;  // every kSubIntervalStride-th boundary
+};
+
+}  // namespace panda::simd

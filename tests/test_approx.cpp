@@ -1,0 +1,137 @@
+// Tests for the approximate (leaf-budgeted) query mode: behaviour at
+// the budget extremes, determinism, and recall growth with budget.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/brute_force.hpp"
+#include "common/error.hpp"
+#include "core/kdtree.hpp"
+#include "data/generators.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::core {
+namespace {
+
+double mean_recall(const KdTree& tree, const data::PointSet& points,
+                   const data::PointSet& queries, std::size_t k,
+                   std::uint64_t budget) {
+  std::uint64_t hits = 0;
+  std::uint64_t total = 0;
+  std::vector<float> q(points.dims());
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    queries.copy_point(i, q.data());
+    const auto exact = baselines::brute_force_knn(points, q, k);
+    const auto approx = tree.query_approx(q, k, budget);
+    std::multiset<float> truth;
+    for (const auto& n : exact) truth.insert(n.dist2);
+    for (const auto& n : approx) {
+      const auto it = truth.find(n.dist2);
+      if (it != truth.end()) {
+        truth.erase(it);
+        ++hits;
+      }
+    }
+    total += exact.size();
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+TEST(ApproxQuery, HugeBudgetEqualsExact) {
+  const auto gen = data::make_generator("cosmo", 201);
+  const data::PointSet points = gen->generate_all(5000);
+  const data::PointSet queries = gen->generate_all(100);
+  parallel::ThreadPool pool(4);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  std::vector<float> q(3);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    queries.copy_point(i, q.data());
+    const auto exact = tree.query(q, 5);
+    const auto approx = tree.query_approx(q, 5, 1u << 30);
+    ASSERT_EQ(approx.size(), exact.size());
+    for (std::size_t j = 0; j < exact.size(); ++j) {
+      ASSERT_EQ(approx[j].dist2, exact[j].dist2) << i << " " << j;
+      ASSERT_EQ(approx[j].id, exact[j].id);
+    }
+  }
+}
+
+TEST(ApproxQuery, SingleLeafBudgetReturnsOwnBucket) {
+  const auto gen = data::make_generator("uniform", 203);
+  const data::PointSet points = gen->generate_all(10000);
+  parallel::ThreadPool pool(2);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  QueryStats stats;
+  const auto result =
+      tree.query_approx(std::vector<float>{0.5f, 0.5f, 0.5f}, 5, 1, &stats);
+  EXPECT_EQ(stats.leaves_visited, 1u);
+  EXPECT_LE(result.size(), 5u);
+  EXPECT_GE(result.size(), 1u);
+}
+
+TEST(ApproxQuery, BudgetCapsLeafVisits) {
+  const auto gen = data::make_generator("dayabay", 205);
+  const data::PointSet points = gen->generate_all(20000);
+  parallel::ThreadPool pool(4);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  data::PointSet queries(10);
+  gen->generate(20000, 20050, queries);
+  std::vector<float> q(10);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    queries.copy_point(i, q.data());
+    for (const std::uint64_t budget : {1ull, 4ull, 16ull}) {
+      QueryStats stats;
+      tree.query_approx(q, 5, budget, &stats);
+      ASSERT_LE(stats.leaves_visited, budget);
+    }
+  }
+}
+
+TEST(ApproxQuery, RecallGrowsWithBudget) {
+  // Deterministic data + deterministic traversal => recall values are
+  // fixed numbers; assert the monotone trend and the endpoints.
+  const auto gen = data::make_generator("gmm", 207);
+  const data::PointSet points = gen->generate_all(20000);
+  data::PointSet queries(3);
+  gen->generate(20000, 20200, queries);
+  parallel::ThreadPool pool(4);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+
+  const double r1 = mean_recall(tree, points, queries, 10, 1);
+  const double r4 = mean_recall(tree, points, queries, 10, 4);
+  const double r32 = mean_recall(tree, points, queries, 10, 32);
+  const double r512 = mean_recall(tree, points, queries, 10, 512);
+  EXPECT_GT(r1, 0.05);   // the own-bucket guess is far from useless
+  EXPECT_LT(r1, 0.999);  // but budget 1 cannot be exact here
+  EXPECT_LE(r1, r4 + 1e-12);
+  EXPECT_LE(r4, r32 + 1e-12);
+  EXPECT_LE(r32, r512 + 1e-12);
+  EXPECT_DOUBLE_EQ(r512, 1.0);  // enough budget => exact
+}
+
+TEST(ApproxQuery, RejectsZeroBudget) {
+  const auto gen = data::make_generator("uniform", 209);
+  const data::PointSet points = gen->generate_all(100);
+  parallel::ThreadPool pool(1);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  EXPECT_THROW(tree.query_approx(std::vector<float>{0, 0, 0}, 3, 0),
+               panda::Error);
+}
+
+TEST(ApproxQuery, DeterministicAcrossCalls) {
+  const auto gen = data::make_generator("cosmo", 211);
+  const data::PointSet points = gen->generate_all(8000);
+  parallel::ThreadPool pool(4);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  const std::vector<float> q{0.3f, 0.6f, 0.2f};
+  const auto a = tree.query_approx(q, 7, 8);
+  const auto b = tree.query_approx(q, 7, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    ASSERT_EQ(a[j].dist2, b[j].dist2);
+    ASSERT_EQ(a[j].id, b[j].id);
+  }
+}
+
+}  // namespace
+}  // namespace panda::core

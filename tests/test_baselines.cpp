@@ -1,0 +1,272 @@
+// Tests for the baselines: brute force as its own sanity anchor, the
+// FLANN-/ANN-style trees (exactness + the tree-shape behaviours the
+// paper reports), the buffered tree, and the distributed strategies.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <tuple>
+
+#include "baselines/ann_style.hpp"
+#include "baselines/brute_force.hpp"
+#include "baselines/buffered_tree.hpp"
+#include "baselines/flann_style.hpp"
+#include "baselines/local_trees.hpp"
+#include "core/kdtree.hpp"
+#include "data/dayabay.hpp"
+#include "data/generators.hpp"
+#include "net/cluster.hpp"
+#include "net/comm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::baselines {
+namespace {
+
+using core::Neighbor;
+
+void expect_same_distances(const std::vector<Neighbor>& actual,
+                           const std::vector<Neighbor>& expected,
+                           const std::string& context) {
+  ASSERT_EQ(actual.size(), expected.size()) << context;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(actual[i].dist2, expected[i].dist2) << context << " rank " << i;
+  }
+}
+
+TEST(BruteForce, OrdersByDistance) {
+  data::PointSet points(1);
+  for (int i = 0; i < 10; ++i) {
+    points.push_point(std::vector<float>{static_cast<float>(i)},
+                      static_cast<std::uint64_t>(i));
+  }
+  const auto result =
+      brute_force_knn(points, std::vector<float>{4.2f}, 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].id, 4u);
+  EXPECT_EQ(result[1].id, 5u);
+  EXPECT_EQ(result[2].id, 3u);
+}
+
+TEST(BruteForce, BatchMatchesSingle) {
+  const auto gen = data::make_generator("gmm", 3);
+  const data::PointSet points = gen->generate_all(1000);
+  const data::PointSet queries = gen->generate_all(30);
+  parallel::ThreadPool pool(4);
+  std::vector<std::vector<Neighbor>> batch;
+  brute_force_batch(points, queries, 4, pool, batch);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    std::vector<float> q(3);
+    queries.copy_point(i, q.data());
+    expect_same_distances(batch[i], brute_force_knn(points, q, 4), "batch");
+  }
+}
+
+class SimpleTreeSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, SplitPolicy>> {};
+
+TEST_P(SimpleTreeSweep, ExactAgainstBruteForce) {
+  const auto [dataset, policy] = GetParam();
+  const auto gen = data::make_generator(dataset, 71);
+  const data::PointSet points = gen->generate_all(3000);
+  const data::PointSet queries = gen->generate_all(100);
+
+  SimpleBuildConfig config;
+  config.policy = policy;
+  config.bucket_size = policy == SplitPolicy::ExactMedian ? 32 : 1;
+  const SimpleKdTree tree = SimpleKdTree::build(points, config);
+  EXPECT_EQ(tree.size(), points.size());
+
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    std::vector<float> q(points.dims());
+    queries.copy_point(i, q.data());
+    expect_same_distances(tree.query(q, 5),
+                          brute_force_knn(points, q, 5),
+                          std::string(dataset) + " q" + std::to_string(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndPolicies, SimpleTreeSweep,
+    ::testing::Combine(::testing::Values("uniform", "cosmo", "dayabay",
+                                         "sdss10"),
+                       ::testing::Values(SplitPolicy::FlannStyle,
+                                         SplitPolicy::AnnStyle,
+                                         SplitPolicy::ExactMedian)));
+
+TEST(AnnStyleTree, DeeperThanFlannOnCoLocatedData) {
+  // The paper observes ANN's midpoint splits blow up the tree depth on
+  // the co-located dayabay data (109 vs 32); the effect must reproduce
+  // directionally with our generators.
+  data::DayaBayParams params;
+  const data::DayaBayGenerator gen(params, 5);
+  const data::PointSet points = gen.generate_all(20000);
+  const SimpleKdTree flann = build_flann_style(points, 1);
+  const SimpleKdTree ann = build_ann_style(points, 1);
+  EXPECT_GT(ann.max_depth(), flann.max_depth() + 5)
+      << "flann depth " << flann.max_depth() << " ann depth "
+      << ann.max_depth();
+}
+
+TEST(PandaTree, ShallowerThanBothBaselines) {
+  // Paper: PANDA depth 21 vs FLANN 34 vs ANN 49 on cosmo_thin. With
+  // bucket 32 versus their leaf-1 trees, PANDA must be the shallowest.
+  const auto gen = data::make_generator("cosmo", 7);
+  const data::PointSet points = gen->generate_all(30000);
+  parallel::ThreadPool pool(4);
+  const core::KdTree panda_tree =
+      core::KdTree::build(points, core::BuildConfig{}, pool);
+  const SimpleKdTree flann = build_flann_style(points, 1);
+  const SimpleKdTree ann = build_ann_style(points, 1);
+  EXPECT_LT(panda_tree.stats().max_depth, flann.max_depth());
+  EXPECT_LT(panda_tree.stats().max_depth, ann.max_depth());
+}
+
+TEST(BufferedTree, ExactAgainstBruteForce) {
+  const auto gen = data::make_generator("sdss10", 11);
+  const data::PointSet points = gen->generate_all(4000);
+  const data::PointSet queries = gen->generate_all(200);
+  parallel::ThreadPool pool(4);
+  const BufferedTree tree = BufferedTree::build(points, BufferedConfig{});
+  const auto results = tree.query_all(queries, 10, pool);
+  ASSERT_EQ(results.size(), queries.size());
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    std::vector<float> q(points.dims());
+    queries.copy_point(i, q.data());
+    expect_same_distances(results[i], brute_force_knn(points, q, 10),
+                          "buffered q" + std::to_string(i));
+  }
+}
+
+TEST(BufferedTree, EmptyQueriesAndSmallTrees) {
+  parallel::ThreadPool pool(2);
+  data::PointSet points(2);
+  points.push_point(std::vector<float>{0.0f, 0.0f}, 0);
+  const BufferedTree tree = BufferedTree::build(points, BufferedConfig{});
+  const data::PointSet no_queries(2);
+  EXPECT_TRUE(tree.query_all(no_queries, 3, pool).empty());
+  data::PointSet one_query(2);
+  one_query.push_point(std::vector<float>{1.0f, 1.0f}, 0);
+  const auto results = tree.query_all(one_query, 3, pool);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].size(), 1u);
+  EXPECT_FLOAT_EQ(results[0][0].dist2, 2.0f);
+}
+
+TEST(BufferedTree, ScansFewerPointsThanBruteForcePerQuery) {
+  const auto gen = data::make_generator("uniform", 13);
+  const data::PointSet points = gen->generate_all(20000);
+  const data::PointSet queries = gen->generate_all(100);
+  parallel::ThreadPool pool(4);
+  const BufferedTree tree = BufferedTree::build(points, BufferedConfig{});
+  core::QueryStats stats;
+  tree.query_all(queries, 5, pool, &stats);
+  EXPECT_LT(stats.points_scanned, 20000u * 100u / 4u);
+}
+
+TEST(DistributedExhaustive, MatchesLocalBruteForce) {
+  net::ClusterConfig config;
+  config.ranks = 4;
+  net::Cluster cluster(config);
+  const std::uint64_t n_points = 2000;
+  const std::uint64_t n_queries = 100;
+  std::vector<std::vector<Neighbor>> dist_results(n_queries);
+  std::mutex mutex;
+  cluster.run([&](net::Comm& comm) {
+    const auto gen = data::make_generator("gmm", 555);
+    const data::PointSet slice =
+        gen->generate_slice(n_points, comm.rank(), comm.size());
+    const auto qgen = data::make_generator("gmm", 777);
+    const std::uint64_t q_begin = static_cast<std::uint64_t>(comm.rank()) *
+                                  n_queries / 4;
+    const std::uint64_t q_end =
+        static_cast<std::uint64_t>(comm.rank() + 1) * n_queries / 4;
+    data::PointSet my_queries(3);
+    qgen->generate(q_begin, q_end, my_queries);
+    const auto results =
+        distributed_exhaustive_knn(comm, slice, my_queries, 5);
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::uint64_t i = 0; i < results.size(); ++i) {
+      dist_results[q_begin + i] = results[i];
+    }
+  });
+
+  const auto gen = data::make_generator("gmm", 555);
+  const data::PointSet points = gen->generate_all(n_points);
+  const auto qgen = data::make_generator("gmm", 777);
+  const data::PointSet queries = qgen->generate_all(n_queries);
+  for (std::uint64_t i = 0; i < n_queries; ++i) {
+    std::vector<float> q(3);
+    queries.copy_point(i, q.data());
+    expect_same_distances(dist_results[i], brute_force_knn(points, q, 5),
+                          "exhaustive q" + std::to_string(i));
+  }
+}
+
+TEST(LocalTreesStrategy, MatchesBruteForceOracle) {
+  net::ClusterConfig config;
+  config.ranks = 3;
+  net::Cluster cluster(config);
+  const std::uint64_t n_points = 3000;
+  const std::uint64_t n_queries = 90;
+  std::vector<std::vector<Neighbor>> dist_results(n_queries);
+  std::mutex mutex;
+  cluster.run([&](net::Comm& comm) {
+    const auto gen = data::make_generator("cosmo", 888);
+    const data::PointSet slice =
+        gen->generate_slice(n_points, comm.rank(), comm.size());
+    const auto strategy =
+        LocalTreesStrategy::build(comm, slice, core::BuildConfig{});
+    const auto qgen = data::make_generator("cosmo", 999);
+    const std::uint64_t q_begin = static_cast<std::uint64_t>(comm.rank()) *
+                                  n_queries / 3;
+    const std::uint64_t q_end =
+        static_cast<std::uint64_t>(comm.rank() + 1) * n_queries / 3;
+    data::PointSet my_queries(3);
+    qgen->generate(q_begin, q_end, my_queries);
+    const auto results = strategy.query(comm, my_queries, 5);
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::uint64_t i = 0; i < results.size(); ++i) {
+      dist_results[q_begin + i] = results[i];
+    }
+  });
+
+  const auto gen = data::make_generator("cosmo", 888);
+  const data::PointSet points = gen->generate_all(n_points);
+  const auto qgen = data::make_generator("cosmo", 999);
+  const data::PointSet queries = qgen->generate_all(n_queries);
+  for (std::uint64_t i = 0; i < n_queries; ++i) {
+    std::vector<float> q(3);
+    queries.copy_point(i, q.data());
+    expect_same_distances(dist_results[i], brute_force_knn(points, q, 5),
+                          "local-trees q" + std::to_string(i));
+  }
+}
+
+TEST(SimpleTree, QueryBatchMatchesSingleQueries) {
+  const auto gen = data::make_generator("uniform", 21);
+  const data::PointSet points = gen->generate_all(2000);
+  const data::PointSet queries = gen->generate_all(60);
+  const SimpleKdTree tree = build_flann_style(points, 8);
+  parallel::ThreadPool pool(4);
+  std::vector<std::vector<Neighbor>> batch;
+  tree.query_batch(queries, 3, pool, batch);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    std::vector<float> q(3);
+    queries.copy_point(i, q.data());
+    expect_same_distances(batch[i], tree.query(q, 3), "batch vs single");
+  }
+}
+
+TEST(SimpleTree, TraversalStatsTrackWork) {
+  const auto gen = data::make_generator("cosmo", 23);
+  const data::PointSet points = gen->generate_all(10000);
+  const SimpleKdTree flann = build_flann_style(points, 1);
+  core::QueryStats stats;
+  flann.query(std::vector<float>{0.5f, 0.5f, 0.5f}, 5,
+              std::numeric_limits<float>::infinity(), &stats);
+  EXPECT_GT(stats.nodes_visited, 10u);
+  EXPECT_GT(stats.points_scanned, 0u);
+  EXPECT_LT(stats.points_scanned, 10000u);
+}
+
+}  // namespace
+}  // namespace panda::baselines

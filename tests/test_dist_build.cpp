@@ -1,0 +1,218 @@
+// Integration tests for distributed kd-tree construction: point
+// conservation across redistribution, region containment (every point
+// lands on the rank that owns its region), load balance, and
+// robustness over rank counts, thread counts, and degenerate data.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <tuple>
+
+#include "data/generators.hpp"
+#include "dist/dist_kdtree.hpp"
+#include "dist/redistribute.hpp"
+#include "net/cluster.hpp"
+#include "net/comm.hpp"
+
+namespace panda::dist {
+namespace {
+
+struct BuildOutcome {
+  std::vector<std::uint64_t> ids;        // ids owned post-build, all ranks
+  std::vector<std::uint64_t> counts;     // per-rank point counts
+  std::vector<DistBuildBreakdown> breakdowns;
+  bool region_violation = false;
+};
+
+BuildOutcome run_build(const std::string& dataset, std::uint64_t n,
+                       int ranks, int threads_per_rank) {
+  net::ClusterConfig config;
+  config.ranks = ranks;
+  config.threads_per_rank = threads_per_rank;
+  net::Cluster cluster(config);
+
+  BuildOutcome outcome;
+  outcome.counts.resize(static_cast<std::size_t>(ranks));
+  outcome.breakdowns.resize(static_cast<std::size_t>(ranks));
+  std::mutex mutex;
+
+  cluster.run([&](net::Comm& comm) {
+    const auto gen = data::make_generator(dataset, 1234);
+    const data::PointSet slice = gen->generate_slice(n, comm.rank(),
+                                                     comm.size());
+    DistBuildBreakdown breakdown;
+    const DistKdTree tree =
+        DistKdTree::build(comm, slice, DistBuildConfig{}, &breakdown);
+
+    // Region containment: every owned point's owner must be this rank.
+    bool violation = false;
+    const auto& points = tree.local_points();
+    std::vector<float> p(points.dims());
+    for (std::uint64_t i = 0; i < points.size(); ++i) {
+      points.copy_point(i, p.data());
+      if (tree.global_tree().owner_of(p) != comm.rank()) violation = true;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex);
+    outcome.counts[static_cast<std::size_t>(comm.rank())] = points.size();
+    outcome.breakdowns[static_cast<std::size_t>(comm.rank())] = breakdown;
+    outcome.region_violation |= violation;
+    for (const std::uint64_t id : points.ids()) outcome.ids.push_back(id);
+  });
+  return outcome;
+}
+
+class DistBuildSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, int, int>> {};
+
+TEST_P(DistBuildSweep, ConservesPointsAndRespectsRegions) {
+  const auto [dataset, ranks, threads] = GetParam();
+  const std::uint64_t n = 6000;
+  const BuildOutcome outcome = run_build(dataset, n, ranks, threads);
+
+  // Conservation: the multiset of ids is exactly {0..n-1}.
+  ASSERT_EQ(outcome.ids.size(), n);
+  std::set<std::uint64_t> unique(outcome.ids.begin(), outcome.ids.end());
+  EXPECT_EQ(unique.size(), n);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), n - 1);
+
+  // Geometry: no point sits on a rank that does not own its region.
+  EXPECT_FALSE(outcome.region_violation);
+}
+
+TEST_P(DistBuildSweep, LoadIsApproximatelyBalanced) {
+  const auto [dataset, ranks, threads] = GetParam();
+  const std::uint64_t n = 6000;
+  const BuildOutcome outcome = run_build(dataset, n, ranks, threads);
+  std::uint64_t min_count = n;
+  std::uint64_t max_count = 0;
+  for (const auto c : outcome.counts) {
+    min_count = std::min(min_count, c);
+    max_count = std::max(max_count, c);
+  }
+  // The sampled-histogram median gives near-equal halves; allow a
+  // generous factor for sampling error compounded over log2(P) levels.
+  EXPECT_GT(min_count, 0u);
+  EXPECT_LT(max_count, 3 * (n / static_cast<std::uint64_t>(ranks)) + 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsRanksThreads, DistBuildSweep,
+    ::testing::Combine(::testing::Values("uniform", "cosmo", "dayabay"),
+                       ::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(1, 2)));
+
+TEST(DistBuild, BreakdownPopulatedForMultiRank) {
+  const BuildOutcome outcome = run_build("cosmo", 20000, 4, 2);
+  for (const auto& bd : outcome.breakdowns) {
+    EXPECT_GT(bd.total(), 0.0);
+    EXPECT_GE(bd.global_tree, 0.0);
+    EXPECT_GE(bd.redistribute, 0.0);
+  }
+}
+
+TEST(DistBuild, SingleRankHasNoGlobalPhase) {
+  const BuildOutcome outcome = run_build("uniform", 2000, 1, 2);
+  EXPECT_EQ(outcome.counts[0], 2000u);
+  EXPECT_DOUBLE_EQ(outcome.breakdowns[0].global_tree, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.breakdowns[0].redistribute, 0.0);
+}
+
+TEST(DistBuild, IdenticalPointsDoNotDeadlockOrCrash) {
+  net::ClusterConfig config;
+  config.ranks = 4;
+  net::Cluster cluster(config);
+  cluster.run([&](net::Comm& comm) {
+    data::PointSet slice(3);
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      slice.push_point(std::vector<float>{1.0f, 2.0f, 3.0f},
+                       static_cast<std::uint64_t>(comm.rank()) * 500 + i);
+    }
+    const DistKdTree tree = DistKdTree::build(comm, slice, DistBuildConfig{});
+    // All 2000 identical points end up somewhere; totals conserved.
+    const auto total = comm.allreduce<std::uint64_t>(
+        tree.local_points().size(), net::ReduceOp::Sum);
+    EXPECT_EQ(total, 2000u);
+  });
+}
+
+TEST(DistBuild, EmptyInputOnSomeRanks) {
+  net::ClusterConfig config;
+  config.ranks = 3;
+  net::Cluster cluster(config);
+  cluster.run([&](net::Comm& comm) {
+    data::PointSet slice(2);
+    if (comm.rank() == 0) {
+      // Only rank 0 contributes points.
+      Rng rng(5);
+      for (std::uint64_t i = 0; i < 900; ++i) {
+        slice.push_point(
+            std::vector<float>{static_cast<float>(rng.uniform()),
+                               static_cast<float>(rng.uniform())},
+            i);
+      }
+    }
+    const DistKdTree tree = DistKdTree::build(comm, slice, DistBuildConfig{});
+    const auto total = comm.allreduce<std::uint64_t>(
+        tree.local_points().size(), net::ReduceOp::Sum);
+    EXPECT_EQ(total, 900u);
+    // Redistribution must spread the points across ranks.
+    EXPECT_GT(tree.local_points().size(), 0u);
+  });
+}
+
+TEST(DistBuild, GlobalTreeIsIdenticalOnAllRanks) {
+  net::ClusterConfig config;
+  config.ranks = 4;
+  net::Cluster cluster(config);
+  std::vector<std::vector<int>> owner_probes(4);
+  cluster.run([&](net::Comm& comm) {
+    const auto gen = data::make_generator("gmm", 77);
+    const data::PointSet slice = gen->generate_slice(4000, comm.rank(),
+                                                     comm.size());
+    const DistKdTree tree = DistKdTree::build(comm, slice, DistBuildConfig{});
+    // Probe a fixed set of points; owners must agree across ranks.
+    const auto probes = gen->generate_all(100);
+    std::vector<int> owners;
+    std::vector<float> p(3);
+    for (std::uint64_t i = 0; i < probes.size(); ++i) {
+      probes.copy_point(i, p.data());
+      owners.push_back(tree.global_tree().owner_of(p));
+    }
+    owner_probes[static_cast<std::size_t>(comm.rank())] = std::move(owners);
+  });
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(owner_probes[static_cast<std::size_t>(r)], owner_probes[0]);
+  }
+}
+
+TEST(BalancedDestination, CoversAllDestinationsEvenly) {
+  const std::uint64_t total = 1000;
+  const int dest_lo = 3;
+  const int dest_count = 4;
+  std::map<int, std::uint64_t> counts;
+  int previous = dest_lo;
+  for (std::uint64_t g = 0; g < total; ++g) {
+    const int d = balanced_destination(g, total, dest_lo, dest_count);
+    ASSERT_GE(d, dest_lo);
+    ASSERT_LT(d, dest_lo + dest_count);
+    ASSERT_GE(d, previous);  // monotone in g
+    previous = d;
+    counts[d]++;
+  }
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(dest_count));
+  for (const auto& [d, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 250.0, 1.0);
+  }
+}
+
+TEST(BalancedDestination, SingleDestinationTakesAll) {
+  for (std::uint64_t g = 0; g < 10; ++g) {
+    EXPECT_EQ(balanced_destination(g, 10, 5, 1), 5);
+  }
+}
+
+}  // namespace
+}  // namespace panda::dist

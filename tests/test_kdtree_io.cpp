@@ -1,0 +1,111 @@
+// Tests for kd-tree persistence: save/load round trips preserve query
+// results bit-for-bit; malformed inputs are rejected.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "core/kdtree.hpp"
+#include "data/generators.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::core {
+namespace {
+
+TEST(KdTreeIo, RoundTripPreservesQueries) {
+  const auto gen = data::make_generator("cosmo", 77);
+  const data::PointSet points = gen->generate_all(20000);
+  const data::PointSet queries = gen->generate_all(100);
+  parallel::ThreadPool pool(4);
+  const KdTree original = KdTree::build(points, BuildConfig{}, pool);
+
+  const std::string path = ::testing::TempDir() + "/panda_tree_test.kdt";
+  original.save(path);
+  const KdTree loaded = KdTree::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.dims(), original.dims());
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.stats().nodes, original.stats().nodes);
+  EXPECT_EQ(loaded.stats().max_depth, original.stats().max_depth);
+  EXPECT_EQ(loaded.config().bucket_size, original.config().bucket_size);
+
+  std::vector<float> q(3);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    queries.copy_point(i, q.data());
+    const auto a = original.query(q, 7);
+    const auto b = loaded.query(q, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      ASSERT_EQ(a[j].dist2, b[j].dist2);
+      ASSERT_EQ(a[j].id, b[j].id);
+    }
+  }
+}
+
+TEST(KdTreeIo, RoundTripOnHighDimensionalTree) {
+  const auto gen = data::make_generator("dayabay", 78);
+  const data::PointSet points = gen->generate_all(5000);
+  parallel::ThreadPool pool(2);
+  const KdTree original = KdTree::build(points, BuildConfig{}, pool);
+  const std::string path = ::testing::TempDir() + "/panda_tree10d.kdt";
+  original.save(path);
+  const KdTree loaded = KdTree::load(path);
+  std::remove(path.c_str());
+  std::vector<float> q(10, 0.1f);
+  const auto a = original.query_radius(q, 0.5f);
+  const auto b = loaded.query_radius(q, 0.5f);
+  ASSERT_EQ(a.size(), b.size());
+}
+
+TEST(KdTreeIo, EmptyTreeRoundTrips) {
+  parallel::ThreadPool pool(1);
+  const data::PointSet points(3);
+  const KdTree original = KdTree::build(points, BuildConfig{}, pool);
+  const std::string path = ::testing::TempDir() + "/panda_tree_empty.kdt";
+  original.save(path);
+  const KdTree loaded = KdTree::load(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_TRUE(loaded.query(std::vector<float>{0, 0, 0}, 1).empty());
+}
+
+TEST(KdTreeIo, MissingFileThrows) {
+  EXPECT_THROW(KdTree::load("/nonexistent/tree.kdt"), panda::Error);
+}
+
+TEST(KdTreeIo, CorruptMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/panda_tree_bad.kdt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char garbage[256] = "definitely not a kd-tree";
+    out.write(garbage, sizeof(garbage));
+  }
+  EXPECT_THROW(KdTree::load(path), panda::Error);
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, TruncatedPayloadRejected) {
+  const auto gen = data::make_generator("uniform", 79);
+  const data::PointSet points = gen->generate_all(1000);
+  parallel::ThreadPool pool(2);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  const std::string path = ::testing::TempDir() + "/panda_tree_trunc.kdt";
+  tree.save(path);
+  // Truncate the file to half its size.
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto size = in.tellg();
+    std::vector<char> half(static_cast<std::size_t>(size) / 2);
+    in.seekg(0);
+    in.read(half.data(), static_cast<std::streamsize>(half.size()));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(half.data(), static_cast<std::streamsize>(half.size()));
+  }
+  EXPECT_THROW(KdTree::load(path), panda::Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace panda::core

@@ -1,0 +1,156 @@
+// Unit tests for the bounded candidate heap and the top-k merge used
+// by the distributed protocol's stage 5.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/knn_heap.hpp"
+
+namespace panda::core {
+namespace {
+
+TEST(KnnHeap, KeepsKSmallest) {
+  KnnHeap heap(3);
+  for (const float d : {9.0f, 1.0f, 8.0f, 2.0f, 7.0f, 3.0f}) {
+    heap.offer(d, static_cast<std::uint64_t>(d));
+  }
+  const auto sorted = heap.take_sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_FLOAT_EQ(sorted[0].dist2, 1.0f);
+  EXPECT_FLOAT_EQ(sorted[1].dist2, 2.0f);
+  EXPECT_FLOAT_EQ(sorted[2].dist2, 3.0f);
+}
+
+TEST(KnnHeap, BoundIsInfinityUntilFull) {
+  KnnHeap heap(2);
+  EXPECT_EQ(heap.bound(), std::numeric_limits<float>::infinity());
+  heap.offer(5.0f, 0);
+  EXPECT_EQ(heap.bound(), std::numeric_limits<float>::infinity());
+  heap.offer(3.0f, 1);
+  EXPECT_FLOAT_EQ(heap.bound(), 5.0f);
+}
+
+TEST(KnnHeap, BoundTightensMonotonically) {
+  Rng rng(5);
+  KnnHeap heap(8);
+  float previous = std::numeric_limits<float>::infinity();
+  for (int i = 0; i < 1000; ++i) {
+    heap.offer(static_cast<float>(rng.uniform()), static_cast<std::uint64_t>(i));
+    ASSERT_LE(heap.bound(), previous);
+    previous = heap.bound();
+  }
+}
+
+TEST(KnnHeap, RejectsCandidatesAtOrBeyondBound) {
+  KnnHeap heap(1);
+  EXPECT_TRUE(heap.offer(2.0f, 0));
+  EXPECT_FALSE(heap.offer(2.0f, 1));  // equal distance: first kept
+  EXPECT_FALSE(heap.offer(3.0f, 2));
+  EXPECT_TRUE(heap.offer(1.0f, 3));
+  const auto sorted = heap.take_sorted();
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].id, 3u);
+}
+
+TEST(KnnHeap, NeverExceedsK) {
+  Rng rng(6);
+  KnnHeap heap(5);
+  for (int i = 0; i < 100; ++i) {
+    heap.offer(static_cast<float>(rng.uniform()), static_cast<std::uint64_t>(i));
+    ASSERT_LE(heap.size(), 5u);
+  }
+}
+
+TEST(KnnHeap, FewerThanKReturnsAll) {
+  KnnHeap heap(10);
+  heap.offer(2.0f, 0);
+  heap.offer(1.0f, 1);
+  const auto sorted = heap.take_sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 1u);
+  EXPECT_EQ(sorted[1].id, 0u);
+}
+
+TEST(KnnHeap, MatchesSortReference) {
+  Rng rng(7);
+  for (const std::size_t k : {1u, 2u, 5u, 16u, 64u}) {
+    KnnHeap heap(k);
+    std::vector<float> all;
+    for (int i = 0; i < 500; ++i) {
+      const float d = static_cast<float>(rng.uniform());
+      all.push_back(d);
+      heap.offer(d, static_cast<std::uint64_t>(i));
+    }
+    std::sort(all.begin(), all.end());
+    const auto sorted = heap.take_sorted();
+    ASSERT_EQ(sorted.size(), std::min<std::size_t>(k, all.size()));
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      EXPECT_FLOAT_EQ(sorted[i].dist2, all[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(KnnHeap, TakeSortedLeavesHeapEmpty) {
+  KnnHeap heap(3);
+  heap.offer(1.0f, 0);
+  heap.take_sorted();
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_EQ(heap.bound(), std::numeric_limits<float>::infinity());
+}
+
+TEST(KnnHeap, RejectsZeroK) {
+  EXPECT_THROW(KnnHeap heap(0), panda::Error);
+}
+
+TEST(MergeTopk, MergesSortedListsGlobally) {
+  const std::vector<std::vector<Neighbor>> lists{
+      {{1.0f, 10}, {4.0f, 11}, {9.0f, 12}},
+      {{2.0f, 20}, {3.0f, 21}},
+      {},
+      {{0.5f, 30}},
+  };
+  const auto merged = merge_topk(lists, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].id, 30u);
+  EXPECT_EQ(merged[1].id, 10u);
+  EXPECT_EQ(merged[2].id, 20u);
+  EXPECT_EQ(merged[3].id, 21u);
+}
+
+TEST(MergeTopk, HandlesFewerCandidatesThanK) {
+  const std::vector<std::vector<Neighbor>> lists{{{1.0f, 1}}, {{2.0f, 2}}};
+  const auto merged = merge_topk(lists, 10);
+  ASSERT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeTopk, MatchesFlatSortReference) {
+  Rng rng(9);
+  std::vector<std::vector<Neighbor>> lists(6);
+  std::vector<float> all;
+  std::uint64_t id = 0;
+  for (auto& list : lists) {
+    const int n = static_cast<int>(rng.uniform_index(40));
+    for (int i = 0; i < n; ++i) {
+      const float d = static_cast<float>(rng.uniform());
+      list.push_back({d, id++});
+      all.push_back(d);
+    }
+    std::sort(list.begin(), list.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.dist2 < b.dist2;
+              });
+  }
+  std::sort(all.begin(), all.end());
+  const std::size_t k = 12;
+  const auto merged = merge_topk(lists, k);
+  ASSERT_EQ(merged.size(), std::min(k, all.size()));
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_FLOAT_EQ(merged[i].dist2, all[i]);
+  }
+}
+
+}  // namespace
+}  // namespace panda::core

@@ -1,0 +1,148 @@
+// Unit tests for the split-selection heuristics: variance-based
+// dimension choice, sampled boundaries, approximate medians, and the
+// histogram boundary picker — including the rank-error guarantee the
+// construction relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/median.hpp"
+#include "data/generators.hpp"
+
+namespace panda::core {
+namespace {
+
+data::PointSet anisotropic_points(std::uint64_t n, std::size_t dims,
+                                  std::size_t wide_dim, double wide_scale,
+                                  std::uint64_t seed) {
+  data::PointSet points(dims);
+  Rng rng(seed);
+  std::vector<float> p(dims);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double scale = d == wide_dim ? wide_scale : 1.0;
+      p[d] = static_cast<float>(rng.normal(0.0, scale));
+    }
+    points.push_point(p, i);
+  }
+  return points;
+}
+
+std::vector<std::uint64_t> identity(std::uint64_t n) {
+  std::vector<std::uint64_t> idx(n);
+  for (std::uint64_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+TEST(SampledVariance, DetectsScaleDifferences) {
+  const auto points = anisotropic_points(5000, 3, 1, 10.0, 42);
+  const auto idx = identity(points.size());
+  const double narrow = sampled_variance(points, idx, 0, 1024);
+  const double wide = sampled_variance(points, idx, 1, 1024);
+  EXPECT_GT(wide, 20.0 * narrow);
+}
+
+TEST(SampledVariance, ZeroForConstantDimension) {
+  data::PointSet points(2);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    points.push_point(std::vector<float>{5.0f, static_cast<float>(i)}, i);
+  }
+  const auto idx = identity(points.size());
+  EXPECT_EQ(sampled_variance(points, idx, 0, 64), 0.0);
+  EXPECT_GT(sampled_variance(points, idx, 1, 64), 0.0);
+}
+
+TEST(ChooseDimension, PicksMaxVarianceDimension) {
+  for (const std::size_t wide : {0u, 1u, 2u, 4u}) {
+    const auto points = anisotropic_points(3000, 5, wide, 8.0, 100 + wide);
+    const auto idx = identity(points.size());
+    double variance = 0.0;
+    EXPECT_EQ(choose_dimension_by_variance(points, idx, 256, &variance),
+              wide);
+    EXPECT_GT(variance, 0.0);
+  }
+}
+
+TEST(SampleBoundaries, SortedAndBoundedBySampleSize) {
+  const auto points = anisotropic_points(10000, 3, 0, 1.0, 7);
+  const auto idx = identity(points.size());
+  const auto boundaries = sample_boundaries(points, idx, 0, 256);
+  EXPECT_EQ(boundaries.size(), 256u);
+  EXPECT_TRUE(std::is_sorted(boundaries.begin(), boundaries.end()));
+}
+
+TEST(SampleMedian, CloseToTrueMedianOnSmoothData) {
+  const auto points = anisotropic_points(50000, 1, 0, 1.0, 13);
+  const auto idx = identity(points.size());
+  const float approx = sample_median(points, idx, 0, 1024);
+  // Rank of the approximate median should be near 50%.
+  std::uint64_t below = 0;
+  const auto coords = points.coordinate(0);
+  for (const float v : coords) {
+    if (v < approx) ++below;
+  }
+  const double fraction =
+      static_cast<double>(below) / static_cast<double>(points.size());
+  EXPECT_NEAR(fraction, 0.5, 0.06);
+}
+
+TEST(PickSplitBoundary, ExactOnSmallHistogram) {
+  // boundaries: b0..b3; hist has 5 bins. Cumulative below b_i:
+  // hist[0..i] summed.
+  const std::vector<std::uint64_t> hist{10, 10, 10, 10, 10};
+  // total=50, fraction 0.5 -> target 25. Cumulatives: 10,20,30,40.
+  // Closest to 25 is 20 (b=1) or 30 (b=2); first minimal wins -> 1.
+  EXPECT_EQ(pick_split_boundary(hist, 50, 0.5), 1u);
+}
+
+TEST(PickSplitBoundary, RespectsFraction) {
+  const std::vector<std::uint64_t> hist{10, 10, 10, 10, 10};
+  EXPECT_EQ(pick_split_boundary(hist, 50, 0.2), 0u);   // target 10
+  EXPECT_EQ(pick_split_boundary(hist, 50, 0.8), 3u);   // target 40
+}
+
+TEST(PickSplitBoundary, SkewedHistogram) {
+  const std::vector<std::uint64_t> hist{0, 0, 100, 0, 0};
+  // Cumulative below boundaries: 0, 0, 100, 100. Target 50: the first
+  // boundary whose cumulative is closest — 0 vs 100 tie at 50; first
+  // minimal (index 0) wins.
+  EXPECT_EQ(pick_split_boundary(hist, 100, 0.5), 0u);
+}
+
+TEST(PickSplitBoundary, MedianRankErrorBoundedBySampling) {
+  // End-to-end property: sampling m boundaries from n points and
+  // counting the full histogram yields a split whose rank error is
+  // within ~2n/m of the true median (one bin width).
+  Rng rng(55);
+  const std::uint64_t n = 100000;
+  const std::size_t m = 512;
+  data::PointSet points(1);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    points.push_point(
+        std::vector<float>{static_cast<float>(rng.exponential(1.0))}, i);
+  }
+  const auto idx = identity(n);
+  const auto boundaries = sample_boundaries(points, idx, 0, m);
+  // Count the full dataset into the sample-defined bins.
+  std::vector<std::uint64_t> hist(boundaries.size() + 1, 0);
+  const auto coords = points.coordinate(0);
+  for (const float v : coords) {
+    hist[static_cast<std::size_t>(
+        std::upper_bound(boundaries.begin(), boundaries.end(), v) -
+        boundaries.begin())]++;
+  }
+  const std::size_t b = pick_split_boundary(hist, n, 0.5);
+  const float split = boundaries[b];
+  std::uint64_t below = 0;
+  for (const float v : coords) {
+    if (v < split) ++below;
+  }
+  const double rank_error =
+      std::abs(static_cast<double>(below) - static_cast<double>(n) / 2.0);
+  EXPECT_LT(rank_error, 2.0 * static_cast<double>(n) / m);
+}
+
+}  // namespace
+}  // namespace panda::core

@@ -1,0 +1,405 @@
+// Unit tests for src/net: the SPMD cluster runtime — point-to-point
+// ordering, every collective, statistics/cost accounting, determinism,
+// and failure injection (rank exceptions, mismatched collectives).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/cluster.hpp"
+#include "net/comm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::net {
+namespace {
+
+ClusterConfig config_for(int ranks, int threads_per_rank = 1) {
+  ClusterConfig config;
+  config.ranks = ranks;
+  config.threads_per_rank = threads_per_rank;
+  return config;
+}
+
+TEST(Cluster, RunsFunctionOncePerRank) {
+  Cluster cluster(config_for(4));
+  std::vector<std::atomic<int>> hits(4);
+  cluster.run([&](Comm& comm) {
+    hits[static_cast<std::size_t>(comm.rank())]++;
+    EXPECT_EQ(comm.size(), 4);
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(r)].load(), 1);
+  }
+}
+
+TEST(Cluster, RejectsInvalidConfig) {
+  EXPECT_THROW(Cluster cluster(config_for(0)), Error);
+  EXPECT_THROW(Cluster cluster(config_for(2, 0)), Error);
+}
+
+TEST(Cluster, SingleRankWorks) {
+  Cluster cluster(config_for(1));
+  cluster.run([&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    comm.barrier();
+    const auto gathered = comm.allgather(42);
+    ASSERT_EQ(gathered.size(), 1u);
+    EXPECT_EQ(gathered[0], 42);
+  });
+}
+
+TEST(PointToPoint, RoundTripPreservesPayload) {
+  Cluster cluster(config_for(2));
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> payload{1.5, -2.5, 3.25};
+      comm.send<double>(1, 7, payload);
+      const auto echoed = comm.recv<double>(1, 8);
+      EXPECT_EQ(echoed, payload);
+    } else {
+      const auto received = comm.recv<double>(0, 7);
+      comm.send<double>(0, 8, received);
+    }
+  });
+}
+
+TEST(PointToPoint, FifoOrderPerSourceAndTag) {
+  Cluster cluster(config_for(2));
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) comm.send_value(1, 3, i);
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0, 3), i);
+      }
+    }
+  });
+}
+
+TEST(PointToPoint, TagsMatchIndependently) {
+  Cluster cluster(config_for(2));
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 10, 100);
+      comm.send_value(1, 20, 200);
+    } else {
+      // Receive in reverse send order; matching is by tag.
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 200);
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 100);
+    }
+  });
+}
+
+TEST(PointToPoint, SelfSendIsDelivered) {
+  Cluster cluster(config_for(3));
+  cluster.run([&](Comm& comm) {
+    comm.send_value(comm.rank(), 5, comm.rank() * 11);
+    EXPECT_EQ(comm.recv_value<int>(comm.rank(), 5), comm.rank() * 11);
+  });
+}
+
+TEST(PointToPoint, EmptyMessageAllowed) {
+  Cluster cluster(config_for(2));
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 1, {});
+    } else {
+      EXPECT_TRUE(comm.recv<int>(0, 1).empty());
+    }
+  });
+}
+
+TEST(PointToPoint, PollSeesQueuedMessage) {
+  Cluster cluster(config_for(2));
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 9, 1);
+      comm.barrier();
+    } else {
+      comm.barrier();
+      EXPECT_TRUE(comm.poll(0, 9));
+      EXPECT_FALSE(comm.poll(0, 10));
+      comm.recv_value<int>(0, 9);
+      EXPECT_FALSE(comm.poll(0, 9));
+    }
+  });
+}
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, Broadcast) {
+  const int ranks = GetParam();
+  Cluster cluster(config_for(ranks));
+  cluster.run([&](Comm& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 1 % ranks) data = {5, 6, 7};
+    const auto result = comm.bcast(data, 1 % ranks);
+    EXPECT_EQ(result, (std::vector<int>{5, 6, 7}));
+  });
+}
+
+TEST_P(CollectiveSweep, AllgatherOrdersByRank) {
+  const int ranks = GetParam();
+  Cluster cluster(config_for(ranks));
+  cluster.run([&](Comm& comm) {
+    const auto gathered = comm.allgather(comm.rank() * 10);
+    ASSERT_EQ(gathered.size(), static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      EXPECT_EQ(gathered[static_cast<std::size_t>(r)], r * 10);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllgathervConcatenatesVariableLengths) {
+  const int ranks = GetParam();
+  Cluster cluster(config_for(ranks));
+  cluster.run([&](Comm& comm) {
+    // Rank r contributes r copies of value r.
+    std::vector<std::uint32_t> mine(
+        static_cast<std::size_t>(comm.rank()),
+        static_cast<std::uint32_t>(comm.rank()));
+    std::vector<std::uint64_t> counts;
+    const auto all = comm.allgatherv<std::uint32_t>(mine, &counts);
+    ASSERT_EQ(counts.size(), static_cast<std::size_t>(ranks));
+    std::size_t offset = 0;
+    for (int r = 0; r < ranks; ++r) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(r)],
+                static_cast<std::uint64_t>(r));
+      for (int j = 0; j < r; ++j) {
+        EXPECT_EQ(all[offset + static_cast<std::size_t>(j)],
+                  static_cast<std::uint32_t>(r));
+      }
+      offset += static_cast<std::size_t>(r);
+    }
+    EXPECT_EQ(all.size(), offset);
+  });
+}
+
+TEST_P(CollectiveSweep, AlltoallvRoutesRows) {
+  const int ranks = GetParam();
+  Cluster cluster(config_for(ranks));
+  cluster.run([&](Comm& comm) {
+    // Row for destination d contains d+1 copies of sender's rank.
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(ranks));
+    for (int d = 0; d < ranks; ++d) {
+      send[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(d + 1), comm.rank());
+    }
+    const auto received = comm.alltoallv(send);
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(ranks));
+    for (int s = 0; s < ranks; ++s) {
+      const auto& row = received[static_cast<std::size_t>(s)];
+      ASSERT_EQ(row.size(), static_cast<std::size_t>(comm.rank() + 1));
+      for (const int v : row) EXPECT_EQ(v, s);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceSumMinMax) {
+  const int ranks = GetParam();
+  Cluster cluster(config_for(ranks));
+  cluster.run([&](Comm& comm) {
+    const int r = comm.rank();
+    EXPECT_EQ(comm.allreduce(r + 1, ReduceOp::Sum),
+              ranks * (ranks + 1) / 2);
+    EXPECT_EQ(comm.allreduce(r, ReduceOp::Min), 0);
+    EXPECT_EQ(comm.allreduce(r, ReduceOp::Max), ranks - 1);
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceInplaceElementwise) {
+  const int ranks = GetParam();
+  Cluster cluster(config_for(ranks));
+  cluster.run([&](Comm& comm) {
+    std::vector<std::uint64_t> values{1, static_cast<std::uint64_t>(
+                                             comm.rank()),
+                                      100};
+    comm.allreduce_inplace<std::uint64_t>(values, ReduceOp::Sum);
+    EXPECT_EQ(values[0], static_cast<std::uint64_t>(ranks));
+    EXPECT_EQ(values[1],
+              static_cast<std::uint64_t>(ranks * (ranks - 1) / 2));
+    EXPECT_EQ(values[2], static_cast<std::uint64_t>(100 * ranks));
+  });
+}
+
+TEST_P(CollectiveSweep, ExscanSumIsExclusivePrefix) {
+  const int ranks = GetParam();
+  Cluster cluster(config_for(ranks));
+  cluster.run([&](Comm& comm) {
+    const std::uint64_t mine = static_cast<std::uint64_t>(comm.rank() + 1);
+    const std::uint64_t below = comm.exscan_sum(mine);
+    std::uint64_t expected = 0;
+    for (int r = 0; r < comm.rank(); ++r) {
+      expected += static_cast<std::uint64_t>(r + 1);
+    }
+    EXPECT_EQ(below, expected);
+  });
+}
+
+TEST_P(CollectiveSweep, BarrierSynchronizesRepeatedly) {
+  const int ranks = GetParam();
+  Cluster cluster(config_for(ranks));
+  cluster.run([&](Comm& comm) {
+    for (int i = 0; i < 25; ++i) comm.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(Stats, CountsBytesAndMessages) {
+  Cluster cluster(config_for(2));
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<std::uint64_t> payload(10, 1);
+      comm.send<std::uint64_t>(1, 1, payload);
+    } else {
+      comm.recv<std::uint64_t>(0, 1);
+    }
+  });
+  const auto& stats = cluster.stats();
+  EXPECT_EQ(stats[0].messages_sent, 1u);
+  EXPECT_EQ(stats[0].bytes_sent, 80u);
+  EXPECT_EQ(stats[1].messages_received, 1u);
+  EXPECT_EQ(stats[1].bytes_received, 80u);
+  EXPECT_GT(stats[0].model_seconds, 0.0);
+}
+
+TEST(Stats, CollectivesCounted) {
+  Cluster cluster(config_for(3));
+  cluster.run([&](Comm& comm) {
+    comm.barrier();
+    comm.allgather(1);
+  });
+  for (const auto& s : cluster.stats()) {
+    EXPECT_EQ(s.collective_ops, 2u);
+  }
+}
+
+TEST(CostModel, P2pIsAlphaPlusBytesBeta) {
+  CostParams p;
+  p.alpha_seconds = 2.0;
+  p.beta_seconds_per_byte = 0.5;
+  EXPECT_DOUBLE_EQ(p2p_cost(p, 0), 2.0);
+  EXPECT_DOUBLE_EQ(p2p_cost(p, 10), 7.0);
+}
+
+TEST(CostModel, TreeCollectiveScalesWithLogRanks) {
+  CostParams p;
+  p.alpha_seconds = 1.0;
+  p.beta_seconds_per_byte = 0.0;
+  EXPECT_DOUBLE_EQ(tree_collective_cost(p, 1, 100), 0.0);
+  EXPECT_DOUBLE_EQ(tree_collective_cost(p, 2, 100), 1.0);
+  EXPECT_DOUBLE_EQ(tree_collective_cost(p, 8, 100), 3.0);
+  EXPECT_DOUBLE_EQ(tree_collective_cost(p, 9, 100), 4.0);
+}
+
+TEST(CostModel, AlltoallChargesFanoutAndBytes) {
+  CostParams p;
+  p.alpha_seconds = 1.0;
+  p.beta_seconds_per_byte = 0.1;
+  EXPECT_DOUBLE_EQ(alltoall_cost(p, 3, 100), 3.0 + 10.0);
+  EXPECT_DOUBLE_EQ(alltoall_cost(p, 0, 0), 0.0);
+}
+
+TEST(CostModel, StatsAccumulate) {
+  CommStats a;
+  a.messages_sent = 2;
+  a.bytes_sent = 10;
+  a.wait_seconds = 0.5;
+  CommStats b;
+  b.messages_sent = 3;
+  b.model_seconds = 1.5;
+  a += b;
+  EXPECT_EQ(a.messages_sent, 5u);
+  EXPECT_EQ(a.bytes_sent, 10u);
+  EXPECT_DOUBLE_EQ(a.wait_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(a.model_seconds, 1.5);
+}
+
+TEST(FailureInjection, RankExceptionPropagatesWithoutDeadlock) {
+  Cluster cluster(config_for(4));
+  EXPECT_THROW(cluster.run([&](Comm& comm) {
+    if (comm.rank() == 2) {
+      throw Error("injected failure on rank 2");
+    }
+    // Other ranks block; the abort must wake them.
+    comm.barrier();
+    comm.barrier();
+  }),
+               Error);
+}
+
+TEST(FailureInjection, OriginalErrorMessageWins) {
+  Cluster cluster(config_for(3));
+  try {
+    cluster.run([&](Comm& comm) {
+      if (comm.rank() == 1) throw Error("the real problem");
+      comm.recv<int>((comm.rank() + 1) % comm.size(), 99);
+    });
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the real problem"),
+              std::string::npos);
+  }
+}
+
+TEST(FailureInjection, BlockedReceiverIsWokenByAbort) {
+  Cluster cluster(config_for(2));
+  EXPECT_THROW(cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) throw Error("sender died");
+    comm.recv<int>(0, 1);  // would block forever without abort
+  }),
+               Error);
+}
+
+TEST(FailureInjection, MismatchedCollectivesDetected) {
+  Cluster cluster(config_for(2));
+  EXPECT_THROW(cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();
+    } else {
+      comm.allgather(1);
+    }
+  }),
+               Error);
+}
+
+TEST(FailureInjection, ClusterUsableAfterFailedRun) {
+  Cluster cluster(config_for(2));
+  EXPECT_THROW(cluster.run([&](Comm&) { throw Error("first run fails"); }),
+               Error);
+  // A fresh run on the same Cluster object must work.
+  cluster.run([&](Comm& comm) { comm.barrier(); });
+  SUCCEED();
+}
+
+TEST(Determinism, CollectiveResultsIdenticalAcrossRuns) {
+  std::vector<double> first;
+  std::vector<double> second;
+  for (int run = 0; run < 2; ++run) {
+    Cluster cluster(config_for(5));
+    std::vector<double> results(5);
+    cluster.run([&](Comm& comm) {
+      // Floating-point reduction order is rank order: bitwise stable.
+      const double contribution =
+          1.0 / (1.0 + static_cast<double>(comm.rank()));
+      results[static_cast<std::size_t>(comm.rank())] =
+          comm.allreduce(contribution, ReduceOp::Sum);
+    });
+    (run == 0 ? first : second) = results;
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(Comm, PoolHasConfiguredWidth) {
+  ClusterConfig config = config_for(2, 3);
+  Cluster cluster(config);
+  cluster.run([&](Comm& comm) { EXPECT_EQ(comm.pool().size(), 3); });
+}
+
+}  // namespace
+}  // namespace panda::net

@@ -1,0 +1,178 @@
+// Stress and edge-case tests for the SPMD runtime beyond the basic
+// suite: large payloads, many interleaved tags, collective storms from
+// threaded ranks, degenerate rank counts, and accounting consistency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/cluster.hpp"
+#include "net/comm.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::net {
+namespace {
+
+TEST(NetStress, MultiMegabytePayloadsSurviveRoundTrip) {
+  ClusterConfig config;
+  config.ranks = 2;
+  Cluster cluster(config);
+  cluster.run([&](Comm& comm) {
+    const std::size_t n = 4 * 1024 * 1024 / sizeof(std::uint64_t);  // 4 MiB
+    if (comm.rank() == 0) {
+      std::vector<std::uint64_t> payload(n);
+      std::iota(payload.begin(), payload.end(), 7ull);
+      comm.send<std::uint64_t>(1, 1, payload);
+      const auto echoed = comm.recv<std::uint64_t>(1, 2);
+      ASSERT_EQ(echoed.size(), n);
+      EXPECT_EQ(echoed.front(), 7ull);
+      EXPECT_EQ(echoed.back(), 7ull + n - 1);
+    } else {
+      auto received = comm.recv<std::uint64_t>(0, 1);
+      comm.send<std::uint64_t>(0, 2, received);
+    }
+  });
+}
+
+TEST(NetStress, HundredsOfInterleavedTagsMatchCorrectly) {
+  ClusterConfig config;
+  config.ranks = 2;
+  Cluster cluster(config);
+  cluster.run([&](Comm& comm) {
+    const int tags = 300;
+    if (comm.rank() == 0) {
+      // Send in one order...
+      for (int t = 0; t < tags; ++t) comm.send_value(1, t, t * 17);
+    } else {
+      // ...receive in the reverse order; matching must be by tag.
+      for (int t = tags - 1; t >= 0; --t) {
+        ASSERT_EQ(comm.recv_value<int>(0, t), t * 17);
+      }
+    }
+  });
+}
+
+TEST(NetStress, ManySmallAlltoallvRounds) {
+  ClusterConfig config;
+  config.ranks = 5;
+  Cluster cluster(config);
+  cluster.run([&](Comm& comm) {
+    Rng rng(derive_seed(11, static_cast<std::uint64_t>(comm.rank())));
+    for (int round = 0; round < 200; ++round) {
+      std::vector<std::vector<int>> send(5);
+      for (int d = 0; d < 5; ++d) {
+        send[static_cast<std::size_t>(d)].assign(
+            static_cast<std::size_t>(1 + (round + d) % 3),
+            comm.rank() * 1000 + round);
+      }
+      const auto recv = comm.alltoallv(send);
+      for (int s = 0; s < 5; ++s) {
+        for (const int v : recv[static_cast<std::size_t>(s)]) {
+          ASSERT_EQ(v, s * 1000 + round);
+        }
+      }
+    }
+  });
+}
+
+TEST(NetStress, RankPoolsComputeWhileCommunicating) {
+  // Each rank runs a parallel_for on its pool between collectives —
+  // the construction workload shape — with threads_per_rank > 1.
+  ClusterConfig config;
+  config.ranks = 4;
+  config.threads_per_rank = 3;
+  Cluster cluster(config);
+  cluster.run([&](Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      std::atomic<std::uint64_t> sum{0};
+      parallel::parallel_for_static(
+          comm.pool(), 0, 10000,
+          [&](int, std::uint64_t a, std::uint64_t b) {
+            std::uint64_t local = 0;
+            for (std::uint64_t i = a; i < b; ++i) local += i;
+            sum += local;
+          });
+      ASSERT_EQ(sum.load(), 10000ull * 9999ull / 2);
+      const auto total = comm.allreduce<std::uint64_t>(sum.load(),
+                                                       ReduceOp::Sum);
+      ASSERT_EQ(total, 4 * (10000ull * 9999ull / 2));
+    }
+  });
+}
+
+TEST(NetStress, SixteenRankCollectives) {
+  ClusterConfig config;
+  config.ranks = 16;
+  Cluster cluster(config);
+  cluster.run([&](Comm& comm) {
+    const auto gathered = comm.allgather(comm.rank() * comm.rank());
+    for (int r = 0; r < 16; ++r) {
+      ASSERT_EQ(gathered[static_cast<std::size_t>(r)], r * r);
+    }
+    ASSERT_EQ(comm.allreduce(1, ReduceOp::Sum), 16);
+    ASSERT_EQ(comm.exscan_sum(2), static_cast<std::uint64_t>(2 * comm.rank()));
+  });
+}
+
+TEST(NetStress, AccountingBalancesSendsAndReceives) {
+  ClusterConfig config;
+  config.ranks = 3;
+  Cluster cluster(config);
+  cluster.run([&](Comm& comm) {
+    // A ring of p2p messages plus one alltoallv.
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    comm.send_value(next, 1, comm.rank());
+    comm.recv_value<int>(prev, 1);
+    std::vector<std::vector<float>> rows(3, std::vector<float>(10, 1.0f));
+    comm.alltoallv(rows);
+  });
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (const auto& s : cluster.stats()) {
+    sent += s.bytes_sent;
+    received += s.bytes_received;
+  }
+  // Every sent byte is received somewhere except alltoallv self-rows,
+  // which are not counted on either side; totals must balance.
+  EXPECT_EQ(sent, received);
+  const auto totals = cluster.total_stats();
+  EXPECT_EQ(totals.bytes_sent, sent);
+  EXPECT_GT(totals.model_seconds, 0.0);
+}
+
+TEST(NetStress, BcastOfLargeTreePayload) {
+  // The global-tree broadcast pattern: rank 0 distributes a sizable
+  // structure to everyone.
+  ClusterConfig config;
+  config.ranks = 6;
+  Cluster cluster(config);
+  cluster.run([&](Comm& comm) {
+    std::vector<double> payload;
+    if (comm.rank() == 0) {
+      payload.resize(100000);
+      for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<double>(i) * 0.5;
+      }
+    }
+    const auto result = comm.bcast(payload, 0);
+    ASSERT_EQ(result.size(), 100000u);
+    EXPECT_DOUBLE_EQ(result[99999], 49999.5);
+  });
+}
+
+TEST(NetStress, RepeatedClusterConstructionIsCheapAndLeakFree) {
+  for (int i = 0; i < 30; ++i) {
+    ClusterConfig config;
+    config.ranks = 4;
+    Cluster cluster(config);
+    cluster.run([&](Comm& comm) { comm.barrier(); });
+    EXPECT_EQ(cluster.stats().size(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace panda::net

@@ -1,0 +1,201 @@
+// Unit tests for src/parallel: pool execution, loop helpers, range
+// math, determinism, and exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::parallel {
+namespace {
+
+TEST(ThreadPool, RunsAllThreadIdsExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(threads));
+    pool.run([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+    for (int t = 0; t < threads; ++t) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(t)].load(), 1) << t;
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int j = 0; j < 100; ++j) {
+    pool.run([&](int) { total++; });
+  }
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool pool(0), panda::Error);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([&](int tid) {
+    if (tid == 2) throw panda::Error("boom");
+  }),
+               panda::Error);
+  // The pool stays usable afterwards.
+  std::atomic<int> count{0};
+  pool.run([&](int) { count++; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, PropagatesCallerThreadException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run([&](int tid) {
+    if (tid == 0) throw panda::Error("caller failure");
+  }),
+               panda::Error);
+}
+
+TEST(StaticRange, PartitionsWholeRangeContiguously) {
+  for (const std::uint64_t n : {0ull, 1ull, 7ull, 100ull, 101ull}) {
+    for (const int threads : {1, 2, 3, 8}) {
+      std::uint64_t expected_begin = 0;
+      for (int t = 0; t < threads; ++t) {
+        const auto [lo, hi] = static_range(n, threads, t);
+        EXPECT_EQ(lo, expected_begin);
+        expected_begin = hi;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+TEST(StaticRange, BalancedWithinOne) {
+  const std::uint64_t n = 103;
+  const int threads = 8;
+  for (int t = 0; t < threads; ++t) {
+    const auto [lo, hi] = static_range(n, threads, t);
+    const std::uint64_t len = hi - lo;
+    EXPECT_GE(len, n / threads);
+    EXPECT_LE(len, n / threads + 1);
+  }
+}
+
+TEST(ParallelForStatic, VisitsEveryIndexOnce) {
+  ThreadPool pool(6);
+  const std::uint64_t n = 10007;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for_static(pool, 0, n, [&](int, std::uint64_t a, std::uint64_t b) {
+    for (std::uint64_t i = a; i < b; ++i) visits[i]++;
+  });
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForStatic, HandlesNonZeroBase) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for_static(pool, 100, 200,
+                      [&](int, std::uint64_t a, std::uint64_t b) {
+                        std::uint64_t local = 0;
+                        for (std::uint64_t i = a; i < b; ++i) local += i;
+                        sum += local;
+                      });
+  EXPECT_EQ(sum.load(), (100ull + 199ull) * 100ull / 2ull);
+}
+
+TEST(ParallelForStatic, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  parallel_for_static(pool, 5, 5,
+                      [&](int, std::uint64_t, std::uint64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForDynamic, VisitsEveryIndexOnce) {
+  ThreadPool pool(6);
+  const std::uint64_t n = 5003;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for_dynamic(pool, 0, n, 17,
+                       [&](int, std::uint64_t a, std::uint64_t b) {
+                         for (std::uint64_t i = a; i < b; ++i) visits[i]++;
+                       });
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForDynamic, ChunksRespectGrain) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::vector<std::uint64_t> sizes;
+  parallel_for_dynamic(pool, 0, 100, 7,
+                       [&](int, std::uint64_t a, std::uint64_t b) {
+                         std::lock_guard<std::mutex> lock(mutex);
+                         sizes.push_back(b - a);
+                       });
+  std::uint64_t total = 0;
+  for (const auto s : sizes) {
+    EXPECT_LE(s, 7u);
+    total += s;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(ParallelForDynamic, RejectsZeroGrain) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for_dynamic(pool, 0, 10, 0,
+                                    [](int, std::uint64_t, std::uint64_t) {}),
+               panda::Error);
+}
+
+TEST(ParallelReduceSum, MatchesSerialSum) {
+  ThreadPool pool(8);
+  const std::uint64_t n = 100000;
+  const double result = parallel_reduce_sum(
+      pool, 0, n, [](std::uint64_t i) { return static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(result, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ParallelReduceSum, DeterministicAcrossRuns) {
+  ThreadPool pool(8);
+  auto f = [](std::uint64_t i) { return 1.0 / (1.0 + static_cast<double>(i)); };
+  const double a = parallel_reduce_sum(pool, 0, 200000, f);
+  const double b = parallel_reduce_sum(pool, 0, 200000, f);
+  EXPECT_EQ(a, b);  // bitwise: thread-ordered combination
+}
+
+TEST(ParallelTasks, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(5);
+  const std::size_t n = 237;
+  std::vector<std::atomic<int>> runs(n);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back([&runs, i] { runs[i]++; });
+  }
+  parallel_tasks(pool, tasks);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(runs[i].load(), 1);
+}
+
+TEST(ParallelTasks, EmptyTaskListIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(parallel_tasks(pool, {}));
+}
+
+class PoolSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolSizeSweep, ParallelForMatchesSerialAtAnyWidth) {
+  const int threads = GetParam();
+  ThreadPool pool(threads);
+  const std::uint64_t n = 4096;
+  std::vector<std::uint64_t> out(n, 0);
+  parallel_for_static(pool, 0, n, [&](int, std::uint64_t a, std::uint64_t b) {
+    for (std::uint64_t i = a; i < b; ++i) out[i] = i * i;
+  });
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PoolSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 24));
+
+}  // namespace
+}  // namespace panda::parallel

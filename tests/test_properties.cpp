@@ -1,0 +1,315 @@
+// Cross-module property tests: invariants that must hold for any
+// dimensionality, seed, or configuration — including paths the main
+// suites do not reach (generic-dimension SIMD kernels, out-of-domain
+// queries, randomized radius sweeps, degenerate clusters).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <tuple>
+
+#include "baselines/brute_force.hpp"
+#include "common/rng.hpp"
+#include "core/kdtree.hpp"
+#include "data/generators.hpp"
+#include "dist/dist_kdtree.hpp"
+#include "dist/dist_query.hpp"
+#include "net/cluster.hpp"
+#include "net/comm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda {
+namespace {
+
+using core::Neighbor;
+
+void expect_same_distances(const std::vector<Neighbor>& actual,
+                           const std::vector<Neighbor>& expected,
+                           const std::string& context) {
+  ASSERT_EQ(actual.size(), expected.size()) << context;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_EQ(actual[i].dist2, expected[i].dist2) << context << " rank " << i;
+  }
+}
+
+/// Exactness must hold for every dimensionality — dims outside
+/// {1,2,3,4,10,15} exercise the generic (non-specialized) distance
+/// kernel.
+class DimsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DimsSweep, TreeExactForAnyDimensionality) {
+  const std::size_t dims = GetParam();
+  const data::GaussianMixtureGenerator gen(dims, 16, 0.05, 77 + dims);
+  const data::PointSet points = gen.generate_all(3000);
+  data::PointSet queries(dims);
+  gen.generate(3000, 3100, queries);
+  parallel::ThreadPool pool(4);
+  const core::KdTree tree =
+      core::KdTree::build(points, core::BuildConfig{}, pool);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    std::vector<float> q(dims);
+    queries.copy_point(i, q.data());
+    expect_same_distances(tree.query(q, 6),
+                          baselines::brute_force_knn(points, q, 6),
+                          "dims=" + std::to_string(dims));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DimsSweep,
+                         ::testing::Values(1, 2, 5, 6, 7, 8, 12, 16, 20));
+
+/// Round-robin dimension selection must stay exact (only tree quality
+/// changes, never correctness).
+TEST(DimPolicy, RoundRobinIsExact) {
+  const auto gen = data::make_generator("cosmo", 91);
+  const data::PointSet points = gen->generate_all(4000);
+  const data::PointSet queries = gen->generate_all(100);
+  parallel::ThreadPool pool(4);
+  core::BuildConfig config;
+  config.dim_policy = core::BuildConfig::DimensionPolicy::RoundRobin;
+  const core::KdTree tree = core::KdTree::build(points, config, pool);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    std::vector<float> q(3);
+    queries.copy_point(i, q.data());
+    expect_same_distances(tree.query(q, 5),
+                          baselines::brute_force_knn(points, q, 5),
+                          "round-robin q" + std::to_string(i));
+  }
+}
+
+/// Serial-split threshold is a performance knob only.
+class SerialThresholdSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerialThresholdSweep, ThresholdNeverChangesResults) {
+  const auto gen = data::make_generator("gmm", 93);
+  const data::PointSet points = gen->generate_all(5000);
+  const data::PointSet queries = gen->generate_all(60);
+  parallel::ThreadPool pool(6);
+  core::BuildConfig config;
+  config.serial_split_threshold = GetParam();
+  const core::KdTree tree = core::KdTree::build(points, config, pool);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    std::vector<float> q(3);
+    queries.copy_point(i, q.data());
+    expect_same_distances(tree.query(q, 4),
+                          baselines::brute_force_knn(points, q, 4),
+                          "threshold=" + std::to_string(GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SerialThresholdSweep,
+                         ::testing::Values(0, 1, 100, 100000));
+
+/// Queries far outside the data domain: the global tree still assigns
+/// an owner (boundary rank) and the r' ball then covers many ranks;
+/// results must remain exact.
+TEST(OutOfDomain, DistributedQueriesFarOutsideDataStayExact) {
+  const std::uint64_t n_points = 3000;
+  const int ranks = 4;
+  std::vector<std::vector<Neighbor>> dist_results;
+  std::mutex mutex;
+  net::ClusterConfig config;
+  config.ranks = ranks;
+  net::Cluster cluster(config);
+
+  // Queries on a shell far outside the unit box.
+  data::PointSet far_queries(3);
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    far_queries.push_point(
+        std::vector<float>{static_cast<float>(rng.uniform(-30.0, 30.0)),
+                           static_cast<float>(rng.uniform(-30.0, 30.0)),
+                           static_cast<float>(rng.uniform(30.0, 60.0))},
+        i);
+  }
+  dist_results.resize(far_queries.size());
+
+  cluster.run([&](net::Comm& comm) {
+    const auto gen = data::make_generator("cosmo", 555);
+    const data::PointSet slice =
+        gen->generate_slice(n_points, comm.rank(), comm.size());
+    const dist::DistKdTree tree =
+        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+    dist::DistQueryEngine engine(comm, tree);
+    dist::DistQueryConfig qconfig;
+    qconfig.k = 5;
+    // All queries issued from rank 0.
+    data::PointSet mine(3);
+    if (comm.rank() == 0) mine.append(far_queries);
+    const auto results = engine.run(mine, qconfig);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        dist_results[i] = results[i];
+      }
+    }
+  });
+
+  const auto gen = data::make_generator("cosmo", 555);
+  const data::PointSet points = gen->generate_all(n_points);
+  for (std::uint64_t i = 0; i < far_queries.size(); ++i) {
+    std::vector<float> q(3);
+    far_queries.copy_point(i, q.data());
+    expect_same_distances(dist_results[i],
+                          baselines::brute_force_knn(points, q, 5),
+                          "far query " + std::to_string(i));
+  }
+}
+
+/// Duplicate queries must all receive identical answers.
+TEST(Duplicates, RepeatedQueriesGetIdenticalResults) {
+  const auto gen = data::make_generator("gmm", 97);
+  const data::PointSet points = gen->generate_all(2000);
+  parallel::ThreadPool pool(4);
+  const core::KdTree tree =
+      core::KdTree::build(points, core::BuildConfig{}, pool);
+  data::PointSet queries(3);
+  for (int i = 0; i < 64; ++i) {
+    queries.push_point(std::vector<float>{0.4f, 0.4f, 0.4f},
+                       static_cast<std::uint64_t>(i));
+  }
+  std::vector<std::vector<Neighbor>> results;
+  tree.query_batch(queries, 5, pool, results);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].size(), results[0].size());
+    for (std::size_t j = 0; j < results[i].size(); ++j) {
+      ASSERT_EQ(results[i][j].dist2, results[0][j].dist2);
+      ASSERT_EQ(results[i][j].id, results[0][j].id);
+    }
+  }
+}
+
+/// Randomized radius sweep: tree radius results equal the filtered
+/// brute force for arbitrary (seed, radius) draws.
+TEST(RadiusFuzz, RandomRadiiMatchBruteForce) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t seed = rng.next();
+    const float radius = static_cast<float>(rng.uniform(0.005, 0.4));
+    const data::GaussianMixtureGenerator gen(3, 8, 0.05, seed);
+    const data::PointSet points = gen.generate_all(1500);
+    parallel::ThreadPool pool(2);
+    const core::KdTree tree =
+        core::KdTree::build(points, core::BuildConfig{}, pool);
+    data::PointSet queries(3);
+    gen.generate(1500, 1520, queries);
+    for (std::uint64_t i = 0; i < queries.size(); ++i) {
+      std::vector<float> q(3);
+      queries.copy_point(i, q.data());
+      const auto actual = tree.query_radius(q, radius);
+      auto expected = baselines::brute_force_knn(points, q, 1500);
+      std::erase_if(expected, [&](const Neighbor& n) {
+        return n.dist2 >= radius * radius;
+      });
+      ASSERT_EQ(actual.size(), expected.size())
+          << "trial " << trial << " radius " << radius;
+      for (std::size_t j = 0; j < actual.size(); ++j) {
+        ASSERT_EQ(actual[j].dist2, expected[j].dist2);
+      }
+    }
+  }
+}
+
+/// Build determinism: same inputs, same thread count => identical
+/// trees (stats) and identical query answers, run-to-run.
+TEST(Determinism, RepeatedBuildsAreIdentical) {
+  const auto gen = data::make_generator("plasma", 99);
+  const data::PointSet points = gen->generate_all(30000);
+  const data::PointSet queries = gen->generate_all(40);
+  parallel::ThreadPool pool(8);
+
+  const core::KdTree a = core::KdTree::build(points, core::BuildConfig{},
+                                             pool);
+  const core::KdTree b = core::KdTree::build(points, core::BuildConfig{},
+                                             pool);
+  EXPECT_EQ(a.stats().nodes, b.stats().nodes);
+  EXPECT_EQ(a.stats().leaves, b.stats().leaves);
+  EXPECT_EQ(a.stats().max_depth, b.stats().max_depth);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    std::vector<float> q(3);
+    queries.copy_point(i, q.data());
+    const auto ra = a.query(q, 5);
+    const auto rb = b.query(q, 5);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      ASSERT_EQ(ra[j].dist2, rb[j].dist2);
+      ASSERT_EQ(ra[j].id, rb[j].id);
+    }
+  }
+}
+
+/// Distributed determinism: two identical cluster runs produce the
+/// same ownership layout and the same per-rank point counts.
+TEST(Determinism, RepeatedDistributedBuildsAgree) {
+  auto run_counts = [&]() {
+    net::ClusterConfig config;
+    config.ranks = 4;
+    net::Cluster cluster(config);
+    std::vector<std::uint64_t> counts(4, 0);
+    std::mutex mutex;
+    cluster.run([&](net::Comm& comm) {
+      const auto gen = data::make_generator("cosmo", 101);
+      const data::PointSet slice = gen->generate_slice(8000, comm.rank(), 4);
+      const dist::DistKdTree tree =
+          dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+      std::lock_guard<std::mutex> lock(mutex);
+      counts[static_cast<std::size_t>(comm.rank())] =
+          tree.local_points().size();
+    });
+    return counts;
+  };
+  EXPECT_EQ(run_counts(), run_counts());
+}
+
+/// Two clusters in one process must not interfere (independent state).
+TEST(Isolation, ConcurrentClusterObjectsDoNotInterfere) {
+  net::ClusterConfig config;
+  config.ranks = 2;
+  net::Cluster a(config);
+  net::Cluster b(config);
+  std::thread ta([&] {
+    a.run([](net::Comm& comm) {
+      for (int i = 0; i < 200; ++i) {
+        const auto v = comm.allgather(comm.rank() + 100);
+        ASSERT_EQ(v[0], 100);
+        ASSERT_EQ(v[1], 101);
+      }
+    });
+  });
+  std::thread tb([&] {
+    b.run([](net::Comm& comm) {
+      for (int i = 0; i < 200; ++i) {
+        const auto v = comm.allgather(comm.rank() + 500);
+        ASSERT_EQ(v[0], 500);
+        ASSERT_EQ(v[1], 501);
+      }
+    });
+  });
+  ta.join();
+  tb.join();
+}
+
+/// k spanning the full dataset size boundary.
+class KBoundarySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KBoundarySweep, KAroundDatasetSize) {
+  const std::size_t k = GetParam();
+  const auto gen = data::make_generator("uniform", 103);
+  const data::PointSet points = gen->generate_all(100);
+  parallel::ThreadPool pool(2);
+  const core::KdTree tree =
+      core::KdTree::build(points, core::BuildConfig{}, pool);
+  const auto result = tree.query(std::vector<float>{0.5f, 0.5f, 0.5f}, k);
+  EXPECT_EQ(result.size(), std::min<std::size_t>(k, 100));
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end(),
+                             [](const Neighbor& a, const Neighbor& b) {
+                               return a.dist2 < b.dist2;
+                             }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KBoundarySweep,
+                         ::testing::Values(1, 99, 100, 101, 1000));
+
+}  // namespace
+}  // namespace panda

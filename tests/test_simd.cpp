@@ -1,0 +1,175 @@
+// Unit tests for src/simd: distance kernels validated against the
+// scalar reference over a parameter sweep, padding semantics, and the
+// sub-interval searcher checked against std::upper_bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "simd/distance.hpp"
+#include "simd/interval_search.hpp"
+
+namespace panda::simd {
+namespace {
+
+TEST(PaddedCount, RoundsUpToPadMultiple) {
+  EXPECT_EQ(padded_count(0), 0u);
+  EXPECT_EQ(padded_count(1), kBucketPad);
+  EXPECT_EQ(padded_count(kBucketPad), kBucketPad);
+  EXPECT_EQ(padded_count(kBucketPad + 1), 2 * kBucketPad);
+  EXPECT_EQ(padded_count(33), 48u);
+}
+
+TEST(SquaredDistance, MatchesManualComputation) {
+  const float a[3] = {1.0f, 2.0f, 3.0f};
+  const float b[3] = {4.0f, 6.0f, 3.0f};
+  EXPECT_FLOAT_EQ(squared_distance(a, b, 3), 9.0f + 16.0f + 0.0f);
+}
+
+TEST(SquaredDistance, ZeroForIdenticalPoints) {
+  const float a[5] = {0.5f, -1.0f, 2.0f, 7.5f, 0.0f};
+  EXPECT_FLOAT_EQ(squared_distance(a, a, 5), 0.0f);
+}
+
+class DistanceKernelSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(DistanceKernelSweep, MatchesReferenceKernel) {
+  const auto [dims, count] = GetParam();
+  const std::size_t stride = padded_count(count);
+  Rng rng(dims * 1000 + count);
+
+  AlignedVector<float> bucket(stride * dims, kPadSentinel);
+  for (std::size_t d = 0; d < dims; ++d) {
+    for (std::size_t i = 0; i < count; ++i) {
+      bucket[d * stride + i] = static_cast<float>(rng.normal());
+    }
+  }
+  std::vector<float> query(dims);
+  for (auto& q : query) q = static_cast<float>(rng.normal());
+
+  std::vector<float> fast(count, -1.0f);
+  std::vector<float> reference(count, -2.0f);
+  squared_distances_soa(query.data(), bucket.data(), stride, count, dims,
+                        fast.data());
+  squared_distances_reference(query.data(), bucket.data(), stride, count,
+                              dims, reference.data());
+  for (std::size_t i = 0; i < count; ++i) {
+    // The kernel accumulates in float; tolerate relative rounding only.
+    EXPECT_NEAR(fast[i], reference[i],
+                1e-5f * std::max(1.0f, reference[i]))
+        << "dims=" << dims << " count=" << count << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndCounts, DistanceKernelSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 7, 10, 15, 23),
+                       ::testing::Values(1, 2, 15, 16, 17, 31, 32, 33, 64)));
+
+TEST(SquaredDistancesPadded, PaddingLanesAreHuge) {
+  const std::size_t dims = 3;
+  const std::size_t count = 5;
+  const std::size_t stride = padded_count(count);
+  AlignedVector<float> bucket(stride * dims, kPadSentinel);
+  for (std::size_t d = 0; d < dims; ++d) {
+    for (std::size_t i = 0; i < count; ++i) bucket[d * stride + i] = 0.25f;
+  }
+  const float query[3] = {0.0f, 0.0f, 0.0f};
+  std::vector<float> out(stride, 0.0f);
+  squared_distances_padded(query, bucket.data(), stride, dims, out.data());
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_NEAR(out[i], 3 * 0.25f * 0.25f, 1e-6f);
+  }
+  for (std::size_t i = count; i < stride; ++i) {
+    // Sentinel coordinates overflow to +inf in float.
+    EXPECT_TRUE(std::isinf(out[i])) << "lane " << i;
+  }
+}
+
+TEST(IntervalSearcher, EmptyBoundariesIsSingleBin) {
+  const IntervalSearcher searcher(std::span<const float>{});
+  EXPECT_EQ(searcher.bin_count(), 1u);
+  EXPECT_EQ(searcher.bin(0.0f), 0u);
+  EXPECT_EQ(searcher.bin(1e30f), 0u);
+}
+
+TEST(IntervalSearcher, SingleBoundary) {
+  const std::vector<float> boundaries{1.0f};
+  const IntervalSearcher searcher(boundaries);
+  EXPECT_EQ(searcher.bin_count(), 2u);
+  EXPECT_EQ(searcher.bin(0.5f), 0u);
+  EXPECT_EQ(searcher.bin(1.0f), 1u);  // <= convention
+  EXPECT_EQ(searcher.bin(1.5f), 1u);
+}
+
+TEST(IntervalSearcher, RejectsUnsortedBoundaries) {
+  const std::vector<float> boundaries{2.0f, 1.0f};
+  EXPECT_THROW(IntervalSearcher searcher(boundaries), panda::Error);
+}
+
+class IntervalSearchSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IntervalSearchSweep, AgreesWithBinarySearchEverywhere) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 77 + 5);
+  std::vector<float> boundaries(n);
+  for (auto& b : boundaries) b = static_cast<float>(rng.normal(0.0, 10.0));
+  std::sort(boundaries.begin(), boundaries.end());
+  const IntervalSearcher searcher(boundaries);
+
+  // Probe boundary values themselves, midpoints, and random values.
+  std::vector<float> probes;
+  for (const float b : boundaries) {
+    probes.push_back(b);
+    probes.push_back(std::nextafter(b, -1e30f));
+    probes.push_back(std::nextafter(b, 1e30f));
+  }
+  for (int i = 0; i < 500; ++i) {
+    probes.push_back(static_cast<float>(rng.normal(0.0, 15.0)));
+  }
+  probes.push_back(-std::numeric_limits<float>::infinity());
+  probes.push_back(std::numeric_limits<float>::infinity());
+
+  for (const float v : probes) {
+    EXPECT_EQ(searcher.bin(v), searcher.bin_binary_search(v))
+        << "n=" << n << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundaryCounts, IntervalSearchSweep,
+                         ::testing::Values(1, 2, 16, 31, 32, 33, 64, 100, 255,
+                                           256, 1000, 1024));
+
+TEST(IntervalSearcher, DuplicateBoundariesCountedConsistently) {
+  const std::vector<float> boundaries{1.0f, 1.0f, 1.0f, 2.0f};
+  const IntervalSearcher searcher(boundaries);
+  EXPECT_EQ(searcher.bin(0.0f), searcher.bin_binary_search(0.0f));
+  EXPECT_EQ(searcher.bin(1.0f), searcher.bin_binary_search(1.0f));
+  EXPECT_EQ(searcher.bin(1.5f), searcher.bin_binary_search(1.5f));
+  EXPECT_EQ(searcher.bin(2.5f), searcher.bin_binary_search(2.5f));
+}
+
+TEST(IntervalSearcher, BatchMatchesScalar) {
+  Rng rng(99);
+  std::vector<float> boundaries(200);
+  for (auto& b : boundaries) b = static_cast<float>(rng.uniform());
+  std::sort(boundaries.begin(), boundaries.end());
+  const IntervalSearcher searcher(boundaries);
+
+  std::vector<float> values(1000);
+  for (auto& v : values) v = static_cast<float>(rng.uniform(-0.2, 1.2));
+  std::vector<std::uint32_t> bins(values.size());
+  searcher.bins(values, bins);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(bins[i], searcher.bin(values[i]));
+  }
+}
+
+}  // namespace
+}  // namespace panda::simd
