@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 verify (configure, build, ctest) plus a
+# microbenchmark baseline (BENCH_seed.json) for later perf comparisons.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# Perf baseline: only when bench_micro was built (needs the system
+# google-benchmark) and a baseline does not already exist.
+if [[ -x build/bench_micro && ! -f BENCH_seed.json ]]; then
+  ./build/bench_micro --benchmark_format=json \
+    --benchmark_out=BENCH_seed.json --benchmark_out_format=json
+  echo "wrote BENCH_seed.json"
+fi
+echo "ci.sh: OK"

@@ -28,6 +28,12 @@ int main(int argc, char** argv) {
   const std::uint64_t n_queries =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50000;
   const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
+  if (n == 0 || n_queries == 0 || ranks < 1) {
+    std::fprintf(stderr,
+                 "usage: cosmology_halo_density [particles>0] [queries>0] "
+                 "[ranks>=1]\n");
+    return 1;
+  }
   const std::size_t k = 5;
 
   const data::CosmologyGenerator generator(data::CosmologyParams{},

@@ -1,0 +1,131 @@
+// Distributed fixed-radius search: prune by ball, scatter, scan,
+// gather, merge — in batch_size-bounded exchange rounds.
+#include "dist/radius_query.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "dist/wire.hpp"
+
+namespace panda::dist {
+
+using core::Neighbor;
+
+std::vector<std::vector<Neighbor>> DistRadiusEngine::run(
+    const data::PointSet& queries, const RadiusQueryConfig& config,
+    RadiusQueryBreakdown* breakdown) {
+  PANDA_CHECK_MSG(config.radius >= 0.0f, "radius must be non-negative");
+  if (!queries.empty()) {
+    PANDA_CHECK_MSG(queries.dims() == tree_.dims(),
+                    "query dimensionality mismatch");
+  }
+  const int ranks = comm_.size();
+  const std::size_t dims = tree_.dims();
+  const float radius2 = config.radius * config.radius;
+  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
+  RadiusQueryBreakdown bd;
+  WallTimer watch;
+
+  auto exchange = [&](std::vector<detail::WireWriter>& writers) {
+    std::vector<std::vector<std::byte>> rows(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      rows[static_cast<std::size_t>(r)] =
+          writers[static_cast<std::size_t>(r)].take();
+    }
+    watch.reset();
+    auto received = comm_.alltoallv(rows);
+    bd.non_overlapped_comm += watch.seconds();
+    return received;
+  };
+
+  // Round count must agree across ranks (the exchanges are
+  // collectives), so ranks with fewer queries ride along empty.
+  const std::uint64_t my_rounds =
+      (queries.size() + batch - 1) / batch;
+  watch.reset();
+  const std::uint64_t rounds =
+      comm_.allreduce<std::uint64_t>(my_rounds, net::ReduceOp::Max);
+  bd.non_overlapped_comm += watch.seconds();
+
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  std::vector<std::size_t> fanout(queries.size(), 0);
+  std::vector<float> q(dims);
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    const std::size_t begin =
+        std::min<std::size_t>(queries.size(), round * batch);
+    const std::size_t end =
+        std::min<std::size_t>(queries.size(), begin + batch);
+
+    // Prune with the known radius, then ship {seq, coords} to every
+    // intersecting rank (self rows ride the same exchange).
+    watch.reset();
+    std::vector<detail::WireWriter> outgoing(
+        static_cast<std::size_t>(ranks));
+    for (std::size_t i = begin; i < end; ++i) {
+      queries.copy_point(i, q.data());
+      const auto targets = tree_.global_tree().ranks_in_ball(q, radius2);
+      fanout[i] = targets.size();
+      bd.requests_sent += targets.size();
+      for (const int target : targets) {
+        auto& writer = outgoing[static_cast<std::size_t>(target)];
+        writer.put<std::uint64_t>(i);
+        writer.put_span(std::span<const float>(q));
+      }
+    }
+    bd.find_ranks += watch.seconds();
+    const auto requests_in = exchange(outgoing);
+
+    // Scan the local tree for every incoming request.
+    std::vector<detail::WireWriter> responses(
+        static_cast<std::size_t>(ranks));
+    for (int s = 0; s < ranks; ++s) {
+      detail::WireReader reader(requests_in[static_cast<std::size_t>(s)]);
+      auto& writer = responses[static_cast<std::size_t>(s)];
+      while (!reader.done()) {
+        const auto seq = reader.get<std::uint64_t>();
+        reader.get_into(std::span<float>(q));
+        watch.reset();
+        const auto found =
+            tree_.local_tree().query_radius(q, config.radius);
+        bd.local_scan += watch.seconds();
+        bd.queries_owned += 1;
+        writer.put<std::uint64_t>(seq);
+        detail::append_neighbors(writer, found);
+      }
+    }
+    const auto responses_in = exchange(responses);
+
+    // Merge: per query, responses from all contacted ranks arrive as
+    // sorted runs within this round; concatenate, then sort/truncate.
+    watch.reset();
+    for (int s = 0; s < ranks; ++s) {
+      detail::WireReader reader(responses_in[static_cast<std::size_t>(s)]);
+      while (!reader.done()) {
+        const auto seq = reader.get<std::uint64_t>();
+        const auto found = detail::read_neighbors(reader);
+        auto& out = results[seq];
+        out.insert(out.end(), found.begin(), found.end());
+      }
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      auto& out = results[i];
+      if (fanout[i] > 1) {
+        std::sort(out.begin(), out.end(),
+                  [](const Neighbor& a, const Neighbor& b) {
+                    return a.dist2 < b.dist2;
+                  });
+      }
+      if (config.max_results > 0 && out.size() > config.max_results) {
+        out.resize(config.max_results);
+      }
+    }
+    bd.merge += watch.seconds();
+  }
+
+  if (breakdown != nullptr) *breakdown = bd;
+  return results;
+}
+
+}  // namespace panda::dist

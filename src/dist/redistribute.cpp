@@ -1,0 +1,78 @@
+// All-to-all point exchange over net::Comm.
+#include "dist/redistribute.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "dist/wire.hpp"
+
+namespace panda::dist {
+
+int balanced_destination(std::uint64_t g, std::uint64_t total, int lo,
+                         int count) {
+  PANDA_CHECK_MSG(total > 0, "balanced_destination: total must be > 0");
+  PANDA_CHECK_MSG(count >= 1, "balanced_destination: count must be >= 1");
+  PANDA_CHECK_MSG(g < total, "balanced_destination: index out of range");
+  // Item g lands in the bucket floor(g * count / total): monotone in g
+  // and maximally even (bucket sizes are floor or ceil of total/count).
+  const auto wide = static_cast<unsigned __int128>(g) *
+                    static_cast<unsigned __int128>(count);
+  return lo + static_cast<int>(wide / total);
+}
+
+data::PointSet exchange_points(net::Comm& comm, const data::PointSet& local,
+                               std::span<const int> destinations) {
+  PANDA_CHECK_MSG(destinations.size() == local.size(),
+                  "exchange_points: one destination per point required");
+  const int ranks = comm.size();
+  const std::size_t dims = local.dims();
+  const std::size_t point_bytes =
+      sizeof(std::uint64_t) + dims * sizeof(float);
+
+  // One packed exchange: per destination, {id, dims floats} per point.
+  std::vector<detail::WireWriter> writers(static_cast<std::size_t>(ranks));
+  std::vector<float> p(dims);
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    const int d = destinations[i];
+    PANDA_CHECK_MSG(d >= 0 && d < ranks,
+                    "exchange_points: destination rank out of range");
+    local.copy_point(i, p.data());
+    auto& writer = writers[static_cast<std::size_t>(d)];
+    writer.put<std::uint64_t>(local.id(i));
+    writer.put_span(std::span<const float>(p));
+  }
+  std::vector<std::vector<std::byte>> rows(static_cast<std::size_t>(ranks));
+  for (int d = 0; d < ranks; ++d) {
+    rows[static_cast<std::size_t>(d)] =
+        writers[static_cast<std::size_t>(d)].take();
+  }
+  const auto rows_in = comm.alltoallv(rows);
+
+  std::size_t total = 0;
+  for (const auto& row : rows_in) total += row.size() / point_bytes;
+  data::PointSet received(dims);
+  received.reserve(total);
+  for (int s = 0; s < ranks; ++s) {
+    detail::WireReader reader(rows_in[static_cast<std::size_t>(s)]);
+    while (!reader.done()) {
+      const auto id = reader.get<std::uint64_t>();
+      reader.get_into(std::span<float>(p));
+      received.push_point(p, id);
+    }
+  }
+  return received;
+}
+
+data::PointSet redistribute_by_owner(net::Comm& comm,
+                                     const data::PointSet& local,
+                                     const GlobalTree& tree) {
+  std::vector<int> destinations(local.size());
+  std::vector<float> p(local.dims());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    local.copy_point(i, p.data());
+    destinations[i] = tree.owner_of(p);
+  }
+  return exchange_points(comm, local, destinations);
+}
+
+}  // namespace panda::dist

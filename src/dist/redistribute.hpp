@@ -1,0 +1,39 @@
+// Point redistribution (paper Section III-B): after the global tree
+// is fixed, every point moves to the rank that owns its region in one
+// personalized all-to-all exchange.
+//
+// The generic primitive is exchange_points (caller supplies the
+// destination of every point); redistribute_by_owner derives the
+// destinations from a GlobalTree. balanced_destination is the
+// even-spread assignment the builder falls back to for degenerate
+// (all-identical) point groups that no hyperplane can separate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "data/point_set.hpp"
+#include "dist/global_tree.hpp"
+#include "net/comm.hpp"
+
+namespace panda::dist {
+
+/// Destination of item `g` of `total` when spreading maximally evenly
+/// (counts differ by at most one) and monotonically over the
+/// destination ranks [lo, lo + count). total > 0, count >= 1.
+int balanced_destination(std::uint64_t g, std::uint64_t total, int lo,
+                         int count);
+
+/// Collective. Personalized point exchange: point i of `local` is sent
+/// to rank destinations[i] (self rows are copied through). Returns the
+/// points received by this rank, ids preserved, concatenated in source
+/// rank order.
+data::PointSet exchange_points(net::Comm& comm, const data::PointSet& local,
+                               std::span<const int> destinations);
+
+/// Collective convenience: destinations[i] = tree.owner_of(point i).
+data::PointSet redistribute_by_owner(net::Comm& comm,
+                                     const data::PointSet& local,
+                                     const GlobalTree& tree);
+
+}  // namespace panda::dist

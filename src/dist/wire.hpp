@@ -1,0 +1,106 @@
+// Byte-level message packing for the distributed query protocols.
+//
+// Query forwards, remote-KNN requests, and responses mix ids, floats,
+// and variable-length neighbor lists; packing them into one byte
+// buffer per message keeps every exchange a single send (or one
+// alltoallv row) and sidesteps multi-message framing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/knn_heap.hpp"
+
+namespace panda::dist::detail {
+
+class WireWriter {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t offset = buffer_.size();
+    buffer_.resize(offset + sizeof(T));
+    std::memcpy(buffer_.data() + offset, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void put_span(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t offset = buffer_.size();
+    buffer_.resize(offset + values.size_bytes());
+    if (!values.empty()) {
+      std::memcpy(buffer_.data() + offset, values.data(),
+                  values.size_bytes());
+    }
+  }
+
+  bool empty() const { return buffer_.empty(); }
+  std::span<const std::byte> bytes() const { return buffer_; }
+  std::vector<std::byte> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PANDA_CHECK_MSG(position_ + sizeof(T) <= bytes_.size(),
+                    "wire payload truncated");
+    T value;
+    std::memcpy(&value, bytes_.data() + position_, sizeof(T));
+    position_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  void get_into(std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PANDA_CHECK_MSG(position_ + out.size_bytes() <= bytes_.size(),
+                    "wire payload truncated");
+    if (!out.empty()) {
+      std::memcpy(out.data(), bytes_.data() + position_, out.size_bytes());
+    }
+    position_ += out.size_bytes();
+  }
+
+  bool done() const { return position_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - position_; }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t position_ = 0;
+};
+
+// Neighbor-list framing shared by the KNN and radius protocols: a u64
+// count followed by the Neighbor span. Both sides of every exchange
+// must use this pair so the layout cannot desynchronize.
+
+inline void append_neighbors(WireWriter& writer,
+                             const std::vector<core::Neighbor>& neighbors) {
+  writer.put<std::uint64_t>(neighbors.size());
+  writer.put_span(std::span<const core::Neighbor>(neighbors));
+}
+
+inline std::vector<core::Neighbor> read_neighbors(WireReader& reader) {
+  const auto count = reader.get<std::uint64_t>();
+  // Validate against the payload before sizing the vector: a corrupt
+  // count must surface as the truncation diagnostic, not as a giant
+  // allocation attempt.
+  PANDA_CHECK_MSG(count <= reader.remaining() / sizeof(core::Neighbor),
+                  "wire payload truncated");
+  std::vector<core::Neighbor> neighbors(count);
+  reader.get_into(std::span<core::Neighbor>(neighbors));
+  return neighbors;
+}
+
+}  // namespace panda::dist::detail

@@ -45,6 +45,14 @@ class Comm {
   /// Synchronizes all ranks; blocked time is accounted as wait.
   void barrier();
 
+  /// True once any rank has aborted the cluster run. Poll-driven
+  /// protocols (the pipelined query transport) check this so that a
+  /// peer's failure surfaces as an exception instead of a spin-wait
+  /// on messages that will never arrive.
+  bool aborted() const {
+    return state_.abort_flag.load(std::memory_order_relaxed);
+  }
+
   // --- point-to-point -----------------------------------------------------
 
   /// Buffered, non-blocking send of a POD span (returns immediately).

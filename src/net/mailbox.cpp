@@ -1,7 +1,5 @@
 #include "net/mailbox.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
 #include "common/timer.hpp"
 
@@ -10,7 +8,8 @@ namespace panda::net {
 void Mailbox::put(Message message) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(message));
+    channels_[{message.source, message.tag}].push_back(std::move(message));
+    ++depth_;
   }
   cv_.notify_all();
 }
@@ -18,35 +17,31 @@ void Mailbox::put(Message message) {
 Message Mailbox::take(int source, int tag, double* waited_seconds) {
   WallTimer watch;
   std::unique_lock<std::mutex> lock(mutex_);
-  auto match = [&]() -> std::deque<Message>::iterator {
-    return std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-      return m.source == source && m.tag == tag;
-    });
-  };
-  auto it = match();
-  while (it == queue_.end()) {
+  const std::pair<int, int> key{source, tag};
+  auto it = channels_.find(key);
+  while (it == channels_.end() || it->second.empty()) {
     if (abort_flag_.load(std::memory_order_acquire)) {
       throw Error("cluster aborted while waiting for message");
     }
     cv_.wait(lock);
-    it = match();
+    it = channels_.find(key);
   }
-  Message out = std::move(*it);
-  queue_.erase(it);
+  Message out = std::move(it->second.front());
+  it->second.pop_front();
+  --depth_;
   if (waited_seconds != nullptr) *waited_seconds = watch.seconds();
   return out;
 }
 
 bool Mailbox::poll(int source, int tag) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
-    return m.source == source && m.tag == tag;
-  });
+  const auto it = channels_.find({source, tag});
+  return it != channels_.end() && !it->second.empty();
 }
 
 std::size_t Mailbox::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return depth_;
 }
 
 void Mailbox::notify_abort() { cv_.notify_all(); }

@@ -12,7 +12,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace panda::net {
@@ -49,7 +51,12 @@ class Mailbox {
   const std::atomic<bool>& abort_flag_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  // One FIFO per (source, tag) channel, so matching is a map lookup
+  // instead of a scan of the whole backlog: poll-driven protocols (the
+  // pipelined query transport) probe many channels per iteration and
+  // must not pay for unrelated queued traffic.
+  std::map<std::pair<int, int>, std::deque<Message>> channels_;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace panda::net

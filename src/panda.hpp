@@ -14,6 +14,7 @@
 #include "baselines/buffered_tree.hpp"
 #include "baselines/flann_style.hpp"
 #include "baselines/local_trees.hpp"
+#include "baselines/scatter.hpp"
 #include "baselines/simple_tree.hpp"
 #include "common/aligned.hpp"
 #include "common/error.hpp"
@@ -40,6 +41,7 @@
 #include "net/cluster.hpp"
 #include "net/comm.hpp"
 #include "net/cost_model.hpp"
+#include "net/mailbox.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simd/distance.hpp"
