@@ -1,0 +1,151 @@
+// Bulk all-points KNN vs the per-query five-stage engine.
+//
+// The paper's science workloads query the dataset against itself;
+// dist::AllKnnEngine exploits that: the owner stage disappears and
+// stage-3/4 traffic is coalesced per rank pair (DESIGN.md §7). This
+// harness runs both engines on the same cosmo_thin-style workload and
+// reports wall time plus stage-3/4 message counts — the coalesced
+// engine must send >= 2x fewer messages than the per-query loop.
+//
+// Run:  ./bench_allknn [points] [ranks]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "dist/all_knn.hpp"
+#include "dist/dist_kdtree.hpp"
+#include "dist/dist_query.hpp"
+#include "net/cluster.hpp"
+
+namespace {
+
+struct RunTotals {
+  double seconds = 0.0;
+  std::uint64_t stage34_messages = 0;
+  std::uint64_t modeled_bytes = 0;
+  double model_seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace panda;
+  const bench::DatasetSpec spec = bench::thin_spec("cosmo");
+  // The thin dataset scaled 1:10 keeps the naive per-query loop (which
+  // answers every point) tractable in-process.
+  const std::uint64_t n = argc > 1
+                              ? std::strtoull(argv[1], nullptr, 10)
+                              : spec.points / 10;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (n == 0 || ranks < 1) {
+    std::fprintf(stderr, "usage: bench_allknn [points>0] [ranks>=1]\n");
+    return 1;
+  }
+  const std::size_t k = spec.k + 1;  // self included in a self-KNN
+
+  bench::print_header(
+      "bench_allknn — bulk self-KNN vs per-query engine",
+      "engine ablation: KNN-join-style batching + request coalescing");
+  std::printf("workload: %s x %s points (all queried), k=%zu, %d ranks\n",
+              spec.paper_name.c_str(), bench::human_count(n).c_str(), k,
+              ranks);
+
+  const auto generator = data::make_generator(spec.name, bench::kDataSeed);
+  net::ClusterConfig config;
+  config.ranks = ranks;
+  config.threads_per_rank = 2;
+
+  std::mutex mutex;
+
+  // --- naive loop: the per-query five-stage engine over every point --
+  RunTotals naive;
+  {
+    net::Cluster cluster(config);
+    cluster.run([&](net::Comm& comm) {
+      const data::PointSet slice =
+          generator->generate_slice(n, comm.rank(), comm.size());
+      const dist::DistKdTree tree =
+          dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+      dist::DistQueryEngine engine(comm, tree);
+      dist::DistQueryConfig qconfig;
+      qconfig.k = k;
+      WallTimer watch;
+      dist::DistQueryBreakdown bd;
+      engine.run(tree.local_points(), qconfig, &bd);
+      const double seconds = watch.seconds();
+      std::lock_guard<std::mutex> lock(mutex);
+      naive.seconds = std::max(naive.seconds, seconds);
+      // One remote request + one response per contacted (query, rank)
+      // pair: the O(queries x fanout) stage-3/4 unit count.
+      naive.stage34_messages += 2 * bd.remote_requests;
+    });
+  }
+
+  // --- bulk engine, both transports ----------------------------------
+  auto run_bulk = [&](dist::AllKnnConfig::Mode mode) {
+    RunTotals totals;
+    net::Cluster cluster(config);
+    cluster.run([&](net::Comm& comm) {
+      const data::PointSet slice =
+          generator->generate_slice(n, comm.rank(), comm.size());
+      const dist::DistKdTree tree =
+          dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+      dist::AllKnnEngine engine(comm, tree);
+      dist::AllKnnConfig aconfig;
+      aconfig.k = k;
+      aconfig.mode = mode;
+      WallTimer watch;
+      dist::AllKnnStats stats;
+      engine.run(aconfig, &stats);
+      const double seconds = watch.seconds();
+      std::lock_guard<std::mutex> lock(mutex);
+      totals.seconds = std::max(totals.seconds, seconds);
+      totals.stage34_messages +=
+          stats.request_messages + stats.response_messages;
+      totals.modeled_bytes += stats.request_bytes + stats.response_bytes;
+      totals.model_seconds += stats.model_comm_seconds;
+    });
+    return totals;
+  };
+  const RunTotals bulk_collective =
+      run_bulk(dist::AllKnnConfig::Mode::Collective);
+  const RunTotals bulk_pipelined =
+      run_bulk(dist::AllKnnConfig::Mode::Pipelined);
+
+  bench::print_rule();
+  std::printf("%-28s %10s %16s %14s %12s\n", "engine", "query(s)",
+              "stage3/4 msgs", "coalesced KiB", "model(s)");
+  std::printf("%-28s %10.3f %16llu %14s %12s\n",
+              "per-query DistQueryEngine", naive.seconds,
+              static_cast<unsigned long long>(naive.stage34_messages), "-",
+              "-");
+  std::printf("%-28s %10.3f %16llu %14.1f %12.3g\n",
+              "AllKnnEngine (collective)", bulk_collective.seconds,
+              static_cast<unsigned long long>(
+                  bulk_collective.stage34_messages),
+              static_cast<double>(bulk_collective.modeled_bytes) / 1024.0,
+              bulk_collective.model_seconds);
+  std::printf("%-28s %10.3f %16llu %14.1f %12.3g\n",
+              "AllKnnEngine (pipelined)", bulk_pipelined.seconds,
+              static_cast<unsigned long long>(
+                  bulk_pipelined.stage34_messages),
+              static_cast<double>(bulk_pipelined.modeled_bytes) / 1024.0,
+              bulk_pipelined.model_seconds);
+  bench::print_rule();
+
+  const std::uint64_t worst_bulk = std::max(
+      bulk_collective.stage34_messages, bulk_pipelined.stage34_messages);
+  if (worst_bulk == 0) {
+    std::printf("no remote traffic at this scale (every ball local)\n");
+  } else {
+    const double reduction = static_cast<double>(naive.stage34_messages) /
+                             static_cast<double>(worst_bulk);
+    std::printf("stage-3/4 message reduction: %.1fx fewer (target >= 2x: "
+                "%s)\n",
+                reduction, reduction >= 2.0 ? "met" : "NOT met");
+  }
+  return 0;
+}

@@ -1,12 +1,39 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verify (configure, build, ctest) plus a
-# microbenchmark baseline (BENCH_seed.json) for later perf comparisons.
+# CI entry point.
+#
+#   ci.sh            — tier-1 verify (configure, build, ctest) plus a
+#                      microbenchmark baseline (BENCH_seed.json).
+#   ci.sh sanitize   — the same test suite built with
+#                      -fsanitize=address,undefined, with per-test
+#                      timeouts; leak- and UB-checks the poll-loop and
+#                      coalescing paths of the distributed engines.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+MODE="${1:-default}"
+
+if [[ "$MODE" == "sanitize" ]]; then
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B build-sanitize -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
+  cmake --build build-sanitize -j
+  # Sanitized binaries run several times slower; a generous per-test
+  # timeout still catches genuine hangs in the poll loops.
+  (cd build-sanitize && ctest --output-on-failure -j --timeout 900)
+  echo "ci.sh: sanitize OK"
+  exit 0
+fi
+
+if [[ "$MODE" != "default" ]]; then
+  echo "usage: ci.sh [sanitize]" >&2
+  exit 1
+fi
+
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+(cd build && ctest --output-on-failure -j --timeout 900)
 
 # Perf baseline: only when bench_micro was built (needs the system
 # google-benchmark) and a baseline does not already exist.

@@ -4,14 +4,17 @@
 // localized over-dense clumps, and the basic analysis task is finding
 // and classifying such clusters. This example runs the full pipeline
 // on a Soneira-Peebles particle set:
-//   1. distributed KNN — the k-th neighbor distance gives the standard
-//      SPH-style density proxy rho ~ k / r_k^3;
+//   1. bulk all-points KNN (dist::AllKnnEngine) — every particle's
+//      k-th neighbor distance gives the standard SPH-style density
+//      proxy rho ~ k / r_k^3; the self-KNN engine skips the owner
+//      stage entirely and coalesces remote traffic per rank pair
+//      (DESIGN.md §7);
 //   2. over-density thresholding — halo candidate fraction;
 //   3. friends-of-friends clustering (distributed fixed-radius search
 //      feeding ml::label_components) — the halo catalogue itself,
 //      BD-CATS style.
 //
-// Run:  ./cosmology_halo_density [particles] [queries] [ranks]
+// Run:  ./cosmology_halo_density [particles] [ranks]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -25,21 +28,24 @@ int main(int argc, char** argv) {
   using namespace panda;
   const std::uint64_t n =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500000;
-  const std::uint64_t n_queries =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50000;
-  const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
-  if (n == 0 || n_queries == 0 || ranks < 1) {
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+  // argc > 3 rejects the pre-all-KNN [particles] [queries] [ranks]
+  // form, whose query count would otherwise be misread as a rank
+  // count.
+  if (n == 0 || ranks < 1 || argc > 3) {
     std::fprintf(stderr,
-                 "usage: cosmology_halo_density [particles>0] [queries>0] "
-                 "[ranks>=1]\n");
+                 "usage: cosmology_halo_density [particles>0] [ranks>=1]\n");
     return 1;
   }
   const std::size_t k = 5;
 
   const data::CosmologyGenerator generator(data::CosmologyParams{},
                                            /*seed=*/2016);
-  std::vector<float> knn_radius2(n_queries, 0.0f);
+  // Density for *every* particle — the all-KNN engine answers each
+  // rank's own redistributed points, keyed back by global id.
+  std::vector<float> knn_radius2(n, 0.0f);
   std::mutex mutex;
+  dist::AllKnnStats knn_stats_total;
 
   net::ClusterConfig config;
   config.ranks = ranks;
@@ -54,30 +60,29 @@ int main(int argc, char** argv) {
     const dist::DistKdTree tree = dist::DistKdTree::build(
         comm, slice, dist::DistBuildConfig{}, &build_breakdown);
 
-    // Query a random 10% style subset: the first n_queries particles.
-    const std::uint64_t q_begin = static_cast<std::uint64_t>(comm.rank()) *
-                                  n_queries /
-                                  static_cast<std::uint64_t>(comm.size());
-    const std::uint64_t q_end =
-        static_cast<std::uint64_t>(comm.rank() + 1) * n_queries /
-        static_cast<std::uint64_t>(comm.size());
-    data::PointSet my_queries(3);
-    generator.generate(q_begin, q_end, my_queries);
-
-    dist::DistQueryEngine engine(comm, tree);
-    dist::DistQueryConfig query_config;
-    query_config.k = k + 1;  // the query point itself is in the dataset
-    const auto results = engine.run(my_queries, query_config);
+    dist::AllKnnEngine engine(comm, tree);
+    dist::AllKnnConfig knn_config;
+    knn_config.k = k + 1;  // the query point itself is in the dataset
+    dist::AllKnnStats stats;
+    const auto results = engine.run(knn_config, &stats);
 
     std::lock_guard<std::mutex> lock(mutex);
+    const data::PointSet& mine = tree.local_points();
     for (std::uint64_t i = 0; i < results.size(); ++i) {
-      knn_radius2[q_begin + i] = results[i].back().dist2;
+      knn_radius2[mine.id(i)] = results[i].back().dist2;
     }
+    knn_stats_total.queries_total += stats.queries_total;
+    knn_stats_total.queries_local_only += stats.queries_local_only;
+    knn_stats_total.queries_remote += stats.queries_remote;
+    knn_stats_total.ball_overlaps += stats.ball_overlaps;
+    knn_stats_total.request_messages += stats.request_messages;
+    knn_stats_total.request_bytes += stats.request_bytes;
+    knn_stats_total.model_comm_seconds += stats.model_comm_seconds;
   });
 
   // Density proxy rho_i ~ k / r_k^3 normalized by the mean density.
-  std::vector<double> density(n_queries);
-  for (std::uint64_t i = 0; i < n_queries; ++i) {
+  std::vector<double> density(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
     const double r = std::sqrt(static_cast<double>(knn_radius2[i]));
     const double volume =
         4.0 / 3.0 * 3.14159265358979323846 * std::max(r * r * r, 1e-30);
@@ -93,17 +98,27 @@ int main(int argc, char** argv) {
     if (rho > overdensity_threshold * median_density) ++halo_candidates;
   }
 
-  std::printf("cosmology density estimation: %llu particles, %llu queries, "
+  std::printf("cosmology density estimation: %llu particles (all queried), "
               "%d ranks, %.2fs total\n",
-              static_cast<unsigned long long>(n),
-              static_cast<unsigned long long>(n_queries), ranks,
+              static_cast<unsigned long long>(n), ranks,
               total_watch.seconds());
+  std::printf("all-KNN engine: %llu local-only, %llu remote queries, "
+              "%llu ball overlaps coalesced into %llu request messages "
+              "(%.1f KiB, %.3gs modeled)\n",
+              static_cast<unsigned long long>(
+                  knn_stats_total.queries_local_only),
+              static_cast<unsigned long long>(knn_stats_total.queries_remote),
+              static_cast<unsigned long long>(knn_stats_total.ball_overlaps),
+              static_cast<unsigned long long>(
+                  knn_stats_total.request_messages),
+              static_cast<double>(knn_stats_total.request_bytes) / 1024.0,
+              knn_stats_total.model_comm_seconds);
   std::printf("median normalized density: %.3g\n", median_density);
   std::printf("halo candidates (rho > %.0fx median): %llu (%.2f%%)\n",
               overdensity_threshold,
               static_cast<unsigned long long>(halo_candidates),
               100.0 * static_cast<double>(halo_candidates) /
-                  static_cast<double>(n_queries));
+                  static_cast<double>(n));
 
   // Log-spaced density histogram around the median.
   std::printf("density distribution (log10 rho / median):\n");

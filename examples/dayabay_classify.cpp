@@ -23,6 +23,12 @@ int main(int argc, char** argv) {
   const std::uint64_t test_n =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
   const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
+  if (train_n == 0 || test_n == 0 || ranks < 1) {
+    std::fprintf(stderr,
+                 "usage: dayabay_classify [train_n>0] [test_n>0] "
+                 "[ranks>=1]\n");
+    return 1;
+  }
   const std::size_t k = 5;
 
   const data::DayaBayGenerator generator(data::DayaBayParams{}, /*seed=*/7);

@@ -9,7 +9,9 @@
 // filter, index the survivors with the distributed kd-tree, and use
 // each particle's k nearest energetic neighbors to measure how
 // spatially concentrated the energetic population is (filament
-// detection by neighborhood energy).
+// detection by neighborhood energy). Every energetic particle is both
+// indexed and queried, which is exactly the bulk self-KNN workload of
+// dist::AllKnnEngine (DESIGN.md §7).
 //
 // Run:  ./plasma_energetic_regions [particles] [ranks]
 #include <algorithm>
@@ -26,6 +28,11 @@ int main(int argc, char** argv) {
   const std::uint64_t n_raw =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400000;
   const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (n_raw == 0 || ranks < 1) {
+    std::fprintf(stderr,
+                 "usage: plasma_energetic_regions [particles>0] [ranks>=1]\n");
+    return 1;
+  }
   const double energy_threshold = 1.1;  // E > 1.1 mec^2, as in the paper
   const std::size_t k = 6;
 
@@ -46,10 +53,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(n),
               static_cast<unsigned long long>(n_raw), energy_threshold,
               100.0 * static_cast<double>(n) / static_cast<double>(n_raw));
+  if (n == 0) {
+    std::printf("no energetic particles — nothing to analyze\n");
+    return 0;
+  }
 
-  // Query the energetic subset for each particle's k nearest energetic
-  // neighbors and measure the mean neighborhood radius separately for
-  // filament and background particles.
+  // Bulk self-KNN over the energetic subset: every indexed particle's
+  // k nearest energetic neighbors, answered rank-locally where the
+  // ball allows. radius2 is indexed by filtered position.
   std::vector<float> radius2(n, 0.0f);
   std::mutex mutex;
 
@@ -58,7 +69,8 @@ int main(int argc, char** argv) {
   config.threads_per_rank = 2;
   net::Cluster cluster(config);
   cluster.run([&](net::Comm& comm) {
-    // Each rank materializes its contiguous share of the filtered ids.
+    // Each rank materializes its contiguous share of the filtered ids;
+    // the id carried by each point is the *raw* particle id.
     const std::uint64_t begin = static_cast<std::uint64_t>(comm.rank()) * n /
                                 static_cast<std::uint64_t>(comm.size());
     const std::uint64_t end = static_cast<std::uint64_t>(comm.rank() + 1) *
@@ -77,25 +89,20 @@ int main(int argc, char** argv) {
     const dist::DistKdTree tree =
         dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
 
-    data::PointSet my_queries(3);
-    {
-      data::PointSet scratch(3);
-      for (std::uint64_t i = begin; i < end; ++i) {
-        scratch.clear();
-        generator.generate(energetic_ids[i], energetic_ids[i] + 1, scratch);
-        std::vector<float> p(3);
-        scratch.copy_point(0, p.data());
-        my_queries.push_point(p, energetic_ids[i]);
-      }
-    }
-    dist::DistQueryEngine engine(comm, tree);
-    dist::DistQueryConfig query_config;
-    query_config.k = k + 1;  // self included
-    const auto results = engine.run(my_queries, query_config);
+    dist::AllKnnEngine engine(comm, tree);
+    dist::AllKnnConfig knn_config;
+    knn_config.k = k + 1;  // self included
+    const auto results = engine.run(knn_config);
 
     std::lock_guard<std::mutex> lock(mutex);
+    const data::PointSet& mine = tree.local_points();
     for (std::uint64_t i = 0; i < results.size(); ++i) {
-      radius2[begin + i] = results[i].back().dist2;
+      // Redistribution moved the point; map its raw id back to the
+      // filtered position (energetic_ids is ascending).
+      const auto it = std::lower_bound(energetic_ids.begin(),
+                                       energetic_ids.end(), mine.id(i));
+      radius2[static_cast<std::uint64_t>(it - energetic_ids.begin())] =
+          results[i].back().dist2;
     }
   });
 

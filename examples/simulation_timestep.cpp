@@ -47,6 +47,12 @@ int main(int argc, char** argv) {
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
   const int steps = argc > 2 ? std::atoi(argv[2]) : 9;
   const int rebuild_every = argc > 3 ? std::atoi(argv[3]) : 3;
+  if (n == 0 || steps < 1 || rebuild_every < 0) {
+    std::fprintf(stderr,
+                 "usage: simulation_timestep [particles>0] [steps>=1] "
+                 "[rebuild_every>=0]\n");
+    return 1;
+  }
   const std::size_t k = 5;
   const double dt = 0.25;
 

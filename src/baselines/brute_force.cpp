@@ -20,7 +20,8 @@ std::vector<core::Neighbor> brute_force_knn(const data::PointSet& points,
       const float diff = query[d] - points.at(i, d);
       acc += diff * diff;
     }
-    if (acc < heap.bound()) heap.offer(acc, points.id(i));
+    // Non-strict: ties at the bound are resolved by id inside offer().
+    if (acc <= heap.bound()) heap.offer(acc, points.id(i));
   }
   return heap.take_sorted();
 }

@@ -78,7 +78,9 @@ std::vector<std::vector<core::Neighbor>> scatter_query_merge(
               const std::uint64_t id = ii[i * k + j];
               if (id == ~std::uint64_t{0}) break;  // padding is sorted last
               const float d2 = dd[i * k + j];
-              if (heap.full() && d2 >= heap.bound()) break;
+              // Ties at the bound still go through offer(): an
+              // equal-distance candidate can win by id.
+              if (heap.full() && d2 > heap.bound()) break;
               heap.offer(d2, id);
             }
           }

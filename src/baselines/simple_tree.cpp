@@ -197,7 +197,9 @@ void SimpleKdTree::scan_leaf(const Node& node, const float* q,
       acc += diff * diff;
     }
     stats.points_scanned += 1;
-    if (acc < heap.bound()) heap.offer(acc, ids_[p]);
+    // Non-strict, as in core::KdTree::scan_leaf: ties at the bound are
+    // resolved by id inside offer().
+    if (acc <= heap.bound()) heap.offer(acc, ids_[p]);
   }
 }
 
@@ -217,7 +219,7 @@ void SimpleKdTree::search(std::uint32_t v, const float* q,
   const float old_offset = offsets[node.dim];
   const float far_dist2 =
       region_dist2 - old_offset * old_offset + diff * diff;
-  if (far_dist2 < heap.bound()) {
+  if (far_dist2 <= heap.bound() * core::kBoundSlack) {
     offsets[node.dim] = diff;
     search(far, q, heap, far_dist2, offsets, stats);
     offsets[node.dim] = old_offset;

@@ -138,11 +138,39 @@ class KdTree {
   /// As query(), but the bound is given as a squared distance. The
   /// distributed engine uses this so the owner's exact k-th squared
   /// distance can be forwarded without a lossy sqrt round trip.
+  ///
+  /// `radius_bound_id` resolves candidates exactly *at* the bound: a
+  /// point is admitted iff (dist², id) < (radius2, radius_bound_id)
+  /// under the deterministic tie order (DESIGN.md §5). The default of
+  /// 0 keeps the classical strict dist² < radius2 semantics; the
+  /// distributed engines pass the owner's k-th neighbor id so remote
+  /// ranks return equal-distance candidates with smaller ids.
   std::vector<Neighbor> query_sq(std::span<const float> query, std::size_t k,
                                  float radius2,
                                  TraversalPolicy policy =
                                      TraversalPolicy::Exact,
-                                 QueryStats* stats = nullptr) const;
+                                 QueryStats* stats = nullptr,
+                                 std::uint64_t radius_bound_id = 0) const;
+
+  /// Leaf-block-batched KNN over `queries`, the bulk entry point of the
+  /// all-KNN engine. Queries are grouped by the leaf bucket their
+  /// descent lands in and processed in bucket-contiguous order: each
+  /// query primes its heap by scanning the shared home bucket first
+  /// (one SIMD block, hot in cache across the group) and then runs the
+  /// root traversal with that already-tight bound, skipping the home
+  /// leaf — amortizing descent and leaf scans across co-located
+  /// queries. Results are identical to per-query query_sq.
+  ///
+  /// radius2s/radius_bound_ids give per-query pruning bounds with the
+  /// query_sq semantics above (both empty = unbounded; when radius2s is
+  /// non-empty both spans must have queries.size() entries).
+  void query_sq_batch(const data::PointSet& queries, std::size_t k,
+                      parallel::ThreadPool& pool,
+                      std::vector<std::vector<Neighbor>>& results,
+                      std::span<const float> radius2s = {},
+                      std::span<const std::uint64_t> radius_bound_ids = {},
+                      TraversalPolicy policy = TraversalPolicy::Exact,
+                      QueryStats* stats = nullptr) const;
 
   /// FLANN-style approximate query: the traversal stops opening new
   /// leaves after `max_leaf_visits` buckets have been scanned, trading
@@ -205,9 +233,17 @@ class KdTree {
 
   bool is_leaf(const Node& n) const { return n.dim == kLeafMarker; }
 
+  /// "No node" sentinel for skip_node below (never a valid index:
+  /// nodes_ is bounded well under 2^32 - 1 entries).
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
   void search_exact(std::uint32_t node_index, const float* query,
                     KnnHeap& heap, float region_dist2, float* offsets,
-                    QueryStats& stats) const;
+                    QueryStats& stats,
+                    std::uint32_t skip_node = kNoNode) const;
+  /// Leaf index the plain descent for `query` ends at (kNoNode when
+  /// the tree is empty).
+  std::uint32_t home_leaf(const float* query) const;
   void search_budgeted(std::uint32_t node_index, const float* query,
                        KnnHeap& heap, float region_dist2, float* offsets,
                        std::uint64_t& leaf_budget, QueryStats& stats) const;

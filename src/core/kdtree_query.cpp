@@ -15,6 +15,18 @@ namespace {
 /// expect; grows on demand.
 thread_local std::vector<float> t_dist_buffer;
 
+/// Removes the radius sentinels a bounded query seeded its heap with.
+/// Real candidates are strictly below (radius2, bound_id) in the
+/// (dist², id) order, so sentinels — all exactly equal to it — sort to
+/// the back.
+void strip_radius_sentinels(std::vector<panda::core::Neighbor>& sorted,
+                            float radius2, std::uint64_t bound_id) {
+  while (!sorted.empty() && sorted.back().dist2 == radius2 &&
+         sorted.back().id == bound_id) {
+    sorted.pop_back();
+  }
+}
+
 }  // namespace
 
 void KdTree::scan_leaf(const Node& node, const float* query, KnnHeap& heap,
@@ -31,7 +43,9 @@ void KdTree::scan_leaf(const Node& node, const float* query, KnnHeap& heap,
   stats.points_scanned += node.count;
   for (std::uint64_t i = 0; i < node.count; ++i) {
     const float d2 = t_dist_buffer[i];
-    if (d2 < heap.bound()) {
+    // Non-strict: a candidate exactly at the bound can still win its
+    // tie by id — offer() applies the full (dist², id) comparison.
+    if (d2 <= heap.bound()) {
       heap.offer(d2, packed_ids_[node.packed_begin + i]);
     }
   }
@@ -39,7 +53,10 @@ void KdTree::scan_leaf(const Node& node, const float* query, KnnHeap& heap,
 
 void KdTree::search_exact(std::uint32_t node_index, const float* query,
                           KnnHeap& heap, float region_dist2, float* offsets,
-                          QueryStats& stats) const {
+                          QueryStats& stats, std::uint32_t skip_node) const {
+  // Batched queries prime the heap with their home leaf up front;
+  // rescanning it here would offer every bucket point twice.
+  if (node_index == skip_node) return;
   const Node& node = nodes_[node_index];
   stats.nodes_visited += 1;
   if (is_leaf(node)) {
@@ -51,20 +68,33 @@ void KdTree::search_exact(std::uint32_t node_index, const float* query,
   const std::uint32_t near = diff < 0.0f ? node.left : node.right;
   const std::uint32_t far = diff < 0.0f ? node.right : node.left;
 
-  search_exact(near, query, heap, region_dist2, offsets, stats);
+  search_exact(near, query, heap, region_dist2, offsets, stats, skip_node);
 
   // Arya–Mount incremental bound: replace this dimension's previous
   // plane offset with the new one. region_dist2 stays a true lower
   // bound on the squared distance to any point in the far region.
+  // kBoundSlack keeps boundary regions: an exact-arithmetic tie can
+  // round either side of the bound, and a tied candidate with a
+  // smaller id must still be found (DESIGN.md §5).
   const float old_offset = offsets[dim];
   const float new_offset = diff;
   const float far_dist2 =
       region_dist2 - old_offset * old_offset + new_offset * new_offset;
-  if (far_dist2 < heap.bound()) {
+  if (far_dist2 <= heap.bound() * kBoundSlack) {
     offsets[dim] = new_offset;
-    search_exact(far, query, heap, far_dist2, offsets, stats);
+    search_exact(far, query, heap, far_dist2, offsets, stats, skip_node);
     offsets[dim] = old_offset;
   }
+}
+
+std::uint32_t KdTree::home_leaf(const float* query) const {
+  if (nodes_.empty()) return kNoNode;
+  std::uint32_t v = 0;
+  while (!is_leaf(nodes_[v])) {
+    const Node& n = nodes_[v];
+    v = query[n.dim] < n.split ? n.left : n.right;
+  }
+  return v;
 }
 
 void KdTree::search_paper(const float* query, KnnHeap& heap,
@@ -88,12 +118,13 @@ void KdTree::search_paper(const float* query, KnnHeap& heap,
       scan_leaf(node, query, heap, stats);
       continue;
     }
-    if (e.dist2 >= heap.bound()) continue;  // line 17 pruning
+    // Line 17 pruning, tie-tolerant (see kBoundSlack).
+    if (e.dist2 > heap.bound() * kBoundSlack) continue;
     const float diff = query[node.dim] - node.split;
     const std::uint32_t near = diff < 0.0f ? node.left : node.right;
     const std::uint32_t far = diff < 0.0f ? node.right : node.left;
     const float far_dist2 = e.dist2 + diff * diff;  // lines 18-19
-    if (far_dist2 < heap.bound()) {
+    if (far_dist2 <= heap.bound() * kBoundSlack) {
       stack.push_back({far, far_dist2});  // line 23 (C2 pushed first)
     }
     stack.push_back({near, e.dist2});  // line 24 (C1 popped first)
@@ -113,19 +144,21 @@ std::vector<Neighbor> KdTree::query(std::span<const float> query,
 std::vector<Neighbor> KdTree::query_sq(std::span<const float> query,
                                        std::size_t k, float radius2,
                                        TraversalPolicy policy,
-                                       QueryStats* stats) const {
+                                       QueryStats* stats,
+                                       std::uint64_t radius_bound_id) const {
   PANDA_CHECK_MSG(query.size() == dims_, "query dimensionality mismatch");
   PANDA_CHECK_MSG(k >= 1, "k must be >= 1");
   QueryStats local_stats;
   KnnHeap heap(k);
   if (!nodes_.empty()) {
     // The search radius r of Algorithm 1 seeds the heap bound: filling
-    // the heap with sentinels at r^2 rejects anything farther without
-    // affecting results (sentinels are stripped afterwards).
+    // the heap with sentinels at (r², bound_id) rejects anything not
+    // strictly better under the (dist², id) order, without affecting
+    // results (sentinels are stripped afterwards).
     const bool bounded = radius2 < std::numeric_limits<float>::infinity();
     if (bounded) {
       for (std::size_t i = 0; i < k; ++i) {
-        heap.offer(radius2, ~std::uint64_t{0});
+        heap.offer(radius2, radius_bound_id);
       }
     }
     if (policy == TraversalPolicy::Exact) {
@@ -137,14 +170,108 @@ std::vector<Neighbor> KdTree::query_sq(std::span<const float> query,
     if (stats != nullptr) *stats += local_stats;
     auto sorted = heap.take_sorted();
     if (bounded) {
-      // Strip radius sentinels (dist2 == r^2, id == ~0).
-      while (!sorted.empty() && sorted.back().id == ~std::uint64_t{0}) {
-        sorted.pop_back();
-      }
+      strip_radius_sentinels(sorted, radius2, radius_bound_id);
     }
     return sorted;
   }
   return {};
+}
+
+void KdTree::query_sq_batch(const data::PointSet& queries, std::size_t k,
+                            parallel::ThreadPool& pool,
+                            std::vector<std::vector<Neighbor>>& results,
+                            std::span<const float> radius2s,
+                            std::span<const std::uint64_t> radius_bound_ids,
+                            TraversalPolicy policy, QueryStats* stats) const {
+  PANDA_CHECK_MSG(k >= 1, "k must be >= 1");
+  const bool bounded = !radius2s.empty();
+  if (bounded) {
+    PANDA_CHECK_MSG(radius2s.size() == queries.size() &&
+                        radius_bound_ids.size() == queries.size(),
+                    "per-query bound spans must match the query count");
+  }
+  results.assign(queries.size(), {});
+  if (queries.empty()) return;
+  PANDA_CHECK_MSG(queries.dims() == dims_, "query dimensionality mismatch");
+  if (nodes_.empty()) return;
+
+  std::vector<QueryStats> per_thread(static_cast<std::size_t>(pool.size()));
+
+  if (policy != TraversalPolicy::Exact) {
+    // PaperFormula keeps no incremental offsets to prime; it exists for
+    // the recall ablation only, so take the per-query path.
+    parallel::parallel_for_dynamic(
+        pool, 0, queries.size(), 64,
+        [&](int tid, std::uint64_t a, std::uint64_t b) {
+          std::vector<float> q(dims_);
+          for (std::uint64_t i = a; i < b; ++i) {
+            queries.copy_point(i, q.data());
+            results[i] = query_sq(
+                q, k, bounded ? radius2s[i] : std::numeric_limits<float>::infinity(),
+                policy, &per_thread[static_cast<std::size_t>(tid)],
+                bounded ? radius_bound_ids[i] : 0);
+          }
+        });
+    if (stats != nullptr) {
+      for (const auto& s : per_thread) *stats += s;
+    }
+    return;
+  }
+
+  // Phase 1: the home leaf of every query (pure descent, no heap work).
+  std::vector<std::uint32_t> home(queries.size());
+  parallel::parallel_for_dynamic(
+      pool, 0, queries.size(), 256,
+      [&](int, std::uint64_t a, std::uint64_t b) {
+        std::vector<float> q(dims_);
+        for (std::uint64_t i = a; i < b; ++i) {
+          queries.copy_point(i, q.data());
+          home[i] = home_leaf(q.data());
+        }
+      });
+
+  // Phase 2: bucket-contiguous order — co-located queries run
+  // back-to-back so the shared home bucket stays hot (stable within a
+  // leaf to keep the schedule deterministic).
+  std::vector<std::uint64_t> order(queries.size());
+  for (std::uint64_t i = 0; i < queries.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint64_t a, std::uint64_t b) {
+                     return home[a] < home[b];
+                   });
+
+  // Phase 3: per query, prime the heap with the home bucket, then run
+  // the root traversal with that bound, skipping the primed leaf.
+  parallel::parallel_for_dynamic(
+      pool, 0, queries.size(), 64,
+      [&](int tid, std::uint64_t a, std::uint64_t b) {
+        QueryStats& st = per_thread[static_cast<std::size_t>(tid)];
+        std::vector<float> q(dims_);
+        std::vector<float> offsets(dims_);
+        for (std::uint64_t pos = a; pos < b; ++pos) {
+          const std::uint64_t i = order[pos];
+          queries.copy_point(i, q.data());
+          KnnHeap heap(k);
+          const float radius2 =
+              bounded ? radius2s[i] : std::numeric_limits<float>::infinity();
+          const std::uint64_t bound_id = bounded ? radius_bound_ids[i] : 0;
+          const bool seeded =
+              radius2 < std::numeric_limits<float>::infinity();
+          if (seeded) {
+            for (std::size_t s = 0; s < k; ++s) heap.offer(radius2, bound_id);
+          }
+          const std::uint32_t leaf = home[i];
+          scan_leaf(nodes_[leaf], q.data(), heap, st);
+          std::fill(offsets.begin(), offsets.end(), 0.0f);
+          search_exact(0, q.data(), heap, 0.0f, offsets.data(), st, leaf);
+          auto sorted = heap.take_sorted();
+          if (seeded) strip_radius_sentinels(sorted, radius2, bound_id);
+          results[i] = std::move(sorted);
+        }
+      });
+  if (stats != nullptr) {
+    for (const auto& s : per_thread) *stats += s;
+  }
 }
 
 void KdTree::query_batch(const data::PointSet& queries, std::size_t k,
@@ -192,7 +319,7 @@ void KdTree::search_budgeted(std::uint32_t node_index, const float* query,
   const float old_offset = offsets[dim];
   const float far_dist2 =
       region_dist2 - old_offset * old_offset + diff * diff;
-  if (far_dist2 < heap.bound()) {
+  if (far_dist2 <= heap.bound() * kBoundSlack) {
     offsets[dim] = diff;
     search_budgeted(far, query, heap, far_dist2, offsets, leaf_budget,
                     stats);
@@ -250,7 +377,10 @@ void KdTree::search_radius(std::uint32_t node_index, const float* query,
   const float old_offset = offsets[dim];
   const float far_dist2 =
       region_dist2 - old_offset * old_offset + diff * diff;
-  if (far_dist2 < radius2) {
+  // Slack for the same reason as in search_exact: the leaf scan's
+  // strict d2 < radius2 filter decides membership, the bound only
+  // routes.
+  if (far_dist2 < radius2 * kBoundSlack) {
     offsets[dim] = diff;
     search_radius(far, query, radius2, far_dist2, offsets, out, stats);
     offsets[dim] = old_offset;
@@ -268,10 +398,9 @@ std::vector<Neighbor> KdTree::query_radius(std::span<const float> query,
   std::vector<float> offsets(dims_, 0.0f);
   search_radius(0, query.data(), radius * radius, 0.0f, offsets.data(), out,
                 local_stats);
-  std::sort(out.begin(), out.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              return a.dist2 < b.dist2;
-            });
+  // Full (dist², id) order: tie order must not depend on traversal
+  // order, or distributed truncation becomes rank-count-dependent.
+  std::sort(out.begin(), out.end());
   if (stats != nullptr) *stats += local_stats;
   return out;
 }

@@ -1,5 +1,8 @@
 #include "core/knn_heap.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace panda::core {
 
 std::vector<Neighbor> merge_topk(const std::vector<std::vector<Neighbor>>& lists,
@@ -7,13 +10,35 @@ std::vector<Neighbor> merge_topk(const std::vector<std::vector<Neighbor>>& lists
   KnnHeap heap(k);
   for (const auto& list : lists) {
     for (const Neighbor& n : list) {
-      // Lists are sorted: once a list's entry cannot beat the bound,
-      // the rest of that list cannot either.
-      if (heap.full() && n.dist2 >= heap.bound()) break;
+      // Lists are sorted: once a list's entry is strictly beyond the
+      // bound, the rest of that list is too. Entries *at* the bound
+      // must still be offered — an equal-distance candidate with a
+      // smaller id displaces the current k-th.
+      if (heap.full() && n.dist2 > heap.bound()) break;
       heap.offer(n.dist2, n.id);
     }
   }
   return heap.take_sorted();
+}
+
+void merge_topk_into(std::vector<Neighbor>& accumulator,
+                     std::span<const Neighbor> incoming, std::size_t k) {
+  if (incoming.empty()) {
+    if (accumulator.size() > k) accumulator.resize(k);
+    return;
+  }
+  std::vector<Neighbor> merged;
+  merged.reserve(std::min(accumulator.size() + incoming.size(), k));
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (merged.size() < k &&
+         (a < accumulator.size() || b < incoming.size())) {
+    const bool take_acc =
+        b == incoming.size() ||
+        (a < accumulator.size() && accumulator[a] < incoming[b]);
+    merged.push_back(take_acc ? accumulator[a++] : incoming[b++]);
+  }
+  accumulator = std::move(merged);
 }
 
 }  // namespace panda::core

@@ -3,11 +3,19 @@
 // Holds at most k (distance², id) pairs; the root is the farthest
 // candidate, so bound() — the r′ of the paper — tightens monotonically
 // as better candidates arrive. Distances are squared throughout.
+//
+// Candidates are totally ordered by (dist², id), so among
+// equal-distance candidates the smallest id wins deterministically —
+// the admitted set never depends on arrival order. Without this, the
+// single-node oracle and the distributed merge (which see candidates
+// in different orders) disagree on duplicate/tie-heavy data
+// (DESIGN.md §5).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -19,7 +27,26 @@ struct Neighbor {
   std::uint64_t id = ~std::uint64_t{0};
 
   friend bool operator==(const Neighbor&, const Neighbor&) = default;
+
+  /// The deterministic total order: ascending (dist², id).
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    return a.dist2 < b.dist2 || (a.dist2 == b.dist2 && a.id < b.id);
+  }
 };
+
+/// Multiplicative slack for traversal lower-bound pruning tests
+/// (kd-tree descent and global-tree ball overlap). The Arya–Mount
+/// incremental bound accumulates rounding along the descent path in a
+/// different operation order than the SIMD leaf kernel, so a candidate
+/// that ties the pruning bound in exact arithmetic can compute a few
+/// ulp either side of it — and a region wrongly pruned at the boundary
+/// silently drops equal-distance candidates that win their tie by id.
+/// Pruning therefore keeps any region with
+/// lower_bound <= bound * kBoundSlack. Candidate *admission* is always
+/// decided by kernel-computed distances through KnnHeap::offer, so the
+/// slack can only widen traversal, never change a result.
+inline constexpr float kBoundSlack =
+    1.0f + 64.0f * std::numeric_limits<float>::epsilon();
 
 class KnnHeap {
  public:
@@ -36,22 +63,23 @@ class KnnHeap {
                   : std::numeric_limits<float>::infinity();
   }
 
-  /// Offers a candidate; keeps it only if it beats the bound.
-  /// Returns true if the candidate was admitted.
+  /// Offers a candidate; keeps it only if it beats the current k-th
+  /// best under the (dist², id) order — equal distances break toward
+  /// the smaller id. Returns true if the candidate was admitted.
   bool offer(float dist2, std::uint64_t id) {
     if (!full()) {
       heap_.push_back({dist2, id});
       sift_up(heap_.size() - 1);
       return true;
     }
-    if (dist2 >= heap_.front().dist2) return false;
+    if (!(Neighbor{dist2, id} < heap_.front())) return false;
     heap_.front() = {dist2, id};
     sift_down(0);
     return true;
   }
 
-  /// Extracts all candidates sorted ascending by distance; the heap is
-  /// left empty.
+  /// Extracts all candidates sorted ascending by (dist², id); the heap
+  /// is left empty.
   std::vector<Neighbor> take_sorted() {
     std::vector<Neighbor> out;
     out.resize(heap_.size());
@@ -76,7 +104,7 @@ class KnnHeap {
   void sift_up(std::size_t i) {
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      if (heap_[parent].dist2 >= heap_[i].dist2) break;
+      if (!(heap_[parent] < heap_[i])) break;
       std::swap(heap_[parent], heap_[i]);
       i = parent;
     }
@@ -88,8 +116,8 @@ class KnnHeap {
       const std::size_t l = 2 * i + 1;
       const std::size_t r = 2 * i + 2;
       std::size_t largest = i;
-      if (l < n && heap_[l].dist2 > heap_[largest].dist2) largest = l;
-      if (r < n && heap_[r].dist2 > heap_[largest].dist2) largest = r;
+      if (l < n && heap_[largest] < heap_[l]) largest = l;
+      if (r < n && heap_[largest] < heap_[r]) largest = r;
       if (largest == i) break;
       std::swap(heap_[i], heap_[largest]);
       i = largest;
@@ -101,8 +129,17 @@ class KnnHeap {
 };
 
 /// Merges any number of ascending-sorted neighbor lists, keeping the k
-/// overall nearest (used by the distributed top-k merge, stage 5).
+/// overall nearest under the (dist², id) order (used by the
+/// distributed top-k merge, stage 5). Order-independent: the result is
+/// the same for any permutation of the input lists.
 std::vector<Neighbor> merge_topk(
     const std::vector<std::vector<Neighbor>>& lists, std::size_t k);
+
+/// Streaming variant: folds one ascending-sorted `incoming` list into
+/// the ascending-sorted accumulator, keeping the k nearest. The bulk
+/// all-KNN engine merges each remote response as it arrives instead of
+/// buffering all per-rank lists.
+void merge_topk_into(std::vector<Neighbor>& accumulator,
+                     std::span<const Neighbor> incoming, std::size_t k);
 
 }  // namespace panda::core

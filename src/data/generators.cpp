@@ -78,6 +78,33 @@ void GaussianMixtureGenerator::generate(std::uint64_t begin_id,
   }
 }
 
+DuplicateGenerator::DuplicateGenerator(std::size_t dims, std::size_t sites,
+                                       std::uint64_t seed)
+    : dims_(dims), sites_(sites), seed_(seed) {
+  PANDA_CHECK(sites >= 1);
+  Rng rng(derive_seed(seed, 0xD0B1EULL));
+  site_coords_.resize(sites_ * dims_);
+  for (auto& c : site_coords_) c = rng.uniform_float();
+}
+
+void DuplicateGenerator::generate(std::uint64_t begin_id,
+                                  std::uint64_t end_id, PointSet& out) const {
+  std::vector<float> p(dims_);
+  for (std::uint64_t i = begin_id; i < end_id; ++i) {
+    Rng rng(derive_seed(seed_, i));
+    if (rng.uniform_index(8) == 0) {
+      for (std::size_t d = 0; d < dims_; ++d) p[d] = rng.uniform_float();
+    } else {
+      const std::size_t s =
+          static_cast<std::size_t>(rng.uniform_index(sites_));
+      for (std::size_t d = 0; d < dims_; ++d) {
+        p[d] = site_coords_[s * dims_ + d];
+      }
+    }
+    out.push_point(p, i);
+  }
+}
+
 std::unique_ptr<Generator> make_generator(const std::string& name,
                                           std::uint64_t seed) {
   if (name == "uniform") {
@@ -85,6 +112,9 @@ std::unique_ptr<Generator> make_generator(const std::string& name,
   }
   if (name == "gmm") {
     return std::make_unique<GaussianMixtureGenerator>(3, 32, 0.02, seed);
+  }
+  if (name == "dupes") {
+    return std::make_unique<DuplicateGenerator>(3, 24, seed);
   }
   if (name == "cosmo") {
     return std::make_unique<CosmologyGenerator>(CosmologyParams{}, seed);

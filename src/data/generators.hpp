@@ -85,9 +85,34 @@ class GaussianMixtureGenerator final : public Generator {
   std::vector<float> centers_;  // components_ x dims_
 };
 
-/// Factory used by benches/examples: names "uniform", "gmm", "cosmo",
-/// "plasma", "dayabay", "sdss10" (psf_mod_mag-like), "sdss15"
-/// (all_mag-like). Throws panda::Error for unknown names.
+/// Duplicate-heavy: most points collapse onto a small set of distinct
+/// sites, so the data is dominated by bit-identical coordinates and
+/// every query sees large equal-distance tie groups. Roughly one point
+/// in eight is instead a unique uniform draw so trees still have
+/// something to split on. This is the regression net for the
+/// deterministic (dist², id) tie order (DESIGN.md §5): any
+/// arrival-order dependence in heaps or merges shows up here as an id
+/// mismatch against the brute-force oracle.
+class DuplicateGenerator final : public Generator {
+ public:
+  DuplicateGenerator(std::size_t dims, std::size_t sites,
+                     std::uint64_t seed);
+  std::size_t dims() const override { return dims_; }
+  std::string name() const override { return "dupes"; }
+  void generate(std::uint64_t begin_id, std::uint64_t end_id,
+                PointSet& out) const override;
+
+ private:
+  std::size_t dims_;
+  std::size_t sites_;
+  std::uint64_t seed_;
+  std::vector<float> site_coords_;  // sites_ x dims_
+};
+
+/// Factory used by benches/examples: names "uniform", "gmm", "dupes"
+/// (duplicate-heavy tie stress), "cosmo", "plasma", "dayabay",
+/// "sdss10" (psf_mod_mag-like), "sdss15" (all_mag-like). Throws
+/// panda::Error for unknown names.
 std::unique_ptr<Generator> make_generator(const std::string& name,
                                           std::uint64_t seed);
 

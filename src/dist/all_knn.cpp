@@ -1,0 +1,361 @@
+// Bulk all-points KNN engine: batched local pass, coalesced remote
+// rounds (DESIGN.md §7).
+#include "dist/all_knn.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "dist/wire.hpp"
+#include "net/cost_model.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace panda::dist {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// Tags distinct from the per-query engine's 0x5A10 block, so both
+// engines can run over the same mailboxes.
+constexpr int kTagBulkRequest = 0x5A20;
+constexpr int kTagBulkResponse = 0x5A21;
+
+using core::Neighbor;
+
+}  // namespace
+
+AllKnnEngine::LocalPass AllKnnEngine::local_pass(const AllKnnConfig& config,
+                                                 AllKnnStats& st) {
+  const data::PointSet& points = tree_.local_points();
+  const std::size_t n = points.size();
+  WallTimer watch;
+
+  LocalPass pass;
+  // Stage 2 without stage 1: every local point is a query this rank
+  // already owns; the batched entry point runs them in the tree's
+  // bucket-contiguous order.
+  watch.reset();
+  tree_.local_tree().query_sq_batch(points, config.k, comm_.pool(),
+                                    pass.results, {}, {}, config.policy);
+  st.local_knn += watch.seconds();
+
+  // Stage 3: the (r'², k-th id) bound and the coalesced overlap
+  // lists. Per-thread scratch with *static* (contiguous, ascending)
+  // ranges: concatenating the scratch lists in thread order keeps
+  // every remote_queries[r] ascending by query index, which the
+  // pipelined round slicing relies on.
+  watch.reset();
+  const auto ranks = static_cast<std::size_t>(comm_.size());
+  pass.radius2.assign(n, kInf);
+  pass.bound_id.assign(n, ~std::uint64_t{0});
+  pass.remote_queries.assign(ranks, {});
+  struct Scratch {
+    std::vector<std::vector<std::uint64_t>> per_rank;
+    std::uint64_t overlaps = 0;
+    std::uint64_t local_only = 0;
+    std::uint64_t remote = 0;
+  };
+  std::vector<Scratch> scratch(
+      static_cast<std::size_t>(comm_.pool().size()));
+  for (auto& s : scratch) s.per_rank.assign(ranks, {});
+  parallel::parallel_for_static(
+      comm_.pool(), 0, n, [&](int tid, std::uint64_t a, std::uint64_t b) {
+        Scratch& mine = scratch[static_cast<std::size_t>(tid)];
+        std::vector<float> q(tree_.dims());
+        for (std::uint64_t i = a; i < b; ++i) {
+          const auto& candidates = pass.results[i];
+          if (candidates.size() == config.k) {
+            pass.radius2[i] = candidates.back().dist2;
+            pass.bound_id[i] = candidates.back().id;
+          }
+          if (comm_.size() == 1) continue;
+          points.copy_point(i, q.data());
+          auto remotes =
+              tree_.global_tree().ranks_in_closed_ball(q, pass.radius2[i]);
+          std::erase(remotes, comm_.rank());
+          mine.overlaps += remotes.size();
+          if (remotes.empty()) {
+            mine.local_only += 1;
+          } else {
+            mine.remote += 1;
+          }
+          for (const int r : remotes) {
+            mine.per_rank[static_cast<std::size_t>(r)].push_back(i);
+          }
+        }
+      });
+  for (std::size_t r = 0; r < ranks; ++r) {
+    for (const Scratch& s : scratch) {
+      pass.remote_queries[r].insert(pass.remote_queries[r].end(),
+                                    s.per_rank[r].begin(),
+                                    s.per_rank[r].end());
+    }
+  }
+  for (const Scratch& s : scratch) {
+    st.ball_overlaps += s.overlaps;
+    st.queries_local_only += s.local_only;
+    st.queries_remote += s.remote;
+  }
+  if (comm_.size() == 1) st.queries_local_only = n;
+  st.identify_remote += watch.seconds();
+  st.queries_total = n;
+  return pass;
+}
+
+std::vector<std::byte> AllKnnEngine::pack_requests(
+    const LocalPass& pass, std::span<const std::uint64_t> indices) const {
+  detail::WireWriter writer;
+  std::vector<float> q(tree_.dims());
+  for (const std::uint64_t i : indices) {
+    tree_.local_points().copy_point(i, q.data());
+    detail::append_knn_request(writer,
+                               {i, pass.radius2[i], pass.bound_id[i]},
+                               std::span<const float>(q));
+  }
+  return writer.take();
+}
+
+void AllKnnEngine::merge_responses(std::span<const std::byte> payload,
+                                   LocalPass& pass, std::size_t k,
+                                   AllKnnStats& st) {
+  WallTimer watch;
+  detail::WireReader reader(payload);
+  while (!reader.done()) {
+    const auto seq = reader.get<std::uint64_t>();
+    const auto found = detail::read_neighbors(reader);
+    core::merge_topk_into(pass.results[seq], found, k);
+  }
+  st.merge += watch.seconds();
+}
+
+std::vector<std::byte> AllKnnEngine::answer_requests(
+    std::span<const std::byte> payload, const AllKnnConfig& config,
+    AllKnnStats& st) {
+  const std::size_t dims = tree_.dims();
+  detail::WireReader reader(payload);
+  data::PointSet queries(dims);
+  std::vector<std::uint64_t> seqs;
+  std::vector<float> radius2s;
+  std::vector<std::uint64_t> bound_ids;
+  std::vector<float> q(dims);
+  while (!reader.done()) {
+    const auto request = detail::read_knn_request(reader, std::span<float>(q));
+    queries.push_point(q, request.seq);
+    seqs.push_back(request.seq);
+    radius2s.push_back(request.radius2);
+    bound_ids.push_back(request.bound_id);
+  }
+
+  // Stage 4 for the whole message at once: one batched radius-limited
+  // pass over the coalesced query block.
+  WallTimer watch;
+  std::vector<std::vector<Neighbor>> found;
+  tree_.local_tree().query_sq_batch(queries, config.k, comm_.pool(), found,
+                                    radius2s, bound_ids, config.policy);
+  st.remote_knn += watch.seconds();
+
+  detail::WireWriter response;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    response.put<std::uint64_t>(seqs[i]);
+    detail::append_neighbors(response, found[i]);
+  }
+  return response.take();
+}
+
+void AllKnnEngine::run_collective(const AllKnnConfig& config, LocalPass& pass,
+                                  AllKnnStats& st) {
+  const int ranks = comm_.size();
+  WallTimer watch;
+
+  auto exchange = [&](std::vector<std::vector<std::byte>>& rows) {
+    watch.reset();
+    auto received = comm_.alltoallv(rows);
+    st.non_overlapped_comm += watch.seconds();
+    return received;
+  };
+
+  // One coalesced request row per destination: every overlapping ball
+  // from this rank travels in a single alltoallv row.
+  std::vector<std::vector<std::byte>> request_rows(
+      static_cast<std::size_t>(ranks));
+  std::uint64_t bytes_out = 0;
+  int fanout = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const auto& indices = pass.remote_queries[static_cast<std::size_t>(r)];
+    if (indices.empty()) continue;
+    request_rows[static_cast<std::size_t>(r)] = pack_requests(pass, indices);
+    st.request_messages += 1;
+    bytes_out += request_rows[static_cast<std::size_t>(r)].size();
+    ++fanout;
+  }
+  st.request_bytes += bytes_out;
+  st.model_comm_seconds +=
+      net::alltoall_cost(comm_.cost_params(), fanout, bytes_out);
+  const auto requests_in = exchange(request_rows);
+
+  // One batched pass (and one response row) per requesting rank.
+  std::vector<std::vector<std::byte>> response_rows(
+      static_cast<std::size_t>(ranks));
+  bytes_out = 0;
+  fanout = 0;
+  for (int s = 0; s < ranks; ++s) {
+    const auto& payload = requests_in[static_cast<std::size_t>(s)];
+    if (payload.empty()) continue;
+    response_rows[static_cast<std::size_t>(s)] =
+        answer_requests(payload, config, st);
+    st.response_messages += 1;
+    bytes_out += response_rows[static_cast<std::size_t>(s)].size();
+    ++fanout;
+  }
+  st.response_bytes += bytes_out;
+  st.model_comm_seconds +=
+      net::alltoall_cost(comm_.cost_params(), fanout, bytes_out);
+  const auto responses_in = exchange(response_rows);
+
+  // Stage 5: stream every returned list into its query's candidates.
+  for (int s = 0; s < ranks; ++s) {
+    merge_responses(responses_in[static_cast<std::size_t>(s)], pass,
+                    config.k, st);
+  }
+}
+
+void AllKnnEngine::run_pipelined(const AllKnnConfig& config, LocalPass& pass,
+                                 AllKnnStats& st) {
+  const int ranks = comm_.size();
+  const int me = comm_.rank();
+  const std::size_t n = tree_.local_points().size();
+  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
+  const std::uint64_t rounds = (n + batch - 1) / batch;
+  WallTimer watch;
+
+  // Tiny counts prologue: how many coalesced request messages each
+  // peer should expect from us — one per round whose slice of that
+  // peer's overlap list is non-empty.
+  std::vector<std::vector<std::uint64_t>> count_rows(
+      static_cast<std::size_t>(ranks));
+  std::vector<std::uint64_t> messages_to(static_cast<std::size_t>(ranks), 0);
+  for (int r = 0; r < ranks; ++r) {
+    const auto& indices = pass.remote_queries[static_cast<std::size_t>(r)];
+    std::uint64_t count = 0;
+    std::size_t cursor = 0;
+    for (std::uint64_t round = 0; round < rounds && cursor < indices.size();
+         ++round) {
+      const std::uint64_t qend = std::min<std::uint64_t>(n, (round + 1) * batch);
+      const std::size_t before = cursor;
+      while (cursor < indices.size() && indices[cursor] < qend) ++cursor;
+      if (cursor > before) ++count;
+    }
+    messages_to[static_cast<std::size_t>(r)] = count;
+    count_rows[static_cast<std::size_t>(r)].assign(1, count);
+  }
+  watch.reset();
+  const auto counts_in = comm_.alltoallv(count_rows);
+  st.non_overlapped_comm += watch.seconds();
+
+  std::vector<std::uint64_t> expected_requests(static_cast<std::size_t>(ranks),
+                                               0);
+  std::vector<std::uint64_t> awaiting_responses = messages_to;
+  std::uint64_t expected_total = 0;
+  std::uint64_t awaiting_total = 0;
+  for (int s = 0; s < ranks; ++s) {
+    if (s == me) continue;
+    expected_requests[static_cast<std::size_t>(s)] =
+        counts_in[static_cast<std::size_t>(s)].empty()
+            ? 0
+            : counts_in[static_cast<std::size_t>(s)][0];
+    expected_total += expected_requests[static_cast<std::size_t>(s)];
+    awaiting_total += awaiting_responses[static_cast<std::size_t>(s)];
+  }
+
+  // Drains whatever is ready without blocking; returns whether any
+  // message was consumed. Requests are answered with one batched pass
+  // per message; responses stream-merge into the local candidates.
+  auto drain = [&]() {
+    bool progress = false;
+    for (int s = 0; s < ranks; ++s) {
+      if (s == me) continue;
+      auto& expected = expected_requests[static_cast<std::size_t>(s)];
+      while (expected > 0 && comm_.poll(s, kTagBulkRequest)) {
+        const auto payload = comm_.recv<std::byte>(s, kTagBulkRequest);
+        auto response = answer_requests(payload, config, st);
+        st.response_messages += 1;
+        st.response_bytes += response.size();
+        st.model_comm_seconds +=
+            net::p2p_cost(comm_.cost_params(), response.size());
+        comm_.send<std::byte>(s, kTagBulkResponse, response);
+        expected -= 1;
+        expected_total -= 1;
+        progress = true;
+      }
+      auto& awaiting = awaiting_responses[static_cast<std::size_t>(s)];
+      while (awaiting > 0 && comm_.poll(s, kTagBulkResponse)) {
+        const auto payload = comm_.recv<std::byte>(s, kTagBulkResponse);
+        merge_responses(payload, pass, config.k, st);
+        awaiting -= 1;
+        awaiting_total -= 1;
+        progress = true;
+      }
+    }
+    return progress;
+  };
+
+  // Coalescing rounds: one packed request message per destination per
+  // round, interleaved with draining so remote answering overlaps the
+  // sending side's packing.
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(ranks), 0);
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    const std::uint64_t qend = std::min<std::uint64_t>(n, (round + 1) * batch);
+    for (int r = 0; r < ranks; ++r) {
+      if (r == me) continue;
+      const auto& indices = pass.remote_queries[static_cast<std::size_t>(r)];
+      auto& at = cursor[static_cast<std::size_t>(r)];
+      const std::size_t begin = at;
+      while (at < indices.size() && indices[at] < qend) ++at;
+      if (at == begin) continue;
+      const auto payload = pack_requests(
+          pass, std::span<const std::uint64_t>(indices).subspan(
+                    begin, at - begin));
+      st.request_messages += 1;
+      st.request_bytes += payload.size();
+      st.model_comm_seconds +=
+          net::p2p_cost(comm_.cost_params(), payload.size());
+      comm_.send<std::byte>(r, kTagBulkRequest, payload);
+    }
+    drain();
+  }
+
+  // Tail: answer the remaining peers and collect the remaining
+  // responses. Everything expected is counted, so this terminates.
+  while (expected_total > 0 || awaiting_total > 0) {
+    if (!drain()) {
+      PANDA_CHECK_MSG(!comm_.aborted(),
+                      "cluster aborted during bulk all-KNN query");
+      watch.reset();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      st.non_overlapped_comm += watch.seconds();
+    }
+  }
+}
+
+std::vector<std::vector<Neighbor>> AllKnnEngine::run(
+    const AllKnnConfig& config, AllKnnStats* stats) {
+  PANDA_CHECK_MSG(config.k >= 1, "k must be >= 1");
+  AllKnnStats st;
+  LocalPass pass = local_pass(config, st);
+  if (comm_.size() > 1) {
+    if (config.mode == AllKnnConfig::Mode::Collective) {
+      run_collective(config, pass, st);
+    } else {
+      run_pipelined(config, pass, st);
+    }
+  }
+  if (stats != nullptr) *stats = st;
+  return std::move(pass.results);
+}
+
+}  // namespace panda::dist

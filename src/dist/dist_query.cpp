@@ -32,6 +32,7 @@ using core::Neighbor;
 struct LocalAnswer {
   std::vector<Neighbor> candidates;
   float radius2 = kInf;        // k-th squared distance (r'^2), inf if < k
+  std::uint64_t bound_id = 0;  // k-th id: the tie bound remotes must beat
   std::vector<int> remotes;    // ranks to contact, owner excluded
 };
 
@@ -45,10 +46,12 @@ LocalAnswer answer_locally(const DistKdTree& tree, std::span<const float> q,
   bd.local_knn += watch.seconds();
 
   watch.reset();
-  answer.radius2 = answer.candidates.size() == config.k
-                       ? answer.candidates.back().dist2
-                       : kInf;
-  answer.remotes = tree.global_tree().ranks_in_ball(q, answer.radius2);
+  const bool full = answer.candidates.size() == config.k;
+  answer.radius2 = full ? answer.candidates.back().dist2 : kInf;
+  answer.bound_id = full ? answer.candidates.back().id : ~std::uint64_t{0};
+  // Closed ball: a rank whose region only *touches* the r' sphere can
+  // still hold an equal-distance candidate that wins its tie by id.
+  answer.remotes = tree.global_tree().ranks_in_closed_ball(q, answer.radius2);
   std::erase(answer.remotes, my_rank);
   bd.identify_remote += watch.seconds();
 
@@ -149,10 +152,10 @@ std::vector<std::vector<Neighbor>> DistQueryEngine::run_collective(
       LocalAnswer answer =
           answer_locally(tree_, q, config, comm_.rank(), bd, stage_watch);
       for (const int remote : answer.remotes) {
-        auto& writer = requests[static_cast<std::size_t>(remote)];
-        writer.put<std::uint64_t>(owned.size());
-        writer.put<float>(answer.radius2);
-        writer.put_span(std::span<const float>(q));
+        detail::append_knn_request(
+            requests[static_cast<std::size_t>(remote)],
+            {owned.size(), answer.radius2, answer.bound_id},
+            std::span<const float>(q));
       }
       entry.candidates = std::move(answer.candidates);
       entry.remote_lists.reserve(answer.remotes.size());
@@ -167,14 +170,14 @@ std::vector<std::vector<Neighbor>> DistQueryEngine::run_collective(
     detail::WireReader reader(requests_in[static_cast<std::size_t>(s)]);
     auto& writer = responses[static_cast<std::size_t>(s)];
     while (!reader.done()) {
-      const auto owner_seq = reader.get<std::uint64_t>();
-      const auto radius2 = reader.get<float>();
-      reader.get_into(std::span<float>(q));
+      const auto request = detail::read_knn_request(reader, std::span<float>(q));
       watch.reset();
       const auto found =
-          tree_.local_tree().query_sq(q, config.k, radius2, config.policy);
+          tree_.local_tree().query_sq(q, config.k, request.radius2,
+                                      config.policy, nullptr,
+                                      request.bound_id);
       bd.remote_knn += watch.seconds();
-      writer.put<std::uint64_t>(owner_seq);
+      writer.put<std::uint64_t>(request.seq);
       append_neighbors(writer, found);
     }
   }
@@ -337,10 +340,9 @@ std::vector<std::vector<Neighbor>> DistQueryEngine::run_pipelined(
     entry.lists.push_back(std::move(answer.candidates));
     const std::uint64_t id = next_owned_id++;
     for (const int remote : answer.remotes) {
-      auto& writer = request_writers[static_cast<std::size_t>(remote)];
-      writer.put<std::uint64_t>(id);
-      writer.put<float>(answer.radius2);
-      writer.put_span(query);
+      detail::append_knn_request(
+          request_writers[static_cast<std::size_t>(remote)],
+          {id, answer.radius2, answer.bound_id}, query);
     }
     in_progress.emplace(id, std::move(entry));
   };
@@ -421,15 +423,16 @@ std::vector<std::vector<Neighbor>> DistQueryEngine::run_pipelined(
         detail::WireReader reader(payload);
         detail::WireWriter response;
         while (!reader.done()) {
-          const auto owner_id = reader.get<std::uint64_t>();
-          const auto radius2 = reader.get<float>();
-          reader.get_into(std::span<float>(q));
+          const auto request =
+              detail::read_knn_request(reader, std::span<float>(q));
           watch.reset();
           const auto found = tree_.local_tree().query_sq(q, config.k,
-                                                         radius2,
-                                                         config.policy);
+                                                         request.radius2,
+                                                         config.policy,
+                                                         nullptr,
+                                                         request.bound_id);
           bd.remote_knn += watch.seconds();
-          response.put<std::uint64_t>(owner_id);
+          response.put<std::uint64_t>(request.seq);
           append_neighbors(response, found);
         }
         comm_.send<std::byte>(s, kTagResponse, response.bytes());

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/knn_heap.hpp"  // kBoundSlack
 
 namespace panda::dist {
 
@@ -84,7 +85,7 @@ int GlobalTree::leaf_depth(int rank) const {
 }
 
 void GlobalTree::collect_ball(std::int32_t node_index, const float* center,
-                              float region_dist2, float radius2,
+                              float region_dist2, float radius2, bool closed,
                               float* offsets, std::vector<int>& out) const {
   const Node& node = nodes_[static_cast<std::size_t>(node_index)];
   if (is_leaf(node)) {
@@ -97,16 +98,23 @@ void GlobalTree::collect_ball(std::int32_t node_index, const float* center,
   // Arya–Mount incremental lower bound, as in KdTree::search_exact:
   // the far region replaces this dimension's previous plane offset.
   const float old_offset = offsets[dim];
+  // core::kBoundSlack widens the test: the incremental bound and the
+  // distances the contacted rank computes round differently, and a
+  // boundary rank wrongly skipped cannot return its tied candidates.
+  // Extra ranks only cost an empty response.
   const float far_dist2 =
       region_dist2 - old_offset * old_offset + diff * diff;
+  const float widened = radius2 * core::kBoundSlack;
+  const bool overlaps = closed ? far_dist2 <= widened : far_dist2 < widened;
   // Visit children in tree order (left, right) so the collected ranks
   // come out ascending; near/far order would interleave them.
   for (const std::int32_t child : {node.left, node.right}) {
     if (child == near) {
-      collect_ball(child, center, region_dist2, radius2, offsets, out);
-    } else if (far_dist2 < radius2) {
+      collect_ball(child, center, region_dist2, radius2, closed, offsets,
+                   out);
+    } else if (overlaps) {
       offsets[dim] = diff;
-      collect_ball(child, center, far_dist2, radius2, offsets, out);
+      collect_ball(child, center, far_dist2, radius2, closed, offsets, out);
       offsets[dim] = old_offset;
     }
   }
@@ -119,7 +127,20 @@ std::vector<int> GlobalTree::ranks_in_ball(std::span<const float> center,
   std::vector<int> out;
   if (!(0.0f < radius2)) return out;  // empty ball (also rejects NaN)
   std::vector<float> offsets(dims_, 0.0f);
-  collect_ball(0, center.data(), 0.0f, radius2, offsets.data(), out);
+  collect_ball(0, center.data(), 0.0f, radius2, /*closed=*/false,
+               offsets.data(), out);
+  return out;
+}
+
+std::vector<int> GlobalTree::ranks_in_closed_ball(
+    std::span<const float> center, float radius2) const {
+  PANDA_CHECK_MSG(center.size() == dims_,
+                  "ranks_in_closed_ball: center dimensionality mismatch");
+  std::vector<int> out;
+  if (!(0.0f <= radius2)) return out;  // rejects negatives and NaN
+  std::vector<float> offsets(dims_, 0.0f);
+  collect_ball(0, center.data(), 0.0f, radius2, /*closed=*/true,
+               offsets.data(), out);
   return out;
 }
 

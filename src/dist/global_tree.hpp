@@ -63,6 +63,15 @@ class GlobalTree {
   std::vector<int> ranks_in_ball(std::span<const float> center,
                                  float radius2) const;
 
+  /// Closed-ball variant: regions whose minimum squared distance is
+  /// <= `radius2`. The KNN engines use this for stage-3 pruning — a
+  /// remote candidate exactly at the owner's k-th distance can still
+  /// win its tie by id (DESIGN.md §5), so boundary-touching ranks must
+  /// be contacted. With radius2 = 0 the ranks whose region touches
+  /// `center` are returned (never empty).
+  std::vector<int> ranks_in_closed_ball(std::span<const float> center,
+                                        float radius2) const;
+
  private:
   struct Node {
     std::uint32_t dim = 0;
@@ -80,8 +89,8 @@ class GlobalTree {
   std::int32_t build_group(int lo, int hi, int depth,
                            const RecordIndex& records);
   void collect_ball(std::int32_t node_index, const float* center,
-                    float region_dist2, float radius2, float* offsets,
-                    std::vector<int>& out) const;
+                    float region_dist2, float radius2, bool closed,
+                    float* offsets, std::vector<int>& out) const;
 
   int ranks_ = 0;
   std::size_t dims_ = 0;

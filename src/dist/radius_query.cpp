@@ -111,11 +111,12 @@ std::vector<std::vector<Neighbor>> DistRadiusEngine::run(
     }
     for (std::size_t i = begin; i < end; ++i) {
       auto& out = results[i];
+      // Establish the full (dist², id) order before truncating:
+      // concatenation order is per-round arrival order, which varies
+      // with rank count and batch size, and would otherwise decide
+      // which equal-distance neighbors survive max_results.
       if (fanout[i] > 1) {
-        std::sort(out.begin(), out.end(),
-                  [](const Neighbor& a, const Neighbor& b) {
-                    return a.dist2 < b.dist2;
-                  });
+        std::sort(out.begin(), out.end());
       }
       if (config.max_results > 0 && out.size() > config.max_results) {
         out.resize(config.max_results);

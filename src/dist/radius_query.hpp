@@ -45,9 +45,10 @@ class DistRadiusEngine {
       : comm_(comm), tree_(tree) {}
 
   /// Collective. Answers this rank's `queries`; results[i] holds every
-  /// indexed point within the radius of query i, ascending by squared
-  /// distance, truncated to max_results when set. All ranks must call
-  /// (with possibly empty query sets).
+  /// indexed point within the radius of query i, ascending by
+  /// (dist², id), truncated to max_results when set — so the surviving
+  /// set is invariant across rank counts and batch sizes. All ranks
+  /// must call (with possibly empty query sets).
   std::vector<std::vector<core::Neighbor>> run(
       const data::PointSet& queries, const RadiusQueryConfig& config,
       RadiusQueryBreakdown* breakdown = nullptr);

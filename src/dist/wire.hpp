@@ -103,4 +103,39 @@ inline std::vector<core::Neighbor> read_neighbors(WireReader& reader) {
   return neighbors;
 }
 
+// Remote-KNN request record, shared by the per-query engine and the
+// coalesced all-KNN engine: every ball from one source rank that
+// overlaps one destination ships as a run of these records inside a
+// single packed message (one alltoallv row or one mailbox send), so
+// the stage-3/4 message count is bounded by rank pairs, not by
+// (query x fanout) pairs. The (radius2, bound_id) pair is the full
+// pruning bound of query_sq: remote candidates must be strictly below
+// it in the (dist^2, id) tie order.
+
+struct KnnRequest {
+  std::uint64_t seq = 0;       // query identifier at the source rank
+  float radius2 = 0.0f;        // r'^2, +inf while the owner holds < k
+  std::uint64_t bound_id = 0;  // tie id of the owner's k-th candidate
+};
+
+inline void append_knn_request(WireWriter& writer, const KnnRequest& request,
+                               std::span<const float> coords) {
+  writer.put<std::uint64_t>(request.seq);
+  writer.put<float>(request.radius2);
+  writer.put<std::uint64_t>(request.bound_id);
+  writer.put_span(coords);
+}
+
+/// Reads one request record; the query coordinates land in `coords`
+/// (sized dims by the caller).
+inline KnnRequest read_knn_request(WireReader& reader,
+                                   std::span<float> coords) {
+  KnnRequest request;
+  request.seq = reader.get<std::uint64_t>();
+  request.radius2 = reader.get<float>();
+  request.bound_id = reader.get<std::uint64_t>();
+  reader.get_into(coords);
+  return request;
+}
+
 }  // namespace panda::dist::detail

@@ -31,6 +31,7 @@
 #include "data/plasma.hpp"
 #include "data/point_set.hpp"
 #include "data/sdss.hpp"
+#include "dist/all_knn.hpp"
 #include "dist/dist_kdtree.hpp"
 #include "dist/dist_query.hpp"
 #include "dist/global_tree.hpp"

@@ -279,14 +279,15 @@ TEST(DayaBayGenerator, HasHeavyCoLocation) {
   // property behind the paper's 22-remote-ranks observation.
   DayaBayGenerator gen(DayaBayParams{}, 23);
   const PointSet points = gen.generate_all(4000);
-  std::map<std::int64_t, int> rounded_counts;
+  std::map<std::uint64_t, int> rounded_counts;
   for (std::uint64_t i = 0; i < points.size(); ++i) {
     // Hash the record rounded to 3 decimals; exact duplicates collide.
-    std::int64_t h = 1469598103934665603LL;
+    // FNV-1a in unsigned arithmetic — the multiply wraps by design.
+    std::uint64_t h = 14695981039346656037ULL;
     for (std::size_t d = 0; d < points.dims(); ++d) {
-      const auto r = static_cast<std::int64_t>(
-          std::llround(points.at(i, d) * 1000.0f));
-      h = (h ^ r) * 1099511628211LL;
+      const auto r = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+          std::llround(points.at(i, d) * 1000.0f)));
+      h = (h ^ r) * 1099511628211ULL;
     }
     rounded_counts[h]++;
   }

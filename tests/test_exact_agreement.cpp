@@ -1,16 +1,19 @@
 // Exact-agreement sweep: the full distributed pipeline (DistKdTree
-// build + five-stage query, both transports) must return *identical
-// (index, distance)* results — not just distances — to the single-node
-// brute-force oracle, for every tested rank count, on uniform and
-// clustered data. This is the strongest end-to-end statement the
-// engine makes: redistribution moved every point somewhere retrievable
-// and the protocol found exactly the true neighbor set.
+// build + five-stage query, both transports) must return *identical*
+// results — ids and distances, element for element — to the
+// single-node brute-force oracle, for every tested rank count, on
+// uniform, clustered, and duplicate-heavy data. This is the strongest
+// end-to-end statement the engine makes: redistribution moved every
+// point somewhere retrievable, the protocol found exactly the true
+// neighbor set, and the deterministic (dist², id) tie order
+// (DESIGN.md §5) makes even the within-tie order reproducible. The
+// "dupes" dataset is the regression net for the tie-breaking fixes:
+// many bit-identical points, with k spanning the tie groups, so any
+// arrival-order dependence breaks the id-for-id assertion.
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <mutex>
 #include <tuple>
-#include <utility>
 
 #include "baselines/brute_force.hpp"
 #include "data/generators.hpp"
@@ -24,17 +27,6 @@ namespace panda::dist {
 namespace {
 
 using core::Neighbor;
-
-/// Sorted (dist², id) pairs: equal multisets mean the same neighbor
-/// sets even when equal distances permute the within-tie order.
-std::vector<std::pair<float, std::uint64_t>> canonical(
-    const std::vector<Neighbor>& neighbors) {
-  std::vector<std::pair<float, std::uint64_t>> out;
-  out.reserve(neighbors.size());
-  for (const Neighbor& n : neighbors) out.emplace_back(n.dist2, n.id);
-  std::sort(out.begin(), out.end());
-  return out;
-}
 
 class ExactAgreementSweep
     : public ::testing::TestWithParam<
@@ -88,14 +80,16 @@ TEST_P(ExactAgreementSweep, IndicesAndDistancesMatchBruteForce) {
   for (std::uint64_t i = 0; i < n_queries; ++i) {
     queries.copy_point(i, q.data());
     const auto expected = baselines::brute_force_knn(points, q, k);
-    ASSERT_EQ(canonical(dist_results[i]), canonical(expected))
+    // Element-wise, order included: both sides sort by (dist², id), so
+    // ties must resolve to the same ids in the same positions.
+    ASSERT_EQ(dist_results[i], expected)
         << dataset << " ranks=" << ranks << " query " << i;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     DatasetsRanksModes, ExactAgreementSweep,
-    ::testing::Combine(::testing::Values("uniform", "gmm"),
+    ::testing::Combine(::testing::Values("uniform", "gmm", "dupes"),
                        ::testing::Values(1, 2, 4, 8),
                        ::testing::Values(DistQueryConfig::Mode::Collective,
                                          DistQueryConfig::Mode::Pipelined)));

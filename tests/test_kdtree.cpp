@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <tuple>
@@ -231,6 +232,52 @@ TEST(KdTreeQuery, RadiusQueryMatchesFilteredBruteForce) {
     });
     const auto actual = tree.query(q, 8, radius);
     expect_same_distances(actual, expected, "radius query " + std::to_string(i));
+  }
+}
+
+TEST(KdTreeQuery, BatchedQueriesMatchPerQueryExactly) {
+  // query_sq_batch reorders queries into bucket-contiguous groups and
+  // primes each heap with its home leaf; results must still be
+  // bit-identical to the per-query path — including on duplicate-heavy
+  // data where the tie order matters, and with per-query radius
+  // bounds.
+  parallel::ThreadPool pool(4);
+  for (const char* dataset : {"uniform", "dupes"}) {
+    const auto gen = data::make_generator(dataset, 61);
+    const PointSet points = gen->generate_all(4000);
+    const PointSet queries = gen->generate_all(300);
+    const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+    const std::size_t k = 7;
+
+    std::vector<std::vector<Neighbor>> batched;
+    tree.query_sq_batch(queries, k, pool, batched);
+    ASSERT_EQ(batched.size(), queries.size());
+    std::vector<float> q(points.dims());
+    for (std::uint64_t i = 0; i < queries.size(); ++i) {
+      queries.copy_point(i, q.data());
+      ASSERT_EQ(batched[i], tree.query_sq(q, k,
+                                          std::numeric_limits<float>::infinity()))
+          << dataset << " query " << i;
+    }
+
+    // Radius-limited: per-query (radius², bound id) pairs, as the
+    // coalesced remote pass uses them.
+    std::vector<float> radius2(queries.size());
+    std::vector<std::uint64_t> bound_ids(queries.size());
+    for (std::uint64_t i = 0; i < queries.size(); ++i) {
+      radius2[i] = batched[i][std::min<std::size_t>(2, batched[i].size() - 1)]
+                       .dist2;
+      bound_ids[i] = (i % 3 == 0) ? ~std::uint64_t{0} : batched[i].back().id;
+    }
+    std::vector<std::vector<Neighbor>> bounded;
+    tree.query_sq_batch(queries, k, pool, bounded, radius2, bound_ids);
+    for (std::uint64_t i = 0; i < queries.size(); ++i) {
+      queries.copy_point(i, q.data());
+      ASSERT_EQ(bounded[i],
+                tree.query_sq(q, k, radius2[i], TraversalPolicy::Exact,
+                              nullptr, bound_ids[i]))
+          << dataset << " bounded query " << i;
+    }
   }
 }
 

@@ -47,12 +47,42 @@ TEST(KnnHeap, BoundTightensMonotonically) {
 TEST(KnnHeap, RejectsCandidatesAtOrBeyondBound) {
   KnnHeap heap(1);
   EXPECT_TRUE(heap.offer(2.0f, 0));
-  EXPECT_FALSE(heap.offer(2.0f, 1));  // equal distance: first kept
+  EXPECT_FALSE(heap.offer(2.0f, 1));  // equal distance, larger id: loses
   EXPECT_FALSE(heap.offer(3.0f, 2));
   EXPECT_TRUE(heap.offer(1.0f, 3));
   const auto sorted = heap.take_sorted();
   ASSERT_EQ(sorted.size(), 1u);
   EXPECT_EQ(sorted[0].id, 3u);
+}
+
+TEST(KnnHeap, TiesBreakTowardSmallerIdRegardlessOfArrivalOrder) {
+  // The same equal-distance candidate set must produce the same k
+  // survivors for every arrival order — the determinism the
+  // distributed merge relies on (DESIGN.md §5).
+  std::vector<std::uint64_t> ids{9, 3, 7, 1, 5, 0, 8, 2, 6, 4};
+  for (int rotation = 0; rotation < 10; ++rotation) {
+    KnnHeap heap(3);
+    for (const std::uint64_t id : ids) heap.offer(1.0f, id);
+    const auto sorted = heap.take_sorted();
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_EQ(sorted[0].id, 0u) << "rotation " << rotation;
+    EXPECT_EQ(sorted[1].id, 1u) << "rotation " << rotation;
+    EXPECT_EQ(sorted[2].id, 2u) << "rotation " << rotation;
+    std::rotate(ids.begin(), ids.begin() + 1, ids.end());
+  }
+}
+
+TEST(KnnHeap, EqualDistanceSmallerIdDisplacesFullHeap) {
+  KnnHeap heap(2);
+  EXPECT_TRUE(heap.offer(1.0f, 10));
+  EXPECT_TRUE(heap.offer(1.0f, 20));
+  EXPECT_FLOAT_EQ(heap.bound(), 1.0f);
+  EXPECT_TRUE(heap.offer(1.0f, 5));    // displaces id 20
+  EXPECT_FALSE(heap.offer(1.0f, 30));  // larger than the worst kept id
+  const auto sorted = heap.take_sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 5u);
+  EXPECT_EQ(sorted[1].id, 10u);
 }
 
 TEST(KnnHeap, NeverExceedsK) {
@@ -124,6 +154,53 @@ TEST(MergeTopk, HandlesFewerCandidatesThanK) {
   const std::vector<std::vector<Neighbor>> lists{{{1.0f, 1}}, {{2.0f, 2}}};
   const auto merged = merge_topk(lists, 10);
   ASSERT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeTopk, TiesResolveByIdAcrossLists) {
+  // Equal-distance candidates split across lists: the k survivors must
+  // be the smallest ids, whichever list they came from and in
+  // whichever order the lists are visited.
+  std::vector<std::vector<Neighbor>> lists{
+      {{0.5f, 40}, {1.0f, 11}, {1.0f, 13}},
+      {{1.0f, 10}, {1.0f, 12}},
+  };
+  for (int permutation = 0; permutation < 2; ++permutation) {
+    const auto merged = merge_topk(lists, 3);
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_EQ(merged[0].id, 40u);  // strictly closer
+    EXPECT_EQ(merged[1].id, 10u);
+    EXPECT_EQ(merged[2].id, 11u);
+    std::swap(lists[0], lists[1]);
+  }
+}
+
+TEST(MergeTopkInto, StreamingMatchesBatchMerge) {
+  Rng rng(11);
+  std::vector<std::vector<Neighbor>> lists(5);
+  std::uint64_t id = 0;
+  for (auto& list : lists) {
+    const int n = static_cast<int>(rng.uniform_index(30));
+    for (int i = 0; i < n; ++i) {
+      // Coarse distances force plenty of ties.
+      const float d = static_cast<float>(rng.uniform_index(6));
+      list.push_back({d, id++});
+    }
+    std::sort(list.begin(), list.end());
+  }
+  const std::size_t k = 8;
+  const auto batch = merge_topk(lists, k);
+  std::vector<Neighbor> streaming;
+  for (const auto& list : lists) {
+    merge_topk_into(streaming, list, k);
+  }
+  EXPECT_EQ(streaming, batch);
+}
+
+TEST(MergeTopkInto, TruncatesOversizedAccumulator) {
+  std::vector<Neighbor> acc{{1.0f, 1}, {2.0f, 2}, {3.0f, 3}};
+  merge_topk_into(acc, {}, 2);
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[1].id, 2u);
 }
 
 TEST(MergeTopk, MatchesFlatSortReference) {

@@ -209,6 +209,63 @@ TEST(DistRadius, MaxResultsTruncatesToClosest) {
   });
 }
 
+TEST(DistRadius, TruncationInvariantAcrossRanksAndBatchSizes) {
+  // With max_results set, the surviving set must be the closest
+  // max_results under the (dist², id) order — not whatever happened to
+  // arrive first. Sweep rank counts x batch sizes on duplicate-heavy
+  // data (maximal distance ties) and require bit-identical results.
+  const std::uint64_t n_points = 2000;
+  const std::uint64_t n_queries = 60;
+  const float radius = 0.25f;
+  const std::size_t max_results = 9;
+
+  std::vector<std::vector<std::vector<Neighbor>>> runs;
+  for (const int ranks : {1, 2, 5}) {
+    for (const std::size_t batch : {7u, 64u, 4096u}) {
+      std::vector<std::vector<Neighbor>> all_results(n_queries);
+      std::mutex mutex;
+      net::ClusterConfig config;
+      config.ranks = ranks;
+      net::Cluster cluster(config);
+      cluster.run([&](net::Comm& comm) {
+        const auto gen = data::make_generator("dupes", 321);
+        const data::PointSet slice =
+            gen->generate_slice(n_points, comm.rank(), comm.size());
+        const DistKdTree tree =
+            DistKdTree::build(comm, slice, DistBuildConfig{});
+        const auto qgen = data::make_generator("dupes", 123);
+        const std::uint64_t q_begin =
+            static_cast<std::uint64_t>(comm.rank()) * n_queries /
+            static_cast<std::uint64_t>(comm.size());
+        const std::uint64_t q_end =
+            static_cast<std::uint64_t>(comm.rank() + 1) * n_queries /
+            static_cast<std::uint64_t>(comm.size());
+        data::PointSet my_queries(tree.dims());
+        qgen->generate(q_begin, q_end, my_queries);
+
+        DistRadiusEngine engine(comm, tree);
+        RadiusQueryConfig rconfig;
+        rconfig.radius = radius;
+        rconfig.batch_size = batch;
+        rconfig.max_results = max_results;
+        const auto results = engine.run(my_queries, rconfig);
+        std::lock_guard<std::mutex> lock(mutex);
+        for (std::uint64_t i = 0; i < results.size(); ++i) {
+          all_results[q_begin + i] = results[i];
+        }
+      });
+      runs.push_back(std::move(all_results));
+    }
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    for (std::uint64_t i = 0; i < n_queries; ++i) {
+      ASSERT_EQ(runs[r][i], runs[0][i])
+          << "run " << r << " query " << i
+          << " differs from the 1-rank baseline";
+    }
+  }
+}
+
 TEST(DistRadius, BreakdownCountsPopulated) {
   net::ClusterConfig config;
   config.ranks = 4;
