@@ -7,6 +7,11 @@
 #                      -fsanitize=address,undefined, with per-test
 #                      timeouts; leak- and UB-checks the poll-loop and
 #                      coalescing paths of the distributed engines.
+#   ci.sh tsan       — the concurrency suites (serving frontend, thread
+#                      pool) built with -fsanitize=thread: data-race
+#                      checks the admission queue, micro-batcher,
+#                      snapshot swap, shared pool, and the distributed
+#                      serving session.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,8 +31,23 @@ if [[ "$MODE" == "sanitize" ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == "tsan" ]]; then
+  TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
+  cmake --build build-tsan -j --target test_serve test_parallel
+  # TSan serializes heavily on this container's core count; the serve
+  # and parallel suites are the ones whose bugs would be data races.
+  (cd build-tsan && ctest --output-on-failure \
+    -R '^(test_serve|test_parallel)$' --timeout 900)
+  echo "ci.sh: tsan OK"
+  exit 0
+fi
+
 if [[ "$MODE" != "default" ]]; then
-  echo "usage: ci.sh [sanitize]" >&2
+  echo "usage: ci.sh [sanitize|tsan]" >&2
   exit 1
 fi
 

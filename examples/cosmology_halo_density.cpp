@@ -22,17 +22,20 @@
 #include <mutex>
 #include <vector>
 
+#include "example_args.hpp"
 #include "panda.hpp"
 
 int main(int argc, char** argv) {
   using namespace panda;
-  const std::uint64_t n =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500000;
-  const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+  std::uint64_t n = 500000;
+  int ranks = 4;
   // argc > 3 rejects the pre-all-KNN [particles] [queries] [ranks]
   // form, whose query count would otherwise be misread as a rank
   // count.
-  if (n == 0 || ranks < 1 || argc > 3) {
+  const bool parsed = argc <= 3 &&
+                      (argc <= 1 || examples::parse_u64(argv[1], n)) &&
+                      (argc <= 2 || examples::parse_int(argv[2], ranks));
+  if (!parsed || n == 0 || ranks < 1) {
     std::fprintf(stderr,
                  "usage: cosmology_halo_density [particles>0] [ranks>=1]\n");
     return 1;

@@ -14,16 +14,19 @@
 #include <mutex>
 #include <vector>
 
+#include "example_args.hpp"
 #include "panda.hpp"
 
 int main(int argc, char** argv) {
   using namespace panda;
-  const std::uint64_t train_n =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
-  const std::uint64_t test_n =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
-  const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
-  if (train_n == 0 || test_n == 0 || ranks < 1) {
+  std::uint64_t train_n = 200000;
+  std::uint64_t test_n = 20000;
+  int ranks = 4;
+  const bool parsed = argc <= 4 &&
+                      (argc <= 1 || examples::parse_u64(argv[1], train_n)) &&
+                      (argc <= 2 || examples::parse_u64(argv[2], test_n)) &&
+                      (argc <= 3 || examples::parse_int(argv[3], ranks));
+  if (!parsed || train_n == 0 || test_n == 0 || ranks < 1) {
     std::fprintf(stderr,
                  "usage: dayabay_classify [train_n>0] [test_n>0] "
                  "[ranks>=1]\n");

@@ -1,0 +1,47 @@
+// Shared strict CLI argument parsing for the examples.
+//
+// The raw std::strtoull / std::atoi calls the examples started with
+// accept trailing garbage ("500kk" parses as 500, "4x2" as 4) and
+// silently wrap negatives — so a typo'd size ran a very different
+// experiment instead of failing. Every example now parses through
+// these helpers: the whole token must be a plain decimal number, in
+// range, or the example prints its usage line and exits non-zero.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace panda::examples {
+
+/// Parses a full decimal token into out. Rejects empty strings, signs,
+/// whitespace, trailing garbage, and overflow. Returns false (leaving
+/// out untouched) on any failure.
+inline bool parse_u64(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  // strtoull accepts leading whitespace and signs ("-1" wraps to
+  // 2^64-1); require a digit up front so neither slips through.
+  if (!std::isdigit(static_cast<unsigned char>(*text))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+/// As parse_u64 for non-negative int arguments (rank counts, step
+/// counts). Values above INT_MAX are rejected, not truncated.
+inline bool parse_int(const char* text, int& out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, value)) return false;
+  if (value > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+    return false;
+  }
+  out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace panda::examples

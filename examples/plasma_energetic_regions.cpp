@@ -21,14 +21,17 @@
 #include <mutex>
 #include <vector>
 
+#include "example_args.hpp"
 #include "panda.hpp"
 
 int main(int argc, char** argv) {
   using namespace panda;
-  const std::uint64_t n_raw =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400000;
-  const int ranks = argc > 2 ? std::atoi(argv[2]) : 4;
-  if (n_raw == 0 || ranks < 1) {
+  std::uint64_t n_raw = 400000;
+  int ranks = 4;
+  const bool parsed = argc <= 3 &&
+                      (argc <= 1 || examples::parse_u64(argv[1], n_raw)) &&
+                      (argc <= 2 || examples::parse_int(argv[2], ranks));
+  if (!parsed || n_raw == 0 || ranks < 1) {
     std::fprintf(stderr,
                  "usage: plasma_energetic_regions [particles>0] [ranks>=1]\n");
     return 1;

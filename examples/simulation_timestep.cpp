@@ -19,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "example_args.hpp"
 #include "panda.hpp"
 
 namespace {
@@ -43,11 +44,15 @@ void drift(panda::data::PointSet& points, double dt) {
 
 int main(int argc, char** argv) {
   using namespace panda;
-  const std::uint64_t n =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
-  const int steps = argc > 2 ? std::atoi(argv[2]) : 9;
-  const int rebuild_every = argc > 3 ? std::atoi(argv[3]) : 3;
-  if (n == 0 || steps < 1 || rebuild_every < 0) {
+  std::uint64_t n = 200000;
+  int steps = 9;
+  int rebuild_every = 3;
+  const bool parsed = argc <= 4 &&
+                      (argc <= 1 || examples::parse_u64(argv[1], n)) &&
+                      (argc <= 2 || examples::parse_int(argv[2], steps)) &&
+                      (argc <= 3 || examples::parse_int(argv[3],
+                                                        rebuild_every));
+  if (!parsed || n == 0 || steps < 1 || rebuild_every < 0) {
     std::fprintf(stderr,
                  "usage: simulation_timestep [particles>0] [steps>=1] "
                  "[rebuild_every>=0]\n");

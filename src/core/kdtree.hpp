@@ -17,6 +17,14 @@
 // Two pruning policies are provided (see TraversalPolicy); the default
 // is exact. Radius-limited queries (the r of Algorithm 1) support the
 // distributed remote-KNN stage.
+//
+// Thread safety: a built tree is immutable, and every query entry
+// point is const — concurrent queries from any number of threads are
+// safe (the serving frontend depends on this). The only mutable query
+// state is the per-thread SIMD distance scratch (thread_local in
+// kdtree_query.cpp); QueryStats out-parameters are caller-owned, so
+// concurrent callers must pass distinct instances (the batch entry
+// points already accumulate per-thread).
 #pragma once
 
 #include <cstdint>

@@ -42,9 +42,10 @@ int classify(std::span<const core::Neighbor> neighbors,
   return best;
 }
 
-double regress(std::span<const core::Neighbor> neighbors,
-               const ValueLookup& value_of, VoteWeighting weighting) {
-  if (neighbors.empty()) return 0.0;
+std::optional<double> regress(std::span<const core::Neighbor> neighbors,
+                              const ValueLookup& value_of,
+                              VoteWeighting weighting) {
+  if (neighbors.empty()) return std::nullopt;
   double weighted_sum = 0.0;
   double weight_total = 0.0;
   for (const core::Neighbor& n : neighbors) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -39,10 +40,13 @@ int classify(std::span<const core::Neighbor> neighbors,
              VoteWeighting weighting = VoteWeighting::Uniform);
 
 /// Predicts a continuous value (weighted mean of neighbor values).
-/// Returns 0.0 for an empty neighbor list.
-double regress(std::span<const core::Neighbor> neighbors,
-               const ValueLookup& value_of,
-               VoteWeighting weighting = VoteWeighting::Uniform);
+/// Returns std::nullopt for an empty neighbor list — the regression
+/// analogue of classify's -1. (It used to return 0.0, which was
+/// indistinguishable from a genuine 0.0 prediction.)
+std::optional<double> regress(std::span<const core::Neighbor> neighbors,
+                              const ValueLookup& value_of,
+                              VoteWeighting weighting =
+                                  VoteWeighting::Uniform);
 
 /// Classification quality over a labeled evaluation set.
 struct EvaluationResult {

@@ -45,5 +45,8 @@
 #include "net/mailbox.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/backend.hpp"
+#include "serve/query_service.hpp"
+#include "serve/serve_stats.hpp"
 #include "simd/distance.hpp"
 #include "simd/interval_search.hpp"

@@ -26,6 +26,7 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
     fn(0);
     return;
   }
+  std::lock_guard<std::mutex> caller_lock(caller_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;

@@ -36,6 +36,13 @@ class ThreadPool {
   /// invocations return. Exceptions thrown by any invocation are
   /// rethrown on the caller (first one wins). Not reentrant: do not
   /// call run() from inside a job on the same pool.
+  ///
+  /// Thread safety: run() may be called from multiple threads
+  /// concurrently — jobs are serialized in arrival order, so one pool
+  /// can be shared between serving workers and batch kernels (the
+  /// serve::QueryService pattern). On a size-1 pool fn runs directly
+  /// on each caller with no shared state, so concurrent callers
+  /// proceed independently.
   void run(const std::function<void(int)>& fn);
 
  private:
@@ -43,6 +50,13 @@ class ThreadPool {
 
   int size_;
   std::vector<std::thread> workers_;
+
+  /// Serializes concurrent run() callers. Without this, two
+  /// simultaneous callers race on job_/generation_/pending_ and both
+  /// jobs' completion accounting corrupts (each worker runs whichever
+  /// job_ it happens to read). Held for the whole job so the job slot
+  /// is exclusively owned.
+  std::mutex caller_mutex_;
 
   std::mutex mutex_;
   std::condition_variable job_cv_;

@@ -1,0 +1,324 @@
+#include "serve/backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "dist/dist_query.hpp"
+#include "dist/radius_query.hpp"
+#include "net/comm.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace panda::serve {
+
+namespace {
+
+/// Splits a batch into the KNN and radius groups and the normalized
+/// group parameters (k_max, r_max) the engines run at.
+struct BatchPlan {
+  std::vector<std::size_t> knn_index;
+  std::vector<std::size_t> radius_index;
+  std::size_t k_max = 0;
+  float r_max = 0.0f;
+};
+
+BatchPlan plan_batch(std::span<const Request> batch) {
+  BatchPlan plan;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i];
+    if (request.kind == Request::Kind::Knn) {
+      plan.knn_index.push_back(i);
+      plan.k_max = std::max(plan.k_max, request.k);
+    } else {
+      plan.radius_index.push_back(i);
+      plan.r_max = std::max(plan.r_max, request.radius);
+    }
+  }
+  return plan;
+}
+
+/// Queries of the group, ids = position within the group.
+data::PointSet group_queries(std::span<const Request> batch,
+                             const std::vector<std::size_t>& index,
+                             std::size_t dims) {
+  data::PointSet queries(dims);
+  queries.reserve(index.size());
+  for (std::size_t j = 0; j < index.size(); ++j) {
+    queries.push_point(batch[index[j]].query, j);
+  }
+  return queries;
+}
+
+/// Keeps request i's own top-k prefix of a k_max answer. Exact because
+/// the list is ascending (dist², id) with deterministic ties.
+void truncate_to_k(Result& result, std::size_t k) {
+  if (result.size() > k) result.resize(k);
+}
+
+/// Keeps request i's own strict-radius prefix of an r_max answer.
+void truncate_to_radius(Result& result, float radius) {
+  const float r2 = radius * radius;
+  std::size_t keep = 0;
+  while (keep < result.size() && result[keep].dist2 < r2) ++keep;
+  result.resize(keep);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// LocalBackend
+// ---------------------------------------------------------------------
+
+LocalBackend::LocalBackend(std::shared_ptr<const core::KdTree> tree,
+                           std::shared_ptr<parallel::ThreadPool> pool)
+    : tree_(std::move(tree)), pool_(std::move(pool)) {
+  PANDA_CHECK_MSG(tree_ != nullptr && pool_ != nullptr,
+                  "LocalBackend needs a tree and a pool");
+}
+
+void LocalBackend::run_batch(std::span<const Request> batch,
+                             std::vector<Result>& results) {
+  results.assign(batch.size(), {});
+  if (batch.empty()) return;
+  const BatchPlan plan = plan_batch(batch);
+
+  if (!plan.knn_index.empty()) {
+    const data::PointSet queries =
+        group_queries(batch, plan.knn_index, tree_->dims());
+    std::vector<Result> group_results;
+    tree_->query_sq_batch(queries, plan.k_max, *pool_, group_results);
+    for (std::size_t j = 0; j < plan.knn_index.size(); ++j) {
+      const std::size_t i = plan.knn_index[j];
+      truncate_to_k(group_results[j], batch[i].k);
+      results[i] = std::move(group_results[j]);
+    }
+  }
+
+  if (!plan.radius_index.empty()) {
+    parallel::parallel_for_dynamic(
+        *pool_, 0, plan.radius_index.size(), 4,
+        [&](int, std::uint64_t a, std::uint64_t b) {
+          for (std::uint64_t j = a; j < b; ++j) {
+            const std::size_t i = plan.radius_index[j];
+            results[i] = tree_->query_radius(batch[i].query, batch[i].radius);
+          }
+        });
+  }
+}
+
+// ---------------------------------------------------------------------
+// DistBackend
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// The per-batch command rank 0 broadcasts so every rank of the
+/// session invokes the same collective engines with the same
+/// normalized parameters. Query payloads are NOT broadcast: only rank
+/// 0 has queries, the engines route them internally.
+struct WireCmd {
+  std::uint32_t quit = 0;
+  std::uint64_t n_knn = 0;
+  std::uint64_t k = 0;
+  std::uint64_t n_radius = 0;
+  float radius = 0.0f;
+};
+static_assert(std::is_trivially_copyable_v<WireCmd>);
+
+}  // namespace
+
+struct DistBackend::Session {
+  explicit Session(const net::ClusterConfig& config) : cluster(config) {}
+
+  net::Cluster cluster;
+
+  std::mutex mutex;
+  std::condition_variable cv_cmd;   // frontend -> rank 0
+  std::condition_variable cv_done;  // rank 0 / driver -> frontend
+  bool ready = false;
+  bool has_cmd = false;
+  bool done = false;
+  bool quit = false;
+  bool failed = false;
+  std::exception_ptr error;
+
+  // Command payload; owned by the run_batch frame, valid while
+  // has_cmd/done round-trips (run_batch blocks until done).
+  const data::PointSet* knn_queries = nullptr;
+  std::size_t k = 0;
+  const data::PointSet* radius_queries = nullptr;
+  float radius = 0.0f;
+  std::vector<Result> knn_results;
+  std::vector<Result> radius_results;
+
+  // Set by rank 0 once the tree is built, copied into the backend
+  // before the constructor returns.
+  std::size_t dims = 0;
+  std::uint64_t total_points = 0;
+
+  /// One collective round at a time: serializes concurrent run_batch
+  /// callers (the session is a single SPMD program).
+  std::mutex exec_mutex;
+  std::thread driver;
+
+  void serve_loop(net::Comm& comm,
+                  const std::function<data::PointSet(net::Comm&)>& slice_fn,
+                  const dist::DistBuildConfig& build_config);
+};
+
+void DistBackend::Session::serve_loop(
+    net::Comm& comm,
+    const std::function<data::PointSet(net::Comm&)>& slice_fn,
+    const dist::DistBuildConfig& build_config) {
+  const data::PointSet slice = slice_fn(comm);
+  const dist::DistKdTree tree =
+      dist::DistKdTree::build(comm, slice, build_config);
+  const std::uint64_t total = comm.allreduce<std::uint64_t>(
+      slice.size(), net::ReduceOp::Sum);
+  if (comm.rank() == 0) {
+    std::lock_guard<std::mutex> lock(mutex);
+    dims = tree.dims();
+    total_points = total;
+    ready = true;
+    cv_done.notify_all();
+  }
+
+  dist::DistQueryEngine knn_engine(comm, tree);
+  dist::DistRadiusEngine radius_engine(comm, tree);
+  const data::PointSet no_queries(tree.dims());
+
+  for (;;) {
+    WireCmd cmd;
+    if (comm.rank() == 0) {
+      std::unique_lock<std::mutex> lock(mutex);
+      // Poll aborted() so a peer rank's failure wakes rank 0 out of
+      // the command wait instead of deadlocking the session.
+      while (!has_cmd && !quit) {
+        if (comm.aborted()) throw Error("serving cluster aborted");
+        cv_cmd.wait_for(lock, std::chrono::milliseconds(20));
+      }
+      cmd.quit = quit ? 1 : 0;
+      if (!quit) {
+        cmd.n_knn = knn_queries->size();
+        cmd.k = k;
+        cmd.n_radius = radius_queries->size();
+        cmd.radius = radius;
+      }
+    }
+    cmd = comm.bcast(std::vector<WireCmd>{cmd}, 0).front();
+    if (cmd.quit != 0) break;
+
+    const bool root = comm.rank() == 0;
+    std::vector<Result> knn_out;
+    std::vector<Result> radius_out;
+    if (cmd.n_knn > 0) {
+      dist::DistQueryConfig config;
+      config.k = cmd.k;
+      knn_out = knn_engine.run(root ? *knn_queries : no_queries, config);
+    }
+    if (cmd.n_radius > 0) {
+      dist::RadiusQueryConfig config;
+      config.radius = cmd.radius;
+      radius_out =
+          radius_engine.run(root ? *radius_queries : no_queries, config);
+    }
+    if (root) {
+      std::lock_guard<std::mutex> lock(mutex);
+      knn_results = std::move(knn_out);
+      radius_results = std::move(radius_out);
+      has_cmd = false;
+      done = true;
+      cv_done.notify_all();
+    }
+  }
+}
+
+DistBackend::DistBackend(const net::ClusterConfig& cluster_config,
+                         std::function<data::PointSet(net::Comm&)> slice_fn,
+                         const dist::DistBuildConfig& build_config)
+    : session_(std::make_unique<Session>(cluster_config)) {
+  Session* session = session_.get();
+  session->driver = std::thread(
+      [session, slice_fn = std::move(slice_fn), build_config] {
+        try {
+          session->cluster.run([&](net::Comm& comm) {
+            session->serve_loop(comm, slice_fn, build_config);
+          });
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(session->mutex);
+          session->failed = true;
+          session->error = std::current_exception();
+          session->cv_done.notify_all();
+        }
+      });
+  std::unique_lock<std::mutex> lock(session->mutex);
+  session->cv_done.wait(lock, [&] { return session->ready || session->failed; });
+  if (session->failed) {
+    const std::exception_ptr error = session->error;
+    lock.unlock();
+    session->driver.join();
+    std::rethrow_exception(error);
+  }
+}
+
+DistBackend::~DistBackend() {
+  {
+    std::lock_guard<std::mutex> lock(session_->mutex);
+    session_->quit = true;
+    session_->cv_cmd.notify_all();
+  }
+  if (session_->driver.joinable()) session_->driver.join();
+}
+
+std::size_t DistBackend::dims() const { return session_->dims; }
+
+std::uint64_t DistBackend::size() const { return session_->total_points; }
+
+void DistBackend::run_batch(std::span<const Request> batch,
+                            std::vector<Result>& results) {
+  results.assign(batch.size(), {});
+  if (batch.empty()) return;
+  const BatchPlan plan = plan_batch(batch);
+  const data::PointSet knn_queries =
+      group_queries(batch, plan.knn_index, dims());
+  const data::PointSet radius_queries =
+      group_queries(batch, plan.radius_index, dims());
+
+  std::vector<Result> knn_results;
+  std::vector<Result> radius_results;
+  {
+    std::lock_guard<std::mutex> exec_lock(session_->exec_mutex);
+    std::unique_lock<std::mutex> lock(session_->mutex);
+    if (session_->failed) std::rethrow_exception(session_->error);
+    PANDA_CHECK_MSG(!session_->quit, "DistBackend session is shut down");
+    session_->knn_queries = &knn_queries;
+    session_->k = plan.k_max;
+    session_->radius_queries = &radius_queries;
+    session_->radius = plan.r_max;
+    session_->done = false;
+    session_->has_cmd = true;
+    session_->cv_cmd.notify_all();
+    session_->cv_done.wait(lock,
+                           [&] { return session_->done || session_->failed; });
+    if (session_->failed) std::rethrow_exception(session_->error);
+    knn_results = std::move(session_->knn_results);
+    radius_results = std::move(session_->radius_results);
+  }
+
+  for (std::size_t j = 0; j < plan.knn_index.size(); ++j) {
+    const std::size_t i = plan.knn_index[j];
+    truncate_to_k(knn_results[j], batch[i].k);
+    results[i] = std::move(knn_results[j]);
+  }
+  for (std::size_t j = 0; j < plan.radius_index.size(); ++j) {
+    const std::size_t i = plan.radius_index[j];
+    truncate_to_radius(radius_results[j], batch[i].radius);
+    results[i] = std::move(radius_results[j]);
+  }
+}
+
+}  // namespace panda::serve

@@ -1,0 +1,151 @@
+// Execution backends for the serving frontend (DESIGN.md §8).
+//
+// A Backend is one immutable snapshot of a served index plus the
+// machinery to answer a whole micro-batch of heterogeneous requests in
+// one call. Two implementations cover the repository's engines:
+//
+//   LocalBackend — single node: KNN requests run through the
+//     leaf-block-batched core::KdTree::query_sq_batch kernel, radius
+//     requests through query_radius parallelized on the shared pool.
+//
+//   DistBackend — distributed: a persistent in-process cluster session
+//     (net::Cluster) builds the DistKdTree once, then every rank loops
+//     answering broadcast batch commands through DistQueryEngine /
+//     DistRadiusEngine. The frontend hands batches to rank 0 and the
+//     collective protocol fans them out — serving reuses the exact
+//     five-stage engines unchanged.
+//
+// Mixed per-request parameters are normalized wherever the underlying
+// engine call is one-shot: a KNN group runs once at k_max = max over
+// the group and each request keeps its own top-k prefix (both
+// backends); DistBackend's radius group likewise runs one collective
+// pass at r_max and each request keeps the prefix with dist² < r_i².
+// The prefix reductions are exact because every engine returns
+// ascending (dist², id) order with deterministic ties (DESIGN.md §5)
+// — so batched answers are id-identical to per-request calls.
+// LocalBackend needs no radius normalization: it answers each radius
+// request at its own radius, in parallel on the pool (there is no
+// batched local radius kernel to amortize into).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/kdtree.hpp"
+#include "core/knn_heap.hpp"
+#include "data/point_set.hpp"
+#include "dist/dist_kdtree.hpp"
+#include "net/cluster.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::serve {
+
+/// One client request against the served index.
+struct Request {
+  enum class Kind { Knn, Radius };
+  Kind kind = Kind::Knn;
+  /// The query point; must hold exactly Backend::dims() floats.
+  std::vector<float> query;
+  /// Kind::Knn: number of neighbors (>= 1).
+  std::size_t k = 1;
+  /// Kind::Radius: metric radius (>= 0); neighbors satisfy the strict
+  /// dist² < radius² convention of KdTree::query_radius.
+  float radius = 0.0f;
+
+  static Request knn(std::vector<float> query, std::size_t k) {
+    Request r;
+    r.kind = Kind::Knn;
+    r.query = std::move(query);
+    r.k = k;
+    return r;
+  }
+  static Request radius_search(std::vector<float> query, float radius) {
+    Request r;
+    r.kind = Kind::Radius;
+    r.query = std::move(query);
+    r.radius = radius;
+    return r;
+  }
+};
+
+/// Ascending (dist², id) neighbor list, exactly what the underlying
+/// engine would return for the request served alone.
+using Result = std::vector<core::Neighbor>;
+
+/// An immutable served-index snapshot. QueryService holds the current
+/// Backend behind a swap handle (shared_ptr): workers pin the snapshot
+/// for the duration of one batch, so a swap never blocks or corrupts
+/// in-flight batches and the old index is destroyed only after its
+/// last batch completes.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::size_t dims() const = 0;
+  /// Total indexed points (informational).
+  virtual std::uint64_t size() const = 0;
+
+  /// Answers batch[i] into results[i] (the callee assigns results).
+  /// Thread safety: must tolerate concurrent calls from multiple
+  /// service workers.
+  virtual void run_batch(std::span<const Request> batch,
+                         std::vector<Result>& results) = 0;
+};
+
+/// Single-node backend over a core::KdTree. The tree and pool are
+/// shared so that successive snapshots (rebuild-behind-traffic) reuse
+/// one thread team; concurrent run_batch calls are safe because all
+/// KdTree query entry points are const and ThreadPool::run serializes
+/// concurrent callers.
+class LocalBackend final : public Backend {
+ public:
+  LocalBackend(std::shared_ptr<const core::KdTree> tree,
+               std::shared_ptr<parallel::ThreadPool> pool);
+
+  std::size_t dims() const override { return tree_->dims(); }
+  std::uint64_t size() const override { return tree_->size(); }
+  void run_batch(std::span<const Request> batch,
+                 std::vector<Result>& results) override;
+
+  const core::KdTree& tree() const { return *tree_; }
+
+ private:
+  std::shared_ptr<const core::KdTree> tree_;
+  std::shared_ptr<parallel::ThreadPool> pool_;
+};
+
+/// Distributed backend: one long-lived cluster session serving batch
+/// commands against a DistKdTree built once at construction.
+///
+/// The constructor blocks until every rank has built its tree (or
+/// rethrows the first build failure); run_batch blocks until the
+/// collective engines answer the batch. Batches are serialized
+/// internally — the session is one SPMD program and runs one
+/// collective round at a time.
+class DistBackend final : public Backend {
+ public:
+  /// slice_fn(comm) returns the calling rank's share of the indexed
+  /// dataset (same dims everywhere).
+  DistBackend(const net::ClusterConfig& cluster_config,
+              std::function<data::PointSet(net::Comm&)> slice_fn,
+              const dist::DistBuildConfig& build_config = {});
+  ~DistBackend() override;
+
+  DistBackend(const DistBackend&) = delete;
+  DistBackend& operator=(const DistBackend&) = delete;
+
+  std::size_t dims() const override;
+  std::uint64_t size() const override;
+  void run_batch(std::span<const Request> batch,
+                 std::vector<Result>& results) override;
+
+ private:
+  struct Session;
+  std::unique_ptr<Session> session_;
+};
+
+}  // namespace panda::serve

@@ -1,0 +1,259 @@
+#include "serve/query_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace panda::serve {
+
+QueryService::QueryService(std::shared_ptr<Backend> backend,
+                           const ServeConfig& config)
+    : config_(config),
+      backend_(std::move(backend)),
+      start_(std::chrono::steady_clock::now()) {
+  PANDA_CHECK_MSG(backend_ != nullptr, "QueryService needs a backend");
+  PANDA_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
+  PANDA_CHECK_MSG(config_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  PANDA_CHECK_MSG(config_.workers >= 1, "workers must be >= 1");
+  dims_ = backend_->dims();
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+QueryService::~QueryService() { shutdown(); }
+
+void QueryService::validate(const Request& request) const {
+  PANDA_CHECK_MSG(request.query.size() == dims_,
+                  "request dimensionality mismatch");
+  if (request.kind == Request::Kind::Knn) {
+    PANDA_CHECK_MSG(request.k >= 1, "k must be >= 1");
+  } else {
+    PANDA_CHECK_MSG(request.radius >= 0.0f, "radius must be non-negative");
+  }
+}
+
+bool QueryService::admit(Request&& request, std::future<Result>* out,
+                         bool blocking) {
+  validate(request);
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<Result> future = pending.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (blocking) {
+      space_cv_.wait(lock, [&] {
+        return stop_ || queue_.size() < config_.queue_capacity;
+      });
+    }
+    if (stop_) return false;  // not shed load: submit() reports shutdown
+    if (queue_.size() >= config_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    pending.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(pending));
+    max_queue_depth_ = std::max<std::uint64_t>(max_queue_depth_,
+                                               queue_.size());
+  }
+  queue_cv_.notify_one();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  *out = std::move(future);
+  return true;
+}
+
+std::future<Result> QueryService::submit(Request request) {
+  std::future<Result> future;
+  const bool blocking = config_.overflow == ServeConfig::Overflow::Block;
+  if (admit(std::move(request), &future, blocking)) return future;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    PANDA_CHECK_MSG(!stop_, "QueryService is shut down");
+  }
+  // Overflow::Reject with a full queue: fail the future, not the call,
+  // so open-loop clients can keep a uniform submit-and-collect shape.
+  std::promise<Result> broken;
+  broken.set_exception(
+      std::make_exception_ptr(Error("serve queue full (rejected)")));
+  return broken.get_future();
+}
+
+bool QueryService::try_submit(Request request, std::future<Result>* out) {
+  PANDA_CHECK_MSG(out != nullptr, "try_submit needs an output future");
+  return admit(std::move(request), out, /*blocking=*/false);
+}
+
+void QueryService::swap_backend(std::shared_ptr<Backend> next) {
+  PANDA_CHECK_MSG(next != nullptr, "swap_backend needs a backend");
+  PANDA_CHECK_MSG(next->dims() == dims_,
+                  "swapped index must keep the served dimensionality");
+  std::lock_guard<std::mutex> lock(backend_mutex_);
+  backend_ = std::move(next);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<Backend> QueryService::backend() const {
+  std::lock_guard<std::mutex> lock(backend_mutex_);
+  return backend_;
+}
+
+void QueryService::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    FlushReason reason = FlushReason::Size;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      if (queue_.size() < config_.max_batch && !stop_) {
+        // Window flush: the deadline is anchored at the *oldest*
+        // queued request, so no request waits longer than flush_window
+        // for co-batched company.
+        const auto deadline = queue_.front().enqueued + config_.flush_window;
+        queue_cv_.wait_until(lock, deadline, [&] {
+          return stop_ || queue_.size() >= config_.max_batch;
+        });
+        if (queue_.empty()) continue;  // another worker drained it
+      }
+      reason = queue_.size() >= config_.max_batch
+                   ? FlushReason::Size
+                   : (stop_ ? FlushReason::Drain : FlushReason::Window);
+      const std::size_t take = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    space_cv_.notify_all();
+    execute(batch, reason);
+  }
+}
+
+void QueryService::execute(std::vector<Pending>& batch, FlushReason reason) {
+  // Pin the snapshot for exactly this batch (swap-safe).
+  std::shared_ptr<Backend> backend;
+  {
+    std::lock_guard<std::mutex> lock(backend_mutex_);
+    backend = backend_;
+  }
+
+  std::vector<Request> requests;
+  requests.reserve(batch.size());
+  for (Pending& p : batch) requests.push_back(std::move(p.request));
+
+  std::vector<Result> results;
+  std::exception_ptr error;
+  try {
+    backend->run_batch(requests, results);
+    PANDA_CHECK_MSG(results.size() == batch.size(),
+                    "backend answered the wrong batch size");
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  // All bookkeeping happens BEFORE the promises are fulfilled: a
+  // client that has observed its result must already find itself in
+  // the counters (tests read stats() right after the last get()).
+  const auto now = std::chrono::steady_clock::now();
+  if (error) {
+    // Failed requests are counted but not timed: the histogram is
+    // completion latency (latency.count tracks completed).
+    failed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  } else {
+    for (const Pending& p : batch) {
+      latency_.record(
+          std::chrono::duration<double, std::micro>(now - p.enqueued)
+              .count());
+    }
+    completed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
+  last_completion_ns_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+              .count()),
+      std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  const auto bucket = std::min<std::size_t>(
+      kBatchBuckets - 1,
+      static_cast<std::size_t>(std::bit_width(batch.size()) - 1));
+  batch_size_log2_[bucket].fetch_add(1, std::memory_order_relaxed);
+  switch (reason) {
+    case FlushReason::Size:
+      flushes_on_size_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::Window:
+      flushes_on_window_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::Drain:
+      flushes_on_drain_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (error) {
+      batch[i].promise.set_exception(error);
+    } else {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+void QueryService::shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stop_ && workers_.empty()) return;
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+ServeStats QueryService::stats() const {
+  ServeStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.flushes_on_size = flushes_on_size_.load(std::memory_order_relaxed);
+  out.flushes_on_window = flushes_on_window_.load(std::memory_order_relaxed);
+  out.flushes_on_drain = flushes_on_drain_.load(std::memory_order_relaxed);
+  out.swaps = swaps_.load(std::memory_order_relaxed);
+  out.batch_size_log2.resize(kBatchBuckets);
+  for (std::size_t b = 0; b < kBatchBuckets; ++b) {
+    out.batch_size_log2[b] = batch_size_log2_[b].load(
+        std::memory_order_relaxed);
+  }
+  out.mean_batch_size =
+      out.batches == 0
+          ? 0.0
+          : static_cast<double>(
+                batched_requests_.load(std::memory_order_relaxed)) /
+                static_cast<double>(out.batches);
+  out.latency = latency_.summary();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    out.max_queue_depth = max_queue_depth_;
+    out.current_queue_depth = queue_.size();
+  }
+  const double elapsed_ns = static_cast<double>(
+      last_completion_ns_.load(std::memory_order_relaxed));
+  out.elapsed_seconds = elapsed_ns / 1e9;
+  out.qps = elapsed_ns > 0.0
+                ? static_cast<double>(out.completed) / (elapsed_ns / 1e9)
+                : 0.0;
+  return out;
+}
+
+}  // namespace panda::serve

@@ -1,0 +1,158 @@
+// The concurrent query-serving frontend (DESIGN.md §8).
+//
+// QueryService turns the repository's batch engines into an online
+// service: many client threads submit individual KNN / radius
+// requests; requests are admission-queued, dynamically micro-batched
+// (flush when the batch reaches max_batch or when flush_window has
+// elapsed since the oldest queued request, whichever first), executed
+// on worker threads through a Backend snapshot, and completed through
+// per-request futures with latency accounting.
+//
+//   clients ──submit──▶ bounded queue ──collect──▶ micro-batch
+//        ◀──future───── promises      ◀──execute── Backend::run_batch
+//
+// Why micro-batching: per-request dispatch pays the full pool fan-out,
+// queue handoff, and cache-cold descent for every query; one batched
+// kernel call amortizes all three across the batch (the ParlayANN /
+// KNN-join observation — throughput lives in hardware-friendly
+// batches). bench_serve measures the win.
+//
+// Index swap (rebuild-behind-traffic): the served Backend lives behind
+// a shared_ptr handle. Workers pin the current snapshot for exactly
+// one batch; swap_backend() publishes the replacement atomically, so
+// in-flight batches finish on the old index, later batches use the
+// new one, and the old index is destroyed when its last batch drops
+// the reference. Nothing blocks traffic.
+//
+// Backpressure: the admission queue is bounded by queue_capacity.
+// Overflow::Block makes submitters wait for space (closed-loop
+// clients); Overflow::Reject fails the request immediately (open-loop
+// frontends that would rather shed load than grow latency).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/backend.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace panda::serve {
+
+struct ServeConfig {
+  /// Flush a batch as soon as it holds this many requests.
+  std::size_t max_batch = 64;
+  /// ... or when this much time has passed since the oldest queued
+  /// request (latency bound under light traffic). Zero flushes
+  /// immediately with whatever is queued.
+  std::chrono::microseconds flush_window{200};
+  /// Admission queue bound (backpressure trigger).
+  std::size_t queue_capacity = 4096;
+  enum class Overflow {
+    Block,   // submit() waits for queue space
+    Reject,  // submit() fails the future / try_submit() returns false
+  };
+  Overflow overflow = Overflow::Block;
+  /// Batch-executing worker threads. Workers share the backend's
+  /// thread pool; >1 overlaps completion/bookkeeping of one batch with
+  /// the kernel of the next.
+  int workers = 1;
+};
+
+class QueryService {
+ public:
+  /// Starts the workers immediately. `backend` must be non-null.
+  QueryService(std::shared_ptr<Backend> backend, const ServeConfig& config);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits one request; the future completes with the exact answer
+  /// (ascending (dist², id), identical to a per-request engine call).
+  /// Validates dimensionality and parameters (throws panda::Error).
+  /// Under Overflow::Block a full queue blocks the caller; under
+  /// Overflow::Reject the returned future holds a panda::Error.
+  /// Throws panda::Error if the service has been shut down.
+  std::future<Result> submit(Request request);
+
+  /// Reject-style admission without the exception: returns false (and
+  /// leaves *out untouched) if the queue is full or the service is
+  /// stopped, regardless of the configured Overflow policy.
+  bool try_submit(Request request, std::future<Result>* out);
+
+  /// Atomically replaces the served index snapshot. In-flight batches
+  /// finish on the old snapshot; requests admitted after swap_backend
+  /// returns are answered by `next`. The old snapshot is released when
+  /// its last in-flight batch completes. dims() must match.
+  void swap_backend(std::shared_ptr<Backend> next);
+
+  /// The currently served snapshot.
+  std::shared_ptr<Backend> backend() const;
+
+  /// Drains the queue (every admitted request still completes), stops
+  /// the workers, and rejects future submissions. Idempotent; also run
+  /// by the destructor.
+  void shutdown();
+
+  /// Counter snapshot (see ServeStats).
+  ServeStats stats() const;
+
+ private:
+  enum class FlushReason { Size, Window, Drain };
+
+  struct Pending {
+    Request request;
+    std::promise<Result> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void execute(std::vector<Pending>& batch, FlushReason reason);
+  /// Core admission; returns false when rejected (full or stopped).
+  bool admit(Request&& request, std::future<Result>* out, bool blocking);
+  void validate(const Request& request) const;
+
+  ServeConfig config_;
+
+  mutable std::mutex backend_mutex_;
+  std::shared_ptr<Backend> backend_;
+  std::size_t dims_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;  // queue became non-empty / full enough
+  std::condition_variable space_cv_;  // queue has room again
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::uint64_t max_queue_depth_ = 0;  // guarded by queue_mutex_
+
+  std::mutex shutdown_mutex_;  // makes shutdown() safe to call twice
+  std::vector<std::thread> workers_;
+
+  // Hot-path counters: atomics, never a lock (DESIGN.md §8).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> flushes_on_size_{0};
+  std::atomic<std::uint64_t> flushes_on_window_{0};
+  std::atomic<std::uint64_t> flushes_on_drain_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  static constexpr std::size_t kBatchBuckets = 20;
+  std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_size_log2_{};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  LatencyHistogram latency_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> last_completion_ns_{0};  // since start_
+};
+
+}  // namespace panda::serve

@@ -1,0 +1,80 @@
+#include "serve/serve_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace panda::serve {
+
+namespace {
+
+constexpr double kGrowth = 1.189207115002721;  // 2^(1/4)
+const double kLogGrowth = std::log(kGrowth);
+
+std::size_t bucket_of(double micros) {
+  if (!(micros > 1.0)) return 0;
+  const double b = std::log(micros) / kLogGrowth;
+  const auto idx = static_cast<std::size_t>(b);
+  return std::min(idx, LatencyHistogram::kBuckets - 1);
+}
+
+/// Geometric midpoint of bucket b — the quantile estimate reported
+/// for every sample that landed in it.
+double bucket_mid(std::size_t b) {
+  return std::pow(kGrowth, static_cast<double>(b) + 0.5);
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double micros) {
+  if (micros < 0.0) micros = 0.0;
+  buckets_[bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const auto tenth = static_cast<std::uint64_t>(micros * 10.0);
+  sum_tenth_us_.fetch_add(tenth, std::memory_order_relaxed);
+  std::uint64_t seen = max_tenth_us_.load(std::memory_order_relaxed);
+  while (tenth > seen &&
+         !max_tenth_us_.compare_exchange_weak(seen, tenth,
+                                              std::memory_order_relaxed)) {
+  }
+}
+
+LatencySummary LatencyHistogram::summary() const {
+  LatencySummary out;
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  out.count = total;
+  if (total == 0) return out;
+  out.mean_us =
+      static_cast<double>(sum_tenth_us_.load(std::memory_order_relaxed)) /
+      10.0 / static_cast<double>(total);
+  out.max_us =
+      static_cast<double>(max_tenth_us_.load(std::memory_order_relaxed)) /
+      10.0;
+  const auto quantile = [&](double q) {
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen > target) return std::min(bucket_mid(b), out.max_us);
+    }
+    return out.max_us;
+  };
+  out.p50_us = quantile(0.50);
+  out.p95_us = quantile(0.95);
+  out.p99_us = quantile(0.99);
+  return out;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_tenth_us_.store(0, std::memory_order_relaxed);
+  max_tenth_us_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace panda::serve

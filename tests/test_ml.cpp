@@ -60,20 +60,36 @@ TEST(Regress, UniformIsPlainMean) {
   const auto value = [](std::uint64_t id) {
     return static_cast<double>(id) * 10.0;
   };
-  EXPECT_DOUBLE_EQ(regress(neighbors, value), 10.0);
+  EXPECT_DOUBLE_EQ(regress(neighbors, value).value(), 10.0);
 }
 
 TEST(Regress, InverseDistancePullsTowardNearest) {
   const std::vector<Neighbor> neighbors{{0.01f, 0}, {100.0f, 1}};
   const auto value = [](std::uint64_t id) { return id == 0 ? 1.0 : 100.0; };
   const double prediction =
-      regress(neighbors, value, VoteWeighting::InverseDistance);
+      regress(neighbors, value, VoteWeighting::InverseDistance).value();
   EXPECT_LT(prediction, 5.0);
 }
 
-TEST(Regress, EmptyIsZero) {
+// The two empty-input contracts, side by side: classification answers
+// -1, regression answers nullopt — both distinguishable from every
+// genuine prediction (a real 0.0 regression now comes back engaged).
+TEST(Classify, EmptyNeighborListIsMinusOne) {
+  const auto label = [](std::uint64_t) { return 0; };
+  EXPECT_EQ(classify({}, label, 3), -1);
+}
+
+TEST(Regress, EmptyNeighborListIsNullopt) {
   const auto value = [](std::uint64_t) { return 42.0; };
-  EXPECT_EQ(regress({}, value), 0.0);
+  EXPECT_EQ(regress({}, value), std::nullopt);
+}
+
+TEST(Regress, GenuineZeroPredictionStaysEngaged) {
+  const std::vector<Neighbor> neighbors{{1.0f, 0}, {2.0f, 1}};
+  const auto value = [](std::uint64_t) { return 0.0; };
+  const auto prediction = regress(neighbors, value);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_DOUBLE_EQ(*prediction, 0.0);
 }
 
 TEST(Evaluate, AccuracyAndConfusion) {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -32,6 +33,36 @@ TEST(ThreadPool, ReusableAcrossManyJobs) {
     pool.run([&](int) { total++; });
   }
   EXPECT_EQ(total.load(), 400);
+}
+
+// Pool sharing (the serving pattern: several service workers driving
+// batch kernels on one pool): concurrent run() callers must serialize
+// — without the caller mutex, two simultaneous jobs race on the shared
+// job slot and some invocations run the wrong job or are lost.
+TEST(ThreadPool, ConcurrentCallersSerializeJobs) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> callers;
+  std::atomic<bool> ok{true};
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int j = 0; j < 50; ++j) {
+        std::vector<std::atomic<int>> hits(4);
+        pool.run([&](int tid) {
+          hits[static_cast<std::size_t>(tid)]++;
+          total++;
+        });
+        // Each call must have run exactly this caller's job on every
+        // thread id exactly once.
+        for (int t = 0; t < 4; ++t) {
+          if (hits[static_cast<std::size_t>(t)].load() != 1) ok = false;
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(total.load(), 4u * 50u * 4u);
 }
 
 TEST(ThreadPool, RejectsZeroThreads) {

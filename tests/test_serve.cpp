@@ -1,0 +1,560 @@
+// The serving frontend (src/serve): concurrent mixed-kind clients
+// pinned id-exact against the brute-force oracle, mid-traffic index
+// snapshot swaps, micro-batch flush logic (size / window / drain),
+// bounded-queue backpressure in both overflow policies, the
+// distributed backend, and the latency histogram. The concurrency
+// tests here are the ones ci.sh tsan runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "baselines/brute_force.hpp"
+#include "common/error.hpp"
+#include "core/kdtree.hpp"
+#include "data/generators.hpp"
+#include "data/point_set.hpp"
+#include "serve/backend.hpp"
+#include "serve/query_service.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace panda::serve {
+namespace {
+
+using core::Neighbor;
+
+// ---------------------------------------------------------------------
+// Oracles and fixtures
+// ---------------------------------------------------------------------
+
+/// All neighbors with dist² < r², ascending (dist², id) — the radius
+/// oracle via the exhaustive KNN oracle (k = n returns every point
+/// sorted; the strict-radius prefix is the radius answer).
+Result oracle_radius(const data::PointSet& points, std::span<const float> q,
+                     float radius) {
+  Result all = baselines::brute_force_knn(points, q, points.size());
+  const float r2 = radius * radius;
+  std::size_t keep = 0;
+  while (keep < all.size() && all[keep].dist2 < r2) ++keep;
+  all.resize(keep);
+  return all;
+}
+
+Result oracle_for(const data::PointSet& points, const Request& request) {
+  if (request.kind == Request::Kind::Knn) {
+    return baselines::brute_force_knn(points, request.query, request.k);
+  }
+  return oracle_radius(points, request.query, request.radius);
+}
+
+struct Fixture {
+  data::PointSet points;
+  std::shared_ptr<parallel::ThreadPool> pool;
+  std::shared_ptr<LocalBackend> backend;
+};
+
+Fixture make_fixture(const std::string& generator, std::uint64_t n,
+                     std::uint64_t seed, int pool_threads = 2) {
+  Fixture f;
+  const auto gen = data::make_generator(generator, seed);
+  f.points = gen->generate_all(n);
+  f.pool = std::make_shared<parallel::ThreadPool>(pool_threads);
+  auto tree = std::make_shared<core::KdTree>(
+      core::KdTree::build(f.points, core::BuildConfig{}, *f.pool));
+  f.backend = std::make_shared<LocalBackend>(std::move(tree), f.pool);
+  return f;
+}
+
+std::vector<float> query_point(const data::Generator& gen,
+                               std::uint64_t id) {
+  data::PointSet one(gen.dims());
+  gen.generate(id, id + 1, one);
+  std::vector<float> q(gen.dims());
+  one.copy_point(0, q.data());
+  return q;
+}
+
+/// Test backend that blocks inside run_batch until released — makes
+/// queue-buildup (backpressure) deterministic.
+class StallBackend final : public Backend {
+ public:
+  explicit StallBackend(std::shared_ptr<Backend> inner)
+      : inner_(std::move(inner)) {}
+
+  std::size_t dims() const override { return inner_->dims(); }
+  std::uint64_t size() const override { return inner_->size(); }
+
+  void run_batch(std::span<const Request> batch,
+                 std::vector<Result>& results) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++entered_;
+    entered_cv_.notify_all();
+    gate_cv_.wait(lock, [&] { return open_; });
+    lock.unlock();
+    inner_->run_batch(batch, results);
+  }
+
+  /// Blocks until run_batch has been entered `count` times in total.
+  void wait_entered(int count) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [&] { return entered_ >= count; });
+  }
+
+  void open() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    gate_cv_.notify_all();
+  }
+
+ private:
+  std::shared_ptr<Backend> inner_;
+  std::mutex mutex_;
+  std::condition_variable entered_cv_;
+  std::condition_variable gate_cv_;
+  int entered_ = 0;
+  bool open_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Concurrent correctness
+// ---------------------------------------------------------------------
+
+TEST(Serve, MixedConcurrentClientsAgreeWithOracle) {
+  const std::uint64_t n = 3000;
+  Fixture f = make_fixture("gmm", n, 42);
+  const auto qgen = data::make_generator("gmm", 42);
+
+  ServeConfig config;
+  config.max_batch = 16;
+  config.flush_window = std::chrono::microseconds(300);
+  config.workers = 2;
+  QueryService service(f.backend, config);
+
+  const int clients = 6;
+  const int per_client = 40;
+  std::vector<std::vector<Request>> sent(clients);
+  std::vector<std::vector<Result>> got(clients);
+  std::vector<std::thread> threads;
+  const float radii[3] = {0.02f, 0.05f, 0.1f};
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int j = 0; j < per_client; ++j) {
+        // Query ids disjoint from the indexed [0, n) block.
+        auto q = query_point(*qgen, n + static_cast<std::uint64_t>(
+                                            c * per_client + j));
+        Request request =
+            (j % 2 == 0)
+                ? Request::knn(std::move(q),
+                               1 + static_cast<std::size_t>(j % 7))
+                : Request::radius_search(std::move(q), radii[j % 3]);
+        sent[static_cast<std::size_t>(c)].push_back(request);
+        got[static_cast<std::size_t>(c)].push_back(
+            service.submit(std::move(request)).get());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int c = 0; c < clients; ++c) {
+    for (int j = 0; j < per_client; ++j) {
+      const auto& request = sent[static_cast<std::size_t>(c)]
+                                [static_cast<std::size_t>(j)];
+      EXPECT_EQ(got[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)],
+                oracle_for(f.points, request))
+          << "client " << c << " request " << j;
+    }
+  }
+
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(clients * per_client));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GT(stats.mean_batch_size, 0.0);
+  EXPECT_GT(stats.qps, 0.0);
+  EXPECT_EQ(stats.latency.count, stats.completed);
+  EXPECT_LE(stats.latency.p50_us, stats.latency.p99_us);
+}
+
+// Mixed k values inside one batch exercise the k_max-then-truncate
+// normalization; duplicate-heavy data makes any tie-order slip show up
+// as an id mismatch.
+TEST(Serve, TieHeavyMixedKBatchesStayIdExact) {
+  const std::uint64_t n = 1200;
+  Fixture f = make_fixture("dupes", n, 7);
+  const auto qgen = data::make_generator("dupes", 7);
+
+  ServeConfig config;
+  config.max_batch = 8;
+  config.flush_window = std::chrono::milliseconds(50);
+  QueryService service(f.backend, config);
+
+  std::vector<Request> sent;
+  std::vector<std::future<Result>> futures;
+  for (int j = 0; j < 24; ++j) {
+    auto q = query_point(*qgen, n + static_cast<std::uint64_t>(j));
+    Request request =
+        Request::knn(std::move(q), 1 + static_cast<std::size_t>(j % 8));
+    sent.push_back(request);
+    futures.push_back(service.submit(std::move(request)));
+  }
+  for (std::size_t j = 0; j < futures.size(); ++j) {
+    EXPECT_EQ(futures[j].get(), oracle_for(f.points, sent[j])) << j;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot swap (rebuild-behind-traffic)
+// ---------------------------------------------------------------------
+
+TEST(Serve, MidTrafficSwapServesExactlyOneSnapshotPerRequest) {
+  constexpr std::uint64_t kIdOffset = 1000000;
+  const std::uint64_t n = 2000;
+  const auto gen_a = data::make_generator("gmm", 1);
+  const auto gen_b = data::make_generator("gmm", 2);
+  const data::PointSet points_a = gen_a->generate_all(n);
+  data::PointSet points_b = gen_b->generate_all(n);
+  // Offset B's ids so every answer identifies its snapshot.
+  for (std::uint64_t i = 0; i < points_b.size(); ++i) {
+    points_b.set_id(i, points_b.id(i) + kIdOffset);
+  }
+
+  auto pool = std::make_shared<parallel::ThreadPool>(2);
+  auto tree_a = std::make_shared<core::KdTree>(
+      core::KdTree::build(points_a, core::BuildConfig{}, *pool));
+  auto tree_b = std::make_shared<core::KdTree>(
+      core::KdTree::build(points_b, core::BuildConfig{}, *pool));
+  auto backend_a = std::make_shared<LocalBackend>(tree_a, pool);
+  auto backend_b = std::make_shared<LocalBackend>(tree_b, pool);
+  std::weak_ptr<LocalBackend> watch_a = backend_a;
+
+  ServeConfig config;
+  config.max_batch = 8;
+  config.flush_window = std::chrono::microseconds(200);
+  config.workers = 2;
+  QueryService service(backend_a, config);
+  backend_a.reset();  // the service (and in-flight batches) own it now
+
+  const auto qgen = data::make_generator("gmm", 3);
+  const int clients = 4;
+  const std::size_t k = 3;
+  std::vector<std::vector<std::pair<std::size_t, Result>>> got(clients);
+  std::vector<std::vector<float>> queries;
+  for (std::uint64_t j = 0; j < 32; ++j) queries.push_back(
+      query_point(*qgen, 5000 + j));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t j = static_cast<std::size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t qi = j % queries.size();
+        got[static_cast<std::size_t>(c)].emplace_back(
+            qi, service.submit(Request::knn(queries[qi], k)).get());
+        ++j;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.swap_backend(backend_b);
+  // Requests admitted from here on must be answered by B.
+  const Result post_swap =
+      service.submit(Request::knn(queries[0], k)).get();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  // Every response matches exactly one snapshot's oracle — never a
+  // blend, never a torn index.
+  std::vector<Result> oracle_a(queries.size());
+  std::vector<Result> oracle_b(queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    oracle_a[qi] = baselines::brute_force_knn(points_a, queries[qi], k);
+    oracle_b[qi] = baselines::brute_force_knn(points_b, queries[qi], k);
+  }
+  std::uint64_t from_a = 0;
+  std::uint64_t from_b = 0;
+  for (int c = 0; c < clients; ++c) {
+    for (const auto& [qi, result] : got[static_cast<std::size_t>(c)]) {
+      ASSERT_FALSE(result.empty());
+      if (result.front().id < kIdOffset) {
+        EXPECT_EQ(result, oracle_a[qi]);
+        ++from_a;
+      } else {
+        EXPECT_EQ(result, oracle_b[qi]);
+        ++from_b;
+      }
+    }
+  }
+  EXPECT_GT(from_a + from_b, 0u);
+  EXPECT_EQ(post_swap, oracle_b[0]);
+  EXPECT_EQ(service.stats().swaps, 1u);
+
+  // The old snapshot is released once its last in-flight batch is done.
+  service.shutdown();
+  EXPECT_TRUE(watch_a.expired());
+}
+
+// ---------------------------------------------------------------------
+// Micro-batch flush logic
+// ---------------------------------------------------------------------
+
+TEST(Serve, WindowFlushCompletesUnderfullBatches) {
+  Fixture f = make_fixture("gmm", 500, 11);
+  ServeConfig config;
+  config.max_batch = 1000;  // size flush unreachable
+  config.flush_window = std::chrono::milliseconds(2);
+  QueryService service(f.backend, config);
+
+  const auto qgen = data::make_generator("gmm", 11);
+  std::vector<Request> sent;
+  std::vector<std::future<Result>> futures;
+  for (int j = 0; j < 3; ++j) {
+    Request request = Request::knn(
+        query_point(*qgen, 500 + static_cast<std::uint64_t>(j)), 4);
+    sent.push_back(request);
+    futures.push_back(service.submit(std::move(request)));
+  }
+  for (std::size_t j = 0; j < futures.size(); ++j) {
+    EXPECT_EQ(futures[j].get(), oracle_for(f.points, sent[j])) << j;
+  }
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_GE(stats.flushes_on_window, 1u);
+  EXPECT_EQ(stats.flushes_on_size, 0u);
+}
+
+TEST(Serve, SizeFlushFormsFullBatches) {
+  Fixture f = make_fixture("gmm", 500, 12);
+  ServeConfig config;
+  config.max_batch = 4;
+  config.flush_window = std::chrono::seconds(60);  // window unreachable
+  QueryService service(f.backend, config);
+
+  const auto qgen = data::make_generator("gmm", 12);
+  std::vector<std::future<Result>> futures;
+  for (int j = 0; j < 8; ++j) {
+    futures.push_back(service.submit(Request::knn(
+        query_point(*qgen, 500 + static_cast<std::uint64_t>(j)), 2)));
+  }
+  for (auto& future : futures) future.get();
+
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.flushes_on_size, 2u);
+  EXPECT_EQ(stats.flushes_on_window, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size, 4.0);
+  ASSERT_GT(stats.batch_size_log2.size(), 2u);
+  EXPECT_EQ(stats.batch_size_log2[2], 2u);  // two batches of size 4
+}
+
+TEST(Serve, ShutdownDrainsAdmittedRequests) {
+  Fixture f = make_fixture("gmm", 500, 13);
+  ServeConfig config;
+  config.max_batch = 1000;
+  config.flush_window = std::chrono::seconds(60);
+  QueryService service(f.backend, config);
+
+  const auto qgen = data::make_generator("gmm", 13);
+  std::vector<std::future<Result>> futures;
+  for (int j = 0; j < 5; ++j) {
+    futures.push_back(service.submit(Request::knn(
+        query_point(*qgen, 500 + static_cast<std::uint64_t>(j)), 3)));
+  }
+  service.shutdown();
+  for (auto& future : futures) {
+    EXPECT_FALSE(future.get().empty());  // drained, not dropped
+  }
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_GE(stats.flushes_on_drain, 1u);
+
+  // The stopped service rejects new work explicitly.
+  EXPECT_THROW(service.submit(Request::knn(query_point(*qgen, 600), 1)),
+               panda::Error);
+  std::future<Result> unused;
+  EXPECT_FALSE(
+      service.try_submit(Request::knn(query_point(*qgen, 601), 1), &unused));
+}
+
+// ---------------------------------------------------------------------
+// Backpressure
+// ---------------------------------------------------------------------
+
+TEST(Serve, RejectPolicyShedsLoadWhenQueueIsFull) {
+  Fixture f = make_fixture("gmm", 400, 21, /*pool_threads=*/1);
+  auto stall = std::make_shared<StallBackend>(f.backend);
+  ServeConfig config;
+  config.max_batch = 2;
+  config.flush_window = std::chrono::microseconds(0);
+  config.queue_capacity = 2;
+  config.overflow = ServeConfig::Overflow::Reject;
+  QueryService service(stall, config);
+
+  const auto qgen = data::make_generator("gmm", 21);
+  std::vector<Request> sent;
+  std::vector<std::future<Result>> accepted;
+  const auto submit_one = [&](std::uint64_t id) {
+    Request request = Request::knn(query_point(*qgen, id), 3);
+    std::future<Result> future;
+    const bool ok = service.try_submit(request, &future);
+    if (ok) {
+      sent.push_back(std::move(request));
+      accepted.push_back(std::move(future));
+    }
+    return ok;
+  };
+
+  ASSERT_TRUE(submit_one(1000));
+  stall->wait_entered(1);  // worker now blocked inside the backend
+  ASSERT_TRUE(submit_one(1001));
+  ASSERT_TRUE(submit_one(1002));  // queue now at capacity 2
+  EXPECT_FALSE(submit_one(1003));
+  // submit() under Reject fails the future instead of the call.
+  auto rejected_future =
+      service.submit(Request::knn(query_point(*qgen, 1004), 3));
+  EXPECT_THROW(rejected_future.get(), panda::Error);
+
+  stall->open();
+  for (std::size_t j = 0; j < accepted.size(); ++j) {
+    EXPECT_EQ(accepted[j].get(), oracle_for(f.points, sent[j])) << j;
+  }
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.max_queue_depth, 2u);
+}
+
+TEST(Serve, BlockPolicyStallsSubmittersInsteadOfShedding) {
+  Fixture f = make_fixture("gmm", 400, 22, /*pool_threads=*/1);
+  auto stall = std::make_shared<StallBackend>(f.backend);
+  ServeConfig config;
+  config.max_batch = 1;
+  config.flush_window = std::chrono::microseconds(0);
+  config.queue_capacity = 1;
+  config.overflow = ServeConfig::Overflow::Block;
+  QueryService service(stall, config);
+
+  const auto qgen = data::make_generator("gmm", 22);
+  auto f1 = service.submit(Request::knn(query_point(*qgen, 2000), 2));
+  stall->wait_entered(1);
+  auto f2 = service.submit(Request::knn(query_point(*qgen, 2001), 2));
+
+  std::atomic<bool> third_admitted{false};
+  std::future<Result> f3;
+  std::thread blocked([&] {
+    f3 = service.submit(Request::knn(query_point(*qgen, 2002), 2));
+    third_admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_admitted.load());  // queue full: submitter waits
+
+  stall->open();
+  blocked.join();
+  EXPECT_TRUE(third_admitted.load());
+  EXPECT_FALSE(f1.get().empty());
+  EXPECT_FALSE(f2.get().empty());
+  EXPECT_FALSE(f3.get().empty());
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.max_queue_depth, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Distributed backend
+// ---------------------------------------------------------------------
+
+TEST(Serve, DistBackendServesMixedTrafficExactly) {
+  const std::uint64_t n = 1500;
+  const auto gen = data::make_generator("cosmo", 99);
+  const data::PointSet points = gen->generate_all(n);
+
+  net::ClusterConfig cluster_config;
+  cluster_config.ranks = 2;
+  cluster_config.threads_per_rank = 1;
+  auto backend = std::make_shared<DistBackend>(
+      cluster_config, [&](net::Comm& comm) {
+        return gen->generate_slice(n, comm.rank(), comm.size());
+      });
+  EXPECT_EQ(backend->dims(), 3u);
+  EXPECT_EQ(backend->size(), n);
+
+  ServeConfig config;
+  config.max_batch = 8;
+  config.flush_window = std::chrono::milliseconds(1);
+  QueryService service(backend, config);
+
+  const auto qgen = data::make_generator("cosmo", 98);
+  const int clients = 2;
+  const int per_client = 12;
+  std::vector<std::vector<Request>> sent(clients);
+  std::vector<std::vector<Result>> got(clients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int j = 0; j < per_client; ++j) {
+        auto q = query_point(*qgen, static_cast<std::uint64_t>(
+                                        3000 + c * per_client + j));
+        Request request =
+            (j % 3 == 2)
+                ? Request::radius_search(std::move(q), 0.05f)
+                : Request::knn(std::move(q),
+                               1 + static_cast<std::size_t>(j % 6));
+        sent[static_cast<std::size_t>(c)].push_back(request);
+        got[static_cast<std::size_t>(c)].push_back(
+            service.submit(std::move(request)).get());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int c = 0; c < clients; ++c) {
+    for (int j = 0; j < per_client; ++j) {
+      const auto& request = sent[static_cast<std::size_t>(c)]
+                                [static_cast<std::size_t>(j)];
+      EXPECT_EQ(got[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)],
+                oracle_for(points, request))
+          << "client " << c << " request " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------
+
+TEST(ServeStats, LatencyHistogramQuantilesAreOrderedAndBounded) {
+  LatencyHistogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.record(static_cast<double>(i));
+  const LatencySummary summary = histogram.summary();
+  EXPECT_EQ(summary.count, 1000u);
+  EXPECT_DOUBLE_EQ(summary.max_us, 1000.0);
+  EXPECT_NEAR(summary.mean_us, 500.5, 0.5);
+  EXPECT_LE(summary.p50_us, summary.p95_us);
+  EXPECT_LE(summary.p95_us, summary.p99_us);
+  EXPECT_LE(summary.p99_us, summary.max_us);
+  // ~19 % geometric bucket resolution around the true quantiles.
+  EXPECT_NEAR(summary.p50_us, 500.0, 500.0 * 0.25);
+  EXPECT_NEAR(summary.p95_us, 950.0, 950.0 * 0.25);
+
+  LatencyHistogram empty;
+  const LatencySummary zero = empty.summary();
+  EXPECT_EQ(zero.count, 0u);
+  EXPECT_DOUBLE_EQ(zero.p99_us, 0.0);
+}
+
+}  // namespace
+}  // namespace panda::serve
