@@ -1,0 +1,267 @@
+// Hot-path throughput: the zero-allocation flat query stack vs the
+// pre-PR vector-of-vectors stack (DESIGN.md §9).
+//
+// Two product paths are measured end to end:
+//
+//   bulk all-KNN — dist::AllKnnEngine::run_into on a single-rank
+//     cluster (stage 2 = core::KdTree::query_self_batch, flat
+//     NeighborTable results, engine-owned workspaces);
+//
+//   serving backend — serve::LocalBackend::run_batch over micro-
+//     batches of 64 mixed requests (3/4 KNN at k=5, 1/4 radius at a
+//     data-derived radius), the shape the QueryService feeds it.
+//
+// The baseline constants below were measured on pre-PR main (commit
+// 04ff259, the unified 32-byte Node layout, per-query std::vector
+// results, fresh scratch per call) on the same container with the
+// identical workload and digest definition; the digests pin that the
+// flat stack returns bit-identical results. Throughput is best-of-3
+// timed passes; the acceptance target is >= 1.5x on both paths.
+//
+// Emits BENCH_hotpath.json (skipped in --smoke mode, which runs tiny
+// sizes purely so CI exercises the harness).
+//
+// Run:  ./bench_hotpath [points] [serve_requests] [--smoke]
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "../examples/example_args.hpp"
+#include "bench_util.hpp"
+#include "panda.hpp"
+
+namespace {
+
+using namespace panda;
+using core::Neighbor;
+
+// Pre-PR main baseline (commit 04ff259), this container, defaults
+// (200000 cosmo points, 8192 serve requests): median of three runs.
+constexpr double kBaselineAllKnnQps = 690355.6;
+constexpr double kBaselineServeQps = 467555.4;
+constexpr std::uint64_t kBaselineAllKnnDigest = 0x6c513e8463c016daull;
+constexpr std::uint64_t kBaselineServeDigest = 0xcd5a09f8b6272cb7ull;
+constexpr std::uint64_t kDefaultPoints = 200000;
+constexpr std::uint64_t kDefaultServeRequests = 8192;
+
+/// Order-independent digest: per-query FNV over (id, dist2 bits),
+/// keyed by the query id, summed commutatively across queries.
+std::uint64_t fold_row(std::uint64_t qid, std::span<const Neighbor> row) {
+  std::uint64_t h = 1469598103934665603ull ^ qid;
+  for (const Neighbor& nb : row) {
+    h = (h ^ nb.id) * 1099511628211ull;
+    std::uint32_t bits;
+    std::memcpy(&bits, &nb.dist2, sizeof(bits));
+    h = (h ^ bits) * 1099511628211ull;
+  }
+  return h;
+}
+
+struct PathResult {
+  double qps = 0.0;
+  std::uint64_t digest = 0;
+};
+
+PathResult bench_allknn(std::uint64_t n, std::size_t k, int reps,
+                        int passes) {
+  PathResult out;
+  net::ClusterConfig config;
+  config.ranks = 1;
+  config.threads_per_rank = 8;
+  net::Cluster cluster(config);
+  cluster.run([&](net::Comm& comm) {
+    const auto gen = data::make_generator("cosmo", 1234);
+    const data::PointSet slice =
+        gen->generate_slice(n, comm.rank(), comm.size());
+    const dist::DistKdTree tree =
+        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+    dist::AllKnnEngine engine(comm, tree);
+    dist::AllKnnConfig aconfig;
+    aconfig.k = k;
+    core::NeighborTable results;
+    engine.run_into(aconfig, results);  // warm
+    double best = 0.0;
+    for (int p = 0; p < passes; ++p) {
+      WallTimer watch;
+      for (int r = 0; r < reps; ++r) engine.run_into(aconfig, results);
+      best = std::max(best,
+                      static_cast<double>(n) * reps / watch.seconds());
+    }
+    out.qps = best;
+    for (std::uint64_t i = 0; i < results.size(); ++i) {
+      out.digest += fold_row(tree.local_points().id(i), results[i]);
+    }
+  });
+  return out;
+}
+
+PathResult bench_serve(std::uint64_t n, std::uint64_t requests,
+                       std::size_t k, int reps, int passes) {
+  PathResult out;
+  const std::size_t batch_size = 64;
+  const auto gen = data::make_generator("cosmo", 1234);
+  const data::PointSet points = gen->generate_all(n);
+  auto pool = std::make_shared<parallel::ThreadPool>(8);
+  auto tree = std::make_shared<core::KdTree>(
+      core::KdTree::build(points, core::BuildConfig{}, *pool));
+  serve::LocalBackend backend(tree, pool);
+
+  const auto qgen = data::make_generator("cosmo", 99);
+  data::PointSet qset(qgen->dims());
+  qgen->generate(n, n + requests, qset);
+  // Mixed workload: 3/4 KNN (k=5), 1/4 radius at a data-derived radius
+  // (just past point 0's 32nd-neighbor distance, so radius answers are
+  // non-trivial but bounded).
+  std::vector<float> q(qgen->dims());
+  points.copy_point(0, q.data());
+  const float mix_radius =
+      std::sqrt(tree->query(q, 32).back().dist2) * 1.0001f;
+  std::vector<std::vector<serve::Request>> batches;
+  for (std::size_t b = 0; b * batch_size < requests; ++b) {
+    std::vector<serve::Request> batch;
+    for (std::size_t j = 0;
+         j < batch_size && b * batch_size + j < requests; ++j) {
+      qset.copy_point(b * batch_size + j, q.data());
+      if (j % 4 == 3) {
+        batch.push_back(serve::Request::radius_search(q, mix_radius));
+      } else {
+        batch.push_back(serve::Request::knn(q, k));
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  std::vector<serve::Result> results;
+  for (const auto& b : batches) backend.run_batch(b, results);  // warm
+  double best = 0.0;
+  for (int p = 0; p < passes; ++p) {
+    WallTimer watch;
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& b : batches) backend.run_batch(b, results);
+    }
+    best = std::max(best,
+                    static_cast<double>(requests) * reps / watch.seconds());
+  }
+  out.qps = best;
+  std::uint64_t qid = 0;
+  for (const auto& b : batches) {
+    backend.run_batch(b, results);
+    for (const auto& row : results) out.digest += fold_row(qid++, row);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t n = kDefaultPoints;
+  std::uint64_t serve_requests = kDefaultServeRequests;
+  bool smoke = false;
+  {
+    std::vector<char*> positional;
+    for (int a = 1; a < argc; ++a) {
+      if (std::strcmp(argv[a], "--smoke") == 0) {
+        smoke = true;
+      } else {
+        positional.push_back(argv[a]);
+      }
+    }
+    const bool parsed =
+        positional.size() <= 2 &&
+        (positional.size() < 1 ||
+         panda::examples::parse_u64(positional[0], n)) &&
+        (positional.size() < 2 ||
+         panda::examples::parse_u64(positional[1], serve_requests));
+    if (!parsed || n == 0 || serve_requests == 0) {
+      std::fprintf(stderr,
+                   "usage: bench_hotpath [points>0] [serve_requests>0] "
+                   "[--smoke]\n");
+      return 1;
+    }
+  }
+  const std::size_t k = 5;
+  const int reps = smoke ? 1 : 5;
+  const int passes = smoke ? 1 : 3;
+
+  bench::print_header(
+      "bench_hotpath — zero-allocation flat query stack vs pre-PR main",
+      "NeighborTable + QueryWorkspace + hot/cold node split "
+      "(DESIGN.md §9); baseline constants measured at commit 04ff259");
+
+  const PathResult allknn = bench_allknn(n, k, reps, passes);
+  const PathResult serve = bench_serve(n, serve_requests, k, reps, passes);
+
+  const bool default_config =
+      n == kDefaultPoints && serve_requests == kDefaultServeRequests;
+  const bool digests_match =
+      !default_config || (allknn.digest == kBaselineAllKnnDigest &&
+                          serve.digest == kBaselineServeDigest);
+  const double allknn_speedup = allknn.qps / kBaselineAllKnnQps;
+  const double serve_speedup = serve.qps / kBaselineServeQps;
+
+  bench::print_rule();
+  std::printf("%-28s %14s %14s %9s\n", "path", "baseline qps", "hotpath qps",
+              "speedup");
+  std::printf("%-28s %14.0f %14.0f %8.2fx\n", "bulk all-KNN (k=5)",
+              kBaselineAllKnnQps, allknn.qps, allknn_speedup);
+  std::printf("%-28s %14.0f %14.0f %8.2fx\n",
+              "serving backend (mixed/64)", kBaselineServeQps, serve.qps,
+              serve_speedup);
+  if (default_config) {
+    std::printf("result digests vs pre-PR main: %s "
+                "(allknn 0x%016" PRIx64 ", serve 0x%016" PRIx64 ")\n",
+                digests_match ? "bit-identical" : "MISMATCH", allknn.digest,
+                serve.digest);
+    if (!smoke) {
+      std::printf("target >= 1.5x on both paths: %s\n",
+                  allknn_speedup >= 1.5 && serve_speedup >= 1.5
+                      ? "met"
+                      : "NOT met");
+    }
+  } else {
+    std::printf("non-default sizes: digests informational "
+                "(allknn 0x%016" PRIx64 ", serve 0x%016" PRIx64 ")\n",
+                allknn.digest, serve.digest);
+  }
+
+  if (!smoke) {
+    FILE* json = std::fopen("BENCH_hotpath.json", "w");
+    if (json != nullptr) {
+      std::fprintf(json, "{\n");
+      std::fprintf(json,
+                   "  \"context\": {\"points\": %" PRIu64
+                   ", \"serve_requests\": %" PRIu64
+                   ", \"k\": %zu, \"serve_batch\": 64, "
+                   "\"serve_mix\": \"3/4 knn, 1/4 radius\", "
+                   "\"baseline_commit\": \"04ff259\"},\n",
+                   n, serve_requests, k);
+      std::fprintf(json,
+                   "  \"allknn\": {\"baseline_qps\": %.1f, "
+                   "\"hotpath_qps\": %.1f, \"speedup\": %.2f, "
+                   "\"digest\": \"0x%016" PRIx64 "\"},\n",
+                   kBaselineAllKnnQps, allknn.qps, allknn_speedup,
+                   allknn.digest);
+      std::fprintf(json,
+                   "  \"serve\": {\"baseline_qps\": %.1f, "
+                   "\"hotpath_qps\": %.1f, \"speedup\": %.2f, "
+                   "\"digest\": \"0x%016" PRIx64 "\"},\n",
+                   kBaselineServeQps, serve.qps, serve_speedup,
+                   serve.digest);
+      std::fprintf(json, "  \"digests_match_baseline\": %s,\n",
+                   digests_match ? "true" : "false");
+      std::fprintf(json, "  \"target_1_5x_met\": %s\n",
+                   allknn_speedup >= 1.5 && serve_speedup >= 1.5 ? "true"
+                                                                : "false");
+      std::fprintf(json, "}\n");
+      std::fclose(json);
+      std::printf("wrote BENCH_hotpath.json\n");
+    }
+  }
+
+  return digests_match ? 0 : 1;
+}

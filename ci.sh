@@ -12,6 +12,12 @@
 #                      checks the admission queue, micro-batcher,
 #                      snapshot swap, shared pool, and the distributed
 #                      serving session.
+#   ci.sh bench-smoke — Release build of the perf harnesses
+#                      (bench_hotpath, bench_serve) run at tiny sizes
+#                      from the build directory (no checked-in JSON is
+#                      touched), so the harnesses themselves cannot
+#                      rot. Runs automatically at the end of the
+#                      default mode.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -37,17 +43,37 @@ if [[ "$MODE" == "tsan" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
     -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
-  cmake --build build-tsan -j --target test_serve test_parallel
+  cmake --build build-tsan -j --target test_serve test_parallel \
+    test_neighbor_table
   # TSan serializes heavily on this container's core count; the serve
-  # and parallel suites are the ones whose bugs would be data races.
+  # and parallel suites are the ones whose bugs would be data races,
+  # and test_neighbor_table drives > 64-query batches through the
+  # parallel flat-table kernels (concurrent row writes, per-thread
+  # workspaces, chunk-stealing loops).
   (cd build-tsan && ctest --output-on-failure \
-    -R '^(test_serve|test_parallel)$' --timeout 900)
+    -R '^(test_serve|test_parallel|test_neighbor_table)$' --timeout 900)
   echo "ci.sh: tsan OK"
   exit 0
 fi
 
+bench_smoke() {
+  cmake -B build -S .
+  cmake --build build -j --target bench_hotpath bench_serve
+  # Run inside build/ so smoke outputs (bench_serve writes
+  # BENCH_serve.json to its cwd) never clobber the checked-in
+  # baselines; bench_hotpath --smoke writes no JSON at all.
+  (cd build && ./bench_hotpath --smoke 20000 1024)
+  (cd build && ./bench_serve 20000 8 20)
+  echo "ci.sh: bench-smoke OK"
+}
+
+if [[ "$MODE" == "bench-smoke" ]]; then
+  bench_smoke
+  exit 0
+fi
+
 if [[ "$MODE" != "default" ]]; then
-  echo "usage: ci.sh [sanitize|tsan]" >&2
+  echo "usage: ci.sh [sanitize|tsan|bench-smoke]" >&2
   exit 1
 fi
 
@@ -62,4 +88,8 @@ if [[ -x build/bench_micro && ! -f BENCH_seed.json ]]; then
     --benchmark_out=BENCH_seed.json --benchmark_out_format=json
   echo "wrote BENCH_seed.json"
 fi
+
+# Perf-harness smoke: tiny-size runs of the hot-path and serving
+# benches so the harnesses stay buildable and runnable.
+bench_smoke
 echo "ci.sh: OK"

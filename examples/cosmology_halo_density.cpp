@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
     dist::AllKnnConfig knn_config;
     knn_config.k = k + 1;  // the query point itself is in the dataset
     dist::AllKnnStats stats;
-    const auto results = engine.run(knn_config, &stats);
+    core::NeighborTable results;
+    engine.run_into(knn_config, results, &stats);
 
     std::lock_guard<std::mutex> lock(mutex);
     const data::PointSet& mine = tree.local_points();
@@ -163,10 +164,12 @@ int main(int argc, char** argv) {
     dist::DistRadiusEngine engine(comm, tree);
     dist::RadiusQueryConfig rconfig;
     rconfig.radius = linking_length;
-    const auto results = engine.run(my_queries, rconfig);
+    core::NeighborTable results;
+    engine.run_into(my_queries, rconfig, results);
     std::lock_guard<std::mutex> lock(mutex);
     for (std::uint64_t i = 0; i < results.size(); ++i) {
-      fof_neighbors[begin + i] = results[i];
+      const auto row = results[i];
+      fof_neighbors[begin + i].assign(row.begin(), row.end());
     }
   });
 

@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
     dist::DistQueryEngine engine(comm, tree);
     dist::DistQueryConfig query_config;
     query_config.k = k;
-    const auto results = engine.run(my_queries, query_config);
+    core::NeighborTable results;
+    engine.run_into(my_queries, query_config, results);
 
     std::lock_guard<std::mutex> lock(mutex);
     for (std::uint64_t i = 0; i < results.size(); ++i) {

@@ -95,7 +95,8 @@ int main(int argc, char** argv) {
     dist::AllKnnEngine engine(comm, tree);
     dist::AllKnnConfig knn_config;
     knn_config.k = k + 1;  // self included
-    const auto results = engine.run(knn_config);
+    core::NeighborTable results;
+    engine.run_into(knn_config, results);
 
     std::lock_guard<std::mutex> lock(mutex);
     const data::PointSet& mine = tree.local_points();

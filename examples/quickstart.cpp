@@ -70,7 +70,8 @@ int main() {
     dist::DistQueryEngine engine(comm, dtree);
     dist::DistQueryConfig query_config;
     query_config.k = 5;
-    const auto results = engine.run(my_queries, query_config);
+    core::NeighborTable results;
+    engine.run_into(my_queries, query_config, results);
 
     if (comm.rank() == 0) {
       for (std::size_t i = 0; i < results.size(); ++i) {

@@ -96,9 +96,10 @@ int main(int argc, char** argv) {
       particles.copy_point(i, p);
       queries.push_point(std::span<const float>(p, 3), particles.id(i));
     }
-    std::vector<std::vector<core::Neighbor>> stale_results;
+    core::NeighborTable stale_results;
+    core::BatchWorkspace batch_ws;
     WallTimer watch;
-    indexed.query_batch(queries, k, pool, stale_results);
+    indexed.query_batch(queries, k, pool, stale_results, batch_ws);
     const double query_seconds = watch.seconds();
     total_query += query_seconds;
 
@@ -106,8 +107,9 @@ int main(int argc, char** argv) {
     // positions (not charged to the simulation's budget).
     const core::KdTree fresh =
         core::KdTree::build(particles, core::BuildConfig{}, pool);
-    std::vector<std::vector<core::Neighbor>> fresh_results;
-    fresh.query_batch(queries, k, pool, fresh_results);
+    core::NeighborTable fresh_results;
+    core::BatchWorkspace fresh_ws;
+    fresh.query_batch(queries, k, pool, fresh_results, fresh_ws);
 
     std::uint64_t hits = 0;
     std::uint64_t total = 0;

@@ -18,8 +18,14 @@ std::vector<std::vector<core::Neighbor>> LocalTreesStrategy::query(
   return scatter_query_merge(
       comm, local_queries, k, comm.pool(),
       [&](std::span<const float> q) {
-        return tree_.query(q, k, std::numeric_limits<float>::infinity(),
-                           policy);
+        // Native flat entry point with a per-thread workspace: only
+        // the returned vector (scatter_query_merge's contract)
+        // allocates.
+        thread_local core::QueryWorkspace ws;
+        std::vector<core::Neighbor> out(k);
+        out.resize(tree_.query_sq_into(
+            q, k, std::numeric_limits<float>::infinity(), ws, out, policy));
+        return out;
       });
 }
 

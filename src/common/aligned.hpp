@@ -35,12 +35,16 @@ class AlignedAllocator {
     const std::size_t bytes =
         ((n * sizeof(T) + kSimdAlignment - 1) / kSimdAlignment) *
         kSimdAlignment;
-    void* p = std::aligned_alloc(kSimdAlignment, bytes);
-    if (p == nullptr) throw std::bad_alloc();
-    return static_cast<T*>(p);
+    // Routed through the replaceable global operator new (aligned
+    // form) so allocation-counting test builds (tests/alloc_probe.hpp)
+    // see arena allocations too.
+    return static_cast<T*>(
+        ::operator new(bytes, std::align_val_t{kSimdAlignment}));
   }
 
-  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kSimdAlignment});
+  }
 
   template <typename U>
   bool operator==(const AlignedAllocator<U>&) const noexcept {

@@ -12,19 +12,31 @@
 //      into padded, aligned, bucket-contiguous SoA storage so querying
 //      scans them with vector code.
 //
-// Querying implements Algorithm 1: iterative/recursive descent with a
-// bounded max-heap, near-child-first ordering and lower-bound pruning.
-// Two pruning policies are provided (see TraversalPolicy); the default
-// is exact. Radius-limited queries (the r of Algorithm 1) support the
+// Node storage is split hot/cold (DESIGN.md §9): traversal reads a
+// flat array of 12-byte HotNode records (split, dim, child pair) laid
+// out with sibling children adjacent, while leaf bucket metadata
+// (packed offset + live count) lives in a separate cold LeafInfo
+// array touched only when a bucket is actually scanned. Querying
+// implements Algorithm 1 as an explicit-stack iterative descent with
+// a bounded max-heap, near-child-first ordering, lower-bound pruning,
+// and a prefetch of each admitted far-child record. Two pruning
+// policies are provided (see TraversalPolicy); the default is exact.
+// Radius-limited queries (the r of Algorithm 1) support the
 // distributed remote-KNN stage.
+//
+// Result and scratch memory are caller-owned on the native entry
+// points: query_sq_into / query_radius_into take a QueryWorkspace, the
+// batch entry points take a NeighborTable + BatchWorkspace — repeated
+// calls with warm state make zero allocator calls (DESIGN.md §9). The
+// classic std::vector returns remain as thin compatibility shims.
 //
 // Thread safety: a built tree is immutable, and every query entry
 // point is const — concurrent queries from any number of threads are
-// safe (the serving frontend depends on this). The only mutable query
-// state is the per-thread SIMD distance scratch (thread_local in
-// kdtree_query.cpp); QueryStats out-parameters are caller-owned, so
-// concurrent callers must pass distinct instances (the batch entry
-// points already accumulate per-thread).
+// safe (the serving frontend depends on this). All mutable query state
+// lives in the caller's QueryWorkspace/BatchWorkspace (the shims use a
+// per-thread workspace internally); QueryStats out-parameters are
+// caller-owned, so concurrent callers must pass distinct instances
+// (the batch entry points already accumulate per-thread).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +47,8 @@
 
 #include "common/aligned.hpp"
 #include "core/knn_heap.hpp"
+#include "core/neighbor_table.hpp"
+#include "core/query_workspace.hpp"
 #include "data/point_set.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -103,18 +117,8 @@ enum class TraversalPolicy {
   PaperFormula,
 };
 
-struct QueryStats {
-  std::uint64_t nodes_visited = 0;
-  std::uint64_t leaves_visited = 0;
-  std::uint64_t points_scanned = 0;
-
-  QueryStats& operator+=(const QueryStats& o) {
-    nodes_visited += o.nodes_visited;
-    leaves_visited += o.leaves_visited;
-    points_scanned += o.points_scanned;
-    return *this;
-  }
-};
+// QueryStats lives in core/query_workspace.hpp (the workspace carries
+// the per-thread accumulator); it is re-exported here for callers.
 
 class KdTree {
  public:
@@ -132,6 +136,96 @@ class KdTree {
   const TreeStats& stats() const { return stats_; }
   const BuildConfig& config() const { return config_; }
 
+  // -------------------------------------------------------------------
+  // Native (allocation-free) entry points. Results land in caller
+  // memory; scratch lives in a caller-owned workspace.
+  // -------------------------------------------------------------------
+
+  /// k nearest neighbors of `query` under the squared-distance bound
+  /// `radius2`, written sorted ascending by (dist², id) into `out`
+  /// (which must hold at least k slots). Returns the result count.
+  ///
+  /// `radius_bound_id` resolves candidates exactly *at* the bound: a
+  /// point is admitted iff (dist², id) < (radius2, radius_bound_id)
+  /// under the deterministic tie order (DESIGN.md §5). The default of
+  /// 0 keeps the classical strict dist² < radius2 semantics; the
+  /// distributed engines pass the owner's k-th neighbor id so remote
+  /// ranks return equal-distance candidates with smaller ids.
+  std::size_t query_sq_into(std::span<const float> query, std::size_t k,
+                            float radius2, QueryWorkspace& ws,
+                            std::span<Neighbor> out,
+                            TraversalPolicy policy = TraversalPolicy::Exact,
+                            QueryStats* stats = nullptr,
+                            std::uint64_t radius_bound_id = 0) const;
+
+  /// Leaf-block-batched KNN over `queries` into a flat NeighborTable
+  /// (top-k mode, stride k), the bulk entry point of the all-KNN
+  /// engine and the serving backend. Queries are grouped by the leaf
+  /// bucket their descent lands in and processed in bucket-contiguous
+  /// order: each query primes its heap by scanning the shared home
+  /// bucket first (one SIMD block, hot in cache across the group) and
+  /// then runs the root traversal with that already-tight bound,
+  /// skipping the home leaf — amortizing descent and leaf scans across
+  /// co-located queries. Results are identical to per-query query_sq.
+  ///
+  /// radius2s/radius_bound_ids give per-query pruning bounds with the
+  /// query_sq_into semantics above (both empty = unbounded; when
+  /// radius2s is non-empty both spans must have queries.size()
+  /// entries).
+  void query_sq_batch(const data::PointSet& queries, std::size_t k,
+                      parallel::ThreadPool& pool, NeighborTable& results,
+                      BatchWorkspace& ws,
+                      std::span<const float> radius2s = {},
+                      std::span<const std::uint64_t> radius_bound_ids = {},
+                      TraversalPolicy policy = TraversalPolicy::Exact,
+                      QueryStats* stats = nullptr) const;
+
+  /// Bulk self-KNN over the indexed points themselves: row i of
+  /// `results` holds the k nearest indexed neighbors of build-time
+  /// point i (the point itself included as its own 0-distance
+  /// neighbor). Results are id-identical to query_sq_batch over the
+  /// original build PointSet, but the descent and ordering phases
+  /// vanish: the packed leaves ARE the bucket-contiguous schedule,
+  /// each query's home bucket is the bucket it lives in, and query
+  /// coordinates are gathered from the (cache-hot) packed block
+  /// instead of the caller's PointSet. This is stage 2 of the bulk
+  /// all-KNN engine (DESIGN.md §7, §9).
+  void query_self_batch(std::size_t k, parallel::ThreadPool& pool,
+                        NeighborTable& results, BatchWorkspace& ws,
+                        QueryStats* stats = nullptr) const;
+
+  /// Batched metric-radius KNN into a flat NeighborTable: row i holds
+  /// the k nearest neighbors of queries[i] within `radius`.
+  void query_batch(const data::PointSet& queries, std::size_t k,
+                   parallel::ThreadPool& pool, NeighborTable& results,
+                   BatchWorkspace& ws,
+                   float radius = std::numeric_limits<float>::infinity(),
+                   TraversalPolicy policy = TraversalPolicy::Exact,
+                   QueryStats* stats = nullptr) const;
+
+  /// All neighbors within metric `radius` (squared distance strictly
+  /// less than radius²), appended to `out` sorted ascending, unbounded
+  /// count. `out` is cleared first; with warm capacity the call makes
+  /// zero allocations.
+  void query_radius_into(std::span<const float> query, float radius,
+                         QueryWorkspace& ws, std::vector<Neighbor>& out,
+                         QueryStats* stats = nullptr) const;
+
+  /// Batched fixed-radius search into a flat NeighborTable (rows
+  /// mode): row i holds all neighbors of queries[i] with dist² <
+  /// radii[i]², ascending (dist², id). radii must have queries.size()
+  /// entries.
+  void query_radius_batch(const data::PointSet& queries,
+                          std::span<const float> radii,
+                          parallel::ThreadPool& pool, NeighborTable& results,
+                          BatchWorkspace& ws,
+                          QueryStats* stats = nullptr) const;
+
+  // -------------------------------------------------------------------
+  // Compatibility shims: same semantics, results materialized as
+  // std::vector (scratch comes from an internal per-thread workspace).
+  // -------------------------------------------------------------------
+
   /// k nearest neighbors of `query` (dims() floats) within metric
   /// radius `radius` (default unbounded). Results are sorted ascending
   /// by squared distance and carry the global ids of the indexed
@@ -143,16 +237,8 @@ class KdTree {
                               TraversalPolicy policy = TraversalPolicy::Exact,
                               QueryStats* stats = nullptr) const;
 
-  /// As query(), but the bound is given as a squared distance. The
-  /// distributed engine uses this so the owner's exact k-th squared
-  /// distance can be forwarded without a lossy sqrt round trip.
-  ///
-  /// `radius_bound_id` resolves candidates exactly *at* the bound: a
-  /// point is admitted iff (dist², id) < (radius2, radius_bound_id)
-  /// under the deterministic tie order (DESIGN.md §5). The default of
-  /// 0 keeps the classical strict dist² < radius2 semantics; the
-  /// distributed engines pass the owner's k-th neighbor id so remote
-  /// ranks return equal-distance candidates with smaller ids.
+  /// As query(), but the bound is given as a squared distance (see
+  /// query_sq_into for the radius_bound_id tie semantics).
   std::vector<Neighbor> query_sq(std::span<const float> query, std::size_t k,
                                  float radius2,
                                  TraversalPolicy policy =
@@ -160,18 +246,7 @@ class KdTree {
                                  QueryStats* stats = nullptr,
                                  std::uint64_t radius_bound_id = 0) const;
 
-  /// Leaf-block-batched KNN over `queries`, the bulk entry point of the
-  /// all-KNN engine. Queries are grouped by the leaf bucket their
-  /// descent lands in and processed in bucket-contiguous order: each
-  /// query primes its heap by scanning the shared home bucket first
-  /// (one SIMD block, hot in cache across the group) and then runs the
-  /// root traversal with that already-tight bound, skipping the home
-  /// leaf — amortizing descent and leaf scans across co-located
-  /// queries. Results are identical to per-query query_sq.
-  ///
-  /// radius2s/radius_bound_ids give per-query pruning bounds with the
-  /// query_sq semantics above (both empty = unbounded; when radius2s is
-  /// non-empty both spans must have queries.size() entries).
+  /// Vector-of-vectors shim over the NeighborTable query_sq_batch.
   void query_sq_batch(const data::PointSet& queries, std::size_t k,
                       parallel::ThreadPool& pool,
                       std::vector<std::vector<Neighbor>>& results,
@@ -192,18 +267,15 @@ class KdTree {
                                      std::uint64_t max_leaf_visits,
                                      QueryStats* stats = nullptr) const;
 
-  /// All neighbors within metric `radius` (squared distance strictly
-  /// less than radius²), sorted ascending, unbounded count. This is
-  /// the fixed-radius primitive of BD-CATS-style clustering ([11] in
-  /// the paper) — an easier problem than KNN because the pruning bound
-  /// is known up front.
+  /// Vector shim over query_radius_into. This is the fixed-radius
+  /// primitive of BD-CATS-style clustering ([11] in the paper) — an
+  /// easier problem than KNN because the pruning bound is known up
+  /// front.
   std::vector<Neighbor> query_radius(std::span<const float> query,
                                      float radius,
                                      QueryStats* stats = nullptr) const;
 
-  /// Batch interface: queries row i of `queries` on pool threads,
-  /// writing results[i]. Accumulated QueryStats are returned if
-  /// requested (summed over queries).
+  /// Vector-of-vectors shim over the NeighborTable query_batch.
   void query_batch(const data::PointSet& queries, std::size_t k,
                    parallel::ThreadPool& pool,
                    std::vector<std::vector<Neighbor>>& results,
@@ -215,53 +287,73 @@ class KdTree {
   /// query point (the tree depth along the query's path).
   std::uint32_t path_depth(std::span<const float> query) const;
 
-  /// Persists the built tree (nodes + packed leaf storage) so that a
-  /// reused index — the common case the paper designs for — need not
-  /// be rebuilt across process runs. Throws panda::Error on I/O
-  /// failure.
+  /// Persists the built tree (hot/cold node arrays + packed leaf
+  /// storage) so that a reused index — the common case the paper
+  /// designs for — need not be rebuilt across process runs. Throws
+  /// panda::Error on I/O failure.
   void save(const std::string& path) const;
 
   /// Loads a tree written by save(). Queries on the loaded tree return
   /// bit-identical results. Throws panda::Error on I/O or format
-  /// errors.
+  /// errors, including trees written by the pre-hot/cold format
+  /// (version 1), which cannot be represented losslessly.
   static KdTree load(const std::string& path);
 
  private:
   friend class KdTreeBuilder;
 
-  struct Node {
+  /// Hot traversal record: everything the descent loop reads. Sibling
+  /// children occupy adjacent slots (left = child, right = child + 1)
+  /// so one index names both and a line fetch covers the pair.
+  struct HotNode {
     float split = 0.0f;
     std::uint32_t dim = kLeafMarker;  // kLeafMarker => leaf
-    std::uint32_t left = 0;
-    std::uint32_t right = 0;
-    std::uint64_t packed_begin = 0;  // leaf: first slot in packed_
-    std::uint32_t count = 0;         // leaf: number of live points
+    /// Internal node: left child index (right child = child + 1).
+    /// Leaf: index into leaves_.
+    std::uint32_t child = 0;
   };
+  static_assert(sizeof(HotNode) == 12);
+
+  /// Cold leaf metadata, read only when a bucket is scanned.
+  struct LeafInfo {
+    std::uint64_t packed_begin = 0;  // first slot in packed_
+    std::uint32_t count = 0;         // number of live points
+  };
+
   static constexpr std::uint32_t kLeafMarker = 0xffffffffu;
 
-  bool is_leaf(const Node& n) const { return n.dim == kLeafMarker; }
+  bool is_leaf(const HotNode& n) const { return n.dim == kLeafMarker; }
 
   /// "No node" sentinel for skip_node below (never a valid index:
   /// nodes_ is bounded well under 2^32 - 1 entries).
   static constexpr std::uint32_t kNoNode = 0xffffffffu;
 
-  void search_exact(std::uint32_t node_index, const float* query,
-                    KnnHeap& heap, float region_dist2, float* offsets,
-                    QueryStats& stats,
-                    std::uint32_t skip_node = kNoNode) const;
+  /// Iterative explicit-stack exact traversal from the root, with
+  /// far-child prefetch; visit order, pruning decisions and stats are
+  /// identical to the classic recursion.
+  void search_exact(const float* query, KnnHeap& heap, QueryWorkspace& ws,
+                    QueryStats& stats, std::uint32_t skip_node = kNoNode) const;
   /// Leaf index the plain descent for `query` ends at (kNoNode when
   /// the tree is empty).
   std::uint32_t home_leaf(const float* query) const;
   void search_budgeted(std::uint32_t node_index, const float* query,
                        KnnHeap& heap, float region_dist2, float* offsets,
-                       std::uint64_t& leaf_budget, QueryStats& stats) const;
+                       QueryWorkspace& ws, std::uint64_t& leaf_budget,
+                       QueryStats& stats) const;
   void search_radius(std::uint32_t node_index, const float* query,
                      float radius2, float region_dist2, float* offsets,
-                     std::vector<Neighbor>& out, QueryStats& stats) const;
-  void search_paper(const float* query, KnnHeap& heap,
+                     AlignedVector<float>& dist, std::vector<Neighbor>& out,
+                     QueryStats& stats) const;
+  void search_paper(const float* query, KnnHeap& heap, QueryWorkspace& ws,
                     QueryStats& stats) const;
-  void scan_leaf(const Node& node, const float* query, KnnHeap& heap,
-                 QueryStats& stats) const;
+  void scan_leaf(const LeafInfo& leaf, const float* query, KnnHeap& heap,
+                 QueryWorkspace& ws, QueryStats& stats) const;
+  /// One batched query: prime with the home leaf, traverse skipping
+  /// it, extract into the table row.
+  void batch_query_one(std::uint64_t i, std::size_t k, float radius2,
+                       std::uint64_t bound_id, std::uint32_t home,
+                       QueryWorkspace& ws, NeighborTable& results,
+                       QueryStats& stats) const;
 
   std::size_t dims_ = 0;
   BuildConfig config_;
@@ -269,9 +361,16 @@ class KdTree {
   // st = simd::padded_count(count) occupies floats
   // [s0*dims, (s0+st)*dims), coordinate d of bucket point i at
   // packed_[s0*dims + d*st + i]; packed_ids_[s0+i] is its global id.
-  std::vector<Node> nodes_;
+  std::vector<HotNode> nodes_;
+  std::vector<LeafInfo> leaves_;
+  /// Hot node index of each leaf record (leaf_nodes_[leaves index]);
+  /// recomputed from nodes_ on load.
+  std::vector<std::uint32_t> leaf_nodes_;
   AlignedVector<float> packed_;
   std::vector<std::uint64_t> packed_ids_;
+  /// Build-time point index of each packed slot (padding slots hold
+  /// ~0): the self-KNN batch writes its result rows through this map.
+  std::vector<std::uint64_t> packed_local_idx_;
   TreeStats stats_;
 };
 

@@ -21,6 +21,19 @@ std::uint32_t ceil_log2_u64(std::uint64_t n) {
   return static_cast<std::uint32_t>(std::bit_width(n - 1));
 }
 
+/// Build-phase node record. Construction wants free-form child links
+/// (phase-2 subtrees interleave left subtrees between parents and
+/// right children); the final linearize pass renumbers into the
+/// query-time hot/cold layout, where sibling children are adjacent.
+struct BuildNode {
+  float split = 0.0f;
+  std::uint32_t dim = 0xffffffffu;  // kLeafMarker => leaf
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;
+  std::uint64_t idx_lo = 0;  // leaf: first entry of its idx_ range
+  std::uint32_t count = 0;   // leaf: number of points
+};
+
 }  // namespace
 
 class KdTreeBuilder {
@@ -50,7 +63,7 @@ class KdTreeBuilder {
 
     // Phase 1: data-parallel breadth-first top levels.
     std::vector<Frontier> frontier;
-    nodes_.push_back(KdTree::Node{});
+    nodes_.push_back(BuildNode{});
     frontier.push_back(Frontier{0, 0, points_.size(), 0});
     const std::size_t switch_branches =
         static_cast<std::size_t>(pool_.size()) * config_.thread_switch_factor;
@@ -82,7 +95,7 @@ class KdTreeBuilder {
     watch.reset();
 
     // Phase 2: thread-parallel depth-first subtrees.
-    std::vector<std::vector<KdTree::Node>> subtrees(frontier.size());
+    std::vector<std::vector<BuildNode>> subtrees(frontier.size());
     {
       std::vector<std::function<void()>> tasks;
       tasks.reserve(frontier.size());
@@ -104,14 +117,14 @@ class KdTreeBuilder {
         PANDA_ASSERT(local_ref >= 1);
         return base + local_ref - 1;
       };
-      KdTree::Node root = local[0];
+      BuildNode root = local[0];
       if (root.dim != KdTree::kLeafMarker) {
         root.left = remap(root.left);
         root.right = remap(root.right);
       }
       nodes_[frontier[s].node] = root;
       for (std::size_t j = 1; j < local.size(); ++j) {
-        KdTree::Node n = local[j];
+        BuildNode n = local[j];
         if (n.dim != KdTree::kLeafMarker) {
           n.left = remap(n.left);
           n.right = remap(n.right);
@@ -122,11 +135,12 @@ class KdTreeBuilder {
     const double thread_parallel_seconds = watch.seconds();
     watch.reset();
 
-    // Phase 3: SIMD packing of leaf buckets.
+    // Phase 3: linearize into the query-time hot/cold layout (sibling
+    // children adjacent), then SIMD-pack the leaf buckets.
+    linearize(tree);
     pack_leaves(tree);
     const double packing_seconds = watch.seconds();
 
-    tree.nodes_ = std::move(nodes_);
     compute_stats(tree);
     if (breakdown != nullptr) {
       breakdown->data_parallel = data_parallel_seconds;
@@ -159,9 +173,9 @@ class KdTreeBuilder {
                                         config_.variance_samples, variance);
   }
 
-  void make_leaf(KdTree::Node& node, std::uint64_t lo, std::uint64_t hi) {
+  void make_leaf(BuildNode& node, std::uint64_t lo, std::uint64_t hi) {
     node.dim = KdTree::kLeafMarker;
-    node.packed_begin = lo;  // temporarily holds the idx_ range
+    node.idx_lo = lo;
     node.count = static_cast<std::uint32_t>(hi - lo);
   }
 
@@ -227,7 +241,7 @@ class KdTreeBuilder {
   void emit_children(const Frontier& f, const SplitDecision& d,
                      std::uint32_t left, std::uint32_t right,
                      std::vector<Frontier>& next) {
-    KdTree::Node& node = nodes_[f.node];
+    BuildNode& node = nodes_[f.node];
     node.dim = static_cast<std::uint32_t>(d.dim);
     node.split = d.split;
     node.left = left;
@@ -262,9 +276,9 @@ class KdTreeBuilder {
     if (!ok) d = positional_split(f.lo, f.hi, dim);
 
     const std::uint32_t left = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.push_back(KdTree::Node{});
+    nodes_.push_back(BuildNode{});
     const std::uint32_t right = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.push_back(KdTree::Node{});
+    nodes_.push_back(BuildNode{});
     emit_children(f, d, left, right, next);
   }
 
@@ -276,8 +290,8 @@ class KdTreeBuilder {
     std::vector<std::uint32_t> left_ids(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       left_ids[i] = static_cast<std::uint32_t>(nodes_.size());
-      nodes_.push_back(KdTree::Node{});
-      nodes_.push_back(KdTree::Node{});
+      nodes_.push_back(BuildNode{});
+      nodes_.push_back(BuildNode{});
     }
     std::vector<SplitDecision> decisions(batch.size());
     parallel::parallel_for_dynamic(
@@ -386,11 +400,11 @@ class KdTreeBuilder {
   /// Serial depth-first subtree construction (phase 2). Appends nodes
   /// to `out` (root is out[initial size]) and returns the root's local
   /// index.
-  std::uint32_t build_serial(std::vector<KdTree::Node>& out, std::uint64_t lo,
+  std::uint32_t build_serial(std::vector<BuildNode>& out, std::uint64_t lo,
                              std::uint64_t hi, std::uint32_t depth) {
     const std::uint64_t n = hi - lo;
     const std::uint32_t me = static_cast<std::uint32_t>(out.size());
-    out.push_back(KdTree::Node{});
+    out.push_back(BuildNode{});
     if (n <= config_.bucket_size) {
       make_leaf(out[me], lo, hi);
       return me;
@@ -406,28 +420,67 @@ class KdTreeBuilder {
     return me;
   }
 
+  /// Converts the build-phase node array (free-form child links) into
+  /// the query-time layout: a flat array of 12-byte hot records whose
+  /// sibling children occupy adjacent slots, plus the cold leaf array
+  /// (LeafInfo.packed_begin temporarily holds the idx_ range start
+  /// until pack_leaves assigns packed slots). Pre-order DFS, left
+  /// subtree first — deterministic for a given build.
+  void linearize(KdTree& tree) {
+    tree.nodes_.clear();
+    tree.leaves_.clear();
+    tree.leaf_nodes_.clear();
+    tree.nodes_.reserve(nodes_.size());
+    if (nodes_.empty()) return;
+    struct Item {
+      std::uint32_t old_node;
+      std::uint32_t new_node;
+    };
+    std::vector<Item> stack;
+    tree.nodes_.emplace_back();
+    stack.push_back({0, 0});
+    while (!stack.empty()) {
+      const Item item = stack.back();
+      stack.pop_back();
+      const BuildNode& b = nodes_[item.old_node];
+      KdTree::HotNode hot;
+      hot.split = b.split;
+      hot.dim = b.dim;
+      if (b.dim == KdTree::kLeafMarker) {
+        hot.child = static_cast<std::uint32_t>(tree.leaves_.size());
+        tree.leaves_.push_back({b.idx_lo, b.count});
+        tree.leaf_nodes_.push_back(item.new_node);
+      } else {
+        hot.child = static_cast<std::uint32_t>(tree.nodes_.size());
+        tree.nodes_.emplace_back();
+        tree.nodes_.emplace_back();
+        stack.push_back({b.right, hot.child + 1});
+        stack.push_back({b.left, hot.child});
+      }
+      tree.nodes_[item.new_node] = hot;
+    }
+  }
+
   /// Phase 3: copies every leaf's points into padded bucket-contiguous
   /// SoA storage (paper step iv).
   void pack_leaves(KdTree& tree) {
     const std::size_t dims = points_.dims();
     struct LeafRef {
-      std::uint32_t node;
       std::uint64_t idx_lo;
       std::uint32_t count;
       std::uint64_t slot_begin;
     };
     std::vector<LeafRef> leaves;
+    leaves.reserve(tree.leaves_.size());
     std::uint64_t slots = 0;
-    for (std::uint32_t v = 0; v < nodes_.size(); ++v) {
-      KdTree::Node& node = nodes_[v];
-      if (node.dim != KdTree::kLeafMarker) continue;
-      LeafRef ref{v, node.packed_begin, node.count, slots};
-      node.packed_begin = slots;
-      slots += simd::padded_count(node.count);
-      leaves.push_back(ref);
+    for (KdTree::LeafInfo& leaf : tree.leaves_) {
+      leaves.push_back({leaf.packed_begin, leaf.count, slots});
+      leaf.packed_begin = slots;
+      slots += simd::padded_count(leaf.count);
     }
     tree.packed_.assign(slots * dims, simd::kPadSentinel);
     tree.packed_ids_.assign(slots, ~std::uint64_t{0});
+    tree.packed_local_idx_.assign(slots, ~std::uint64_t{0});
 
     parallel::parallel_for_dynamic(
         pool_, 0, leaves.size(), 8,
@@ -446,6 +499,8 @@ class KdTreeBuilder {
             for (std::uint32_t i = 0; i < ref.count; ++i) {
               tree.packed_ids_[ref.slot_begin + i] =
                   points_.id(idx_[ref.idx_lo + i]);
+              tree.packed_local_idx_[ref.slot_begin + i] =
+                  idx_[ref.idx_lo + i];
             }
           }
         });
@@ -465,14 +520,14 @@ class KdTreeBuilder {
       const Item item = stack.back();
       stack.pop_back();
       stats.max_depth = std::max(stats.max_depth, item.depth);
-      const KdTree::Node& n = tree.nodes_[item.node];
+      const KdTree::HotNode& n = tree.nodes_[item.node];
       if (n.dim == KdTree::kLeafMarker) {
         stats.leaves += 1;
-        stats.points += n.count;
-        fill_total += n.count;
+        stats.points += tree.leaves_[n.child].count;
+        fill_total += tree.leaves_[n.child].count;
       } else {
-        stack.push_back({n.left, item.depth + 1});
-        stack.push_back({n.right, item.depth + 1});
+        stack.push_back({n.child, item.depth + 1});
+        stack.push_back({n.child + 1, item.depth + 1});
       }
     }
     stats.mean_leaf_fill =
@@ -489,7 +544,7 @@ class KdTreeBuilder {
   std::uint32_t depth_limit_ = 64;
   std::vector<std::uint64_t> idx_;
   std::vector<std::uint64_t> scratch_;
-  std::vector<KdTree::Node> nodes_;
+  std::vector<BuildNode> nodes_;
 };
 
 KdTree KdTree::build(const data::PointSet& points, const BuildConfig& config,

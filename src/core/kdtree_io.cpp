@@ -1,4 +1,11 @@
 // Persistence for built kd-trees.
+//
+// Format version 2 (the hot/cold node split, DESIGN.md §9): header,
+// then the flat HotNode array, the cold LeafInfo array, the packed SoA
+// leaf storage, and the packed ids. Version-1 files (the old unified
+// 32-byte Node records) are refused with a clear diagnostic — the old
+// layout cannot be loaded into the split representation without a
+// rebuild, and silently misreading it would corrupt every query.
 #include <cstdint>
 #include <fstream>
 
@@ -10,15 +17,17 @@ namespace panda::core {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x50414e44414b4454ULL;  // "PANDAKDT"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kLeafMarkerValue = 0xffffffffu;
 
 struct Header {
   std::uint64_t magic;
   std::uint32_t version;
   std::uint32_t dims;
   std::uint64_t node_count;
+  std::uint64_t leaf_count;
   std::uint64_t packed_count;   // floats
-  std::uint64_t id_count;       // slots
+  std::uint64_t id_count;       // slots (ids and local-index map)
   TreeStats stats;
   BuildConfig config;
 };
@@ -38,7 +47,8 @@ void read_raw(std::ifstream& in, T* data, std::size_t count) {
 }  // namespace
 
 void KdTree::save(const std::string& path) const {
-  static_assert(std::is_trivially_copyable_v<Node>);
+  static_assert(std::is_trivially_copyable_v<HotNode>);
+  static_assert(std::is_trivially_copyable_v<LeafInfo>);
   static_assert(std::is_trivially_copyable_v<TreeStats>);
   static_assert(std::is_trivially_copyable_v<BuildConfig>);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -49,14 +59,17 @@ void KdTree::save(const std::string& path) const {
   header.version = kVersion;
   header.dims = static_cast<std::uint32_t>(dims_);
   header.node_count = nodes_.size();
+  header.leaf_count = leaves_.size();
   header.packed_count = packed_.size();
   header.id_count = packed_ids_.size();
   header.stats = stats_;
   header.config = config_;
   write_raw(out, &header, 1);
   write_raw(out, nodes_.data(), nodes_.size());
+  write_raw(out, leaves_.data(), leaves_.size());
   write_raw(out, packed_.data(), packed_.size());
   write_raw(out, packed_ids_.data(), packed_ids_.size());
+  write_raw(out, packed_local_idx_.data(), packed_local_idx_.size());
   out.flush();
   PANDA_CHECK_MSG(out.good(), "write failed: " << path);
 }
@@ -65,12 +78,23 @@ KdTree KdTree::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   PANDA_CHECK_MSG(in.good(), "cannot open for reading: " << path);
 
+  // The version field sits at the same offset in every format
+  // revision, so an old file is identified exactly, not as garbage.
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  read_raw(in, &magic, 1);
+  read_raw(in, &version, 1);
+  PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+  PANDA_CHECK_MSG(magic == kMagic, "not a PANDA kd-tree: " << path);
+  PANDA_CHECK_MSG(version == kVersion,
+                  "unsupported kd-tree version "
+                      << version << " (expected " << kVersion
+                      << "); rebuild and re-save the index");
+
+  in.seekg(0);
   Header header{};
   read_raw(in, &header, 1);
   PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
-  PANDA_CHECK_MSG(header.magic == kMagic, "not a PANDA kd-tree: " << path);
-  PANDA_CHECK_MSG(header.version == kVersion,
-                  "unsupported kd-tree version " << header.version);
 
   KdTree tree;
   tree.dims_ = header.dims;
@@ -78,11 +102,23 @@ KdTree KdTree::load(const std::string& path) {
   tree.config_ = header.config;
   tree.nodes_.resize(header.node_count);
   read_raw(in, tree.nodes_.data(), tree.nodes_.size());
+  tree.leaves_.resize(header.leaf_count);
+  read_raw(in, tree.leaves_.data(), tree.leaves_.size());
   tree.packed_.resize(header.packed_count);
   read_raw(in, tree.packed_.data(), tree.packed_.size());
   tree.packed_ids_.resize(header.id_count);
   read_raw(in, tree.packed_ids_.data(), tree.packed_ids_.size());
+  tree.packed_local_idx_.resize(header.id_count);
+  read_raw(in, tree.packed_local_idx_.data(), tree.packed_local_idx_.size());
   PANDA_CHECK_MSG(in.good(), "truncated payload: " << path);
+  // leaf_nodes_ is derived state: rebuild the leaf-record -> hot-node
+  // map rather than serializing it.
+  tree.leaf_nodes_.resize(tree.leaves_.size());
+  for (std::uint32_t v = 0; v < tree.nodes_.size(); ++v) {
+    if (tree.nodes_[v].dim == kLeafMarkerValue) {
+      tree.leaf_nodes_[tree.nodes_[v].child] = v;
+    }
+  }
   return tree;
 }
 

@@ -21,6 +21,23 @@ std::vector<Neighbor> merge_topk(const std::vector<std::vector<Neighbor>>& lists
   return heap.take_sorted();
 }
 
+std::size_t merge_topk_into_row(std::span<Neighbor> row, std::size_t count,
+                                std::span<const Neighbor> incoming,
+                                std::size_t k, std::vector<Neighbor>& scratch) {
+  PANDA_ASSERT(count <= row.size());
+  if (incoming.empty()) return std::min(count, k);
+  scratch.clear();
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (scratch.size() < k && (a < count || b < incoming.size())) {
+    const bool take_row =
+        b == incoming.size() || (a < count && row[a] < incoming[b]);
+    scratch.push_back(take_row ? row[a++] : incoming[b++]);
+  }
+  std::copy(scratch.begin(), scratch.end(), row.begin());
+  return scratch.size();
+}
+
 void merge_topk_into(std::vector<Neighbor>& accumulator,
                      std::span<const Neighbor> incoming, std::size_t k) {
   if (incoming.empty()) {

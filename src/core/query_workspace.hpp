@@ -1,0 +1,111 @@
+// Reusable per-thread query state (DESIGN.md §9).
+//
+// Every mutable buffer a KdTree query needs lives here: the bounded
+// candidate heap, the Arya–Mount per-dimension offset array, the
+// explicit traversal stack (+ its offset undo log), the SIMD distance
+// scratch that used to hide in a thread_local, and an AoS copy buffer
+// for SoA query points. A workspace warms up on first use and then
+// every subsequent query — any k, any radius — runs with zero
+// allocator calls.
+//
+// Ownership rules:
+//   * one workspace per thread — a workspace is NOT thread-safe, and
+//     a single workspace must not be used by two concurrent queries;
+//   * callers of the single-query entry points (query_sq_into,
+//     query_radius_into) own their workspace and pass it explicitly;
+//   * the batch entry points take a BatchWorkspace, which owns one
+//     QueryWorkspace per pool thread plus the batch-wide scratch
+//     (home-leaf ids, schedule order, per-thread row staging).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "core/knn_heap.hpp"
+
+namespace panda::core {
+
+/// Per-query traversal counters (accumulated per thread by the batch
+/// entry points).
+struct QueryStats {
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t leaves_visited = 0;
+  std::uint64_t points_scanned = 0;
+
+  QueryStats& operator+=(const QueryStats& o) {
+    nodes_visited += o.nodes_visited;
+    leaves_visited += o.leaves_visited;
+    points_scanned += o.points_scanned;
+    return *this;
+  }
+};
+
+struct QueryWorkspace {
+  /// Deferred far-subtree visit of the iterative exact traversal: the
+  /// node to visit, its Arya–Mount lower bound, the (dim, offset)
+  /// plane replacement to apply when entering it, and the undo-log
+  /// level to unwind to first.
+  struct FarEntry {
+    std::uint32_t node = 0;
+    float dist2 = 0.0f;
+    std::uint32_t dim = 0;
+    float offset = 0.0f;
+    std::uint32_t undo_size = 0;
+  };
+  /// One offsets[] plane replacement to revert on unwind.
+  struct UndoEntry {
+    std::uint32_t dim = 0;
+    float offset = 0.0f;
+  };
+  /// Where one query's variable-length row landed in this thread's
+  /// staging buffer (radius batch stitching).
+  struct RowRef {
+    std::uint64_t begin = 0;
+    std::uint32_t count = 0;
+    std::uint32_t thread = 0;
+  };
+
+  /// Sizes the dimension-dependent buffers and pre-reserves the
+  /// traversal stack. Idempotent and allocation-free once warm.
+  void prepare(std::size_t dims) {
+    if (offsets.size() < dims) offsets.resize(dims);
+    if (query.size() < dims) query.resize(dims);
+    if (stack.capacity() == 0) stack.reserve(128);
+    if (undo.capacity() == 0) undo.reserve(128);
+  }
+
+  KnnHeap heap{1};
+  std::vector<float> offsets;        // Arya–Mount plane offsets (dims)
+  std::vector<float> query;          // AoS copy of the current query
+  AlignedVector<float> dist;         // SIMD leaf-scan distances
+  std::vector<FarEntry> stack;       // explicit traversal stack
+  std::vector<UndoEntry> undo;       // offsets[] undo log
+  std::vector<Neighbor> staging;     // variable-length row staging
+  std::vector<std::uint32_t> lanes;  // leaf-scan candidate compaction
+  QueryStats stats;                  // per-thread batch accumulation
+};
+
+/// Caller-owned state for the batched entry points: one QueryWorkspace
+/// per pool thread plus the batch-wide arrays. Reused across batches —
+/// steady-state query_sq_batch / query_radius_batch calls make zero
+/// allocator calls.
+struct BatchWorkspace {
+  /// Sizes per-thread workspaces for `threads` pool threads over
+  /// `dims`-dimensional data. Idempotent, allocation-free once warm.
+  void prepare(int threads, std::size_t dims) {
+    const auto t = static_cast<std::size_t>(threads);
+    if (per_thread.size() < t) per_thread.resize(t);
+    for (auto& ws : per_thread) ws.prepare(dims);
+  }
+
+  std::vector<QueryWorkspace> per_thread;
+  std::vector<std::uint32_t> home;       // home-leaf node per query
+  std::vector<std::uint64_t> order;      // bucket-contiguous schedule
+  std::vector<QueryWorkspace::RowRef> row_refs;  // radius batch stitch map
+  std::vector<float> radius2;            // uniform-bound staging
+  std::vector<std::uint64_t> bound_id;   // uniform-bound staging
+};
+
+}  // namespace panda::core

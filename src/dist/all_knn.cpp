@@ -29,19 +29,26 @@ using core::Neighbor;
 
 }  // namespace
 
-AllKnnEngine::LocalPass AllKnnEngine::local_pass(const AllKnnConfig& config,
-                                                 AllKnnStats& st) {
+void AllKnnEngine::local_pass(const AllKnnConfig& config,
+                              core::NeighborTable& results, LocalPass& pass,
+                              AllKnnStats& st) {
   const data::PointSet& points = tree_.local_points();
   const std::size_t n = points.size();
   WallTimer watch;
 
-  LocalPass pass;
   // Stage 2 without stage 1: every local point is a query this rank
-  // already owns; the batched entry point runs them in the tree's
-  // bucket-contiguous order.
+  // already owns. The exact policy takes the self-join kernel (the
+  // packed leaves are the schedule); PaperFormula falls back to the
+  // generic batched path, which it needs for its recall ablation.
   watch.reset();
-  tree_.local_tree().query_sq_batch(points, config.k, comm_.pool(),
-                                    pass.results, {}, {}, config.policy);
+  if (config.policy == core::TraversalPolicy::Exact) {
+    tree_.local_tree().query_self_batch(config.k, comm_.pool(), results,
+                                        local_ws_);
+  } else {
+    tree_.local_tree().query_sq_batch(points, config.k, comm_.pool(),
+                                      results, local_ws_, {}, {},
+                                      config.policy);
+  }
   st.local_knn += watch.seconds();
 
   // Stage 3: the (r'², k-th id) bound and the coalesced overlap
@@ -68,7 +75,7 @@ AllKnnEngine::LocalPass AllKnnEngine::local_pass(const AllKnnConfig& config,
         Scratch& mine = scratch[static_cast<std::size_t>(tid)];
         std::vector<float> q(tree_.dims());
         for (std::uint64_t i = a; i < b; ++i) {
-          const auto& candidates = pass.results[i];
+          const auto candidates = results[i];
           if (candidates.size() == config.k) {
             pass.radius2[i] = candidates.back().dist2;
             pass.bound_id[i] = candidates.back().id;
@@ -104,7 +111,6 @@ AllKnnEngine::LocalPass AllKnnEngine::local_pass(const AllKnnConfig& config,
   if (comm_.size() == 1) st.queries_local_only = n;
   st.identify_remote += watch.seconds();
   st.queries_total = n;
-  return pass;
 }
 
 std::vector<std::byte> AllKnnEngine::pack_requests(
@@ -121,14 +127,16 @@ std::vector<std::byte> AllKnnEngine::pack_requests(
 }
 
 void AllKnnEngine::merge_responses(std::span<const std::byte> payload,
-                                   LocalPass& pass, std::size_t k,
-                                   AllKnnStats& st) {
+                                   core::NeighborTable& results,
+                                   std::size_t k, AllKnnStats& st) {
   WallTimer watch;
   detail::WireReader reader(payload);
   while (!reader.done()) {
     const auto seq = reader.get<std::uint64_t>();
     const auto found = detail::read_neighbors(reader);
-    core::merge_topk_into(pass.results[seq], found, k);
+    const std::size_t merged = core::merge_topk_into_row(
+        results.slot(seq), results.count(seq), found, k, merge_scratch_);
+    results.set_count(seq, merged);
   }
   st.merge += watch.seconds();
 }
@@ -152,23 +160,25 @@ std::vector<std::byte> AllKnnEngine::answer_requests(
   }
 
   // Stage 4 for the whole message at once: one batched radius-limited
-  // pass over the coalesced query block.
+  // pass over the coalesced query block, straight into the reusable
+  // flat table.
   WallTimer watch;
-  std::vector<std::vector<Neighbor>> found;
-  tree_.local_tree().query_sq_batch(queries, config.k, comm_.pool(), found,
-                                    radius2s, bound_ids, config.policy);
+  tree_.local_tree().query_sq_batch(queries, config.k, comm_.pool(),
+                                    remote_found_, remote_ws_, radius2s,
+                                    bound_ids, config.policy);
   st.remote_knn += watch.seconds();
 
   detail::WireWriter response;
   for (std::size_t i = 0; i < seqs.size(); ++i) {
     response.put<std::uint64_t>(seqs[i]);
-    detail::append_neighbors(response, found[i]);
+    detail::append_neighbors(response, remote_found_[i]);
   }
   return response.take();
 }
 
-void AllKnnEngine::run_collective(const AllKnnConfig& config, LocalPass& pass,
-                                  AllKnnStats& st) {
+void AllKnnEngine::run_collective(const AllKnnConfig& config,
+                                  core::NeighborTable& results,
+                                  LocalPass& pass, AllKnnStats& st) {
   const int ranks = comm_.size();
   WallTimer watch;
 
@@ -217,15 +227,16 @@ void AllKnnEngine::run_collective(const AllKnnConfig& config, LocalPass& pass,
       net::alltoall_cost(comm_.cost_params(), fanout, bytes_out);
   const auto responses_in = exchange(response_rows);
 
-  // Stage 5: stream every returned list into its query's candidates.
+  // Stage 5: stream every returned list into its query's row.
   for (int s = 0; s < ranks; ++s) {
-    merge_responses(responses_in[static_cast<std::size_t>(s)], pass,
+    merge_responses(responses_in[static_cast<std::size_t>(s)], results,
                     config.k, st);
   }
 }
 
-void AllKnnEngine::run_pipelined(const AllKnnConfig& config, LocalPass& pass,
-                                 AllKnnStats& st) {
+void AllKnnEngine::run_pipelined(const AllKnnConfig& config,
+                                 core::NeighborTable& results,
+                                 LocalPass& pass, AllKnnStats& st) {
   const int ranks = comm_.size();
   const int me = comm_.rank();
   const std::size_t n = tree_.local_points().size();
@@ -295,7 +306,7 @@ void AllKnnEngine::run_pipelined(const AllKnnConfig& config, LocalPass& pass,
       auto& awaiting = awaiting_responses[static_cast<std::size_t>(s)];
       while (awaiting > 0 && comm_.poll(s, kTagBulkResponse)) {
         const auto payload = comm_.recv<std::byte>(s, kTagBulkResponse);
-        merge_responses(payload, pass, config.k, st);
+        merge_responses(payload, results, config.k, st);
         awaiting -= 1;
         awaiting_total -= 1;
         progress = true;
@@ -342,20 +353,27 @@ void AllKnnEngine::run_pipelined(const AllKnnConfig& config, LocalPass& pass,
   }
 }
 
-std::vector<std::vector<Neighbor>> AllKnnEngine::run(
-    const AllKnnConfig& config, AllKnnStats* stats) {
+void AllKnnEngine::run_into(const AllKnnConfig& config,
+                            core::NeighborTable& results,
+                            AllKnnStats* stats) {
   PANDA_CHECK_MSG(config.k >= 1, "k must be >= 1");
   AllKnnStats st;
-  LocalPass pass = local_pass(config, st);
+  local_pass(config, results, pass_, st);
   if (comm_.size() > 1) {
     if (config.mode == AllKnnConfig::Mode::Collective) {
-      run_collective(config, pass, st);
+      run_collective(config, results, pass_, st);
     } else {
-      run_pipelined(config, pass, st);
+      run_pipelined(config, results, pass_, st);
     }
   }
   if (stats != nullptr) *stats = st;
-  return std::move(pass.results);
+}
+
+std::vector<std::vector<Neighbor>> AllKnnEngine::run(
+    const AllKnnConfig& config, AllKnnStats* stats) {
+  core::NeighborTable results;
+  run_into(config, results, stats);
+  return results.to_vectors();
 }
 
 }  // namespace panda::dist

@@ -15,11 +15,16 @@
 //     radius-limited pass, so the per-round stage-3/4 message count is
 //     O(ranks²) rather than O(queries × fanout).
 //
-// Local KNN runs leaf-block-batched (core::KdTree::query_sq_batch):
-// queries are processed in the kd-tree's bucket-contiguous order so
-// co-located queries share descent state and SIMD leaf scans. Remote
-// responses fold into the owner's candidate list with a streaming
-// core::merge_topk_into as they arrive.
+// Local KNN runs through the self-join batch kernel
+// (core::KdTree::query_self_batch): the packed leaves are the
+// bucket-contiguous schedule, so co-located queries share descent
+// state and SIMD leaf scans with no descent or ordering phase at all.
+// Results live in a flat core::NeighborTable (one arena, per-query
+// spans — DESIGN.md §9); remote responses fold into the owner's table
+// row with a streaming core::merge_topk_into_row as they arrive. All
+// scratch (workspaces, tables, request staging) is engine-owned and
+// reused, so repeated runs make no steady-state allocations in the
+// local stages.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +34,8 @@
 
 #include "core/kdtree.hpp"
 #include "core/knn_heap.hpp"
+#include "core/neighbor_table.hpp"
+#include "core/query_workspace.hpp"
 #include "dist/dist_kdtree.hpp"
 #include "net/comm.hpp"
 
@@ -81,26 +88,32 @@ class AllKnnEngine {
   AllKnnEngine(net::Comm& comm, const DistKdTree& tree)
       : comm_(comm), tree_(tree) {}
 
-  /// Collective. Answers the bulk self-KNN query: results[i] holds the
-  /// k nearest indexed neighbors of tree.local_points()[i] (global
-  /// ids, ascending by (dist², id)), exact against the full
-  /// distributed dataset. All ranks must call.
+  /// Collective. Answers the bulk self-KNN query into the flat
+  /// `results` table: row i holds the k nearest indexed neighbors of
+  /// tree.local_points()[i] (global ids, ascending by (dist², id)),
+  /// exact against the full distributed dataset. All ranks must call.
+  /// The table is caller-owned and reusable — repeated runs at steady
+  /// sizes reuse its arena.
+  void run_into(const AllKnnConfig& config, core::NeighborTable& results,
+                AllKnnStats* stats = nullptr);
+
+  /// Compatibility shim over run_into: materializes vector-of-vectors.
   std::vector<std::vector<core::Neighbor>> run(const AllKnnConfig& config,
                                                AllKnnStats* stats = nullptr);
 
  private:
-  /// Stages 2-3 for every local point: leaf-block-batched local KNN,
-  /// then per-query (r'², k-th id) bounds and coalesced per-rank
-  /// remote overlap lists.
+  /// Stages 2-3 for every local point: self-join batched local KNN
+  /// (results land in the run_into table), then per-query (r'², k-th
+  /// id) bounds and coalesced per-rank remote overlap lists.
   struct LocalPass {
-    std::vector<std::vector<core::Neighbor>> results;
     std::vector<float> radius2;
     std::vector<std::uint64_t> bound_id;
     /// remote_queries[r] — indices of local queries whose ball
     /// overlaps rank r's region (empty for r == rank()).
     std::vector<std::vector<std::uint64_t>> remote_queries;
   };
-  LocalPass local_pass(const AllKnnConfig& config, AllKnnStats& st);
+  void local_pass(const AllKnnConfig& config, core::NeighborTable& results,
+                  LocalPass& pass, AllKnnStats& st);
 
   /// Packs the KnnRequest records of the given local query indices
   /// into one coalesced message payload.
@@ -113,18 +126,29 @@ class AllKnnEngine {
                                          const AllKnnConfig& config,
                                          AllKnnStats& st);
 
-  /// Folds one packed response payload into the local candidates with
+  /// Folds one packed response payload into the local result rows with
   /// the streaming stage-5 merge.
-  void merge_responses(std::span<const std::byte> payload, LocalPass& pass,
-                       std::size_t k, AllKnnStats& st);
+  void merge_responses(std::span<const std::byte> payload,
+                       core::NeighborTable& results, std::size_t k,
+                       AllKnnStats& st);
 
-  void run_collective(const AllKnnConfig& config, LocalPass& pass,
+  void run_collective(const AllKnnConfig& config,
+                      core::NeighborTable& results, LocalPass& pass,
                       AllKnnStats& st);
-  void run_pipelined(const AllKnnConfig& config, LocalPass& pass,
-                     AllKnnStats& st);
+  void run_pipelined(const AllKnnConfig& config, core::NeighborTable& results,
+                     LocalPass& pass, AllKnnStats& st);
 
   net::Comm& comm_;
   const DistKdTree& tree_;
+
+  // Reusable cross-run scratch: batch workspaces for the local and
+  // remote passes, the remote-answer staging (query set + result
+  // table), the stage-3 pass state, and the stage-5 merge buffer.
+  core::BatchWorkspace local_ws_;
+  core::BatchWorkspace remote_ws_;
+  core::NeighborTable remote_found_;
+  LocalPass pass_;
+  std::vector<core::Neighbor> merge_scratch_;
 };
 
 }  // namespace panda::dist

@@ -66,42 +66,49 @@ using detail::read_neighbors;
 
 }  // namespace
 
-std::vector<std::vector<Neighbor>> DistQueryEngine::run(
-    const data::PointSet& queries, const DistQueryConfig& config,
-    DistQueryBreakdown* breakdown) {
+void DistQueryEngine::run_into(const data::PointSet& queries,
+                               const DistQueryConfig& config,
+                               core::NeighborTable& results,
+                               DistQueryBreakdown* breakdown) {
   PANDA_CHECK_MSG(config.k >= 1, "k must be >= 1");
   if (!queries.empty()) {
     PANDA_CHECK_MSG(queries.dims() == tree_.dims(),
                     "query dimensionality mismatch");
   }
   DistQueryBreakdown bd;
-  std::vector<std::vector<Neighbor>> results;
   if (comm_.size() == 1) {
-    results = run_single_rank(queries, config, bd);
+    run_single_rank(queries, config, results, bd);
   } else if (config.mode == DistQueryConfig::Mode::Collective) {
-    results = run_collective(queries, config, bd);
+    run_collective(queries, config, results, bd);
   } else {
-    results = run_pipelined(queries, config, bd);
+    run_pipelined(queries, config, results, bd);
   }
   if (breakdown != nullptr) *breakdown = bd;
-  return results;
 }
 
-std::vector<std::vector<Neighbor>> DistQueryEngine::run_single_rank(
+std::vector<std::vector<Neighbor>> DistQueryEngine::run(
     const data::PointSet& queries, const DistQueryConfig& config,
-    DistQueryBreakdown& bd) {
+    DistQueryBreakdown* breakdown) {
+  core::NeighborTable results;
+  run_into(queries, config, results, breakdown);
+  return results.to_vectors();
+}
+
+void DistQueryEngine::run_single_rank(const data::PointSet& queries,
+                                      const DistQueryConfig& config,
+                                      core::NeighborTable& results,
+                                      DistQueryBreakdown& bd) {
   WallTimer watch;
-  std::vector<std::vector<Neighbor>> results;
   tree_.local_tree().query_batch(queries, config.k, comm_.pool(), results,
-                                 kInf, config.policy);
+                                 batch_ws_, kInf, config.policy);
   bd.local_knn = watch.seconds();
   bd.queries_owned = queries.size();
-  return results;
 }
 
-std::vector<std::vector<Neighbor>> DistQueryEngine::run_collective(
-    const data::PointSet& queries, const DistQueryConfig& config,
-    DistQueryBreakdown& bd) {
+void DistQueryEngine::run_collective(const data::PointSet& queries,
+                                     const DistQueryConfig& config,
+                                     core::NeighborTable& results,
+                                     DistQueryBreakdown& bd) {
   const int ranks = comm_.size();
   const std::size_t dims = tree_.dims();
   WallTimer watch;
@@ -203,20 +210,21 @@ std::vector<std::vector<Neighbor>> DistQueryEngine::run_collective(
   }
   const auto returns_in = exchange(returns);
 
-  std::vector<std::vector<Neighbor>> results(queries.size());
+  results.reset_topk(queries.size(), config.k);
   for (int s = 0; s < ranks; ++s) {
     detail::WireReader reader(returns_in[static_cast<std::size_t>(s)]);
     while (!reader.done()) {
       const auto seq = reader.get<std::uint64_t>();
-      results[seq] = read_neighbors(reader);
+      const auto row = read_neighbors(reader);
+      results.assign_row(seq, row);
     }
   }
-  return results;
 }
 
-std::vector<std::vector<Neighbor>> DistQueryEngine::run_pipelined(
-    const data::PointSet& queries, const DistQueryConfig& config,
-    DistQueryBreakdown& bd) {
+void DistQueryEngine::run_pipelined(const data::PointSet& queries,
+                                    const DistQueryConfig& config,
+                                    core::NeighborTable& results,
+                                    DistQueryBreakdown& bd) {
   const int ranks = comm_.size();
   const int me = comm_.rank();
   const std::size_t dims = tree_.dims();
@@ -299,7 +307,7 @@ std::vector<std::vector<Neighbor>> DistQueryEngine::run_pipelined(
       static_cast<std::size_t>(ranks));
   std::vector<std::size_t> result_outbox_count(
       static_cast<std::size_t>(ranks), 0);
-  std::vector<std::vector<Neighbor>> results(queries.size());
+  results.reset_topk(queries.size(), config.k);
   std::uint64_t awaiting_results = queries.size();
   std::vector<bool> peer_done(static_cast<std::size_t>(ranks), false);
   int peers_done = 0;
@@ -307,7 +315,7 @@ std::vector<std::vector<Neighbor>> DistQueryEngine::run_pipelined(
   auto deliver = [&](int origin, std::uint64_t seq,
                      std::vector<Neighbor> merged) {
     if (origin == me) {
-      results[seq] = std::move(merged);
+      results.assign_row(seq, merged);
       awaiting_results -= 1;
       return;
     }
@@ -485,7 +493,8 @@ std::vector<std::vector<Neighbor>> DistQueryEngine::run_pipelined(
         detail::WireReader reader(payload);
         while (!reader.done()) {
           const auto seq = reader.get<std::uint64_t>();
-          results[seq] = read_neighbors(reader);
+          const auto row = read_neighbors(reader);
+          results.assign_row(seq, row);
           awaiting_results -= 1;
         }
         progress = true;
@@ -516,7 +525,6 @@ std::vector<std::vector<Neighbor>> DistQueryEngine::run_pipelined(
       bd.non_overlapped_comm += watch.seconds();
     }
   }
-  return results;
 }
 
 }  // namespace panda::dist

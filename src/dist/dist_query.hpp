@@ -21,6 +21,8 @@
 
 #include "core/kdtree.hpp"
 #include "core/knn_heap.hpp"
+#include "core/neighbor_table.hpp"
+#include "core/query_workspace.hpp"
 #include "data/point_set.hpp"
 #include "dist/dist_kdtree.hpp"
 #include "net/comm.hpp"
@@ -59,27 +61,38 @@ class DistQueryEngine {
       : comm_(comm), tree_(tree) {}
 
   /// Collective. Answers this rank's `queries` (may be empty; all
-  /// ranks must still call). Returns per-query ascending-sorted
-  /// neighbors, exact against the full distributed dataset. The engine
-  /// is stateless between runs: one engine may be reused with
-  /// different configurations over the same tree.
+  /// ranks must still call) into the flat `results` table (top-k mode,
+  /// row i = query i, ascending (dist², id)), exact against the full
+  /// distributed dataset. The caller-owned table is reusable across
+  /// runs; the engine may be reused with different configurations over
+  /// the same tree.
+  void run_into(const data::PointSet& queries, const DistQueryConfig& config,
+                core::NeighborTable& results,
+                DistQueryBreakdown* breakdown = nullptr);
+
+  /// Compatibility shim over run_into: materializes vector-of-vectors.
   std::vector<std::vector<core::Neighbor>> run(
       const data::PointSet& queries, const DistQueryConfig& config,
       DistQueryBreakdown* breakdown = nullptr);
 
  private:
-  std::vector<std::vector<core::Neighbor>> run_single_rank(
-      const data::PointSet& queries, const DistQueryConfig& config,
-      DistQueryBreakdown& breakdown);
-  std::vector<std::vector<core::Neighbor>> run_collective(
-      const data::PointSet& queries, const DistQueryConfig& config,
-      DistQueryBreakdown& breakdown);
-  std::vector<std::vector<core::Neighbor>> run_pipelined(
-      const data::PointSet& queries, const DistQueryConfig& config,
-      DistQueryBreakdown& breakdown);
+  void run_single_rank(const data::PointSet& queries,
+                       const DistQueryConfig& config,
+                       core::NeighborTable& results,
+                       DistQueryBreakdown& breakdown);
+  void run_collective(const data::PointSet& queries,
+                      const DistQueryConfig& config,
+                      core::NeighborTable& results,
+                      DistQueryBreakdown& breakdown);
+  void run_pipelined(const data::PointSet& queries,
+                     const DistQueryConfig& config,
+                     core::NeighborTable& results,
+                     DistQueryBreakdown& breakdown);
 
   net::Comm& comm_;
   const DistKdTree& tree_;
+  /// Reusable batch scratch for the single-rank fast path.
+  core::BatchWorkspace batch_ws_;
 };
 
 }  // namespace panda::dist

@@ -1,5 +1,10 @@
 // Distributed fixed-radius search: prune by ball, scatter, scan,
-// gather, merge — in batch_size-bounded exchange rounds.
+// gather, merge — in batch_size-bounded exchange rounds. Local scans
+// run through the batched flat-table radius kernel
+// (core::KdTree::query_radius_batch): one pass per incoming payload
+// instead of one traversal call per request, with engine-owned
+// reusable staging (DESIGN.md §9). Results land in a rows-mode
+// core::NeighborTable, appended in query order as rounds complete.
 #include "dist/radius_query.hpp"
 
 #include <algorithm>
@@ -13,9 +18,10 @@ namespace panda::dist {
 
 using core::Neighbor;
 
-std::vector<std::vector<Neighbor>> DistRadiusEngine::run(
-    const data::PointSet& queries, const RadiusQueryConfig& config,
-    RadiusQueryBreakdown* breakdown) {
+void DistRadiusEngine::run_into(const data::PointSet& queries,
+                                const RadiusQueryConfig& config,
+                                core::NeighborTable& results,
+                                RadiusQueryBreakdown* breakdown) {
   PANDA_CHECK_MSG(config.radius >= 0.0f, "radius must be non-negative");
   if (!queries.empty()) {
     PANDA_CHECK_MSG(queries.dims() == tree_.dims(),
@@ -27,6 +33,11 @@ std::vector<std::vector<Neighbor>> DistRadiusEngine::run(
   const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
   RadiusQueryBreakdown bd;
   WallTimer watch;
+
+  results.reset_rows(queries.size());
+  if (scan_queries_.dims() != dims) {
+    scan_queries_ = data::PointSet(dims);
+  }
 
   auto exchange = [&](std::vector<detail::WireWriter>& writers) {
     std::vector<std::vector<std::byte>> rows(static_cast<std::size_t>(ranks));
@@ -49,8 +60,8 @@ std::vector<std::vector<Neighbor>> DistRadiusEngine::run(
       comm_.allreduce<std::uint64_t>(my_rounds, net::ReduceOp::Max);
   bd.non_overlapped_comm += watch.seconds();
 
-  std::vector<std::vector<Neighbor>> results(queries.size());
   std::vector<std::size_t> fanout(queries.size(), 0);
+  std::vector<std::uint64_t> scan_seqs;
   std::vector<float> q(dims);
   for (std::uint64_t round = 0; round < rounds; ++round) {
     const std::size_t begin =
@@ -77,40 +88,60 @@ std::vector<std::vector<Neighbor>> DistRadiusEngine::run(
     bd.find_ranks += watch.seconds();
     const auto requests_in = exchange(outgoing);
 
-    // Scan the local tree for every incoming request.
+    // Scan the local tree once per incoming payload: the whole request
+    // block runs through the batched radius kernel.
     std::vector<detail::WireWriter> responses(
         static_cast<std::size_t>(ranks));
     for (int s = 0; s < ranks; ++s) {
       detail::WireReader reader(requests_in[static_cast<std::size_t>(s)]);
-      auto& writer = responses[static_cast<std::size_t>(s)];
+      scan_queries_.clear();
+      scan_seqs.clear();
       while (!reader.done()) {
         const auto seq = reader.get<std::uint64_t>();
         reader.get_into(std::span<float>(q));
-        watch.reset();
-        const auto found =
-            tree_.local_tree().query_radius(q, config.radius);
-        bd.local_scan += watch.seconds();
-        bd.queries_owned += 1;
-        writer.put<std::uint64_t>(seq);
-        detail::append_neighbors(writer, found);
+        scan_queries_.push_point(q, seq);
+        scan_seqs.push_back(seq);
+      }
+      if (scan_seqs.empty()) continue;
+      if (scan_radii_.size() < scan_seqs.size()) {
+        scan_radii_.resize(scan_seqs.size());
+      }
+      std::fill(scan_radii_.begin(),
+                scan_radii_.begin() +
+                    static_cast<std::ptrdiff_t>(scan_seqs.size()),
+                config.radius);
+      watch.reset();
+      tree_.local_tree().query_radius_batch(
+          scan_queries_,
+          std::span<const float>(scan_radii_.data(), scan_seqs.size()),
+          comm_.pool(), scan_found_, scan_ws_);
+      bd.local_scan += watch.seconds();
+      bd.queries_owned += scan_seqs.size();
+      auto& writer = responses[static_cast<std::size_t>(s)];
+      for (std::size_t j = 0; j < scan_seqs.size(); ++j) {
+        writer.put<std::uint64_t>(scan_seqs[j]);
+        detail::append_neighbors(writer, scan_found_[j]);
       }
     }
     const auto responses_in = exchange(responses);
 
     // Merge: per query, responses from all contacted ranks arrive as
-    // sorted runs within this round; concatenate, then sort/truncate.
+    // sorted runs within this round; concatenate, then sort/truncate
+    // and append the finished rows to the flat table in query order.
     watch.reset();
+    if (round_rows_.size() < end - begin) round_rows_.resize(end - begin);
+    for (std::size_t j = 0; j < end - begin; ++j) round_rows_[j].clear();
     for (int s = 0; s < ranks; ++s) {
       detail::WireReader reader(responses_in[static_cast<std::size_t>(s)]);
       while (!reader.done()) {
         const auto seq = reader.get<std::uint64_t>();
         const auto found = detail::read_neighbors(reader);
-        auto& out = results[seq];
+        auto& out = round_rows_[seq - begin];
         out.insert(out.end(), found.begin(), found.end());
       }
     }
     for (std::size_t i = begin; i < end; ++i) {
-      auto& out = results[i];
+      auto& out = round_rows_[i - begin];
       // Establish the full (dist², id) order before truncating:
       // concatenation order is per-round arrival order, which varies
       // with rank count and batch size, and would otherwise decide
@@ -121,12 +152,20 @@ std::vector<std::vector<Neighbor>> DistRadiusEngine::run(
       if (config.max_results > 0 && out.size() > config.max_results) {
         out.resize(config.max_results);
       }
+      results.append_row(i, out);
     }
     bd.merge += watch.seconds();
   }
 
   if (breakdown != nullptr) *breakdown = bd;
-  return results;
+}
+
+std::vector<std::vector<Neighbor>> DistRadiusEngine::run(
+    const data::PointSet& queries, const RadiusQueryConfig& config,
+    RadiusQueryBreakdown* breakdown) {
+  core::NeighborTable results;
+  run_into(queries, config, results, breakdown);
+  return results.to_vectors();
 }
 
 }  // namespace panda::dist

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/knn_heap.hpp"
+#include "core/neighbor_table.hpp"
+#include "core/query_workspace.hpp"
 #include "data/point_set.hpp"
 #include "dist/dist_kdtree.hpp"
 #include "net/comm.hpp"
@@ -44,11 +46,19 @@ class DistRadiusEngine {
   DistRadiusEngine(net::Comm& comm, const DistKdTree& tree)
       : comm_(comm), tree_(tree) {}
 
-  /// Collective. Answers this rank's `queries`; results[i] holds every
-  /// indexed point within the radius of query i, ascending by
-  /// (dist², id), truncated to max_results when set — so the surviving
-  /// set is invariant across rank counts and batch sizes. All ranks
-  /// must call (with possibly empty query sets).
+  /// Collective. Answers this rank's `queries` into the flat `results`
+  /// table (rows mode): row i holds every indexed point within the
+  /// radius of query i, ascending by (dist², id), truncated to
+  /// max_results when set — so the surviving set is invariant across
+  /// rank counts and batch sizes. All ranks must call (with possibly
+  /// empty query sets). The caller-owned table is reusable across
+  /// runs.
+  void run_into(const data::PointSet& queries,
+                const RadiusQueryConfig& config,
+                core::NeighborTable& results,
+                RadiusQueryBreakdown* breakdown = nullptr);
+
+  /// Compatibility shim over run_into: materializes vector-of-vectors.
   std::vector<std::vector<core::Neighbor>> run(
       const data::PointSet& queries, const RadiusQueryConfig& config,
       RadiusQueryBreakdown* breakdown = nullptr);
@@ -56,6 +66,14 @@ class DistRadiusEngine {
  private:
   net::Comm& comm_;
   const DistKdTree& tree_;
+  /// Reusable scratch: the batched local-scan staging (incoming query
+  /// block, per-request radii, result table + workspace) and the
+  /// per-round merge rows.
+  data::PointSet scan_queries_{1};
+  std::vector<float> scan_radii_;
+  core::NeighborTable scan_found_;
+  core::BatchWorkspace scan_ws_;
+  std::vector<std::vector<core::Neighbor>> round_rows_;
 };
 
 }  // namespace panda::dist

@@ -86,9 +86,14 @@ class WireReader {
 // must use this pair so the layout cannot desynchronize.
 
 inline void append_neighbors(WireWriter& writer,
-                             const std::vector<core::Neighbor>& neighbors) {
+                             std::span<const core::Neighbor> neighbors) {
   writer.put<std::uint64_t>(neighbors.size());
-  writer.put_span(std::span<const core::Neighbor>(neighbors));
+  writer.put_span(neighbors);
+}
+
+inline void append_neighbors(WireWriter& writer,
+                             const std::vector<core::Neighbor>& neighbors) {
+  append_neighbors(writer, std::span<const core::Neighbor>(neighbors));
 }
 
 inline std::vector<core::Neighbor> read_neighbors(WireReader& reader) {

@@ -5,10 +5,12 @@
 // by envisioning "more sophisticated classification schemes that
 // utilize spatial weighting of the k-neighbors". Both are provided:
 // uniform majority vote and inverse-distance weighted voting, plus the
-// continuous (regression) analogue. These helpers consume the
-// Neighbor lists produced by any engine in this library — local
-// KdTree, DistQueryEngine, or the baselines — so classification works
-// identically in single-node and distributed settings.
+// continuous (regression) analogue. These helpers consume
+// std::span<const Neighbor>, so they read flat NeighborTable rows
+// (table[i] — the zero-copy path the engines' run_into produce, see
+// DESIGN.md §9) and classic std::vector neighbor lists alike; any
+// engine in this library — local KdTree, DistQueryEngine, or the
+// baselines — feeds them directly, single-node or distributed.
 #pragma once
 
 #include <cstdint>

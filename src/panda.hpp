@@ -24,6 +24,8 @@
 #include "core/kdtree.hpp"
 #include "core/knn_heap.hpp"
 #include "core/median.hpp"
+#include "core/neighbor_table.hpp"
+#include "core/query_workspace.hpp"
 #include "data/cosmology.hpp"
 #include "data/dayabay.hpp"
 #include "data/generators.hpp"

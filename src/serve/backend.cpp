@@ -18,53 +18,63 @@ namespace panda::serve {
 namespace {
 
 /// Splits a batch into the KNN and radius groups and the normalized
-/// group parameters (k_max, r_max) the engines run at.
+/// group parameters (k_max, r_max) the engines run at. Reused across
+/// calls — plan() clears and refills the index vectors.
 struct BatchPlan {
   std::vector<std::size_t> knn_index;
   std::vector<std::size_t> radius_index;
   std::size_t k_max = 0;
   float r_max = 0.0f;
-};
 
-BatchPlan plan_batch(std::span<const Request> batch) {
-  BatchPlan plan;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Request& request = batch[i];
-    if (request.kind == Request::Kind::Knn) {
-      plan.knn_index.push_back(i);
-      plan.k_max = std::max(plan.k_max, request.k);
-    } else {
-      plan.radius_index.push_back(i);
-      plan.r_max = std::max(plan.r_max, request.radius);
+  void plan(std::span<const Request> batch) {
+    knn_index.clear();
+    radius_index.clear();
+    k_max = 0;
+    r_max = 0.0f;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Request& request = batch[i];
+      if (request.kind == Request::Kind::Knn) {
+        knn_index.push_back(i);
+        k_max = std::max(k_max, request.k);
+      } else {
+        radius_index.push_back(i);
+        r_max = std::max(r_max, request.radius);
+      }
     }
   }
-  return plan;
-}
+};
 
-/// Queries of the group, ids = position within the group.
-data::PointSet group_queries(std::span<const Request> batch,
-                             const std::vector<std::size_t>& index,
-                             std::size_t dims) {
-  data::PointSet queries(dims);
+/// Restages the group's queries into a reused PointSet, ids = position
+/// within the group.
+void group_queries(std::span<const Request> batch,
+                   const std::vector<std::size_t>& index,
+                   data::PointSet& queries) {
+  queries.clear();
   queries.reserve(index.size());
   for (std::size_t j = 0; j < index.size(); ++j) {
     queries.push_point(batch[index[j]].query, j);
   }
-  return queries;
 }
 
-/// Keeps request i's own top-k prefix of a k_max answer. Exact because
-/// the list is ascending (dist², id) with deterministic ties.
-void truncate_to_k(Result& result, std::size_t k) {
-  if (result.size() > k) result.resize(k);
+/// Request i's own top-k prefix of a k_max answer row. Exact because
+/// the row is ascending (dist², id) with deterministic ties.
+std::span<const core::Neighbor> topk_prefix(
+    std::span<const core::Neighbor> row, std::size_t k) {
+  return row.subspan(0, std::min(row.size(), k));
 }
 
-/// Keeps request i's own strict-radius prefix of an r_max answer.
-void truncate_to_radius(Result& result, float radius) {
+/// Request i's own strict-radius prefix of an r_max answer row.
+std::span<const core::Neighbor> radius_prefix(
+    std::span<const core::Neighbor> row, float radius) {
   const float r2 = radius * radius;
   std::size_t keep = 0;
-  while (keep < result.size() && result[keep].dist2 < r2) ++keep;
-  result.resize(keep);
+  while (keep < row.size() && row[keep].dist2 < r2) ++keep;
+  return row.subspan(0, keep);
+}
+
+/// Copies a row span into a (warm-capacity) per-request Result.
+void assign_result(Result& result, std::span<const core::Neighbor> row) {
+  result.assign(row.begin(), row.end());
 }
 
 }  // namespace
@@ -73,6 +83,23 @@ void truncate_to_radius(Result& result, float radius) {
 // LocalBackend
 // ---------------------------------------------------------------------
 
+/// Everything one run_batch call touches, pooled so concurrent service
+/// workers each reuse their own warm instance (zero steady-state
+/// allocations — the NeighborTable arenas, workspaces, and staging
+/// PointSets only ever grow).
+struct LocalBackend::Scratch {
+  explicit Scratch(std::size_t dims)
+      : knn_queries(dims), radius_queries(dims) {}
+
+  BatchPlan plan;
+  data::PointSet knn_queries;
+  data::PointSet radius_queries;
+  std::vector<float> radii;
+  core::NeighborTable knn_table;
+  core::NeighborTable radius_table;
+  core::BatchWorkspace ws;
+};
+
 LocalBackend::LocalBackend(std::shared_ptr<const core::KdTree> tree,
                            std::shared_ptr<parallel::ThreadPool> pool)
     : tree_(std::move(tree)), pool_(std::move(pool)) {
@@ -80,34 +107,63 @@ LocalBackend::LocalBackend(std::shared_ptr<const core::KdTree> tree,
                   "LocalBackend needs a tree and a pool");
 }
 
+LocalBackend::~LocalBackend() = default;
+
+std::unique_ptr<LocalBackend::Scratch> LocalBackend::acquire_scratch() {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mutex_);
+    if (!scratch_pool_.empty()) {
+      auto scratch = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<Scratch>(tree_->dims());
+}
+
+void LocalBackend::release_scratch(std::unique_ptr<Scratch> scratch) {
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  scratch_pool_.push_back(std::move(scratch));
+}
+
 void LocalBackend::run_batch(std::span<const Request> batch,
                              std::vector<Result>& results) {
-  results.assign(batch.size(), {});
+  results.resize(batch.size());
   if (batch.empty()) return;
-  const BatchPlan plan = plan_batch(batch);
+  std::unique_ptr<Scratch> scratch = acquire_scratch();
+  BatchPlan& plan = scratch->plan;
+  plan.plan(batch);
 
   if (!plan.knn_index.empty()) {
-    const data::PointSet queries =
-        group_queries(batch, plan.knn_index, tree_->dims());
-    std::vector<Result> group_results;
-    tree_->query_sq_batch(queries, plan.k_max, *pool_, group_results);
+    group_queries(batch, plan.knn_index, scratch->knn_queries);
+    tree_->query_sq_batch(scratch->knn_queries, plan.k_max, *pool_,
+                          scratch->knn_table, scratch->ws);
     for (std::size_t j = 0; j < plan.knn_index.size(); ++j) {
       const std::size_t i = plan.knn_index[j];
-      truncate_to_k(group_results[j], batch[i].k);
-      results[i] = std::move(group_results[j]);
+      assign_result(results[i],
+                    topk_prefix(scratch->knn_table[j], batch[i].k));
     }
   }
 
   if (!plan.radius_index.empty()) {
-    parallel::parallel_for_dynamic(
-        *pool_, 0, plan.radius_index.size(), 4,
-        [&](int, std::uint64_t a, std::uint64_t b) {
-          for (std::uint64_t j = a; j < b; ++j) {
-            const std::size_t i = plan.radius_index[j];
-            results[i] = tree_->query_radius(batch[i].query, batch[i].radius);
-          }
-        });
+    group_queries(batch, plan.radius_index, scratch->radius_queries);
+    if (scratch->radii.size() < plan.radius_index.size()) {
+      scratch->radii.resize(plan.radius_index.size());
+    }
+    for (std::size_t j = 0; j < plan.radius_index.size(); ++j) {
+      scratch->radii[j] = batch[plan.radius_index[j]].radius;
+    }
+    tree_->query_radius_batch(
+        scratch->radius_queries,
+        std::span<const float>(scratch->radii.data(),
+                               plan.radius_index.size()),
+        *pool_, scratch->radius_table, scratch->ws);
+    for (std::size_t j = 0; j < plan.radius_index.size(); ++j) {
+      const std::size_t i = plan.radius_index[j];
+      assign_result(results[i], scratch->radius_table[j]);
+    }
   }
+  release_scratch(std::move(scratch));
 }
 
 // ---------------------------------------------------------------------
@@ -152,8 +208,12 @@ struct DistBackend::Session {
   std::size_t k = 0;
   const data::PointSet* radius_queries = nullptr;
   float radius = 0.0f;
-  std::vector<Result> knn_results;
-  std::vector<Result> radius_results;
+  // Flat result tables: rank 0's engines write them between the
+  // has_cmd handoff and the done signal (run_batch only reads them
+  // after observing done under the mutex, so the mutex/cv pair orders
+  // the accesses); reused across batches, so the arenas stay warm.
+  core::NeighborTable knn_results;
+  core::NeighborTable radius_results;
 
   // Set by rank 0 once the tree is built, copied into the backend
   // before the constructor returns.
@@ -190,6 +250,11 @@ void DistBackend::Session::serve_loop(
   dist::DistQueryEngine knn_engine(comm, tree);
   dist::DistRadiusEngine radius_engine(comm, tree);
   const data::PointSet no_queries(tree.dims());
+  // Non-root ranks answer into rank-local tables (their query sets
+  // are empty); rank 0 answers directly into the reusable session
+  // tables — see the Session comment for why that is race-free.
+  core::NeighborTable knn_local;
+  core::NeighborTable radius_local;
 
   for (;;) {
     WireCmd cmd;
@@ -213,23 +278,25 @@ void DistBackend::Session::serve_loop(
     if (cmd.quit != 0) break;
 
     const bool root = comm.rank() == 0;
-    std::vector<Result> knn_out;
-    std::vector<Result> radius_out;
+    core::NeighborTable& knn_dst = root ? knn_results : knn_local;
+    core::NeighborTable& radius_dst = root ? radius_results : radius_local;
     if (cmd.n_knn > 0) {
       dist::DistQueryConfig config;
       config.k = cmd.k;
-      knn_out = knn_engine.run(root ? *knn_queries : no_queries, config);
+      knn_engine.run_into(root ? *knn_queries : no_queries, config, knn_dst);
+    } else {
+      knn_dst.reset_topk(0, 1);
     }
     if (cmd.n_radius > 0) {
       dist::RadiusQueryConfig config;
       config.radius = cmd.radius;
-      radius_out =
-          radius_engine.run(root ? *radius_queries : no_queries, config);
+      radius_engine.run_into(root ? *radius_queries : no_queries, config,
+                             radius_dst);
+    } else {
+      radius_dst.reset_rows(0);
     }
     if (root) {
       std::lock_guard<std::mutex> lock(mutex);
-      knn_results = std::move(knn_out);
-      radius_results = std::move(radius_out);
       has_cmd = false;
       done = true;
       cv_done.notify_all();
@@ -280,16 +347,15 @@ std::uint64_t DistBackend::size() const { return session_->total_points; }
 
 void DistBackend::run_batch(std::span<const Request> batch,
                             std::vector<Result>& results) {
-  results.assign(batch.size(), {});
+  results.resize(batch.size());
   if (batch.empty()) return;
-  const BatchPlan plan = plan_batch(batch);
-  const data::PointSet knn_queries =
-      group_queries(batch, plan.knn_index, dims());
-  const data::PointSet radius_queries =
-      group_queries(batch, plan.radius_index, dims());
+  BatchPlan plan;
+  plan.plan(batch);
+  data::PointSet knn_queries(dims());
+  data::PointSet radius_queries(dims());
+  group_queries(batch, plan.knn_index, knn_queries);
+  group_queries(batch, plan.radius_index, radius_queries);
 
-  std::vector<Result> knn_results;
-  std::vector<Result> radius_results;
   {
     std::lock_guard<std::mutex> exec_lock(session_->exec_mutex);
     std::unique_lock<std::mutex> lock(session_->mutex);
@@ -305,19 +371,19 @@ void DistBackend::run_batch(std::span<const Request> batch,
     session_->cv_done.wait(lock,
                            [&] { return session_->done || session_->failed; });
     if (session_->failed) std::rethrow_exception(session_->error);
-    knn_results = std::move(session_->knn_results);
-    radius_results = std::move(session_->radius_results);
-  }
-
-  for (std::size_t j = 0; j < plan.knn_index.size(); ++j) {
-    const std::size_t i = plan.knn_index[j];
-    truncate_to_k(knn_results[j], batch[i].k);
-    results[i] = std::move(knn_results[j]);
-  }
-  for (std::size_t j = 0; j < plan.radius_index.size(); ++j) {
-    const std::size_t i = plan.radius_index[j];
-    truncate_to_radius(radius_results[j], batch[i].radius);
-    results[i] = std::move(radius_results[j]);
+    // Copy each request's prefix out of the (session-owned, reusable)
+    // tables while still under the mutex — the tables are rewritten by
+    // the next batch.
+    for (std::size_t j = 0; j < plan.knn_index.size(); ++j) {
+      const std::size_t i = plan.knn_index[j];
+      assign_result(results[i],
+                    topk_prefix(session_->knn_results[j], batch[i].k));
+    }
+    for (std::size_t j = 0; j < plan.radius_index.size(); ++j) {
+      const std::size_t i = plan.radius_index[j];
+      assign_result(results[i], radius_prefix(session_->radius_results[j],
+                                              batch[i].radius));
+    }
   }
 }
 

@@ -6,14 +6,17 @@
 //
 //   LocalBackend — single node: KNN requests run through the
 //     leaf-block-batched core::KdTree::query_sq_batch kernel, radius
-//     requests through query_radius parallelized on the shared pool.
+//     requests through the batched query_radius_batch kernel, both
+//     into reusable flat NeighborTables (zero steady-state allocations
+//     per batch — DESIGN.md §9).
 //
 //   DistBackend — distributed: a persistent in-process cluster session
 //     (net::Cluster) builds the DistKdTree once, then every rank loops
 //     answering broadcast batch commands through DistQueryEngine /
-//     DistRadiusEngine. The frontend hands batches to rank 0 and the
-//     collective protocol fans them out — serving reuses the exact
-//     five-stage engines unchanged.
+//     DistRadiusEngine (their run_into flat-table entry points). The
+//     frontend hands batches to rank 0 and the collective protocol
+//     fans them out — serving reuses the exact five-stage engines
+//     unchanged.
 //
 // Mixed per-request parameters are normalized wherever the underlying
 // engine call is one-shot: a KNN group runs once at k_max = max over
@@ -23,20 +26,22 @@
 // The prefix reductions are exact because every engine returns
 // ascending (dist², id) order with deterministic ties (DESIGN.md §5)
 // — so batched answers are id-identical to per-request calls.
-// LocalBackend needs no radius normalization: it answers each radius
-// request at its own radius, in parallel on the pool (there is no
-// batched local radius kernel to amortize into).
+// LocalBackend needs no radius normalization: its batched kernel takes
+// per-query radii, so each request runs at its own radius.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "core/kdtree.hpp"
 #include "core/knn_heap.hpp"
+#include "core/neighbor_table.hpp"
+#include "core/query_workspace.hpp"
 #include "data/point_set.hpp"
 #include "dist/dist_kdtree.hpp"
 #include "net/cluster.hpp"
@@ -105,6 +110,8 @@ class LocalBackend final : public Backend {
  public:
   LocalBackend(std::shared_ptr<const core::KdTree> tree,
                std::shared_ptr<parallel::ThreadPool> pool);
+  /// Out of line: ~Scratch must see the complete type.
+  ~LocalBackend() override;
 
   std::size_t dims() const override { return tree_->dims(); }
   std::uint64_t size() const override { return tree_->size(); }
@@ -114,8 +121,19 @@ class LocalBackend final : public Backend {
   const core::KdTree& tree() const { return *tree_; }
 
  private:
+  struct Scratch;
+  /// Checks a reusable Scratch out of the pool (creating one only when
+  /// every existing one is in use by a concurrent run_batch call).
+  std::unique_ptr<Scratch> acquire_scratch();
+  void release_scratch(std::unique_ptr<Scratch> scratch);
+
   std::shared_ptr<const core::KdTree> tree_;
   std::shared_ptr<parallel::ThreadPool> pool_;
+  /// Reusable per-call scratch (batch plan, staged query sets, flat
+  /// result tables, workspaces): run_batch makes zero steady-state
+  /// allocations once each concurrent caller's scratch is warm.
+  std::mutex scratch_mutex_;
+  std::vector<std::unique_ptr<Scratch>> scratch_pool_;
 };
 
 /// Distributed backend: one long-lived cluster session serving batch

@@ -13,21 +13,10 @@ float squared_distance(const float* a, const float* b, std::size_t dims) {
 
 namespace {
 
-// Fixed-dims inner loops: with DIMS a compile-time constant GCC fully
-// unrolls the dimension loop and vectorizes over the point index.
-template <std::size_t DIMS>
-void distances_fixed(const float* __restrict query,
-                     const float* __restrict bucket, std::size_t stride,
-                     std::size_t count, float* __restrict out) {
-  for (std::size_t i = 0; i < count; ++i) {
-    float acc = 0.0f;
-    for (std::size_t d = 0; d < DIMS; ++d) {
-      const float diff = query[d] - bucket[d * stride + i];
-      acc += diff * diff;
-    }
-    out[i] = acc;
-  }
-}
+// The fixed-dims kernels live in the header (detail::distances_fixed)
+// so the leaf-scan hot loop can inline them; this TU dispatches to the
+// same template.
+using detail::distances_fixed;
 
 void distances_generic(const float* __restrict query,
                        const float* __restrict bucket, std::size_t stride,

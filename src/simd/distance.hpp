@@ -55,4 +55,62 @@ void squared_distances_reference(const float* query, const float* bucket,
                                  std::size_t stride, std::size_t count,
                                  std::size_t dims, float* out);
 
+// Header-inline variant for the query hot loop: the kd-tree leaf scan
+// calls the kernel once per visited bucket, and without cross-TU
+// inlining the call overhead and the lost scheduling overlap are
+// measurable (DESIGN.md §9). The fixed-dims template below is the ONE
+// definition of the kernel arithmetic — squared_distances_soa in
+// distance.cpp dispatches to the same template, so the inline and
+// out-of-line paths cannot drift (their results are bit-identical by
+// construction).
+
+namespace detail {
+
+/// Fixed-dims inner loop: with DIMS a compile-time constant the
+/// compiler fully unrolls the dimension loop and vectorizes over the
+/// point index. Computes `count` lanes; for the padded fast path pass
+/// count = stride.
+template <std::size_t DIMS>
+inline void distances_fixed(const float* __restrict query,
+                            const float* __restrict bucket,
+                            std::size_t stride, std::size_t count,
+                            float* __restrict out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < DIMS; ++d) {
+      const float diff = query[d] - bucket[d * stride + i];
+      acc += diff * diff;
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace detail
+
+/// Inline dispatch of squared_distances_padded for the low dimension
+/// counts the paper's datasets use; falls back to the out-of-line
+/// kernel otherwise.
+inline void squared_distances_padded_inline(const float* query,
+                                            const float* bucket,
+                                            std::size_t stride,
+                                            std::size_t dims, float* out) {
+  switch (dims) {
+    case 1:
+      detail::distances_fixed<1>(query, bucket, stride, stride, out);
+      return;
+    case 2:
+      detail::distances_fixed<2>(query, bucket, stride, stride, out);
+      return;
+    case 3:
+      detail::distances_fixed<3>(query, bucket, stride, stride, out);
+      return;
+    case 4:
+      detail::distances_fixed<4>(query, bucket, stride, stride, out);
+      return;
+    default:
+      squared_distances_padded(query, bucket, stride, dims, out);
+      return;
+  }
+}
+
 }  // namespace panda::simd

@@ -1,0 +1,88 @@
+// Counting global operator new/delete for allocation-regression tests.
+//
+// Include this header in EXACTLY ONE test translation unit (each test
+// file is its own executable, so including it from one test cpp is
+// safe): it defines the replaceable global allocation functions to
+// count every heap allocation made by the process. The zero-allocation
+// regression test (test_alloc.cpp) warms the query workspaces, then
+// pins that the steady-state hot path performs no allocator calls at
+// all (DESIGN.md §9).
+//
+// The counter only counts operator-new entries (including the nothrow
+// and aligned forms); deallocations are not counted — a steady-state
+// phase that frees memory it did not allocate would shrink warm
+// capacity and re-allocate later, which the test would catch on the
+// next call.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace panda::testing {
+
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+inline std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace panda::testing
+
+namespace {
+
+void* probe_alloc(std::size_t size, std::size_t align) {
+  panda::testing::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (align < alignof(std::max_align_t)) align = alignof(std::max_align_t);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = probe_alloc(size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = probe_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return probe_alloc(size, alignof(std::max_align_t));
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return probe_alloc(size, alignof(std::max_align_t));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,150 @@
+// Zero-steady-state-allocation regression tests (DESIGN.md §9).
+//
+// The query hot path promises that with warm caller-owned state
+// (NeighborTable + BatchWorkspace / QueryWorkspace / backend scratch)
+// the second and later calls perform ZERO allocator calls: no result
+// vectors, no heap growth, no scratch churn. These tests count every
+// global operator new (tests/alloc_probe.hpp is included by exactly
+// this translation unit) across a repeated call and pin the count to
+// zero.
+//
+// Determinism note: the strict-zero assertions run shapes whose warm
+// capacity does not depend on the dynamic chunk schedule — per-thread
+// scratch in the top-k paths is bounded by (dims, k, bucket, depth)
+// alone, and the radius path (whose staging scales with per-thread
+// work volume) runs on a size-1 pool.
+#include "alloc_probe.hpp"  // must be first: defines operator new
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "panda.hpp"
+
+namespace {
+
+using namespace panda;
+using core::Neighbor;
+
+struct Fixture {
+  Fixture(std::uint64_t n, int threads)
+      : pool(std::make_shared<parallel::ThreadPool>(threads)) {
+    const auto gen = data::make_generator("gmm", 20260728);
+    points = gen->generate_all(n);
+    tree = std::make_shared<core::KdTree>(
+        core::KdTree::build(points, core::BuildConfig{}, *pool));
+  }
+  std::shared_ptr<parallel::ThreadPool> pool;
+  data::PointSet points;
+  std::shared_ptr<core::KdTree> tree;
+};
+
+TEST(AllocFree, QuerySqBatchSteadyState) {
+  Fixture f(20000, 4);
+  core::NeighborTable results;
+  core::BatchWorkspace ws;
+  // Two warm-up calls populate every arena, workspace, and per-thread
+  // buffer at its steady size.
+  f.tree->query_sq_batch(f.points, 8, *f.pool, results, ws);
+  f.tree->query_sq_batch(f.points, 8, *f.pool, results, ws);
+  const std::uint64_t before = panda::testing::alloc_count();
+  f.tree->query_sq_batch(f.points, 8, *f.pool, results, ws);
+  EXPECT_EQ(panda::testing::alloc_count() - before, 0u);
+  EXPECT_EQ(results.size(), f.points.size());
+}
+
+TEST(AllocFree, QuerySelfBatchSteadyState) {
+  Fixture f(20000, 4);
+  core::NeighborTable results;
+  core::BatchWorkspace ws;
+  f.tree->query_self_batch(8, *f.pool, results, ws);
+  f.tree->query_self_batch(8, *f.pool, results, ws);
+  const std::uint64_t before = panda::testing::alloc_count();
+  f.tree->query_self_batch(8, *f.pool, results, ws);
+  EXPECT_EQ(panda::testing::alloc_count() - before, 0u);
+  EXPECT_EQ(results.size(), f.points.size());
+}
+
+TEST(AllocFree, QuerySqBatchDifferentKReusesWorkspace) {
+  Fixture f(10000, 4);
+  core::NeighborTable results;
+  core::BatchWorkspace ws;
+  // Warm at the LARGEST k, then alternate: smaller k must fit the warm
+  // arena without touching the allocator (KnnHeap::reset reuses its
+  // reservation).
+  f.tree->query_sq_batch(f.points, 16, *f.pool, results, ws);
+  f.tree->query_sq_batch(f.points, 5, *f.pool, results, ws);
+  const std::uint64_t before = panda::testing::alloc_count();
+  f.tree->query_sq_batch(f.points, 5, *f.pool, results, ws);
+  f.tree->query_sq_batch(f.points, 16, *f.pool, results, ws);
+  EXPECT_EQ(panda::testing::alloc_count() - before, 0u);
+}
+
+TEST(AllocFree, SingleQueryIntoSteadyState) {
+  Fixture f(20000, 1);
+  core::QueryWorkspace ws;
+  std::vector<Neighbor> out(8);
+  std::vector<float> q(f.points.dims());
+  f.points.copy_point(7, q.data());
+  (void)f.tree->query_sq_into(q, 8, std::numeric_limits<float>::infinity(),
+                              ws, out);
+  const std::uint64_t before = panda::testing::alloc_count();
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    f.points.copy_point(i, q.data());
+    const std::size_t count = f.tree->query_sq_into(
+        q, 8, std::numeric_limits<float>::infinity(), ws, out);
+    ASSERT_EQ(count, 8u);
+  }
+  EXPECT_EQ(panda::testing::alloc_count() - before, 0u);
+}
+
+TEST(AllocFree, QueryRadiusBatchSteadyState) {
+  Fixture f(20000, 1);  // size-1 pool: deterministic staging capacity
+  core::NeighborTable results;
+  core::BatchWorkspace ws;
+  std::vector<float> radii(f.points.size(), 0.1f);
+  f.tree->query_radius_batch(f.points, radii, *f.pool, results, ws);
+  f.tree->query_radius_batch(f.points, radii, *f.pool, results, ws);
+  const std::uint64_t before = panda::testing::alloc_count();
+  f.tree->query_radius_batch(f.points, radii, *f.pool, results, ws);
+  EXPECT_EQ(panda::testing::alloc_count() - before, 0u);
+  EXPECT_EQ(results.size(), f.points.size());
+}
+
+TEST(AllocFree, ServingBackendSteadyState) {
+  Fixture f(20000, 2);
+  serve::LocalBackend backend(f.tree, f.pool);
+  // A mixed micro-batch: 48 KNN + 16 radius requests, the serving
+  // frontend's shape.
+  std::vector<serve::Request> batch;
+  std::vector<float> q(f.points.dims());
+  for (std::size_t j = 0; j < 64; ++j) {
+    f.points.copy_point(j * 17 % f.points.size(), q.data());
+    if (j % 4 == 3) {
+      batch.push_back(serve::Request::radius_search(q, 0.1f));
+    } else {
+      batch.push_back(serve::Request::knn(q, 5));
+    }
+  }
+  std::vector<serve::Result> results;
+  backend.run_batch(batch, results);
+  backend.run_batch(batch, results);
+  const std::uint64_t before = panda::testing::alloc_count();
+  backend.run_batch(batch, results);
+  backend.run_batch(batch, results);
+  EXPECT_EQ(panda::testing::alloc_count() - before, 0u);
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_FALSE(results[0].empty());
+}
+
+// Sanity: the probe actually counts.
+TEST(AllocProbe, CountsAllocations) {
+  const std::uint64_t before = panda::testing::alloc_count();
+  auto p = std::make_unique<std::vector<int>>(1000);
+  EXPECT_GT(panda::testing::alloc_count() - before, 0u);
+  EXPECT_EQ(p->size(), 1000u);
+}
+
+}  // namespace
