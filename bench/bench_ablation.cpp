@@ -48,10 +48,11 @@ void ablate_bucket_size() {
     WallTimer build_watch;
     const core::KdTree tree = core::KdTree::build(points, config, pool);
     const double build_seconds = build_watch.seconds();
-    std::vector<std::vector<core::Neighbor>> results;
+    core::NeighborTable results;
+    core::BatchWorkspace ws;
     core::QueryStats stats;
     WallTimer query_watch;
-    tree.query_batch(queries, spec.k, pool, results,
+    tree.query_batch(queries, spec.k, pool, results, ws,
                      std::numeric_limits<float>::infinity(),
                      core::TraversalPolicy::Exact, &stats);
     std::printf("%8u %12.3f %12.3f %14.1f\n", bucket, build_seconds,
@@ -82,9 +83,10 @@ void ablate_dim_policy() {
       WallTimer build_watch;
       const core::KdTree tree = core::KdTree::build(points, config, pool);
       const double build_seconds = build_watch.seconds();
-      std::vector<std::vector<core::Neighbor>> results;
+      core::NeighborTable results;
+      core::BatchWorkspace ws;
       WallTimer query_watch;
-      tree.query_batch(queries, spec.k, pool, results);
+      tree.query_batch(queries, spec.k, pool, results, ws);
       std::printf("%-12s %-12s %12.3f %12.3f\n", name,
                   variance ? "variance" : "round-robin", build_seconds,
                   query_watch.seconds());
@@ -129,15 +131,17 @@ void ablate_traversal_policy() {
         core::KdTree::build(points, core::BuildConfig{}, pool);
 
     std::vector<std::vector<core::Neighbor>> exact;
+    core::NeighborTable table;
+    core::BatchWorkspace ws;
     for (const auto policy : {core::TraversalPolicy::Exact,
                               core::TraversalPolicy::PaperFormula}) {
-      std::vector<std::vector<core::Neighbor>> results;
       core::QueryStats stats;
       WallTimer watch;
-      tree.query_batch(queries, spec.k, pool, results,
+      tree.query_batch(queries, spec.k, pool, table, ws,
                        std::numeric_limits<float>::infinity(), policy,
                        &stats);
       const double seconds = watch.seconds();
+      const auto results = table.to_vectors();
       double recall = 1.0;
       if (policy == core::TraversalPolicy::Exact) {
         exact = results;
@@ -182,8 +186,10 @@ void ablate_approximate() {
       core::KdTree::build(points, core::BuildConfig{}, pool);
 
   // Exact ground truth once.
-  std::vector<std::vector<core::Neighbor>> exact;
-  tree.query_batch(queries, 5, pool, exact);
+  core::NeighborTable exact_table;
+  core::BatchWorkspace exact_ws;
+  tree.query_batch(queries, 5, pool, exact_table, exact_ws);
+  const auto exact = exact_table.to_vectors();
 
   std::printf("%8s %12s %8s\n", "budget", "query(s)", "recall");
   for (const std::uint64_t budget : {1ull, 2ull, 4ull, 16ull, 64ull}) {
@@ -241,9 +247,10 @@ void ablate_transport() {
       qconfig.mode = mode;
       qconfig.batch_size = 2048;
       dist::DistQueryBreakdown bd;
+      core::NeighborTable results;
       comm.barrier();
       WallTimer watch;
-      engine.run(my_queries, qconfig, &bd);
+      engine.run_into(my_queries, qconfig, results, &bd);
       comm.barrier();
       std::lock_guard<std::mutex> lock(mutex);
       if (comm.rank() == 0) elapsed = watch.seconds();
@@ -282,10 +289,11 @@ void ablate_global_tree() {
         dist::DistQueryEngine engine(comm, tree);
         dist::DistQueryConfig qconfig;
         qconfig.k = 5;
+        core::NeighborTable results;
         const std::uint64_t before = comm.stats().bytes_sent;
         comm.barrier();
         WallTimer watch;
-        engine.run(my_queries, qconfig);
+        engine.run_into(my_queries, qconfig, results);
         comm.barrier();
         std::lock_guard<std::mutex> lock(mutex);
         if (comm.rank() == 0) elapsed = watch.seconds();

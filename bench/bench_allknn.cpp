@@ -74,7 +74,8 @@ int main(int argc, char** argv) {
       qconfig.k = k;
       WallTimer watch;
       dist::DistQueryBreakdown bd;
-      engine.run(tree.local_points(), qconfig, &bd);
+      core::NeighborTable results;
+      engine.run_into(tree.local_points(), qconfig, results, &bd);
       const double seconds = watch.seconds();
       std::lock_guard<std::mutex> lock(mutex);
       naive.seconds = std::max(naive.seconds, seconds);
@@ -99,7 +100,8 @@ int main(int argc, char** argv) {
       aconfig.mode = mode;
       WallTimer watch;
       dist::AllKnnStats stats;
-      engine.run(aconfig, &stats);
+      core::NeighborTable results;
+      engine.run_into(aconfig, results, &stats);
       const double seconds = watch.seconds();
       std::lock_guard<std::mutex> lock(mutex);
       totals.seconds = std::max(totals.seconds, seconds);

@@ -1,0 +1,204 @@
+// Facade overhead: panda::Index (local adapter) vs direct core::KdTree
+// calls on the identical workload (DESIGN.md §10).
+//
+// The facade's contract is that the one front door costs nothing: the
+// local adapter forwards every native call 1:1 onto the batched tree
+// kernels with the caller's own workspace — no staging, no copies, no
+// allocations. This harness measures all three native entry points
+// (batch KNN, batch per-query-radius, bulk self-KNN) both ways on one
+// shared thread pool and digest-checks that results are bit-identical;
+// throughput must agree within noise.
+//
+// Exit status is the digest gate: 0 iff every facade digest equals its
+// direct-call digest. Throughput deltas are printed (single-digit
+// percentages are measurement noise on the CI container — the two
+// paths execute the same kernel instructions).
+//
+// Run:  ./bench_facade [points] [queries] [--smoke]
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "../examples/example_args.hpp"
+#include "bench_util.hpp"
+#include "panda.hpp"
+
+namespace {
+
+using namespace panda;
+using core::Neighbor;
+
+/// Order-independent digest: per-query FNV over (id, dist2 bits),
+/// keyed by the query index, summed commutatively across queries.
+std::uint64_t fold_row(std::uint64_t qid, std::span<const Neighbor> row) {
+  std::uint64_t h = 1469598103934665603ull ^ qid;
+  for (const Neighbor& nb : row) {
+    h = (h ^ nb.id) * 1099511628211ull;
+    std::uint32_t bits;
+    std::memcpy(&bits, &nb.dist2, sizeof(bits));
+    h = (h ^ bits) * 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t digest_table(const core::NeighborTable& table) {
+  std::uint64_t digest = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    digest += fold_row(i, table[i]);
+  }
+  return digest;
+}
+
+struct PathResult {
+  double qps = 0.0;
+  std::uint64_t digest = 0;
+};
+
+/// Best-of-`passes` timed loops of `reps` calls of fn(); fn must leave
+/// its results in the table returned by digest().
+template <typename Fn, typename Digest>
+PathResult measure(std::uint64_t items, int reps, int passes, Fn&& fn,
+                   Digest&& digest) {
+  fn();  // warm every arena and workspace
+  PathResult out;
+  for (int p = 0; p < passes; ++p) {
+    WallTimer watch;
+    for (int r = 0; r < reps; ++r) fn();
+    out.qps = std::max(out.qps, static_cast<double>(items) * reps /
+                                    watch.seconds());
+  }
+  out.digest = digest();
+  return out;
+}
+
+void print_path(const char* name, const PathResult& direct,
+                const PathResult& facade) {
+  const double delta = (facade.qps - direct.qps) / direct.qps * 100.0;
+  std::printf("%-24s %14.0f %14.0f %+8.1f%%   %s\n", name, direct.qps,
+              facade.qps, delta,
+              direct.digest == facade.digest ? "identical" : "MISMATCH");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t n = 200000;
+  std::uint64_t n_queries = 8192;
+  bool smoke = false;
+  {
+    std::vector<char*> positional;
+    for (int a = 1; a < argc; ++a) {
+      if (std::strcmp(argv[a], "--smoke") == 0) {
+        smoke = true;
+      } else {
+        positional.push_back(argv[a]);
+      }
+    }
+    const bool parsed =
+        positional.size() <= 2 &&
+        (positional.size() < 1 ||
+         panda::examples::parse_u64(positional[0], n)) &&
+        (positional.size() < 2 ||
+         panda::examples::parse_u64(positional[1], n_queries));
+    if (!parsed || n == 0 || n_queries == 0) {
+      std::fprintf(stderr,
+                   "usage: bench_facade [points>0] [queries>0] [--smoke]\n");
+      return 1;
+    }
+  }
+  const std::size_t k = 5;
+  const int reps = smoke ? 1 : 5;
+  const int passes = smoke ? 1 : 3;
+
+  bench::print_header(
+      "bench_facade — panda::Index local adapter vs direct KdTree calls",
+      "one front door, zero overhead: same kernels, same workspaces, "
+      "digest-checked (DESIGN.md §10)");
+
+  const auto gen = data::make_generator("cosmo", 1234);
+  const data::PointSet points = gen->generate_all(n);
+  const auto qgen = data::make_generator("cosmo", 99);
+  data::PointSet queries(qgen->dims());
+  qgen->generate(n, n + n_queries, queries);
+
+  auto pool = std::make_shared<parallel::ThreadPool>(8);
+  const core::KdTree tree =
+      core::KdTree::build(points, core::BuildConfig{}, *pool);
+  IndexOptions options;
+  options.pool = pool;  // identical thread team, identical build
+  auto index = panda::Index::build(points, options);
+
+  // Per-query radii just past each query's would-be k-th neighbor —
+  // non-trivial but bounded row sizes.
+  std::vector<float> radii(queries.size());
+  {
+    std::vector<float> q(points.dims());
+    points.copy_point(0, q.data());
+    const float base =
+        std::sqrt(tree.query(q, 32).back().dist2) * 1.0001f;
+    for (std::size_t i = 0; i < radii.size(); ++i) {
+      radii[i] = base * (0.5f + 0.1f * static_cast<float>(i % 7));
+    }
+  }
+
+  core::NeighborTable direct_table;
+  core::BatchWorkspace direct_ws;
+  core::NeighborTable facade_table;
+  SearchWorkspace facade_ws;
+  SearchParams params;
+  params.k = k;
+
+  // --- batch KNN ------------------------------------------------------
+  const PathResult knn_direct = measure(
+      queries.size(), reps, passes,
+      [&] { tree.query_sq_batch(queries, k, *pool, direct_table, direct_ws); },
+      [&] { return digest_table(direct_table); });
+  const PathResult knn_facade = measure(
+      queries.size(), reps, passes,
+      [&] { index->knn_into(queries, params, facade_table, facade_ws); },
+      [&] { return digest_table(facade_table); });
+
+  // --- batch per-query radius ----------------------------------------
+  const PathResult radius_direct = measure(
+      queries.size(), reps, passes,
+      [&] {
+        tree.query_radius_batch(queries, radii, *pool, direct_table,
+                                direct_ws);
+      },
+      [&] { return digest_table(direct_table); });
+  const PathResult radius_facade = measure(
+      queries.size(), reps, passes,
+      [&] {
+        index->radius_into(queries, radii, facade_table, facade_ws);
+      },
+      [&] { return digest_table(facade_table); });
+
+  // --- bulk self-KNN --------------------------------------------------
+  const PathResult self_direct = measure(
+      n, reps, passes,
+      [&] { tree.query_self_batch(k, *pool, direct_table, direct_ws); },
+      [&] { return digest_table(direct_table); });
+  const PathResult self_facade = measure(
+      n, reps, passes,
+      [&] { index->self_knn_into(params, facade_table, facade_ws); },
+      [&] { return digest_table(facade_table); });
+
+  bench::print_rule();
+  std::printf("%-24s %14s %14s %9s   %s\n", "path", "direct qps",
+              "facade qps", "delta", "digests");
+  print_path("batch KNN (k=5)", knn_direct, knn_facade);
+  print_path("batch radius", radius_direct, radius_facade);
+  print_path("bulk self-KNN (k=5)", self_direct, self_facade);
+
+  const bool digests_ok = knn_direct.digest == knn_facade.digest &&
+                          radius_direct.digest == radius_facade.digest &&
+                          self_direct.digest == self_facade.digest;
+  std::printf("facade digest gate: %s\n",
+              digests_ok ? "bit-identical on all three paths" : "MISMATCH");
+  return digests_ok ? 0 : 1;
+}

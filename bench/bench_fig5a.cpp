@@ -56,9 +56,10 @@ Timing run_config(std::uint64_t points_per_rank, double query_fraction,
     dist::DistQueryEngine engine(comm, tree);
     dist::DistQueryConfig qconfig;
     qconfig.k = 5;
+    core::NeighborTable results;
     comm.barrier();
     WallTimer query_watch;
-    engine.run(my_queries, qconfig);
+    engine.run_into(my_queries, qconfig, results);
     comm.barrier();
     const double query_seconds = query_watch.seconds();
 

@@ -55,7 +55,8 @@ Outcome run_dataset(const bench::DatasetSpec& spec, int ranks,
     dist::DistQueryConfig qconfig;
     qconfig.k = spec.k;
     dist::DistQueryBreakdown query_bd;
-    engine.run(my_queries, qconfig, &query_bd);
+    core::NeighborTable results;
+    engine.run_into(my_queries, qconfig, results, &query_bd);
 
     std::lock_guard<std::mutex> lock(mutex);
     auto take_max = [](double& accumulator, double value) {

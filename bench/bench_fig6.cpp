@@ -39,9 +39,10 @@ Timing run_config(const bench::DatasetSpec& spec, int threads) {
       core::KdTree::build(points, core::BuildConfig{}, pool);
   timing.construct = construct_watch.seconds();
 
-  std::vector<std::vector<core::Neighbor>> results;
+  core::NeighborTable results;
+  core::BatchWorkspace ws;
   WallTimer query_watch;
-  tree.query_batch(queries, spec.k, pool, results);
+  tree.query_batch(queries, spec.k, pool, results, ws);
   timing.query = query_watch.seconds();
   return timing;
 }

@@ -76,10 +76,12 @@ DatasetResult run_dataset(const bench::DatasetSpec& spec) {
   // --- querying -------------------------------------------------------
   parallel::ThreadPool pool1(1);
   std::vector<std::vector<core::Neighbor>> results;
+  core::NeighborTable table;
+  core::BatchWorkspace ws;
   {
     core::QueryStats stats;
     WallTimer watch;
-    panda_tree.query_batch(queries, spec.k, pool1, results,
+    panda_tree.query_batch(queries, spec.k, pool1, table, ws,
                            std::numeric_limits<float>::infinity(),
                            core::TraversalPolicy::Exact, &stats);
     result.panda_query_1 = watch.seconds();
@@ -87,7 +89,7 @@ DatasetResult run_dataset(const bench::DatasetSpec& spec) {
   }
   {
     WallTimer watch;
-    panda_tree.query_batch(queries, spec.k, pool24, results);
+    panda_tree.query_batch(queries, spec.k, pool24, table, ws);
     result.panda_query_24 = watch.seconds();
   }
   {

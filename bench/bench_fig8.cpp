@@ -67,9 +67,10 @@ void run_fig8a() {
 
     const core::KdTree tree =
         core::KdTree::build(points, core::BuildConfig{}, pool);
-    std::vector<std::vector<core::Neighbor>> results;
+    core::NeighborTable results;
+    core::BatchWorkspace ws;
     WallTimer panda_watch;
-    tree.query_batch(queries, 10, pool, results);
+    tree.query_batch(queries, 10, pool, results, ws);
     const double panda_qps =
         static_cast<double>(queries.size()) / panda_watch.seconds();
 
@@ -113,10 +114,11 @@ void run_fig8b() {
         const data::PointSet my_queries = bench::make_query_slice(
             *generator, spec.build_points, spec.query_points, comm.rank(),
             comm.size());
-        std::vector<std::vector<core::Neighbor>> results;
+        core::NeighborTable results;
+        core::BatchWorkspace ws;
         comm.barrier();
         WallTimer watch;
-        tree.query_batch(my_queries, 10, comm.pool(), results);
+        tree.query_batch(my_queries, 10, comm.pool(), results, ws);
         comm.barrier();
         if (comm.rank() == 0) {
           std::lock_guard<std::mutex> lock(mutex);
@@ -158,9 +160,10 @@ void run_fig8c() {
         dist::DistQueryEngine engine(comm, tree);
         dist::DistQueryConfig qconfig;
         qconfig.k = 10;
+        core::NeighborTable results;
         comm.barrier();
         WallTimer watch;
-        engine.run(my_queries, qconfig);
+        engine.run_into(my_queries, qconfig, results);
         comm.barrier();
         if (comm.rank() == 0) {
           std::lock_guard<std::mutex> lock(mutex);

@@ -7,9 +7,10 @@
 //     cluster (stage 2 = core::KdTree::query_self_batch, flat
 //     NeighborTable results, engine-owned workspaces);
 //
-//   serving backend — serve::LocalBackend::run_batch over micro-
-//     batches of 64 mixed requests (3/4 KNN at k=5, 1/4 radius at a
-//     data-derived radius), the shape the QueryService feeds it.
+//   serving backend — serve::IndexBackend::run_batch (over the local
+//     panda::Index adapter) with micro-batches of 64 mixed requests
+//     (3/4 KNN at k=5, 1/4 radius at a data-derived radius), the
+//     shape the QueryService feeds it.
 //
 // The baseline constants below were measured on pre-PR main (commit
 // 04ff259, the unified 32-byte Node layout, per-query std::vector
@@ -109,7 +110,9 @@ PathResult bench_serve(std::uint64_t n, std::uint64_t requests,
   auto pool = std::make_shared<parallel::ThreadPool>(8);
   auto tree = std::make_shared<core::KdTree>(
       core::KdTree::build(points, core::BuildConfig{}, *pool));
-  serve::LocalBackend backend(tree, pool);
+  IndexOptions index_options;
+  index_options.pool = pool;
+  serve::IndexBackend backend(panda::Index::build(points, index_options));
 
   const auto qgen = data::make_generator("cosmo", 99);
   data::PointSet qset(qgen->dims());

@@ -51,10 +51,11 @@ MeasuredRates measure() {
   rates.build_points_per_core_second =
       static_cast<double>(n) / (build_watch.seconds() * threads);
 
-  std::vector<std::vector<core::Neighbor>> results;
+  core::NeighborTable results;
+  core::BatchWorkspace ws;
   core::QueryStats stats;
   WallTimer query_watch;
-  tree.query_batch(queries, 5, pool, results,
+  tree.query_batch(queries, 5, pool, results, ws,
                    std::numeric_limits<float>::infinity(),
                    core::TraversalPolicy::Exact, &stats);
   const double query_seconds = query_watch.seconds();
@@ -81,7 +82,8 @@ MeasuredRates measure() {
     dist::DistQueryEngine engine(comm, dtree);
     dist::DistQueryConfig qconfig;
     qconfig.k = 5;
-    engine.run(my_queries, qconfig);
+    core::NeighborTable results;
+    engine.run_into(my_queries, qconfig, results);
     std::lock_guard<std::mutex> lock(mutex);
     build_bytes += after_build;
     query_bytes += comm.stats().bytes_sent - after_build;

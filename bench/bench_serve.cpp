@@ -163,9 +163,10 @@ int main(int argc, char** argv) {
   const auto gen = data::make_generator("cosmo", bench::kDataSeed);
   const data::PointSet points = gen->generate_all(n);
   auto pool = std::make_shared<parallel::ThreadPool>(8);
-  auto tree = std::make_shared<core::KdTree>(
-      core::KdTree::build(points, core::BuildConfig{}, *pool));
-  auto backend = std::make_shared<serve::LocalBackend>(tree, pool);
+  IndexOptions index_options;
+  index_options.pool = pool;
+  auto backend = std::make_shared<serve::IndexBackend>(
+      panda::Index::build(points, index_options));
   std::printf("index: %s cosmo points, k=%zu, serving pool of %d "
               "threads\n",
               bench::human_count(n).c_str(), k, pool->size());

@@ -74,9 +74,10 @@ Timing run_row(const Row& row) {
     dist::DistQueryEngine engine(comm, tree);
     dist::DistQueryConfig qconfig;
     qconfig.k = row.spec.k;
+    core::NeighborTable results;
     comm.barrier();
     WallTimer query_watch;
-    engine.run(my_queries, qconfig);
+    engine.run_into(my_queries, qconfig, results);
     comm.barrier();
     const double query_seconds = query_watch.seconds();
 

@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # CI entry point.
 #
-#   ci.sh            — tier-1 verify (configure, build, ctest) plus a
-#                      microbenchmark baseline (BENCH_seed.json).
+#   ci.sh            — tier-1 verify (configure, build, ctest) plus
+#                      format + header checks, a microbenchmark
+#                      baseline (BENCH_seed.json), and a perf-harness
+#                      smoke run.
+#   ci.sh format     — clang-format --dry-run -Werror over src/,
+#                      tests/, bench/, examples/ (skipped with a
+#                      warning when clang-format is not installed).
+#   ci.sh headers    — header self-sufficiency: compiles every public
+#                      header under src/ as a standalone translation
+#                      unit with -Wall -Wextra -Werror, so no header
+#                      silently depends on its includer's includes.
 #   ci.sh sanitize   — the same test suite built with
 #                      -fsanitize=address,undefined, with per-test
 #                      timeouts; leak- and UB-checks the poll-loop and
@@ -11,17 +20,62 @@
 #                      pool) built with -fsanitize=thread: data-race
 #                      checks the admission queue, micro-batcher,
 #                      snapshot swap, shared pool, and the distributed
-#                      serving session.
+#                      index session.
 #   ci.sh bench-smoke — Release build of the perf harnesses
-#                      (bench_hotpath, bench_serve) run at tiny sizes
-#                      from the build directory (no checked-in JSON is
-#                      touched), so the harnesses themselves cannot
-#                      rot. Runs automatically at the end of the
-#                      default mode.
+#                      (bench_hotpath, bench_serve, bench_facade) run
+#                      at tiny sizes from the build directory (no
+#                      checked-in JSON is touched), so the harnesses
+#                      themselves cannot rot. bench_facade also
+#                      digest-gates the panda::Index facade against
+#                      direct engine calls. Runs automatically at the
+#                      end of the default mode.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 MODE="${1:-default}"
+
+check_format() {
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "ci.sh: clang-format not installed — format check skipped"
+    return 0
+  fi
+  local files
+  files=$(find src tests bench examples -name '*.hpp' -o -name '*.cpp')
+  # shellcheck disable=SC2086
+  clang-format --dry-run -Werror $files
+  echo "ci.sh: format OK"
+}
+
+check_headers() {
+  local cxx="${CXX:-c++}"
+  local tmpdir
+  tmpdir=$(mktemp -d)
+  trap 'rm -rf "$tmpdir"' RETURN
+  local failed=0
+  while IFS= read -r header; do
+    printf '#include "%s"\n' "${header#src/}" > "$tmpdir/tu.cpp"
+    if ! "$cxx" -std=c++20 -fsyntax-only -Wall -Wextra -Werror -Isrc \
+        "$tmpdir/tu.cpp"; then
+      echo "ci.sh: header not self-sufficient: $header"
+      failed=1
+    fi
+  done < <(find src -name '*.hpp' | sort)
+  if [[ "$failed" != 0 ]]; then
+    echo "ci.sh: headers FAILED" >&2
+    return 1
+  fi
+  echo "ci.sh: headers OK"
+}
+
+if [[ "$MODE" == "format" ]]; then
+  check_format
+  exit 0
+fi
+
+if [[ "$MODE" == "headers" ]]; then
+  check_headers
+  exit 0
+fi
 
 if [[ "$MODE" == "sanitize" ]]; then
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
@@ -44,26 +98,29 @@ if [[ "$MODE" == "tsan" ]]; then
     -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
     -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
   cmake --build build-tsan -j --target test_serve test_parallel \
-    test_neighbor_table
+    test_neighbor_table test_index
   # TSan serializes heavily on this container's core count; the serve
   # and parallel suites are the ones whose bugs would be data races,
-  # and test_neighbor_table drives > 64-query batches through the
-  # parallel flat-table kernels (concurrent row writes, per-thread
-  # workspaces, chunk-stealing loops).
+  # test_neighbor_table drives > 64-query batches through the parallel
+  # flat-table kernels (concurrent row writes, per-thread workspaces,
+  # chunk-stealing loops), and test_index covers the dist-index
+  # session handoff (facade thread <-> rank 0 <-> peer ranks).
   (cd build-tsan && ctest --output-on-failure \
-    -R '^(test_serve|test_parallel|test_neighbor_table)$' --timeout 900)
+    -R '^(test_serve|test_parallel|test_neighbor_table|test_index)$' \
+    --timeout 900)
   echo "ci.sh: tsan OK"
   exit 0
 fi
 
 bench_smoke() {
   cmake -B build -S .
-  cmake --build build -j --target bench_hotpath bench_serve
+  cmake --build build -j --target bench_hotpath bench_serve bench_facade
   # Run inside build/ so smoke outputs (bench_serve writes
   # BENCH_serve.json to its cwd) never clobber the checked-in
-  # baselines; bench_hotpath --smoke writes no JSON at all.
+  # baselines; bench_hotpath/bench_facade --smoke write no JSON at all.
   (cd build && ./bench_hotpath --smoke 20000 1024)
   (cd build && ./bench_serve 20000 8 20)
+  (cd build && ./bench_facade --smoke 20000 1024)
   echo "ci.sh: bench-smoke OK"
 }
 
@@ -73,9 +130,12 @@ if [[ "$MODE" == "bench-smoke" ]]; then
 fi
 
 if [[ "$MODE" != "default" ]]; then
-  echo "usage: ci.sh [sanitize|tsan|bench-smoke]" >&2
+  echo "usage: ci.sh [format|headers|sanitize|tsan|bench-smoke]" >&2
   exit 1
 fi
+
+check_format
+check_headers
 
 cmake -B build -S .
 cmake --build build -j
@@ -89,7 +149,7 @@ if [[ -x build/bench_micro && ! -f BENCH_seed.json ]]; then
   echo "wrote BENCH_seed.json"
 fi
 
-# Perf-harness smoke: tiny-size runs of the hot-path and serving
-# benches so the harnesses stay buildable and runnable.
+# Perf-harness smoke: tiny-size runs of the hot-path, serving, and
+# facade benches so the harnesses stay buildable and runnable.
 bench_smoke
 echo "ci.sh: OK"

@@ -3,35 +3,35 @@
 // The paper's cosmology motivation (Section II): dark-matter halos are
 // localized over-dense clumps, and the basic analysis task is finding
 // and classifying such clusters. This example runs the full pipeline
-// on a Soneira-Peebles particle set:
-//   1. bulk all-points KNN (dist::AllKnnEngine) — every particle's
-//      k-th neighbor distance gives the standard SPH-style density
-//      proxy rho ~ k / r_k^3; the self-KNN engine skips the owner
-//      stage entirely and coalesces remote traffic per rank pair
-//      (DESIGN.md §7);
+// on a Soneira-Peebles particle set, entirely through panda::Index:
+//   1. bulk all-points KNN (Index::self_knn_into on the distributed
+//      engine) — every particle's k-th neighbor distance gives the
+//      standard SPH-style density proxy rho ~ k / r_k^3; the self-KNN
+//      engine skips the owner stage entirely and coalesces remote
+//      traffic per rank pair (DESIGN.md §7), and the facade keys the
+//      result rows by build position, so no id remapping is needed;
 //   2. over-density thresholding — halo candidate fraction;
-//   3. friends-of-friends clustering (distributed fixed-radius search
-//      feeding ml::label_components) — the halo catalogue itself,
-//      BD-CATS style.
+//   3. friends-of-friends clustering (fixed-radius search feeding
+//      ml::label_components) — the halo catalogue itself, BD-CATS
+//      style.
 //
 // Run:  ./cosmology_halo_density [particles] [ranks]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
 
+#include "api/index.hpp"
+#include "common/timer.hpp"
+#include "data/cosmology.hpp"
 #include "example_args.hpp"
-#include "panda.hpp"
+#include "ml/clustering.hpp"
 
 int main(int argc, char** argv) {
   using namespace panda;
   std::uint64_t n = 500000;
   int ranks = 4;
-  // argc > 3 rejects the pre-all-KNN [particles] [queries] [ranks]
-  // form, whose query count would otherwise be misread as a rank
-  // count.
   const bool parsed = argc <= 3 &&
                       (argc <= 1 || examples::parse_u64(argv[1], n)) &&
                       (argc <= 2 || examples::parse_int(argv[2], ranks));
@@ -44,45 +44,28 @@ int main(int argc, char** argv) {
 
   const data::CosmologyGenerator generator(data::CosmologyParams{},
                                            /*seed=*/2016);
-  // Density for *every* particle — the all-KNN engine answers each
-  // rank's own redistributed points, keyed back by global id.
-  std::vector<float> knn_radius2(n, 0.0f);
-  std::mutex mutex;
-  dist::AllKnnStats knn_stats_total;
+  const data::PointSet particles = generator.generate_all(n);
 
-  net::ClusterConfig config;
-  config.ranks = ranks;
-  config.threads_per_rank = 2;
-  net::Cluster cluster(config);
+  IndexOptions options;
+  options.engine = IndexOptions::Engine::Dist;
+  options.cluster.ranks = ranks;
+  options.cluster.threads_per_rank = 2;
   WallTimer total_watch;
+  auto index = Index::build(particles, options);
 
-  cluster.run([&](net::Comm& comm) {
-    const data::PointSet slice =
-        generator.generate_slice(n, comm.rank(), comm.size());
-    dist::DistBuildBreakdown build_breakdown;
-    const dist::DistKdTree tree = dist::DistKdTree::build(
-        comm, slice, dist::DistBuildConfig{}, &build_breakdown);
+  // Density for *every* particle: one bulk self-KNN call; row i is
+  // particle i of the build set.
+  SearchParams params;
+  params.k = k + 1;  // the query point itself is in the dataset
+  core::NeighborTable results;
+  SearchWorkspace ws;
+  SearchStats stats;
+  index->self_knn_into(params, results, ws, &stats);
 
-    dist::AllKnnEngine engine(comm, tree);
-    dist::AllKnnConfig knn_config;
-    knn_config.k = k + 1;  // the query point itself is in the dataset
-    dist::AllKnnStats stats;
-    core::NeighborTable results;
-    engine.run_into(knn_config, results, &stats);
-
-    std::lock_guard<std::mutex> lock(mutex);
-    const data::PointSet& mine = tree.local_points();
-    for (std::uint64_t i = 0; i < results.size(); ++i) {
-      knn_radius2[mine.id(i)] = results[i].back().dist2;
-    }
-    knn_stats_total.queries_total += stats.queries_total;
-    knn_stats_total.queries_local_only += stats.queries_local_only;
-    knn_stats_total.queries_remote += stats.queries_remote;
-    knn_stats_total.ball_overlaps += stats.ball_overlaps;
-    knn_stats_total.request_messages += stats.request_messages;
-    knn_stats_total.request_bytes += stats.request_bytes;
-    knn_stats_total.model_comm_seconds += stats.model_comm_seconds;
-  });
+  std::vector<float> knn_radius2(n, 0.0f);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    knn_radius2[i] = results[i].back().dist2;
+  }
 
   // Density proxy rho_i ~ k / r_k^3 normalized by the mean density.
   std::vector<double> density(n);
@@ -106,17 +89,14 @@ int main(int argc, char** argv) {
               "%d ranks, %.2fs total\n",
               static_cast<unsigned long long>(n), ranks,
               total_watch.seconds());
-  std::printf("all-KNN engine: %llu local-only, %llu remote queries, "
-              "%llu ball overlaps coalesced into %llu request messages "
+  std::printf("all-KNN engine: %llu of %llu queries needed a remote rank; "
+              "coalesced into %llu request messages "
               "(%.1f KiB, %.3gs modeled)\n",
-              static_cast<unsigned long long>(
-                  knn_stats_total.queries_local_only),
-              static_cast<unsigned long long>(knn_stats_total.queries_remote),
-              static_cast<unsigned long long>(knn_stats_total.ball_overlaps),
-              static_cast<unsigned long long>(
-                  knn_stats_total.request_messages),
-              static_cast<double>(knn_stats_total.request_bytes) / 1024.0,
-              knn_stats_total.model_comm_seconds);
+              static_cast<unsigned long long>(stats.remote_queries),
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.request_messages),
+              static_cast<double>(stats.request_bytes) / 1024.0,
+              stats.model_comm_seconds);
   std::printf("median normalized density: %.3g\n", median_density);
   std::printf("halo candidates (rho > %.0fx median): %llu (%.2f%%)\n",
               overdensity_threshold,
@@ -140,38 +120,24 @@ int main(int argc, char** argv) {
   }
 
   // ------------------------------------------------------------------
-  // Friends-of-friends halo catalogue on a subsample: distributed
-  // fixed-radius search for each particle, then union-find components.
+  // Friends-of-friends halo catalogue on a subsample: fixed-radius
+  // search for each particle, then union-find components. A second
+  // distributed index over the subsample — the same front door.
   // ------------------------------------------------------------------
   const std::uint64_t fof_n = std::min<std::uint64_t>(n, 100000);
   const float linking_length = 0.005f;
-  std::vector<std::vector<panda::core::Neighbor>> fof_neighbors(fof_n);
+  const data::PointSet fof_particles = generator.generate_all(fof_n);
+  auto fof_index = Index::build(fof_particles, options);
 
-  net::Cluster fof_cluster(config);
-  fof_cluster.run([&](net::Comm& comm) {
-    const data::PointSet slice =
-        generator.generate_slice(fof_n, comm.rank(), comm.size());
-    const dist::DistKdTree tree =
-        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
-    const std::uint64_t begin = static_cast<std::uint64_t>(comm.rank()) *
-                                fof_n /
-                                static_cast<std::uint64_t>(comm.size());
-    const std::uint64_t end = static_cast<std::uint64_t>(comm.rank() + 1) *
-                              fof_n /
-                              static_cast<std::uint64_t>(comm.size());
-    data::PointSet my_queries(3);
-    generator.generate(begin, end, my_queries);
-    dist::DistRadiusEngine engine(comm, tree);
-    dist::RadiusQueryConfig rconfig;
-    rconfig.radius = linking_length;
-    core::NeighborTable results;
-    engine.run_into(my_queries, rconfig, results);
-    std::lock_guard<std::mutex> lock(mutex);
-    for (std::uint64_t i = 0; i < results.size(); ++i) {
-      const auto row = results[i];
-      fof_neighbors[begin + i].assign(row.begin(), row.end());
-    }
-  });
+  SearchParams fof_params;
+  fof_params.radius = linking_length;
+  core::NeighborTable fof_table;
+  fof_index->radius_into(fof_particles, fof_params, fof_table, ws);
+  std::vector<std::vector<panda::core::Neighbor>> fof_neighbors(fof_n);
+  for (std::uint64_t i = 0; i < fof_n; ++i) {
+    const auto row = fof_table[i];
+    fof_neighbors[i].assign(row.begin(), row.end());
+  }
 
   const auto fof = ml::label_components(fof_n, fof_neighbors,
                                         linking_length);

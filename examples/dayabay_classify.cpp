@@ -3,19 +3,22 @@
 // The paper's one quantitative science result: KNN majority-vote
 // classification of autoencoded Daya Bay detector records into 3
 // physicist-labeled classes, reaching 87 % accuracy. This example
-// reproduces the experiment on the synthetic 10-D generator: index a
-// labeled training set with the distributed kd-tree, classify a
-// held-out set by majority vote over the k = 5 nearest neighbors, and
-// report accuracy and the per-class confusion matrix.
+// reproduces the experiment on the synthetic 10-D generator through
+// the panda::Index front door: index a labeled training set with the
+// distributed engine (one options field — the call sites would be
+// identical single-node), classify the held-out set with one
+// ml::classify_batch call, and report accuracy and the per-class
+// confusion matrix.
 //
 // Run:  ./dayabay_classify [train_n] [test_n] [ranks]
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
 
+#include "api/index.hpp"
+#include "data/dayabay.hpp"
 #include "example_args.hpp"
-#include "panda.hpp"
+#include "ml/knn_classifier.hpp"
 
 int main(int argc, char** argv) {
   using namespace panda;
@@ -38,48 +41,22 @@ int main(int argc, char** argv) {
   // Holdout split by id: train ids [0, train_n), test ids
   // [train_n, train_n + test_n) — disjoint by construction.
   const std::uint64_t test_begin = train_n;
+  const data::PointSet train = generator.generate_all(train_n);
+  data::PointSet test(generator.dims());
+  generator.generate(test_begin, test_begin + test_n, test);
 
-  net::ClusterConfig config;
-  config.ranks = ranks;
-  config.threads_per_rank = 2;
-  net::Cluster cluster(config);
+  IndexOptions options;
+  options.engine = IndexOptions::Engine::Dist;
+  options.cluster.ranks = ranks;
+  options.cluster.threads_per_rank = 2;
+  auto index = Index::build(train, options);
 
-  std::vector<int> predicted(test_n, -1);
-  std::mutex mutex;
-
-  cluster.run([&](net::Comm& comm) {
-    const data::PointSet slice =
-        generator.generate_slice(train_n, comm.rank(), comm.size());
-    const dist::DistKdTree tree =
-        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
-
-    // Each rank classifies its share of the held-out records.
-    const std::uint64_t q_begin =
-        test_begin + static_cast<std::uint64_t>(comm.rank()) * test_n /
-                         static_cast<std::uint64_t>(comm.size());
-    const std::uint64_t q_end =
-        test_begin + static_cast<std::uint64_t>(comm.rank() + 1) * test_n /
-                         static_cast<std::uint64_t>(comm.size());
-    data::PointSet my_queries(generator.dims());
-    generator.generate(q_begin, q_end, my_queries);
-
-    dist::DistQueryEngine engine(comm, tree);
-    dist::DistQueryConfig query_config;
-    query_config.k = k;
-    core::NeighborTable results;
-    engine.run_into(my_queries, query_config, results);
-
-    std::lock_guard<std::mutex> lock(mutex);
-    for (std::uint64_t i = 0; i < results.size(); ++i) {
-      predicted[q_begin - test_begin + i] = ml::classify(
-          results[i],
-          [&](std::uint64_t id) { return generator.label_of(id); },
-          generator.params().classes);
-    }
-  });
-
-  // Score against ground truth with both voting schemes' predictions.
   const int classes = generator.params().classes;
+  const std::vector<int> predicted = ml::classify_batch(
+      *index, test, k,
+      [&](std::uint64_t id) { return generator.label_of(id); }, classes);
+
+  // Score against ground truth.
   std::vector<int> truth(test_n);
   for (std::uint64_t i = 0; i < test_n; ++i) {
     truth[i] = generator.label_of(test_begin + i);

@@ -5,24 +5,24 @@
 // reconnection simulation is filtered to particles with kinetic energy
 // E > 1.1 mec^2, and the KNN kernel supports classifying features such
 // as flux ropes in the energetic subset. This example reproduces the
-// pipeline: generate particles with energies, apply the E-threshold
-// filter, index the survivors with the distributed kd-tree, and use
-// each particle's k nearest energetic neighbors to measure how
-// spatially concentrated the energetic population is (filament
-// detection by neighborhood energy). Every energetic particle is both
-// indexed and queried, which is exactly the bulk self-KNN workload of
-// dist::AllKnnEngine (DESIGN.md §7).
+// pipeline through panda::Index: generate particles with energies,
+// apply the E-threshold filter, index the survivors with the
+// distributed engine, and use each particle's k nearest energetic
+// neighbors (one Index::self_knn_into call — the bulk self-KNN
+// workload of DESIGN.md §7, result rows keyed by build position) to
+// measure how spatially concentrated the energetic population is
+// (filament detection by neighborhood energy).
 //
 // Run:  ./plasma_energetic_regions [particles] [ranks]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
 
+#include "api/index.hpp"
+#include "data/plasma.hpp"
 #include "example_args.hpp"
-#include "panda.hpp"
 
 int main(int argc, char** argv) {
   using namespace panda;
@@ -43,7 +43,8 @@ int main(int argc, char** argv) {
 
   // --- energy filter (the paper's extraction step) --------------------
   // Scan ids once to build the energetic subset; this mirrors reading
-  // the full VPIC snapshot and keeping E > threshold.
+  // the full VPIC snapshot and keeping E > threshold. The id carried
+  // by each indexed point is the *raw* particle id.
   std::vector<std::uint64_t> energetic_ids;
   for (std::uint64_t id = 0; id < n_raw; ++id) {
     if (generator.kinetic_energy(id) > energy_threshold) {
@@ -61,54 +62,37 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Bulk self-KNN over the energetic subset: every indexed particle's
-  // k nearest energetic neighbors, answered rank-locally where the
-  // ball allows. radius2 is indexed by filtered position.
+  data::PointSet energetic(3);
+  {
+    data::PointSet scratch(3);
+    std::vector<float> p(3);
+    for (const std::uint64_t id : energetic_ids) {
+      scratch.clear();
+      generator.generate(id, id + 1, scratch);
+      scratch.copy_point(0, p.data());
+      energetic.push_point(p, id);
+    }
+  }
+
+  IndexOptions options;
+  options.engine = IndexOptions::Engine::Dist;
+  options.cluster.ranks = ranks;
+  options.cluster.threads_per_rank = 2;
+  auto index = Index::build(energetic, options);
+
+  // Bulk self-KNN over the energetic subset: row i = the i-th filtered
+  // particle, no id remapping (the facade routes redistributed answers
+  // back by build position).
+  SearchParams params;
+  params.k = k + 1;  // self included
+  core::NeighborTable results;
+  SearchWorkspace ws;
+  index->self_knn_into(params, results, ws);
+
   std::vector<float> radius2(n, 0.0f);
-  std::mutex mutex;
-
-  net::ClusterConfig config;
-  config.ranks = ranks;
-  config.threads_per_rank = 2;
-  net::Cluster cluster(config);
-  cluster.run([&](net::Comm& comm) {
-    // Each rank materializes its contiguous share of the filtered ids;
-    // the id carried by each point is the *raw* particle id.
-    const std::uint64_t begin = static_cast<std::uint64_t>(comm.rank()) * n /
-                                static_cast<std::uint64_t>(comm.size());
-    const std::uint64_t end = static_cast<std::uint64_t>(comm.rank() + 1) *
-                              n / static_cast<std::uint64_t>(comm.size());
-    data::PointSet slice(3);
-    {
-      data::PointSet scratch(3);
-      for (std::uint64_t i = begin; i < end; ++i) {
-        scratch.clear();
-        generator.generate(energetic_ids[i], energetic_ids[i] + 1, scratch);
-        std::vector<float> p(3);
-        scratch.copy_point(0, p.data());
-        slice.push_point(p, energetic_ids[i]);
-      }
-    }
-    const dist::DistKdTree tree =
-        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
-
-    dist::AllKnnEngine engine(comm, tree);
-    dist::AllKnnConfig knn_config;
-    knn_config.k = k + 1;  // self included
-    core::NeighborTable results;
-    engine.run_into(knn_config, results);
-
-    std::lock_guard<std::mutex> lock(mutex);
-    const data::PointSet& mine = tree.local_points();
-    for (std::uint64_t i = 0; i < results.size(); ++i) {
-      // Redistribution moved the point; map its raw id back to the
-      // filtered position (energetic_ids is ascending).
-      const auto it = std::lower_bound(energetic_ids.begin(),
-                                       energetic_ids.end(), mine.id(i));
-      radius2[static_cast<std::uint64_t>(it - energetic_ids.begin())] =
-          results[i].back().dist2;
-    }
-  });
+  for (std::uint64_t i = 0; i < n; ++i) {
+    radius2[i] = results[i].back().dist2;
+  }
 
   // Filament particles should sit in much denser energetic
   // neighborhoods than the diffuse energetic background.

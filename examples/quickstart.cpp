@@ -1,22 +1,22 @@
-// Quickstart: the smallest end-to-end PANDA program.
+// Quickstart: the smallest end-to-end PANDA program, written entirely
+// against the one front door — panda::Index (DESIGN.md §10).
 //
-// 1. Build a single-node kd-tree over a synthetic clustered dataset
-//    and answer a few queries.
-// 2. Run the same workload distributed: an in-process cluster of 4
-//    ranks builds the global + local kd-trees, redistributes the data,
-//    and answers queries with the five-stage protocol.
+// 1. Build a single-node index over a synthetic clustered dataset and
+//    answer a few queries.
+// 2. Run the same workload distributed by flipping ONE options field:
+//    an in-process cluster of 4 ranks builds the global + local
+//    kd-trees, redistributes the data, and answers the same queries
+//    with the five-stage protocol — same call sites, same results.
 //
 // Run:  ./quickstart
 #include <cstdio>
 
-#include "panda.hpp"
+#include "api/index.hpp"
+#include "data/generators.hpp"
 
 int main() {
   using namespace panda;
 
-  // ------------------------------------------------------------------
-  // Single node.
-  // ------------------------------------------------------------------
   const auto generator = data::make_generator("cosmo", /*seed=*/42);
   const data::PointSet points = generator->generate_all(100000);
   // Query points drawn from the same distribution but disjoint from
@@ -24,69 +24,49 @@ int main() {
   data::PointSet queries(3);
   generator->generate(100000, 100005, queries);
 
-  parallel::ThreadPool pool(8);
-  core::BuildConfig build_config;  // bucket_size = 32, the paper default
-  core::BuildBreakdown breakdown;
-  const core::KdTree tree =
-      core::KdTree::build(points, build_config, pool, &breakdown);
+  // ------------------------------------------------------------------
+  // Single node.
+  // ------------------------------------------------------------------
+  IndexOptions local_options;  // engine = Local, bucket_size = 32
+  local_options.threads = 8;
+  auto local = Index::build(points, local_options);
+  std::printf("local index: %llu points in %zu dims (engine \"%s\")\n",
+              static_cast<unsigned long long>(local->size()), local->dims(),
+              local->engine_name());
 
-  std::printf("single-node tree: %zu points, depth %u, %llu leaves\n",
-              tree.size(), tree.stats().max_depth,
-              static_cast<unsigned long long>(tree.stats().leaves));
-  std::printf("build: data-parallel %.3fs, thread-parallel %.3fs, "
-              "packing %.3fs\n",
-              breakdown.data_parallel, breakdown.thread_parallel,
-              breakdown.simd_packing);
-
-  std::vector<float> q(3);
-  for (std::uint64_t i = 0; i < queries.size(); ++i) {
-    queries.copy_point(i, q.data());
-    const auto neighbors = tree.query(q, /*k=*/5);
-    std::printf("query %llu: nearest id %llu at squared distance %.3g\n",
-                static_cast<unsigned long long>(i),
-                static_cast<unsigned long long>(neighbors.front().id),
-                static_cast<double>(neighbors.front().dist2));
+  SearchParams params;
+  params.k = 5;
+  core::NeighborTable results;
+  SearchWorkspace ws;
+  local->knn_into(queries, params, results, ws);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("query %zu: nearest id %llu at squared distance %.3g\n", i,
+                static_cast<unsigned long long>(results[i].front().id),
+                static_cast<double>(results[i].front().dist2));
   }
 
   // ------------------------------------------------------------------
-  // Distributed: 4 ranks x 2 threads on the in-process cluster.
+  // Distributed: the same front door, 4 ranks x 2 threads.
   // ------------------------------------------------------------------
-  net::ClusterConfig cluster_config;
-  cluster_config.ranks = 4;
-  cluster_config.threads_per_rank = 2;
-  net::Cluster cluster(cluster_config);
+  IndexOptions dist_options;
+  dist_options.engine = IndexOptions::Engine::Dist;
+  dist_options.cluster.ranks = 4;
+  dist_options.cluster.threads_per_rank = 2;
+  auto dist = Index::build(points, dist_options);
 
-  cluster.run([&](net::Comm& comm) {
-    // Each rank generates its slice of the same global dataset.
-    const data::PointSet slice =
-        generator->generate_slice(100000, comm.rank(), comm.size());
-    const dist::DistKdTree dtree =
-        dist::DistKdTree::build(comm, slice, dist::DistBuildConfig{});
+  dist->knn_into(queries, params, results, ws);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf(
+        "distributed query %zu: nearest id %llu at squared distance %.3g\n",
+        i, static_cast<unsigned long long>(results[i].front().id),
+        static_cast<double>(results[i].front().dist2));
+  }
 
-    // Rank 0 issues the queries; all ranks participate in answering.
-    data::PointSet my_queries(3);
-    if (comm.rank() == 0) generator->generate(100000, 100005, my_queries);
-
-    dist::DistQueryEngine engine(comm, dtree);
-    dist::DistQueryConfig query_config;
-    query_config.k = 5;
-    core::NeighborTable results;
-    engine.run_into(my_queries, query_config, results);
-
-    if (comm.rank() == 0) {
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        std::printf(
-            "distributed query %zu: nearest id %llu at squared distance "
-            "%.3g\n",
-            i, static_cast<unsigned long long>(results[i].front().id),
-            static_cast<double>(results[i].front().dist2));
-      }
-    }
-  });
-
-  const auto totals = cluster.total_stats();
-  std::printf("cluster traffic: %llu messages, %llu bytes\n",
-              static_cast<unsigned long long>(totals.messages_sent),
-              static_cast<unsigned long long>(totals.bytes_sent));
+  // Single-query convenience shim, same answers.
+  std::vector<float> q(3);
+  queries.copy_point(0, q.data());
+  const auto shim = dist->knn(q, 5);
+  std::printf("convenience shim agrees: %s\n",
+              shim.front().id == results[0].front().id ? "yes" : "NO");
   return 0;
 }

@@ -1,15 +1,17 @@
 // Serving frontend: a live KNN query service with an index swap
-// behind traffic.
+// behind traffic — the whole stack on the panda::Index front door.
 //
 // The ROADMAP north star is serving heavy interactive traffic, not
 // just batch analysis. This example stands up the serve::QueryService
 // over a cosmology index and drives it like a production frontend:
 //   1. client threads submit individual KNN and radius requests;
-//      the service micro-batches them onto the batch kernels;
+//      the service micro-batches them onto one serve::IndexBackend
+//      (a thin adapter over any panda::Index — flipping the backend
+//      to the distributed engine is one IndexOptions field);
 //   2. mid-traffic, a *new* index (the next simulation timestep,
-//      drifted positions) is built and swapped in atomically — the
-//      rebuild-behind-traffic pattern — without failing or blocking a
-//      single in-flight request;
+//      drifted positions) is built over the same shared thread pool
+//      and swapped in atomically — the rebuild-behind-traffic pattern
+//      — without failing or blocking a single in-flight request;
 //   3. the ServeStats panel prints what an SRE would watch: QPS,
 //      latency quantiles, queue depth, batch-size histogram.
 //
@@ -23,8 +25,12 @@
 #include <thread>
 #include <vector>
 
+#include "api/index.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "data/generators.hpp"
 #include "example_args.hpp"
-#include "panda.hpp"
+#include "serve/query_service.hpp"
 
 int main(int argc, char** argv) {
   using namespace panda;
@@ -48,10 +54,10 @@ int main(int argc, char** argv) {
   // ------------------------------------------------------------------
   const auto gen = data::make_generator("cosmo", /*seed=*/2016);
   const data::PointSet points = gen->generate_all(n);
-  auto pool = std::make_shared<parallel::ThreadPool>(8);
-  auto tree = std::make_shared<core::KdTree>(
-      core::KdTree::build(points, core::BuildConfig{}, *pool));
-  auto backend = std::make_shared<serve::LocalBackend>(tree, pool);
+  IndexOptions index_options;
+  index_options.pool = std::make_shared<parallel::ThreadPool>(8);
+  auto backend = std::make_shared<serve::IndexBackend>(
+      Index::build(points, index_options));
 
   serve::ServeConfig config;
   config.max_batch = 64;
@@ -109,10 +115,8 @@ int main(int argc, char** argv) {
     }
   }
   WallTimer rebuild_watch;
-  auto tree_v2 = std::make_shared<core::KdTree>(
-      core::KdTree::build(drifted, core::BuildConfig{}, *pool));
-  service.swap_backend(
-      std::make_shared<serve::LocalBackend>(tree_v2, pool));
+  service.swap_backend(std::make_shared<serve::IndexBackend>(
+      Index::build(drifted, index_options)));
   const double rebuild_seconds = rebuild_watch.seconds();
   const std::uint64_t answered_at_swap = answered.load();
 

@@ -5,12 +5,12 @@
 // a new kd-tree every few iterations to keep queries fast" — tree
 // construction is paid occasionally and amortized over many query
 // steps. This example makes the trade-off concrete: particles drift
-// each step, the analysis queries every step, and the indexed tree is
-// rebuilt only every R steps. Between rebuilds the tree answers from
-// *stale* positions; the example scores how quickly the true current
-// k-nearest-neighbor lists drift away from the stale answers (recall
-// against a fresh tree), which is exactly what a domain scientist
-// weighs against the rebuild cost.
+// each step, the analysis queries every step through panda::Index, and
+// the served index is rebuilt only every R steps. Between rebuilds the
+// index answers from *stale* positions; the example scores how quickly
+// the true current k-nearest-neighbor lists drift away from the stale
+// answers (recall against a fresh index), which is exactly what a
+// domain scientist weighs against the rebuild cost.
 //
 // Run:  ./simulation_timestep [particles] [steps] [rebuild_every]
 #include <cmath>
@@ -19,8 +19,11 @@
 #include <set>
 #include <vector>
 
+#include "api/index.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "data/cosmology.hpp"
 #include "example_args.hpp"
-#include "panda.hpp"
 
 namespace {
 
@@ -64,7 +67,10 @@ int main(int argc, char** argv) {
   const data::CosmologyGenerator generator(data::CosmologyParams{},
                                            /*seed=*/99);
   data::PointSet particles = generator.generate_all(n);
-  parallel::ThreadPool pool(8);
+  // One shared thread team across every (re)build and query — the
+  // rebuild-behind-traffic pool-sharing pattern of the serving layer.
+  IndexOptions options;
+  options.pool = std::make_shared<parallel::ThreadPool>(8);
 
   std::printf("simulation loop: %llu particles, %d steps, rebuild every %d "
               "steps (k=%zu)\n",
@@ -72,8 +78,9 @@ int main(int argc, char** argv) {
   std::printf("%5s %8s %10s %10s %10s\n", "step", "rebuilt", "build(s)",
               "query(s)", "recall");
 
-  core::KdTree indexed = core::KdTree::build(particles, core::BuildConfig{},
-                                             pool);
+  auto indexed = Index::build(particles, options);
+  SearchParams params;
+  params.k = k;
   double total_build = 0.0;
   double total_query = 0.0;
   for (int step = 1; step <= steps; ++step) {
@@ -83,13 +90,13 @@ int main(int argc, char** argv) {
     double build_seconds = 0.0;
     if (rebuild) {
       WallTimer watch;
-      indexed = core::KdTree::build(particles, core::BuildConfig{}, pool);
+      indexed = Index::build(particles, options);
       build_seconds = watch.seconds();
       total_build += build_seconds;
     }
 
     // Per-step analysis: k nearest neighbors of a 2% particle subset,
-    // answered from the indexed (possibly stale) tree.
+    // answered from the served (possibly stale) index.
     data::PointSet queries(particles.dims());
     for (std::uint64_t i = 0; i < n; i += 50) {
       float p[3];
@@ -97,19 +104,17 @@ int main(int argc, char** argv) {
       queries.push_point(std::span<const float>(p, 3), particles.id(i));
     }
     core::NeighborTable stale_results;
-    core::BatchWorkspace batch_ws;
+    SearchWorkspace ws;
     WallTimer watch;
-    indexed.query_batch(queries, k, pool, stale_results, batch_ws);
+    indexed->knn_into(queries, params, stale_results, ws);
     const double query_seconds = watch.seconds();
     total_query += query_seconds;
 
-    // Ground truth for freshness scoring: a fresh tree over current
+    // Ground truth for freshness scoring: a fresh index over current
     // positions (not charged to the simulation's budget).
-    const core::KdTree fresh =
-        core::KdTree::build(particles, core::BuildConfig{}, pool);
+    const auto fresh = Index::build(particles, options);
     core::NeighborTable fresh_results;
-    core::BatchWorkspace fresh_ws;
-    fresh.query_batch(queries, k, pool, fresh_results, fresh_ws);
+    fresh->knn_into(queries, params, fresh_results, ws);
 
     std::uint64_t hits = 0;
     std::uint64_t total = 0;

@@ -1,0 +1,43 @@
+// Private adapter factories behind panda::Index::build / open.
+//
+// Each factory lives in its own translation unit so the facade header
+// stays engine-agnostic; nothing outside src/api/ should include this
+// header.
+#pragma once
+
+#include <memory>
+
+#include "api/index.hpp"
+
+namespace panda::api {
+
+std::unique_ptr<Index> make_local_index(const data::PointSet& points,
+                                        const IndexOptions& options);
+/// Wraps an already-built (e.g. loaded) tree; used by Index::open.
+std::unique_ptr<Index> make_local_index(core::KdTree tree,
+                                        const IndexOptions& options);
+std::unique_ptr<Index> make_dist_index(const data::PointSet& points,
+                                       const IndexOptions& options);
+std::unique_ptr<Index> make_brute_force_index(const data::PointSet& points,
+                                              const IndexOptions& options);
+std::unique_ptr<Index> make_simple_tree_index(const data::PointSet& points,
+                                              const IndexOptions& options);
+
+/// Shared pool resolution: the caller's shared pool if set, else a
+/// fresh pool of options.threads (0 = hardware concurrency, min 1).
+std::shared_ptr<parallel::ThreadPool> resolve_pool(
+    const IndexOptions& options);
+
+/// Strict dist² < radius² prefix of an ascending (dist², id) row —
+/// the one boundary convention every adapter reduces with
+/// (DESIGN.md §5). An infinite radius keeps the whole row.
+inline std::span<const core::Neighbor> radius_prefix(
+    std::span<const core::Neighbor> row, float radius) {
+  if (radius == std::numeric_limits<float>::infinity()) return row;
+  const float r2 = radius * radius;
+  std::size_t keep = 0;
+  while (keep < row.size() && row[keep].dist2 < r2) ++keep;
+  return row.subspan(0, keep);
+}
+
+}  // namespace panda::api

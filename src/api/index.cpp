@@ -1,0 +1,118 @@
+// panda::Index — construction dispatch and the convenience shims.
+#include "api/index.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "api/adapters.hpp"
+#include "common/error.hpp"
+
+namespace panda {
+
+namespace {
+
+void validate_options(const IndexOptions& options) {
+  PANDA_CHECK_MSG(options.threads >= 0,
+                  "IndexOptions.threads must be >= 0 (0 = hardware)");
+  if (options.engine == IndexOptions::Engine::Dist) {
+    PANDA_CHECK_MSG(options.cluster.ranks >= 1,
+                    "IndexOptions.cluster.ranks must be >= 1");
+    PANDA_CHECK_MSG(options.cluster.threads_per_rank >= 1,
+                    "IndexOptions.cluster.threads_per_rank must be >= 1");
+    PANDA_CHECK_MSG(options.dist_batch_size >= 1,
+                    "IndexOptions.dist_batch_size must be >= 1");
+  }
+}
+
+}  // namespace
+
+namespace api {
+
+std::shared_ptr<parallel::ThreadPool> resolve_pool(
+    const IndexOptions& options) {
+  if (options.pool != nullptr) return options.pool;
+  int threads = options.threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  return std::make_shared<parallel::ThreadPool>(threads);
+}
+
+}  // namespace api
+
+void Index::save(const std::string&) const {
+  throw Error(std::string("panda::Index::save is not supported by the ") +
+              engine_name() +
+              " adapter (only Local indexes persist; rebuild instead)");
+}
+
+void Index::radius_into(const data::PointSet& queries,
+                        const SearchParams& params,
+                        core::NeighborTable& results, SearchWorkspace& ws) {
+  PANDA_CHECK_MSG(params.radius >= 0.0f,
+                  "SearchParams.radius must be >= 0 for radius searches");
+  if (ws.radii.size() < queries.size()) ws.radii.resize(queries.size());
+  std::fill(ws.radii.begin(),
+            ws.radii.begin() + static_cast<std::ptrdiff_t>(queries.size()),
+            params.radius);
+  radius_into(queries,
+              std::span<const float>(ws.radii.data(), queries.size()),
+              results, ws);
+}
+
+std::vector<core::Neighbor> Index::knn(std::span<const float> query,
+                                       std::size_t k) {
+  data::PointSet one(dims());
+  one.push_point(query, 0);
+  SearchParams params;
+  params.k = k;
+  core::NeighborTable results;
+  SearchWorkspace ws;
+  knn_into(one, params, results, ws);
+  const auto row = results[0];
+  return {row.begin(), row.end()};
+}
+
+std::vector<core::Neighbor> Index::radius_search(std::span<const float> query,
+                                                 float radius) {
+  data::PointSet one(dims());
+  one.push_point(query, 0);
+  const float radii[1] = {radius};
+  core::NeighborTable results;
+  SearchWorkspace ws;
+  radius_into(one, radii, results, ws);
+  const auto row = results[0];
+  return {row.begin(), row.end()};
+}
+
+std::unique_ptr<Index> Index::build(const data::PointSet& points,
+                                    const IndexOptions& options) {
+  PANDA_CHECK_MSG(points.dims() >= 1,
+                  "Index::build needs points with at least one dimension");
+  validate_options(options);
+  switch (options.engine) {
+    case IndexOptions::Engine::Local:
+      return api::make_local_index(points, options);
+    case IndexOptions::Engine::Dist:
+      return api::make_dist_index(points, options);
+    case IndexOptions::Engine::BruteForce:
+      return api::make_brute_force_index(points, options);
+    case IndexOptions::Engine::SimpleTree:
+      return api::make_simple_tree_index(points, options);
+  }
+  throw Error("IndexOptions.engine is not a known engine");
+}
+
+std::unique_ptr<Index> Index::open(const std::string& path,
+                                   const IndexOptions& options) {
+  PANDA_CHECK_MSG(options.engine == IndexOptions::Engine::Local,
+                  "Index::open loads the core::KdTree on-disk format; "
+                  "options.engine must be Local");
+  validate_options(options);
+  // KdTree::load's diagnostics (missing file, truncation, version-1
+  // refusal) surface verbatim — no wrapping.
+  return api::make_local_index(core::KdTree::load(path), options);
+}
+
+}  // namespace panda

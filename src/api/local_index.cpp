@@ -1,0 +1,71 @@
+// Local adapter: panda::Index over the single-node core::KdTree.
+//
+// The thinnest adapter — every native facade call maps 1:1 onto one
+// batched KdTree kernel with the caller's workspace, so the facade
+// adds no staging, no copies, and no allocations over a direct engine
+// call (bench_facade pins the overhead at noise level, at identical
+// result digests).
+#include <memory>
+#include <utility>
+
+#include "api/adapters.hpp"
+#include "common/error.hpp"
+
+namespace panda::api {
+
+namespace {
+
+class LocalIndex final : public Index {
+ public:
+  LocalIndex(core::KdTree tree, std::shared_ptr<parallel::ThreadPool> pool)
+      : tree_(std::move(tree)), pool_(std::move(pool)) {}
+
+  std::size_t dims() const override { return tree_.dims(); }
+  std::uint64_t size() const override { return tree_.size(); }
+  const char* engine_name() const override { return "local"; }
+
+  void knn_into(const data::PointSet& queries, const SearchParams& params,
+                core::NeighborTable& results, SearchWorkspace& ws) override {
+    PANDA_CHECK_MSG(params.radius >= 0.0f, "radius must be non-negative");
+    tree_.query_batch(queries, params.k, *pool_, results, ws.batch,
+                      params.radius, params.policy);
+  }
+
+  void radius_into(const data::PointSet& queries,
+                   std::span<const float> radii, core::NeighborTable& results,
+                   SearchWorkspace& ws) override {
+    tree_.query_radius_batch(queries, radii, *pool_, results, ws.batch);
+  }
+
+  void self_knn_into(const SearchParams& params, core::NeighborTable& results,
+                     SearchWorkspace& ws, SearchStats* stats) override {
+    tree_.query_self_batch(params.k, *pool_, results, ws.batch);
+    if (stats != nullptr) {
+      *stats = SearchStats{};
+      stats->queries = tree_.size();
+    }
+  }
+
+  void save(const std::string& path) const override { tree_.save(path); }
+
+ private:
+  core::KdTree tree_;
+  std::shared_ptr<parallel::ThreadPool> pool_;
+};
+
+}  // namespace
+
+std::unique_ptr<Index> make_local_index(const data::PointSet& points,
+                                        const IndexOptions& options) {
+  auto pool = resolve_pool(options);
+  core::KdTree tree = core::KdTree::build(points, options.build, *pool);
+  return std::make_unique<LocalIndex>(std::move(tree), std::move(pool));
+}
+
+std::unique_ptr<Index> make_local_index(core::KdTree tree,
+                                        const IndexOptions& options) {
+  return std::make_unique<LocalIndex>(std::move(tree),
+                                      resolve_pool(options));
+}
+
+}  // namespace panda::api

@@ -1,0 +1,89 @@
+// Vector-of-vectors compatibility shims — the single documented home
+// of the legacy batch result shape.
+//
+// The native result type of every batch entry point is the flat
+// core::NeighborTable (DESIGN.md §9); every internal consumer —
+// engines, serve, ml, examples, benches — reads table rows directly.
+// External code written against the pre-table signatures can keep a
+// vector-of-vectors by calling through these free functions instead;
+// the hot headers (core/kdtree.hpp, the dist engines) no longer
+// advertise them.
+//
+// Semantics are identical to the wrapped native calls (same order,
+// same (dist², id) ties — tests/test_neighbor_table.cpp pins shim ==
+// table id-exactly). Every call allocates its result vectors and a
+// fresh table/workspace: this is the compatibility path, not the hot
+// path. This header sits in core/ but reaches up to the dist engines
+// — it is a leaf convenience header, included by nothing in src/.
+#pragma once
+
+#include <vector>
+
+#include "core/kdtree.hpp"
+#include "core/knn_heap.hpp"
+#include "core/neighbor_table.hpp"
+#include "core/query_workspace.hpp"
+#include "dist/all_knn.hpp"
+#include "dist/dist_query.hpp"
+#include "dist/radius_query.hpp"
+
+namespace panda::core::compat {
+
+/// Vector-of-vectors shim over KdTree::query_sq_batch.
+inline void query_sq_batch(
+    const KdTree& tree, const data::PointSet& queries, std::size_t k,
+    parallel::ThreadPool& pool, std::vector<std::vector<Neighbor>>& results,
+    std::span<const float> radius2s = {},
+    std::span<const std::uint64_t> radius_bound_ids = {},
+    TraversalPolicy policy = TraversalPolicy::Exact,
+    QueryStats* stats = nullptr) {
+  NeighborTable table;
+  BatchWorkspace ws;
+  tree.query_sq_batch(queries, k, pool, table, ws, radius2s,
+                      radius_bound_ids, policy, stats);
+  results = table.to_vectors();
+}
+
+/// Vector-of-vectors shim over KdTree::query_batch.
+inline void query_batch(
+    const KdTree& tree, const data::PointSet& queries, std::size_t k,
+    parallel::ThreadPool& pool, std::vector<std::vector<Neighbor>>& results,
+    float radius = std::numeric_limits<float>::infinity(),
+    TraversalPolicy policy = TraversalPolicy::Exact,
+    QueryStats* stats = nullptr) {
+  NeighborTable table;
+  BatchWorkspace ws;
+  tree.query_batch(queries, k, pool, table, ws, radius, policy, stats);
+  results = table.to_vectors();
+}
+
+/// Vector-of-vectors shim over DistQueryEngine::run_into.
+inline std::vector<std::vector<Neighbor>> run(
+    dist::DistQueryEngine& engine, const data::PointSet& queries,
+    const dist::DistQueryConfig& config,
+    dist::DistQueryBreakdown* breakdown = nullptr) {
+  NeighborTable results;
+  engine.run_into(queries, config, results, breakdown);
+  return results.to_vectors();
+}
+
+/// Vector-of-vectors shim over DistRadiusEngine::run_into.
+inline std::vector<std::vector<Neighbor>> run(
+    dist::DistRadiusEngine& engine, const data::PointSet& queries,
+    const dist::RadiusQueryConfig& config,
+    dist::RadiusQueryBreakdown* breakdown = nullptr) {
+  NeighborTable results;
+  engine.run_into(queries, config, results, breakdown);
+  return results.to_vectors();
+}
+
+/// Vector-of-vectors shim over AllKnnEngine::run_into.
+inline std::vector<std::vector<Neighbor>> run(
+    dist::AllKnnEngine& engine, const dist::AllKnnConfig& config,
+    dist::AllKnnStats* stats = nullptr) {
+  NeighborTable results;
+  engine.run_into(config, results, stats);
+  return results.to_vectors();
+}
+
+}  // namespace panda::core::compat

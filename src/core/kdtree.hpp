@@ -222,8 +222,10 @@ class KdTree {
                           QueryStats* stats = nullptr) const;
 
   // -------------------------------------------------------------------
-  // Compatibility shims: same semantics, results materialized as
+  // Single-query convenience: same semantics, results materialized as
   // std::vector (scratch comes from an internal per-thread workspace).
+  // The legacy vector-of-vectors *batch* shims live in
+  // core/compat.hpp as free functions.
   // -------------------------------------------------------------------
 
   /// k nearest neighbors of `query` (dims() floats) within metric
@@ -246,15 +248,6 @@ class KdTree {
                                  QueryStats* stats = nullptr,
                                  std::uint64_t radius_bound_id = 0) const;
 
-  /// Vector-of-vectors shim over the NeighborTable query_sq_batch.
-  void query_sq_batch(const data::PointSet& queries, std::size_t k,
-                      parallel::ThreadPool& pool,
-                      std::vector<std::vector<Neighbor>>& results,
-                      std::span<const float> radius2s = {},
-                      std::span<const std::uint64_t> radius_bound_ids = {},
-                      TraversalPolicy policy = TraversalPolicy::Exact,
-                      QueryStats* stats = nullptr) const;
-
   /// FLANN-style approximate query: the traversal stops opening new
   /// leaves after `max_leaf_visits` buckets have been scanned, trading
   /// recall for bounded latency (the mode FLANN calls "checks"). The
@@ -274,14 +267,6 @@ class KdTree {
   std::vector<Neighbor> query_radius(std::span<const float> query,
                                      float radius,
                                      QueryStats* stats = nullptr) const;
-
-  /// Vector-of-vectors shim over the NeighborTable query_batch.
-  void query_batch(const data::PointSet& queries, std::size_t k,
-                   parallel::ThreadPool& pool,
-                   std::vector<std::vector<Neighbor>>& results,
-                   float radius = std::numeric_limits<float>::infinity(),
-                   TraversalPolicy policy = TraversalPolicy::Exact,
-                   QueryStats* stats = nullptr) const;
 
   /// Number of tree nodes a root-to-leaf descent would visit for this
   /// query point (the tree depth along the query's path).

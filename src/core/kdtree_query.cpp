@@ -486,27 +486,6 @@ void KdTree::query_sq_batch(const data::PointSet& queries, std::size_t k,
   }
 }
 
-void KdTree::query_sq_batch(const data::PointSet& queries, std::size_t k,
-                            parallel::ThreadPool& pool,
-                            std::vector<std::vector<Neighbor>>& results,
-                            std::span<const float> radius2s,
-                            std::span<const std::uint64_t> radius_bound_ids,
-                            TraversalPolicy policy, QueryStats* stats) const {
-  // Per-call state: the arenas scale with n*k, so pinning them in a
-  // thread_local would retain the largest batch ever served on every
-  // calling thread. The shim is the compatibility path — it allocated
-  // per call before the flat stack existed too.
-  NeighborTable table;
-  BatchWorkspace ws;
-  query_sq_batch(queries, k, pool, table, ws, radius2s, radius_bound_ids,
-                 policy, stats);
-  results.resize(table.size());
-  for (std::size_t i = 0; i < table.size(); ++i) {
-    const auto row = table[i];
-    results[i].assign(row.begin(), row.end());
-  }
-}
-
 void KdTree::query_self_batch(std::size_t k, parallel::ThreadPool& pool,
                               NeighborTable& results, BatchWorkspace& ws,
                               QueryStats* stats) const {
@@ -593,22 +572,6 @@ void KdTree::query_batch(const data::PointSet& queries, std::size_t k,
     return;
   }
   query_sq_batch(queries, k, pool, results, ws, {}, {}, policy, stats);
-}
-
-void KdTree::query_batch(const data::PointSet& queries, std::size_t k,
-                         parallel::ThreadPool& pool,
-                         std::vector<std::vector<Neighbor>>& results,
-                         float radius, TraversalPolicy policy,
-                         QueryStats* stats) const {
-  // Per-call state — see the query_sq_batch shim.
-  NeighborTable table;
-  BatchWorkspace ws;
-  query_batch(queries, k, pool, table, ws, radius, policy, stats);
-  results.resize(table.size());
-  for (std::size_t i = 0; i < table.size(); ++i) {
-    const auto row = table[i];
-    results[i].assign(row.begin(), row.end());
-  }
 }
 
 void KdTree::search_budgeted(std::uint32_t node_index, const float* query,

@@ -369,11 +369,4 @@ void AllKnnEngine::run_into(const AllKnnConfig& config,
   if (stats != nullptr) *stats = st;
 }
 
-std::vector<std::vector<Neighbor>> AllKnnEngine::run(
-    const AllKnnConfig& config, AllKnnStats* stats) {
-  core::NeighborTable results;
-  run_into(config, results, stats);
-  return results.to_vectors();
-}
-
 }  // namespace panda::dist

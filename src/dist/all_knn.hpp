@@ -94,12 +94,9 @@ class AllKnnEngine {
   /// exact against the full distributed dataset. All ranks must call.
   /// The table is caller-owned and reusable — repeated runs at steady
   /// sizes reuse its arena.
+  /// (The legacy vector-of-vectors shim lives in core/compat.hpp.)
   void run_into(const AllKnnConfig& config, core::NeighborTable& results,
                 AllKnnStats* stats = nullptr);
-
-  /// Compatibility shim over run_into: materializes vector-of-vectors.
-  std::vector<std::vector<core::Neighbor>> run(const AllKnnConfig& config,
-                                               AllKnnStats* stats = nullptr);
 
  private:
   /// Stages 2-3 for every local point: self-join batched local KNN

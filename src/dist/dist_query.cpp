@@ -86,14 +86,6 @@ void DistQueryEngine::run_into(const data::PointSet& queries,
   if (breakdown != nullptr) *breakdown = bd;
 }
 
-std::vector<std::vector<Neighbor>> DistQueryEngine::run(
-    const data::PointSet& queries, const DistQueryConfig& config,
-    DistQueryBreakdown* breakdown) {
-  core::NeighborTable results;
-  run_into(queries, config, results, breakdown);
-  return results.to_vectors();
-}
-
 void DistQueryEngine::run_single_rank(const data::PointSet& queries,
                                       const DistQueryConfig& config,
                                       core::NeighborTable& results,

@@ -66,14 +66,10 @@ class DistQueryEngine {
   /// distributed dataset. The caller-owned table is reusable across
   /// runs; the engine may be reused with different configurations over
   /// the same tree.
+  /// (The legacy vector-of-vectors shim lives in core/compat.hpp.)
   void run_into(const data::PointSet& queries, const DistQueryConfig& config,
                 core::NeighborTable& results,
                 DistQueryBreakdown* breakdown = nullptr);
-
-  /// Compatibility shim over run_into: materializes vector-of-vectors.
-  std::vector<std::vector<core::Neighbor>> run(
-      const data::PointSet& queries, const DistQueryConfig& config,
-      DistQueryBreakdown* breakdown = nullptr);
 
  private:
   void run_single_rank(const data::PointSet& queries,

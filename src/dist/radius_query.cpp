@@ -160,12 +160,4 @@ void DistRadiusEngine::run_into(const data::PointSet& queries,
   if (breakdown != nullptr) *breakdown = bd;
 }
 
-std::vector<std::vector<Neighbor>> DistRadiusEngine::run(
-    const data::PointSet& queries, const RadiusQueryConfig& config,
-    RadiusQueryBreakdown* breakdown) {
-  core::NeighborTable results;
-  run_into(queries, config, results, breakdown);
-  return results.to_vectors();
-}
-
 }  // namespace panda::dist

@@ -53,15 +53,11 @@ class DistRadiusEngine {
   /// rank counts and batch sizes. All ranks must call (with possibly
   /// empty query sets). The caller-owned table is reusable across
   /// runs.
+  /// (The legacy vector-of-vectors shim lives in core/compat.hpp.)
   void run_into(const data::PointSet& queries,
                 const RadiusQueryConfig& config,
                 core::NeighborTable& results,
                 RadiusQueryBreakdown* breakdown = nullptr);
-
-  /// Compatibility shim over run_into: materializes vector-of-vectors.
-  std::vector<std::vector<core::Neighbor>> run(
-      const data::PointSet& queries, const RadiusQueryConfig& config,
-      RadiusQueryBreakdown* breakdown = nullptr);
 
  private:
   net::Comm& comm_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "api/index.hpp"
 #include "common/error.hpp"
 
 namespace panda::ml {
@@ -54,6 +55,36 @@ std::optional<double> regress(std::span<const core::Neighbor> neighbors,
     weight_total += w;
   }
   return weighted_sum / weight_total;
+}
+
+std::vector<int> classify_batch(Index& index, const data::PointSet& queries,
+                                std::size_t k, const LabelLookup& label_of,
+                                int classes, VoteWeighting weighting) {
+  SearchParams params;
+  params.k = k;
+  core::NeighborTable results;
+  SearchWorkspace ws;
+  index.knn_into(queries, params, results, ws);
+  std::vector<int> labels(queries.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    labels[i] = classify(results[i], label_of, classes, weighting);
+  }
+  return labels;
+}
+
+std::vector<std::optional<double>> regress_batch(
+    Index& index, const data::PointSet& queries, std::size_t k,
+    const ValueLookup& value_of, VoteWeighting weighting) {
+  SearchParams params;
+  params.k = k;
+  core::NeighborTable results;
+  SearchWorkspace ws;
+  index.knn_into(queries, params, results, ws);
+  std::vector<std::optional<double>> values(queries.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    values[i] = regress(results[i], value_of, weighting);
+  }
+  return values;
 }
 
 EvaluationResult evaluate_classifier(std::span<const int> predictions,

@@ -21,6 +21,13 @@
 
 #include "core/knn_heap.hpp"
 
+namespace panda {
+class Index;  // api/index.hpp — the batch helpers query through it
+namespace data {
+class PointSet;
+}
+}  // namespace panda
+
 namespace panda::ml {
 
 enum class VoteWeighting {
@@ -49,6 +56,23 @@ std::optional<double> regress(std::span<const core::Neighbor> neighbors,
                               const ValueLookup& value_of,
                               VoteWeighting weighting =
                                   VoteWeighting::Uniform);
+
+/// Classifies every query point with one batched k-NN answered by any
+/// panda::Index (local, distributed, or baseline — the engine is a
+/// build-time option of the index, not of this call). Returns one
+/// label per query; -1 where the index returned no neighbors.
+std::vector<int> classify_batch(Index& index, const data::PointSet& queries,
+                                std::size_t k, const LabelLookup& label_of,
+                                int classes,
+                                VoteWeighting weighting =
+                                    VoteWeighting::Uniform);
+
+/// The regression analogue: one batched k-NN through the facade, a
+/// weighted-mean prediction per query (nullopt where no neighbors).
+std::vector<std::optional<double>> regress_batch(
+    Index& index, const data::PointSet& queries, std::size_t k,
+    const ValueLookup& value_of,
+    VoteWeighting weighting = VoteWeighting::Uniform);
 
 /// Classification quality over a labeled evaluation set.
 struct EvaluationResult {

@@ -5,10 +5,14 @@
 // distributed kd-tree for exact k-nearest-neighbor search, with a
 // single-node three-phase parallel tree build, a five-stage
 // distributed query protocol, an in-process SPMD cluster runtime, and
-// the baselines the paper evaluates against. See README.md for a
-// quickstart and DESIGN.md for the architecture.
+// the baselines the paper evaluates against — all behind the
+// panda::Index facade (api/index.hpp). See README.md for a quickstart
+// and DESIGN.md for the architecture. Deliberately absent:
+// core/compat.hpp (the legacy vector-of-vectors shims) is opt-in by
+// explicit include, so the umbrella stops advertising it.
 #pragma once
 
+#include "api/index.hpp"
 #include "baselines/ann_style.hpp"
 #include "baselines/brute_force.hpp"
 #include "baselines/buffered_tree.hpp"

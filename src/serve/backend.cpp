@@ -1,36 +1,25 @@
 #include "serve/backend.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <condition_variable>
-#include <mutex>
-#include <thread>
-#include <utility>
 
 #include "common/error.hpp"
-#include "dist/dist_query.hpp"
-#include "dist/radius_query.hpp"
-#include "net/comm.hpp"
-#include "parallel/parallel_for.hpp"
 
 namespace panda::serve {
 
 namespace {
 
-/// Splits a batch into the KNN and radius groups and the normalized
-/// group parameters (k_max, r_max) the engines run at. Reused across
-/// calls — plan() clears and refills the index vectors.
+/// Splits a batch into the KNN and radius groups plus the KNN group's
+/// normalized k_max. Reused across calls — plan() clears and refills
+/// the index vectors.
 struct BatchPlan {
   std::vector<std::size_t> knn_index;
   std::vector<std::size_t> radius_index;
   std::size_t k_max = 0;
-  float r_max = 0.0f;
 
   void plan(std::span<const Request> batch) {
     knn_index.clear();
     radius_index.clear();
     k_max = 0;
-    r_max = 0.0f;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const Request& request = batch[i];
       if (request.kind == Request::Kind::Knn) {
@@ -38,7 +27,6 @@ struct BatchPlan {
         k_max = std::max(k_max, request.k);
       } else {
         radius_index.push_back(i);
-        r_max = std::max(r_max, request.radius);
       }
     }
   }
@@ -63,31 +51,12 @@ std::span<const core::Neighbor> topk_prefix(
   return row.subspan(0, std::min(row.size(), k));
 }
 
-/// Request i's own strict-radius prefix of an r_max answer row.
-std::span<const core::Neighbor> radius_prefix(
-    std::span<const core::Neighbor> row, float radius) {
-  const float r2 = radius * radius;
-  std::size_t keep = 0;
-  while (keep < row.size() && row[keep].dist2 < r2) ++keep;
-  return row.subspan(0, keep);
-}
-
-/// Copies a row span into a (warm-capacity) per-request Result.
-void assign_result(Result& result, std::span<const core::Neighbor> row) {
-  result.assign(row.begin(), row.end());
-}
-
 }  // namespace
 
-// ---------------------------------------------------------------------
-// LocalBackend
-// ---------------------------------------------------------------------
-
 /// Everything one run_batch call touches, pooled so concurrent service
-/// workers each reuse their own warm instance (zero steady-state
-/// allocations — the NeighborTable arenas, workspaces, and staging
-/// PointSets only ever grow).
-struct LocalBackend::Scratch {
+/// workers each reuse their own warm instance (the tables, workspace,
+/// and staging PointSets only ever grow).
+struct IndexBackend::Scratch {
   explicit Scratch(std::size_t dims)
       : knn_queries(dims), radius_queries(dims) {}
 
@@ -97,19 +66,17 @@ struct LocalBackend::Scratch {
   std::vector<float> radii;
   core::NeighborTable knn_table;
   core::NeighborTable radius_table;
-  core::BatchWorkspace ws;
+  SearchWorkspace ws;
 };
 
-LocalBackend::LocalBackend(std::shared_ptr<const core::KdTree> tree,
-                           std::shared_ptr<parallel::ThreadPool> pool)
-    : tree_(std::move(tree)), pool_(std::move(pool)) {
-  PANDA_CHECK_MSG(tree_ != nullptr && pool_ != nullptr,
-                  "LocalBackend needs a tree and a pool");
+IndexBackend::IndexBackend(std::shared_ptr<panda::Index> index)
+    : index_(std::move(index)) {
+  PANDA_CHECK_MSG(index_ != nullptr, "IndexBackend needs an index");
 }
 
-LocalBackend::~LocalBackend() = default;
+IndexBackend::~IndexBackend() = default;
 
-std::unique_ptr<LocalBackend::Scratch> LocalBackend::acquire_scratch() {
+std::unique_ptr<IndexBackend::Scratch> IndexBackend::acquire_scratch() {
   {
     std::lock_guard<std::mutex> lock(scratch_mutex_);
     if (!scratch_pool_.empty()) {
@@ -118,15 +85,15 @@ std::unique_ptr<LocalBackend::Scratch> LocalBackend::acquire_scratch() {
       return scratch;
     }
   }
-  return std::make_unique<Scratch>(tree_->dims());
+  return std::make_unique<Scratch>(index_->dims());
 }
 
-void LocalBackend::release_scratch(std::unique_ptr<Scratch> scratch) {
+void IndexBackend::release_scratch(std::unique_ptr<Scratch> scratch) {
   std::lock_guard<std::mutex> lock(scratch_mutex_);
   scratch_pool_.push_back(std::move(scratch));
 }
 
-void LocalBackend::run_batch(std::span<const Request> batch,
+void IndexBackend::run_batch(std::span<const Request> batch,
                              std::vector<Result>& results) {
   results.resize(batch.size());
   if (batch.empty()) return;
@@ -136,12 +103,14 @@ void LocalBackend::run_batch(std::span<const Request> batch,
 
   if (!plan.knn_index.empty()) {
     group_queries(batch, plan.knn_index, scratch->knn_queries);
-    tree_->query_sq_batch(scratch->knn_queries, plan.k_max, *pool_,
-                          scratch->knn_table, scratch->ws);
+    SearchParams params;
+    params.k = plan.k_max;
+    index_->knn_into(scratch->knn_queries, params, scratch->knn_table,
+                     scratch->ws);
     for (std::size_t j = 0; j < plan.knn_index.size(); ++j) {
       const std::size_t i = plan.knn_index[j];
-      assign_result(results[i],
-                    topk_prefix(scratch->knn_table[j], batch[i].k));
+      const auto row = topk_prefix(scratch->knn_table[j], batch[i].k);
+      results[i].assign(row.begin(), row.end());
     }
   }
 
@@ -153,238 +122,18 @@ void LocalBackend::run_batch(std::span<const Request> batch,
     for (std::size_t j = 0; j < plan.radius_index.size(); ++j) {
       scratch->radii[j] = batch[plan.radius_index[j]].radius;
     }
-    tree_->query_radius_batch(
+    index_->radius_into(
         scratch->radius_queries,
         std::span<const float>(scratch->radii.data(),
                                plan.radius_index.size()),
-        *pool_, scratch->radius_table, scratch->ws);
+        scratch->radius_table, scratch->ws);
     for (std::size_t j = 0; j < plan.radius_index.size(); ++j) {
       const std::size_t i = plan.radius_index[j];
-      assign_result(results[i], scratch->radius_table[j]);
+      const auto row = scratch->radius_table[j];
+      results[i].assign(row.begin(), row.end());
     }
   }
   release_scratch(std::move(scratch));
-}
-
-// ---------------------------------------------------------------------
-// DistBackend
-// ---------------------------------------------------------------------
-
-namespace {
-
-/// The per-batch command rank 0 broadcasts so every rank of the
-/// session invokes the same collective engines with the same
-/// normalized parameters. Query payloads are NOT broadcast: only rank
-/// 0 has queries, the engines route them internally.
-struct WireCmd {
-  std::uint32_t quit = 0;
-  std::uint64_t n_knn = 0;
-  std::uint64_t k = 0;
-  std::uint64_t n_radius = 0;
-  float radius = 0.0f;
-};
-static_assert(std::is_trivially_copyable_v<WireCmd>);
-
-}  // namespace
-
-struct DistBackend::Session {
-  explicit Session(const net::ClusterConfig& config) : cluster(config) {}
-
-  net::Cluster cluster;
-
-  std::mutex mutex;
-  std::condition_variable cv_cmd;   // frontend -> rank 0
-  std::condition_variable cv_done;  // rank 0 / driver -> frontend
-  bool ready = false;
-  bool has_cmd = false;
-  bool done = false;
-  bool quit = false;
-  bool failed = false;
-  std::exception_ptr error;
-
-  // Command payload; owned by the run_batch frame, valid while
-  // has_cmd/done round-trips (run_batch blocks until done).
-  const data::PointSet* knn_queries = nullptr;
-  std::size_t k = 0;
-  const data::PointSet* radius_queries = nullptr;
-  float radius = 0.0f;
-  // Flat result tables: rank 0's engines write them between the
-  // has_cmd handoff and the done signal (run_batch only reads them
-  // after observing done under the mutex, so the mutex/cv pair orders
-  // the accesses); reused across batches, so the arenas stay warm.
-  core::NeighborTable knn_results;
-  core::NeighborTable radius_results;
-
-  // Set by rank 0 once the tree is built, copied into the backend
-  // before the constructor returns.
-  std::size_t dims = 0;
-  std::uint64_t total_points = 0;
-
-  /// One collective round at a time: serializes concurrent run_batch
-  /// callers (the session is a single SPMD program).
-  std::mutex exec_mutex;
-  std::thread driver;
-
-  void serve_loop(net::Comm& comm,
-                  const std::function<data::PointSet(net::Comm&)>& slice_fn,
-                  const dist::DistBuildConfig& build_config);
-};
-
-void DistBackend::Session::serve_loop(
-    net::Comm& comm,
-    const std::function<data::PointSet(net::Comm&)>& slice_fn,
-    const dist::DistBuildConfig& build_config) {
-  const data::PointSet slice = slice_fn(comm);
-  const dist::DistKdTree tree =
-      dist::DistKdTree::build(comm, slice, build_config);
-  const std::uint64_t total = comm.allreduce<std::uint64_t>(
-      slice.size(), net::ReduceOp::Sum);
-  if (comm.rank() == 0) {
-    std::lock_guard<std::mutex> lock(mutex);
-    dims = tree.dims();
-    total_points = total;
-    ready = true;
-    cv_done.notify_all();
-  }
-
-  dist::DistQueryEngine knn_engine(comm, tree);
-  dist::DistRadiusEngine radius_engine(comm, tree);
-  const data::PointSet no_queries(tree.dims());
-  // Non-root ranks answer into rank-local tables (their query sets
-  // are empty); rank 0 answers directly into the reusable session
-  // tables — see the Session comment for why that is race-free.
-  core::NeighborTable knn_local;
-  core::NeighborTable radius_local;
-
-  for (;;) {
-    WireCmd cmd;
-    if (comm.rank() == 0) {
-      std::unique_lock<std::mutex> lock(mutex);
-      // Poll aborted() so a peer rank's failure wakes rank 0 out of
-      // the command wait instead of deadlocking the session.
-      while (!has_cmd && !quit) {
-        if (comm.aborted()) throw Error("serving cluster aborted");
-        cv_cmd.wait_for(lock, std::chrono::milliseconds(20));
-      }
-      cmd.quit = quit ? 1 : 0;
-      if (!quit) {
-        cmd.n_knn = knn_queries->size();
-        cmd.k = k;
-        cmd.n_radius = radius_queries->size();
-        cmd.radius = radius;
-      }
-    }
-    cmd = comm.bcast(std::vector<WireCmd>{cmd}, 0).front();
-    if (cmd.quit != 0) break;
-
-    const bool root = comm.rank() == 0;
-    core::NeighborTable& knn_dst = root ? knn_results : knn_local;
-    core::NeighborTable& radius_dst = root ? radius_results : radius_local;
-    if (cmd.n_knn > 0) {
-      dist::DistQueryConfig config;
-      config.k = cmd.k;
-      knn_engine.run_into(root ? *knn_queries : no_queries, config, knn_dst);
-    } else {
-      knn_dst.reset_topk(0, 1);
-    }
-    if (cmd.n_radius > 0) {
-      dist::RadiusQueryConfig config;
-      config.radius = cmd.radius;
-      radius_engine.run_into(root ? *radius_queries : no_queries, config,
-                             radius_dst);
-    } else {
-      radius_dst.reset_rows(0);
-    }
-    if (root) {
-      std::lock_guard<std::mutex> lock(mutex);
-      has_cmd = false;
-      done = true;
-      cv_done.notify_all();
-    }
-  }
-}
-
-DistBackend::DistBackend(const net::ClusterConfig& cluster_config,
-                         std::function<data::PointSet(net::Comm&)> slice_fn,
-                         const dist::DistBuildConfig& build_config)
-    : session_(std::make_unique<Session>(cluster_config)) {
-  Session* session = session_.get();
-  session->driver = std::thread(
-      [session, slice_fn = std::move(slice_fn), build_config] {
-        try {
-          session->cluster.run([&](net::Comm& comm) {
-            session->serve_loop(comm, slice_fn, build_config);
-          });
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(session->mutex);
-          session->failed = true;
-          session->error = std::current_exception();
-          session->cv_done.notify_all();
-        }
-      });
-  std::unique_lock<std::mutex> lock(session->mutex);
-  session->cv_done.wait(lock, [&] { return session->ready || session->failed; });
-  if (session->failed) {
-    const std::exception_ptr error = session->error;
-    lock.unlock();
-    session->driver.join();
-    std::rethrow_exception(error);
-  }
-}
-
-DistBackend::~DistBackend() {
-  {
-    std::lock_guard<std::mutex> lock(session_->mutex);
-    session_->quit = true;
-    session_->cv_cmd.notify_all();
-  }
-  if (session_->driver.joinable()) session_->driver.join();
-}
-
-std::size_t DistBackend::dims() const { return session_->dims; }
-
-std::uint64_t DistBackend::size() const { return session_->total_points; }
-
-void DistBackend::run_batch(std::span<const Request> batch,
-                            std::vector<Result>& results) {
-  results.resize(batch.size());
-  if (batch.empty()) return;
-  BatchPlan plan;
-  plan.plan(batch);
-  data::PointSet knn_queries(dims());
-  data::PointSet radius_queries(dims());
-  group_queries(batch, plan.knn_index, knn_queries);
-  group_queries(batch, plan.radius_index, radius_queries);
-
-  {
-    std::lock_guard<std::mutex> exec_lock(session_->exec_mutex);
-    std::unique_lock<std::mutex> lock(session_->mutex);
-    if (session_->failed) std::rethrow_exception(session_->error);
-    PANDA_CHECK_MSG(!session_->quit, "DistBackend session is shut down");
-    session_->knn_queries = &knn_queries;
-    session_->k = plan.k_max;
-    session_->radius_queries = &radius_queries;
-    session_->radius = plan.r_max;
-    session_->done = false;
-    session_->has_cmd = true;
-    session_->cv_cmd.notify_all();
-    session_->cv_done.wait(lock,
-                           [&] { return session_->done || session_->failed; });
-    if (session_->failed) std::rethrow_exception(session_->error);
-    // Copy each request's prefix out of the (session-owned, reusable)
-    // tables while still under the mutex — the tables are rewritten by
-    // the next batch.
-    for (std::size_t j = 0; j < plan.knn_index.size(); ++j) {
-      const std::size_t i = plan.knn_index[j];
-      assign_result(results[i],
-                    topk_prefix(session_->knn_results[j], batch[i].k));
-    }
-    for (std::size_t j = 0; j < plan.radius_index.size(); ++j) {
-      const std::size_t i = plan.radius_index[j];
-      assign_result(results[i], radius_prefix(session_->radius_results[j],
-                                              batch[i].radius));
-    }
-  }
 }
 
 }  // namespace panda::serve

@@ -1,51 +1,42 @@
-// Execution backends for the serving frontend (DESIGN.md §8).
+// Execution backends for the serving frontend (DESIGN.md §8, §10).
 //
 // A Backend is one immutable snapshot of a served index plus the
 // machinery to answer a whole micro-batch of heterogeneous requests in
-// one call. Two implementations cover the repository's engines:
+// one call. Since the panda::Index facade landed there is exactly one
+// production implementation:
 //
-//   LocalBackend — single node: KNN requests run through the
-//     leaf-block-batched core::KdTree::query_sq_batch kernel, radius
-//     requests through the batched query_radius_batch kernel, both
-//     into reusable flat NeighborTables (zero steady-state allocations
-//     per batch — DESIGN.md §9).
+//   IndexBackend — a thin adapter over any panda::Index (local,
+//     distributed session, or baseline): KNN requests run through one
+//     knn_into call normalized to k_max = max over the group (each
+//     request keeps its own top-k prefix — exact by the ascending
+//     (dist², id) row order, DESIGN.md §5), radius requests through
+//     one radius_into call at their own per-query radii. Engine-
+//     specific normalization (the distributed radius pass runs at
+//     r_max) lives inside the facade adapters, not here.
 //
-//   DistBackend — distributed: a persistent in-process cluster session
-//     (net::Cluster) builds the DistKdTree once, then every rank loops
-//     answering broadcast batch commands through DistQueryEngine /
-//     DistRadiusEngine (their run_into flat-table entry points). The
-//     frontend hands batches to rank 0 and the collective protocol
-//     fans them out — serving reuses the exact five-stage engines
-//     unchanged.
+// The serving layer therefore contains no engine-specific plumbing at
+// all: swapping a single-node snapshot for a distributed session is
+// the same one-line IndexOptions change as everywhere else. Known,
+// deliberate trade-off: a mixed batch on a Dist index issues two
+// serialized collective rounds (one per request group) where the old
+// bespoke DistBackend packed both groups into one broadcast command —
+// the extra round trip is one in-process session handshake, small
+// against the collective query work it precedes, and is what buys an
+// engine-agnostic backend.
 //
-// Mixed per-request parameters are normalized wherever the underlying
-// engine call is one-shot: a KNN group runs once at k_max = max over
-// the group and each request keeps its own top-k prefix (both
-// backends); DistBackend's radius group likewise runs one collective
-// pass at r_max and each request keeps the prefix with dist² < r_i².
-// The prefix reductions are exact because every engine returns
-// ascending (dist², id) order with deterministic ties (DESIGN.md §5)
-// — so batched answers are id-identical to per-request calls.
-// LocalBackend needs no radius normalization: its batched kernel takes
-// per-query radii, so each request runs at its own radius.
+// Batch results are id-identical to per-request engine calls;
+// tests/test_serve.cpp pins this against the brute-force oracle under
+// concurrent mixed traffic.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
-#include "core/kdtree.hpp"
-#include "core/knn_heap.hpp"
-#include "core/neighbor_table.hpp"
-#include "core/query_workspace.hpp"
-#include "data/point_set.hpp"
-#include "dist/dist_kdtree.hpp"
-#include "net/cluster.hpp"
-#include "parallel/thread_pool.hpp"
+#include "api/index.hpp"
 
 namespace panda::serve {
 
@@ -58,7 +49,7 @@ struct Request {
   /// Kind::Knn: number of neighbors (>= 1).
   std::size_t k = 1;
   /// Kind::Radius: metric radius (>= 0); neighbors satisfy the strict
-  /// dist² < radius² convention of KdTree::query_radius.
+  /// dist² < radius² convention of DESIGN.md §5.
   float radius = 0.0f;
 
   static Request knn(std::vector<float> query, std::size_t k) {
@@ -101,24 +92,24 @@ class Backend {
                          std::vector<Result>& results) = 0;
 };
 
-/// Single-node backend over a core::KdTree. The tree and pool are
-/// shared so that successive snapshots (rebuild-behind-traffic) reuse
-/// one thread team; concurrent run_batch calls are safe because all
-/// KdTree query entry points are const and ThreadPool::run serializes
-/// concurrent callers.
-class LocalBackend final : public Backend {
+/// The production backend: any panda::Index served as a snapshot.
+/// Concurrent run_batch calls are safe — the facade's search calls
+/// tolerate concurrent callers with distinct workspaces/tables, and
+/// each caller checks a warm Scratch out of an internal pool (zero
+/// steady-state allocations per batch on the local adapter,
+/// DESIGN.md §9).
+class IndexBackend final : public Backend {
  public:
-  LocalBackend(std::shared_ptr<const core::KdTree> tree,
-               std::shared_ptr<parallel::ThreadPool> pool);
+  explicit IndexBackend(std::shared_ptr<panda::Index> index);
   /// Out of line: ~Scratch must see the complete type.
-  ~LocalBackend() override;
+  ~IndexBackend() override;
 
-  std::size_t dims() const override { return tree_->dims(); }
-  std::uint64_t size() const override { return tree_->size(); }
+  std::size_t dims() const override { return index_->dims(); }
+  std::uint64_t size() const override { return index_->size(); }
   void run_batch(std::span<const Request> batch,
                  std::vector<Result>& results) override;
 
-  const core::KdTree& tree() const { return *tree_; }
+  const panda::Index& index() const { return *index_; }
 
  private:
   struct Scratch;
@@ -127,43 +118,11 @@ class LocalBackend final : public Backend {
   std::unique_ptr<Scratch> acquire_scratch();
   void release_scratch(std::unique_ptr<Scratch> scratch);
 
-  std::shared_ptr<const core::KdTree> tree_;
-  std::shared_ptr<parallel::ThreadPool> pool_;
-  /// Reusable per-call scratch (batch plan, staged query sets, flat
-  /// result tables, workspaces): run_batch makes zero steady-state
-  /// allocations once each concurrent caller's scratch is warm.
+  std::shared_ptr<panda::Index> index_;
+  /// Reusable per-caller scratch (batch plan, staged query sets, flat
+  /// result tables, search workspace).
   std::mutex scratch_mutex_;
   std::vector<std::unique_ptr<Scratch>> scratch_pool_;
-};
-
-/// Distributed backend: one long-lived cluster session serving batch
-/// commands against a DistKdTree built once at construction.
-///
-/// The constructor blocks until every rank has built its tree (or
-/// rethrows the first build failure); run_batch blocks until the
-/// collective engines answer the batch. Batches are serialized
-/// internally — the session is one SPMD program and runs one
-/// collective round at a time.
-class DistBackend final : public Backend {
- public:
-  /// slice_fn(comm) returns the calling rank's share of the indexed
-  /// dataset (same dims everywhere).
-  DistBackend(const net::ClusterConfig& cluster_config,
-              std::function<data::PointSet(net::Comm&)> slice_fn,
-              const dist::DistBuildConfig& build_config = {});
-  ~DistBackend() override;
-
-  DistBackend(const DistBackend&) = delete;
-  DistBackend& operator=(const DistBackend&) = delete;
-
-  std::size_t dims() const override;
-  std::uint64_t size() const override;
-  void run_batch(std::span<const Request> batch,
-                 std::vector<Result>& results) override;
-
- private:
-  struct Session;
-  std::unique_ptr<Session> session_;
 };
 
 }  // namespace panda::serve

@@ -52,13 +52,15 @@ TEST_P(AllKnnExactSweep, EveryPointMatchesBruteForceById) {
     aconfig.mode = mode;
     aconfig.batch_size = 128;  // several coalescing rounds per rank
     AllKnnStats stats;
-    const auto results = engine.run(aconfig, &stats);
+    core::NeighborTable results;
+    engine.run_into(aconfig, results, &stats);
 
     std::lock_guard<std::mutex> lock(mutex);
     const data::PointSet& mine = tree.local_points();
     ASSERT_EQ(results.size(), mine.size());
     for (std::uint64_t i = 0; i < results.size(); ++i) {
-      results_by_id[mine.id(i)] = results[i];
+      const auto row = results[i];
+      results_by_id[mine.id(i)].assign(row.begin(), row.end());
     }
     stats_total.queries_total += stats.queries_total;
     stats_total.queries_local_only += stats.queries_local_only;
@@ -106,14 +108,16 @@ TEST(AllKnn, SelfIsFirstNeighborAtZeroDistance) {
     const data::PointSet slice = gen->generate_slice(500, comm.rank(), 2);
     const DistKdTree tree = DistKdTree::build(comm, slice, DistBuildConfig{});
     AllKnnEngine engine(comm, tree);
-    const auto results = engine.run({.k = 3});
+    core::NeighborTable results;
+    engine.run_into({.k = 3}, results);
     const data::PointSet& mine = tree.local_points();
     for (std::uint64_t i = 0; i < results.size(); ++i) {
-      ASSERT_EQ(results[i].size(), 3u);
+      const auto row = results[i];
+      ASSERT_EQ(row.size(), 3u);
       // Uniform draws are distinct, so the point itself is the unique
       // 0-distance neighbor.
-      EXPECT_EQ(results[i].front().id, mine.id(i));
-      EXPECT_EQ(results[i].front().dist2, 0.0f);
+      EXPECT_EQ(row.front().id, mine.id(i));
+      EXPECT_EQ(row.front().dist2, 0.0f);
     }
   });
 }
@@ -127,9 +131,10 @@ TEST(AllKnn, KLargerThanDatasetReturnsEverything) {
     const data::PointSet slice = gen->generate_slice(10, comm.rank(), 3);
     const DistKdTree tree = DistKdTree::build(comm, slice, DistBuildConfig{});
     AllKnnEngine engine(comm, tree);
-    const auto results = engine.run({.k = 32});
-    for (const auto& list : results) {
-      EXPECT_EQ(list.size(), 10u);  // whole dataset, from every rank
+    core::NeighborTable results;
+    engine.run_into({.k = 32}, results);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].size(), 10u);  // whole dataset, from every rank
     }
   });
 }
@@ -143,7 +148,8 @@ TEST(AllKnn, RejectsZeroK) {
     const data::PointSet slice = gen->generate_slice(10, 0, 1);
     const DistKdTree tree = DistKdTree::build(comm, slice, DistBuildConfig{});
     AllKnnEngine engine(comm, tree);
-    engine.run({.k = 0});
+    core::NeighborTable results;
+    engine.run_into({.k = 0}, results);
   }),
                panda::Error);
 }

@@ -115,7 +115,9 @@ TEST(AllocFree, QueryRadiusBatchSteadyState) {
 
 TEST(AllocFree, ServingBackendSteadyState) {
   Fixture f(20000, 2);
-  serve::LocalBackend backend(f.tree, f.pool);
+  IndexOptions options;
+  options.pool = f.pool;
+  serve::IndexBackend backend(panda::Index::build(f.points, options));
   // A mixed micro-batch: 48 KNN + 16 radius requests, the serving
   // frontend's shape.
   std::vector<serve::Request> batch;

@@ -76,12 +76,14 @@ DistRun run_distributed(const std::string& dataset, std::uint64_t n_points,
     qconfig.batch_size = batch_size;
     qconfig.policy = policy;
     DistQueryBreakdown breakdown;
-    const auto local_results = engine.run(my_queries, qconfig, &breakdown);
+    core::NeighborTable local_results;
+    engine.run_into(my_queries, qconfig, local_results, &breakdown);
 
     std::lock_guard<std::mutex> lock(mutex);
     run.breakdowns[static_cast<std::size_t>(comm.rank())] = breakdown;
     for (std::uint64_t i = 0; i < local_results.size(); ++i) {
-      run.results[q_begin + i] = local_results[i];
+      const auto row = local_results[i];
+      run.results[q_begin + i].assign(row.begin(), row.end());
     }
   });
   return run;
@@ -255,10 +257,13 @@ TEST(DistQuery, EmptyQuerySetOnSomeRanks) {
     DistQueryConfig qconfig;
     qconfig.k = 3;
     qconfig.batch_size = 8;
-    const auto results = engine.run(queries, qconfig);
+    core::NeighborTable results;
+    engine.run_into(queries, qconfig, results);
     if (comm.rank() == 1) {
       EXPECT_EQ(results.size(), 50u);
-      for (const auto& r : results) EXPECT_EQ(r.size(), 3u);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].size(), 3u);
+      }
     } else {
       EXPECT_TRUE(results.empty());
     }
@@ -295,7 +300,8 @@ TEST(DistQuery, CommunicatesLessThanScatterBaseline) {
         DistQueryEngine engine(comm, tree);
         DistQueryConfig qconfig;
         qconfig.k = 5;
-        engine.run(my_queries, qconfig);
+        core::NeighborTable results;
+        engine.run_into(my_queries, qconfig, results);
         query_bytes[static_cast<std::size_t>(comm.rank())] =
             comm.stats().bytes_sent - before;
       } else {

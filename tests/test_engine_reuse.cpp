@@ -60,11 +60,14 @@ TEST(EngineReuse, RepeatedRunsAndModeSwitchesStayExact) {
          .batch_size = 4096,
          .mode = DistQueryConfig::Mode::Pipelined},
     };
+    core::NeighborTable results;
     for (int run = 0; run < 4; ++run) {
-      const auto results = engine.run(my_queries, configs[run]);
+      engine.run_into(my_queries, configs[run], results);
       std::lock_guard<std::mutex> lock(mutex);
       for (std::uint64_t i = 0; i < results.size(); ++i) {
-        all_runs[static_cast<std::size_t>(run)][q_begin + i] = results[i];
+        const auto row = results[i];
+        all_runs[static_cast<std::size_t>(run)][q_begin + i].assign(
+            row.begin(), row.end());
       }
     }
   });
@@ -102,26 +105,30 @@ TEST(EngineReuse, KnnAndRadiusEnginesInterleaveOverOneTree) {
 
     DistQueryEngine knn(comm, tree);
     DistRadiusEngine radius(comm, tree);
+    core::NeighborTable knn_results;
+    core::NeighborTable radius_results;
     for (int round = 0; round < 3; ++round) {
-      const auto knn_results = knn.run(queries, {.k = 3});
+      knn.run_into(queries, {.k = 3}, knn_results);
       RadiusQueryConfig rconfig;
       rconfig.radius = 0.08f;
-      const auto radius_results = radius.run(queries, rconfig);
+      radius.run_into(queries, rconfig, radius_results);
       ASSERT_EQ(knn_results.size(), 30u);
       ASSERT_EQ(radius_results.size(), 30u);
       // Cross-check: every radius result closer than the 3rd KNN
       // distance must appear among the KNN results' distances.
       for (std::size_t i = 0; i < 30; ++i) {
-        if (knn_results[i].size() < 3) continue;
-        const float third = knn_results[i].back().dist2;
+        const auto knn_row = knn_results[i];
+        const auto radius_row = radius_results[i];
+        if (knn_row.size() < 3) continue;
+        const float third = knn_row.back().dist2;
         std::size_t within = 0;
-        for (const auto& n : radius_results[i]) {
+        for (const auto& n : radius_row) {
           if (n.dist2 < third) ++within;
         }
         // Neighbors strictly closer than the 3rd-nearest are at most 2
         // (ties aside) and each must be one of the KNN entries.
         for (std::size_t j = 0; j < std::min<std::size_t>(within, 3); ++j) {
-          ASSERT_EQ(radius_results[i][j].dist2, knn_results[i][j].dist2);
+          ASSERT_EQ(radius_row[j].dist2, knn_row[j].dist2);
         }
       }
     }

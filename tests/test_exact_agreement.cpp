@@ -64,11 +64,13 @@ TEST_P(ExactAgreementSweep, IndicesAndDistancesMatchBruteForce) {
     qconfig.k = k;
     qconfig.mode = mode;
     qconfig.batch_size = 32;
-    const auto results = engine.run(my_queries, qconfig);
+    core::NeighborTable results;
+    engine.run_into(my_queries, qconfig, results);
 
     std::lock_guard<std::mutex> lock(mutex);
     for (std::uint64_t i = 0; i < results.size(); ++i) {
-      dist_results[q_begin + i] = results[i];
+      const auto row = results[i];
+      dist_results[q_begin + i].assign(row.begin(), row.end());
     }
   });
 

@@ -105,9 +105,10 @@ TEST(KdTreeBuild, DeterministicAcrossThreadCounts) {
   for (const int threads : {1, 3, 8}) {
     parallel::ThreadPool pool(threads);
     const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
-    std::vector<std::vector<Neighbor>> results;
-    tree.query_batch(queries, 5, pool, results);
-    all_results.push_back(std::move(results));
+    core::NeighborTable results;
+    core::BatchWorkspace ws;
+    tree.query_batch(queries, 5, pool, results, ws);
+    all_results.push_back(results.to_vectors());
   }
   // Exactness implies identical distance vectors regardless of thread
   // count (tie ids may differ between tree shapes, distances may not).
@@ -134,8 +135,10 @@ TEST_P(KdTreeExactnessSweep, MatchesBruteForce) {
 
   std::vector<std::vector<Neighbor>> expected;
   baselines::brute_force_batch(points, queries, k, pool, expected);
-  std::vector<std::vector<Neighbor>> actual;
-  tree.query_batch(queries, k, pool, actual);
+  core::NeighborTable actual_table;
+  core::BatchWorkspace ws;
+  tree.query_batch(queries, k, pool, actual_table, ws);
+  const auto actual = actual_table.to_vectors();
 
   ASSERT_EQ(actual.size(), expected.size());
   for (std::size_t i = 0; i < actual.size(); ++i) {
@@ -249,8 +252,10 @@ TEST(KdTreeQuery, BatchedQueriesMatchPerQueryExactly) {
     const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
     const std::size_t k = 7;
 
-    std::vector<std::vector<Neighbor>> batched;
-    tree.query_sq_batch(queries, k, pool, batched);
+    core::NeighborTable batched_table;
+    core::BatchWorkspace ws;
+    tree.query_sq_batch(queries, k, pool, batched_table, ws);
+    const auto batched = batched_table.to_vectors();
     ASSERT_EQ(batched.size(), queries.size());
     std::vector<float> q(points.dims());
     for (std::uint64_t i = 0; i < queries.size(); ++i) {
@@ -269,8 +274,10 @@ TEST(KdTreeQuery, BatchedQueriesMatchPerQueryExactly) {
                        .dist2;
       bound_ids[i] = (i % 3 == 0) ? ~std::uint64_t{0} : batched[i].back().id;
     }
-    std::vector<std::vector<Neighbor>> bounded;
-    tree.query_sq_batch(queries, k, pool, bounded, radius2, bound_ids);
+    core::NeighborTable bounded_table;
+    tree.query_sq_batch(queries, k, pool, bounded_table, ws, radius2,
+                        bound_ids);
+    const auto bounded = bounded_table.to_vectors();
     for (std::uint64_t i = 0; i < queries.size(); ++i) {
       queries.copy_point(i, q.data());
       ASSERT_EQ(bounded[i],

@@ -128,8 +128,9 @@ TEST(DayaBayEndToEnd, AccuracyNearPaperValue) {
   parallel::ThreadPool pool(8);
   const core::KdTree tree =
       core::KdTree::build(train, core::BuildConfig{}, pool);
-  std::vector<std::vector<Neighbor>> results;
-  tree.query_batch(test, 5, pool, results);
+  core::NeighborTable results;
+  core::BatchWorkspace ws;
+  tree.query_batch(test, 5, pool, results, ws);
 
   std::vector<int> predictions(test_n);
   std::vector<int> truth(test_n);

@@ -2,9 +2,11 @@
 //
 // The native entry points (query_sq_batch into a table, query_self_batch,
 // query_radius_batch, query_sq_into) must be id-exact against the
-// classic vector-of-vectors shims across datasets, k values, and both
-// bounded and unbounded pruning — plus the hot/cold node-layout
-// save/load round trip and the refusal of the pre-split format.
+// classic vector-of-vectors shims — now free functions in
+// core/compat.hpp, and this suite is the one retained shim-vs-table
+// agreement gate — across datasets, k values, and both bounded and
+// unbounded pruning; plus the hot/cold node-layout save/load round
+// trip and the refusal of the pre-split format.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compat.hpp"
 #include "panda.hpp"
 
 namespace {
@@ -45,7 +48,7 @@ TEST_P(Agreement, TableMatchesShimRows) {
   core::BatchWorkspace ws;
   tree.query_sq_batch(points, k, pool, table, ws);
   std::vector<std::vector<Neighbor>> shim;
-  tree.query_sq_batch(points, k, pool, shim);
+  core::compat::query_sq_batch(tree, points, k, pool, shim);
   ASSERT_EQ(table.size(), shim.size());
   for (std::uint64_t i = 0; i < n; ++i) {
     const auto row = table[i];
@@ -82,7 +85,8 @@ TEST_P(Agreement, TableMatchesShimRows) {
   core::NeighborTable bounded;
   tree.query_sq_batch(points, k, pool, bounded, ws, radius2s, bound_ids);
   std::vector<std::vector<Neighbor>> bounded_shim;
-  tree.query_sq_batch(points, k, pool, bounded_shim, radius2s, bound_ids);
+  core::compat::query_sq_batch(tree, points, k, pool, bounded_shim,
+                               radius2s, bound_ids);
   for (std::uint64_t i = 0; i < n; ++i) {
     const auto row = bounded[i];
     ASSERT_EQ(row.size(), bounded_shim[i].size()) << "query " << i;

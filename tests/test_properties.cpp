@@ -137,11 +137,13 @@ TEST(OutOfDomain, DistributedQueriesFarOutsideDataStayExact) {
     // All queries issued from rank 0.
     data::PointSet mine(3);
     if (comm.rank() == 0) mine.append(far_queries);
-    const auto results = engine.run(mine, qconfig);
+    core::NeighborTable results;
+    engine.run_into(mine, qconfig, results);
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(mutex);
       for (std::size_t i = 0; i < results.size(); ++i) {
-        dist_results[i] = results[i];
+        const auto row = results[i];
+        dist_results[i].assign(row.begin(), row.end());
       }
     }
   });
@@ -169,13 +171,16 @@ TEST(Duplicates, RepeatedQueriesGetIdenticalResults) {
     queries.push_point(std::vector<float>{0.4f, 0.4f, 0.4f},
                        static_cast<std::uint64_t>(i));
   }
-  std::vector<std::vector<Neighbor>> results;
-  tree.query_batch(queries, 5, pool, results);
+  core::NeighborTable results;
+  core::BatchWorkspace ws;
+  tree.query_batch(queries, 5, pool, results, ws);
   for (std::size_t i = 1; i < results.size(); ++i) {
-    ASSERT_EQ(results[i].size(), results[0].size());
-    for (std::size_t j = 0; j < results[i].size(); ++j) {
-      ASSERT_EQ(results[i][j].dist2, results[0][j].dist2);
-      ASSERT_EQ(results[i][j].id, results[0][j].id);
+    const auto row = results[i];
+    const auto first = results[0];
+    ASSERT_EQ(row.size(), first.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      ASSERT_EQ(row[j].dist2, first[j].dist2);
+      ASSERT_EQ(row[j].id, first[j].id);
     }
   }
 }

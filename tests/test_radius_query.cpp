@@ -153,10 +153,12 @@ TEST_P(DistRadiusSweep, MatchesOracleAcrossRanks) {
     RadiusQueryConfig rconfig;
     rconfig.radius = param.radius;
     rconfig.batch_size = 64;
-    const auto results = engine.run(my_queries, rconfig);
+    core::NeighborTable results;
+    engine.run_into(my_queries, rconfig, results);
     std::lock_guard<std::mutex> lock(mutex);
     for (std::uint64_t i = 0; i < results.size(); ++i) {
-      dist_results[q_begin + i] = results[i];
+      const auto row = results[i];
+      dist_results[q_begin + i].assign(row.begin(), row.end());
     }
   });
 
@@ -197,11 +199,13 @@ TEST(DistRadius, MaxResultsTruncatesToClosest) {
     RadiusQueryConfig rconfig;
     rconfig.radius = 0.4f;
     rconfig.max_results = 7;
-    const auto results = engine.run(queries, rconfig);
+    core::NeighborTable results;
+    engine.run_into(queries, rconfig, results);
     if (comm.rank() == 0) {
       ASSERT_EQ(results.size(), 1u);
-      EXPECT_EQ(results[0].size(), 7u);
-      EXPECT_TRUE(std::is_sorted(results[0].begin(), results[0].end(),
+      const auto row = results[0];
+      EXPECT_EQ(row.size(), 7u);
+      EXPECT_TRUE(std::is_sorted(row.begin(), row.end(),
                                  [](const Neighbor& a, const Neighbor& b) {
                                    return a.dist2 < b.dist2;
                                  }));
@@ -248,10 +252,12 @@ TEST(DistRadius, TruncationInvariantAcrossRanksAndBatchSizes) {
         rconfig.radius = radius;
         rconfig.batch_size = batch;
         rconfig.max_results = max_results;
-        const auto results = engine.run(my_queries, rconfig);
+        core::NeighborTable results;
+        engine.run_into(my_queries, rconfig, results);
         std::lock_guard<std::mutex> lock(mutex);
         for (std::uint64_t i = 0; i < results.size(); ++i) {
-          all_results[q_begin + i] = results[i];
+          const auto row = results[i];
+          all_results[q_begin + i].assign(row.begin(), row.end());
         }
       });
       runs.push_back(std::move(all_results));
@@ -283,7 +289,8 @@ TEST(DistRadius, BreakdownCountsPopulated) {
     RadiusQueryConfig rconfig;
     rconfig.radius = 0.05f;
     RadiusQueryBreakdown bd;
-    engine.run(queries, rconfig, &bd);
+    core::NeighborTable results;
+    engine.run_into(queries, rconfig, results, &bd);
     std::lock_guard<std::mutex> lock(mutex);
     owned_total += bd.queries_owned;
   });

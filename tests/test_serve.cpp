@@ -57,7 +57,7 @@ Result oracle_for(const data::PointSet& points, const Request& request) {
 struct Fixture {
   data::PointSet points;
   std::shared_ptr<parallel::ThreadPool> pool;
-  std::shared_ptr<LocalBackend> backend;
+  std::shared_ptr<IndexBackend> backend;
 };
 
 Fixture make_fixture(const std::string& generator, std::uint64_t n,
@@ -66,9 +66,10 @@ Fixture make_fixture(const std::string& generator, std::uint64_t n,
   const auto gen = data::make_generator(generator, seed);
   f.points = gen->generate_all(n);
   f.pool = std::make_shared<parallel::ThreadPool>(pool_threads);
-  auto tree = std::make_shared<core::KdTree>(
-      core::KdTree::build(f.points, core::BuildConfig{}, *f.pool));
-  f.backend = std::make_shared<LocalBackend>(std::move(tree), f.pool);
+  IndexOptions options;
+  options.pool = f.pool;
+  f.backend = std::make_shared<IndexBackend>(
+      panda::Index::build(f.points, options));
   return f;
 }
 
@@ -228,13 +229,13 @@ TEST(Serve, MidTrafficSwapServesExactlyOneSnapshotPerRequest) {
   }
 
   auto pool = std::make_shared<parallel::ThreadPool>(2);
-  auto tree_a = std::make_shared<core::KdTree>(
-      core::KdTree::build(points_a, core::BuildConfig{}, *pool));
-  auto tree_b = std::make_shared<core::KdTree>(
-      core::KdTree::build(points_b, core::BuildConfig{}, *pool));
-  auto backend_a = std::make_shared<LocalBackend>(tree_a, pool);
-  auto backend_b = std::make_shared<LocalBackend>(tree_b, pool);
-  std::weak_ptr<LocalBackend> watch_a = backend_a;
+  IndexOptions options;
+  options.pool = pool;  // successive snapshots share one thread team
+  auto backend_a = std::make_shared<IndexBackend>(
+      panda::Index::build(points_a, options));
+  auto backend_b = std::make_shared<IndexBackend>(
+      panda::Index::build(points_b, options));
+  std::weak_ptr<IndexBackend> watch_a = backend_a;
 
   ServeConfig config;
   config.max_batch = 8;
@@ -482,13 +483,12 @@ TEST(Serve, DistBackendServesMixedTrafficExactly) {
   const auto gen = data::make_generator("cosmo", 99);
   const data::PointSet points = gen->generate_all(n);
 
-  net::ClusterConfig cluster_config;
-  cluster_config.ranks = 2;
-  cluster_config.threads_per_rank = 1;
-  auto backend = std::make_shared<DistBackend>(
-      cluster_config, [&](net::Comm& comm) {
-        return gen->generate_slice(n, comm.rank(), comm.size());
-      });
+  IndexOptions options;
+  options.engine = IndexOptions::Engine::Dist;
+  options.cluster.ranks = 2;
+  options.cluster.threads_per_rank = 1;
+  auto backend =
+      std::make_shared<IndexBackend>(panda::Index::build(points, options));
   EXPECT_EQ(backend->dims(), 3u);
   EXPECT_EQ(backend->size(), n);
 
