@@ -22,17 +22,35 @@
 //     Reject overflow policy; reports the latency distribution and
 //     shed fraction the batched service sustains.
 //
-// Emits BENCH_serve.json next to the working directory so CI keeps a
-// serving baseline alongside BENCH_seed.json.
+//   admission microbench — the lock-free MPMC ring admission primitive
+//     (parallel/mpmc_queue.hpp) vs the mutex+condvar bounded deque it
+//     replaced, 4 producers against 1 consumer. On hosts without
+//     enough cores for an honest multi-shard throughput sweep this
+//     ratio is the sharding acceptance gate (>= 4x).
+//
+//   shard sweep — closed-loop digests pinned identical across shard
+//     counts {1, 2, 4} (sharding is a routing knob, not a semantic
+//     one), then an open-loop saturation run per shard count
+//     reporting p50/p95/p99/p999, shed fraction, and per-shard queue
+//     high-water marks.
+//
+// Emits BENCH_serve.json and BENCH_serve_shard.json next to the
+// working directory so CI keeps serving baselines alongside
+// BENCH_seed.json.
 //
 // Run:  ./bench_serve [points] [clients] [requests_per_client]
 #include <atomic>
 #include <cinttypes>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "parallel/mpmc_queue.hpp"
 
 #include "../examples/example_args.hpp"
 #include "bench_util.hpp"
@@ -131,9 +149,91 @@ LoopResult run_open_loop(
 void print_latency(const char* label,
                    const panda::serve::LatencySummary& latency) {
   std::printf("%-26s p50 %8.0f us   p95 %8.0f us   p99 %8.0f us   "
-              "max %8.0f us\n",
+              "p999 %8.0f us   max %8.0f us\n",
               label, latency.p50_us, latency.p95_us, latency.p99_us,
-              latency.max_us);
+              latency.p999_us, latency.max_us);
+}
+
+// -------------------------------------------------------------------
+// Admission microbench: the sharded service's lock-free MPMC ring vs
+// the mutex+condvar bounded deque the pre-shard QueryService used for
+// admission. Same shape in both: kAdmissionProducers producer threads
+// spinning tokens into a bounded queue of kAdmissionCapacity, one
+// consumer draining it (the per-shard worker pattern).
+// -------------------------------------------------------------------
+
+constexpr int kAdmissionProducers = 4;
+constexpr std::size_t kAdmissionCapacity = 1024;
+
+double admission_mpmc_qps(std::uint64_t per_producer) {
+  panda::parallel::MpmcQueue<std::uint64_t> queue(kAdmissionCapacity);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kAdmissionProducers) * per_producer;
+  std::atomic<std::uint64_t> popped{0};
+  panda::WallTimer watch;
+  std::thread consumer([&] {
+    std::uint64_t value = 0;
+    unsigned spins = 0;
+    while (popped.load(std::memory_order_relaxed) < total) {
+      if (queue.try_pop(value)) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+        spins = 0;
+      } else {
+        panda::parallel::spin_backoff(spins);
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kAdmissionProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        std::uint64_t token =
+            static_cast<std::uint64_t>(p) * per_producer + i;
+        unsigned spins = 0;
+        while (!queue.try_push(std::move(token))) {
+          panda::parallel::spin_backoff(spins);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+  return static_cast<double>(total) / watch.seconds();
+}
+
+double admission_mutex_qps(std::uint64_t per_producer) {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable space_cv;
+  std::deque<std::uint64_t> queue;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kAdmissionProducers) * per_producer;
+  panda::WallTimer watch;
+  std::thread consumer([&] {
+    for (std::uint64_t seen = 0; seen < total; ++seen) {
+      std::unique_lock<std::mutex> lock(mutex);
+      work_cv.wait(lock, [&] { return !queue.empty(); });
+      queue.pop_front();
+      lock.unlock();
+      space_cv.notify_one();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kAdmissionProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        std::unique_lock<std::mutex> lock(mutex);
+        space_cv.wait(lock,
+                      [&] { return queue.size() < kAdmissionCapacity; });
+        queue.push_back(static_cast<std::uint64_t>(p) * per_producer + i);
+        lock.unlock();
+        work_cv.notify_one();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+  return static_cast<double>(total) / watch.seconds();
 }
 
 }  // namespace
@@ -268,6 +368,111 @@ int main(int argc, char** argv) {
               open.stats.rejected);
   print_latency("  open-loop latency", open.stats.latency);
 
+  // ---- Admission microbench (the sharding acceptance gate on hosts
+  // without enough cores for a throughput sweep). ----
+  bench::print_rule();
+  const std::uint64_t admission_per_producer = 200000;
+  const double mpmc_qps = admission_mpmc_qps(admission_per_producer);
+  const double mutex_qps = admission_mutex_qps(admission_per_producer);
+  const double admission_ratio = mpmc_qps / mutex_qps;
+  std::printf("admission microbench (%d producers, 1 consumer, "
+              "capacity %zu):\n",
+              kAdmissionProducers, kAdmissionCapacity);
+  std::printf("  mpmc ring        %12.0f tokens/s\n", mpmc_qps);
+  std::printf("  mutex+condvar    %12.0f tokens/s\n", mutex_qps);
+  std::printf("  ratio            %12.1fx lock-free win\n", admission_ratio);
+
+  // ---- Shard sweep: digests pinned across {1,2,4} shards, then an
+  // open-loop saturation run per shard count. ----
+  const int shard_counts[] = {1, 2, 4};
+  bool shard_digests_match = true;
+  LoopResult shard_closed[3];
+  LoopResult shard_open[3];
+  serve::ServeConfig saturate = batched;
+  saturate.queue_capacity = 256;  // small enough that backpressure engages
+  const double offered = 1.5 * micro.qps;  // past capacity on purpose
+  for (std::size_t s = 0; s < 3; ++s) {
+    serve::ServeConfig sharded = batched;
+    sharded.shards = shard_counts[s];
+    shard_closed[s] = run_closed_loop(backend, sharded, streams, k);
+    if (shard_closed[s].checksum != micro.checksum) {
+      shard_digests_match = false;
+    }
+    saturate.shards = shard_counts[s];
+    shard_open[s] = run_open_loop(backend, saturate, offered,
+                                  open_queries, k);
+  }
+  bench::print_rule();
+  std::printf("shard sweep (closed-loop digests %s; open loop @ %.0f "
+              "qps offered, capacity %zu):\n",
+              shard_digests_match ? "identical" : "MISMATCH", offered,
+              saturate.queue_capacity);
+  for (std::size_t s = 0; s < 3; ++s) {
+    const serve::ServeStats& stats = shard_open[s].stats;
+    std::printf("  shards=%d  closed %9.0f qps | open answered %5" PRIu64
+                "/%zu shed %5" PRIu64 " | shard max depth [",
+                shard_counts[s], shard_closed[s].qps,
+                shard_open[s].requests, open_queries.size(),
+                stats.rejected);
+    for (std::size_t d = 0; d < stats.shard_max_queue_depth.size(); ++d) {
+      std::printf("%s%" PRIu64, d == 0 ? "" : " ",
+                  stats.shard_max_queue_depth[d]);
+    }
+    std::printf("]\n");
+    char label[64];
+    std::snprintf(label, sizeof label, "    shards=%d latency",
+                  shard_counts[s]);
+    print_latency(label, stats.latency);
+  }
+
+  FILE* shard_json = std::fopen("BENCH_serve_shard.json", "w");
+  if (shard_json != nullptr) {
+    std::fprintf(shard_json, "{\n");
+    std::fprintf(shard_json,
+                 "  \"context\": {\"points\": %" PRIu64
+                 ", \"clients\": %d, \"requests_per_client\": %d, "
+                 "\"k\": %zu, \"pool_threads\": %d, \"host_cores\": %u},\n",
+                 n, clients, per_client, k, pool->size(),
+                 std::thread::hardware_concurrency());
+    std::fprintf(shard_json,
+                 "  \"admission\": {\"producers\": %d, \"consumers\": 1, "
+                 "\"capacity\": %zu, \"tokens_per_producer\": %" PRIu64
+                 ", \"mpmc_tokens_per_sec\": %.0f, "
+                 "\"mutex_condvar_tokens_per_sec\": %.0f, "
+                 "\"ratio\": %.2f, \"gate_min_ratio\": 4.0},\n",
+                 kAdmissionProducers, kAdmissionCapacity,
+                 admission_per_producer, mpmc_qps, mutex_qps,
+                 admission_ratio);
+    std::fprintf(shard_json, "  \"digests_match_across_shards\": %s,\n",
+                 shard_digests_match ? "true" : "false");
+    std::fprintf(shard_json, "  \"sweep\": [\n");
+    for (std::size_t s = 0; s < 3; ++s) {
+      const serve::ServeStats& stats = shard_open[s].stats;
+      std::fprintf(shard_json,
+                   "    {\"shards\": %d, \"closed_qps\": %.0f, "
+                   "\"digest\": \"0x%016" PRIx64 "\", "
+                   "\"open_offered_qps\": %.0f, \"open_answered\": %" PRIu64
+                   ", \"open_shed\": %" PRIu64 ", \"p50_us\": %.1f, "
+                   "\"p95_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+                   "\"max_us\": %.1f, \"shard_max_queue_depth\": [",
+                   shard_counts[s], shard_closed[s].qps,
+                   shard_closed[s].checksum, offered,
+                   shard_open[s].requests, stats.rejected,
+                   stats.latency.p50_us, stats.latency.p95_us,
+                   stats.latency.p99_us, stats.latency.p999_us,
+                   stats.latency.max_us);
+      for (std::size_t d = 0; d < stats.shard_max_queue_depth.size();
+           ++d) {
+        std::fprintf(shard_json, "%s%" PRIu64, d == 0 ? "" : ", ",
+                     stats.shard_max_queue_depth[d]);
+      }
+      std::fprintf(shard_json, "]}%s\n", s + 1 < 3 ? "," : "");
+    }
+    std::fprintf(shard_json, "  ]\n}\n");
+    std::fclose(shard_json);
+    std::printf("wrote BENCH_serve_shard.json\n");
+  }
+
   FILE* json = std::fopen("BENCH_serve.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n");
@@ -283,11 +488,13 @@ int main(int argc, char** argv) {
                    "\"requests\": %" PRIu64 ", \"batches\": %" PRIu64
                    ", \"mean_batch_size\": %.2f, \"rejected\": %" PRIu64
                    ", \"p50_us\": %.1f, \"p95_us\": %.1f, "
-                   "\"p99_us\": %.1f, \"max_us\": %.1f}%s\n",
+                   "\"p99_us\": %.1f, \"p999_us\": %.1f, "
+                   "\"max_us\": %.1f}%s\n",
                    name, r.seconds, r.qps, r.requests, r.stats.batches,
                    r.stats.mean_batch_size, r.stats.rejected,
                    r.stats.latency.p50_us, r.stats.latency.p95_us,
-                   r.stats.latency.p99_us, r.stats.latency.max_us, tail);
+                   r.stats.latency.p99_us, r.stats.latency.p999_us,
+                   r.stats.latency.max_us, tail);
     };
     emit_loop("closed_loop_per_call", naive, ",");
     emit_loop("closed_loop_batched", micro, ",");
@@ -303,5 +510,5 @@ int main(int argc, char** argv) {
     std::printf("wrote BENCH_serve.json\n");
   }
 
-  return checksums_match && oracle_ok ? 0 : 1;
+  return checksums_match && oracle_ok && shard_digests_match ? 0 : 1;
 }

@@ -16,11 +16,12 @@
 #                      -fsanitize=address,undefined, with per-test
 #                      timeouts; leak- and UB-checks the poll-loop and
 #                      coalescing paths of the distributed engines.
-#   ci.sh tsan       — the concurrency suites (serving frontend, thread
-#                      pool) built with -fsanitize=thread: data-race
-#                      checks the admission queue, micro-batcher,
-#                      snapshot swap, shared pool, and the distributed
-#                      index session.
+#   ci.sh tsan       — the concurrency suites (MPMC ring, serving
+#                      frontend, thread pool) built with
+#                      -fsanitize=thread: data-race checks the
+#                      lock-free admission rings, sharded
+#                      micro-batcher, snapshot swap, shared pool, and
+#                      the distributed index session.
 #   ci.sh bench-smoke — Release build of the perf harnesses
 #                      (bench_hotpath, bench_serve, bench_facade) run
 #                      at tiny sizes from the build directory (no
@@ -97,16 +98,22 @@ if [[ "$MODE" == "tsan" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
     -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
-  cmake --build build-tsan -j --target test_serve test_parallel \
-    test_neighbor_table test_index
-  # TSan serializes heavily on this container's core count; the serve
-  # and parallel suites are the ones whose bugs would be data races,
+  cmake --build build-tsan -j --target test_mpmc_queue test_serve \
+    test_parallel test_neighbor_table test_index
+  # TSan serializes heavily on this container's core count; the mpmc /
+  # serve / parallel suites are the ones whose bugs would be data
+  # races (test_mpmc_queue hammers the Vyukov ring's release/acquire
+  # protocol, test_serve the sharded admission + swap paths),
   # test_neighbor_table drives > 64-query batches through the parallel
   # flat-table kernels (concurrent row writes, per-thread workspaces,
   # chunk-stealing loops), and test_index covers the dist-index
   # session handoff (facade thread <-> rank 0 <-> peer ranks).
-  (cd build-tsan && ctest --output-on-failure \
-    -R '^(test_serve|test_parallel|test_neighbor_table|test_index)$' \
+  # tsan.supp silences one libstdc++-internal report (the GCC 12
+  # atomic<shared_ptr> lock-bit protocol — see the file); our own code
+  # is still fully race-checked.
+  (cd build-tsan && TSAN_OPTIONS="suppressions=$(pwd)/../tsan.supp" \
+    ctest --output-on-failure \
+    -R '^(test_mpmc_queue|test_serve|test_parallel|test_neighbor_table|test_index)$' \
     --timeout 900)
   echo "ci.sh: tsan OK"
   exit 0
@@ -116,8 +123,12 @@ bench_smoke() {
   cmake -B build -S .
   cmake --build build -j --target bench_hotpath bench_serve bench_facade
   # Run inside build/ so smoke outputs (bench_serve writes
-  # BENCH_serve.json to its cwd) never clobber the checked-in
-  # baselines; bench_hotpath/bench_facade --smoke write no JSON at all.
+  # BENCH_serve.json and BENCH_serve_shard.json to its cwd) never
+  # clobber the checked-in baselines; bench_hotpath/bench_facade
+  # --smoke write no JSON at all. bench_serve's run includes the
+  # admission microbench (mpmc ring vs mutex+condvar) and the
+  # multi-shard saturation sweep, so the sharded serve path gets a
+  # smoke run here too.
   (cd build && ./bench_hotpath --smoke 20000 1024)
   (cd build && ./bench_serve 20000 8 20)
   (cd build && ./bench_facade --smoke 20000 1024)

@@ -15,12 +15,13 @@
 //   3. the ServeStats panel prints what an SRE would watch: QPS,
 //      latency quantiles, queue depth, batch-size histogram.
 //
-// Run:  ./serving_frontend [points] [clients] [seconds]
+// Run:  ./serving_frontend [points] [clients] [seconds] [--shards N]
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -37,14 +38,29 @@ int main(int argc, char** argv) {
   std::uint64_t n = 100000;
   int clients = 8;
   int seconds = 2;
-  const bool parsed = argc <= 4 &&
-                      (argc <= 1 || examples::parse_u64(argv[1], n)) &&
-                      (argc <= 2 || examples::parse_int(argv[2], clients)) &&
-                      (argc <= 3 || examples::parse_int(argv[3], seconds));
-  if (!parsed || n == 0 || clients < 1 || seconds < 1) {
+  int shards = 2;
+  // --shards is a flag (admission shards, one queue + worker set
+  // each); the remaining arguments stay positional.
+  std::vector<const char*> positional;
+  bool parsed = true;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--shards") == 0) {
+      parsed = parsed && a + 1 < argc &&
+               examples::parse_int(argv[++a], shards);
+    } else {
+      positional.push_back(argv[a]);
+    }
+  }
+  parsed = parsed && positional.size() <= 3 &&
+           (positional.size() < 1 || examples::parse_u64(positional[0], n)) &&
+           (positional.size() < 2 ||
+            examples::parse_int(positional[1], clients)) &&
+           (positional.size() < 3 ||
+            examples::parse_int(positional[2], seconds));
+  if (!parsed || n == 0 || clients < 1 || seconds < 1 || shards < 1) {
     std::fprintf(stderr,
                  "usage: serving_frontend [points>0] [clients>=1] "
-                 "[seconds>=1]\n");
+                 "[seconds>=1] [--shards N>=1]\n");
     return 1;
   }
   const std::size_t k = 5;
@@ -63,12 +79,14 @@ int main(int argc, char** argv) {
   config.max_batch = 64;
   config.flush_window = std::chrono::microseconds(300);
   config.queue_capacity = 4096;
-  config.workers = 2;
+  config.workers = 1;
+  config.shards = shards;
   serve::QueryService service(backend, config);
   std::printf("serving %" PRIu64 " points (k=%zu) to %d clients for "
-              "~%ds; micro-batch <= %zu, window %lld us\n",
+              "~%ds; micro-batch <= %zu, window %lld us, %d shard%s\n",
               n, k, clients, seconds, config.max_batch,
-              static_cast<long long>(config.flush_window.count()));
+              static_cast<long long>(config.flush_window.count()),
+              shards, shards == 1 ? "" : "s");
 
   // ------------------------------------------------------------------
   // Client traffic: 3 KNN requests to 1 radius request.
@@ -141,9 +159,10 @@ int main(int argc, char** argv) {
               " requests, %" PRIu64 " neighbors returned)\n",
               stats.qps, stats.completed, neighbors_returned.load());
   std::printf("  latency:    p50 %.0f us, p95 %.0f us, p99 %.0f us, "
-              "max %.0f us\n",
+              "p999 %.0f us, max %.0f us\n",
               stats.latency.p50_us, stats.latency.p95_us,
-              stats.latency.p99_us, stats.latency.max_us);
+              stats.latency.p99_us, stats.latency.p999_us,
+              stats.latency.max_us);
   std::printf("  batching:   %" PRIu64 " batches, mean size %.1f "
               "(%" PRIu64 " size-flush, %" PRIu64 " window-flush)\n",
               stats.batches, stats.mean_batch_size, stats.flushes_on_size,
@@ -151,6 +170,13 @@ int main(int argc, char** argv) {
   std::printf("  queue:      depth high-water %" PRIu64 " (capacity %zu), "
               "rejected %" PRIu64 "\n",
               stats.max_queue_depth, config.queue_capacity, stats.rejected);
+  std::printf("  shards:     %" PRIu64 " — per-shard depth high-water [",
+              stats.shards);
+  for (std::size_t s = 0; s < stats.shard_max_queue_depth.size(); ++s) {
+    std::printf("%s%" PRIu64, s == 0 ? "" : " ",
+                stats.shard_max_queue_depth[s]);
+  }
+  std::printf("]\n");
   std::printf("  batch-size histogram (log2 buckets):");
   for (std::size_t b = 0; b < stats.batch_size_log2.size(); ++b) {
     if (stats.batch_size_log2[b] != 0) {

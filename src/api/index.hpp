@@ -33,10 +33,13 @@
 // Thread safety: concurrent search calls from multiple threads are
 // safe on every adapter provided each caller passes its own
 // SearchWorkspace and NeighborTable (the Local adapter's tree is
-// immutable and its pool serializes; the Dist adapter serializes its
-// collective session rounds internally). The serving layer
-// (serve::IndexBackend + serve::QueryService) builds on exactly this
-// contract.
+// immutable and a shared pool hands its worker team to one caller at
+// a time — ThreadPool::try_run lets a caller that loses the claim run
+// the chunk-self-scheduling batch body inline instead of blocking;
+// the Dist adapter serializes its collective session rounds
+// internally). The sharded serving layer (serve::IndexBackend +
+// serve::QueryService) builds on exactly this contract, one pooled
+// scratch per concurrent batch.
 #pragma once
 
 #include <cstdint>

@@ -77,7 +77,11 @@ constexpr std::uint64_t kInlineRadiusThreshold = 16;
 
 /// Dispatches the chunk-scheduling body either across the pool or —
 /// for batches at or below `inline_threshold` and for size-1 pools —
-/// inline on the caller.
+/// inline on the caller. A busy pool (another caller mid-fan-out, e.g.
+/// a different serving shard's batch) also runs inline: the body
+/// self-schedules chunks, so one invocation covers the whole range,
+/// and scanning on this core beats sleeping behind someone else's
+/// kernel (DESIGN.md §8).
 template <typename Body>
 void dispatch_batch(parallel::ThreadPool& pool, std::uint64_t n,
                     const Body& body,
@@ -86,7 +90,7 @@ void dispatch_batch(parallel::ThreadPool& pool, std::uint64_t n,
     body(0);
     return;
   }
-  pool.run(body);
+  if (!pool.try_run(body)) body(0);
 }
 
 }  // namespace

@@ -26,7 +26,28 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
     fn(0);
     return;
   }
-  std::lock_guard<std::mutex> caller_lock(caller_mutex_);
+  if (!try_acquire_team()) {
+    // Team busy: park until the owner releases. The predicate CAS runs
+    // under caller_mutex_ and the releaser notifies under the same
+    // mutex, so a release cannot slip between the failed CAS and the
+    // sleep.
+    std::unique_lock<std::mutex> lock(caller_mutex_);
+    caller_cv_.wait(lock, [this] { return try_acquire_team(); });
+  }
+  run_owned(fn);
+}
+
+bool ThreadPool::try_run(const std::function<void(int)>& fn) {
+  if (size_ == 1) {
+    fn(0);
+    return true;
+  }
+  if (!try_acquire_team()) return false;
+  run_owned(fn);
+  return true;
+}
+
+void ThreadPool::run_owned(const std::function<void(int)>& fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
@@ -44,15 +65,24 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
     caller_error = std::current_exception();
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
-  job_ = nullptr;
-  if (caller_error) std::rethrow_exception(caller_error);
-  if (first_error_) {
-    auto err = first_error_;
+  std::exception_ptr worker_error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    worker_error = first_error_;
     first_error_ = nullptr;
-    std::rethrow_exception(err);
   }
+
+  // Hand the team to the next caller before rethrowing.
+  team_busy_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(caller_mutex_);
+  }
+  caller_cv_.notify_one();
+
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (worker_error) std::rethrow_exception(worker_error);
 }
 
 void ThreadPool::worker_loop(int thread_id) {

@@ -9,8 +9,19 @@
 // `size()` threads and wait. The calling thread participates as thread
 // 0, so a pool of size 1 never context-switches. parallel_for and the
 // kd-tree build phases are layered on top.
+//
+// Concurrent callers: the worker team executes one job at a time, but
+// ownership of the team is handed off through one atomic CAS, not a
+// mutex — a caller that finds the team busy either parks (run) or is
+// told immediately (try_run) so it can execute its work inline
+// instead of idling. The serving frontend's sharded batch workers use
+// try_run exactly this way (DESIGN.md §8): a shard whose batch loses
+// the team race scans on its own core rather than sleeping behind
+// another shard's kernel, so no execution unit ever waits on a lock
+// to do CPU-bound work.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -38,25 +49,41 @@ class ThreadPool {
   /// call run() from inside a job on the same pool.
   ///
   /// Thread safety: run() may be called from multiple threads
-  /// concurrently — jobs are serialized in arrival order, so one pool
-  /// can be shared between serving workers and batch kernels (the
-  /// serve::QueryService pattern). On a size-1 pool fn runs directly
-  /// on each caller with no shared state, so concurrent callers
-  /// proceed independently.
+  /// concurrently — jobs execute one at a time (team ownership is one
+  /// CAS; losers park until the team frees), in no guaranteed order.
+  /// On a size-1 pool fn runs directly on each caller with no shared
+  /// state, so concurrent callers proceed independently.
   void run(const std::function<void(int)>& fn);
+
+  /// Non-blocking run: executes fn across the team exactly like run()
+  /// when the team is free, and returns false WITHOUT running anything
+  /// when another caller owns it. Callers with self-scheduling bodies
+  /// (every chunk-stealing kernel in core/) fall back to executing the
+  /// body inline — that is the serving frontend's no-idle-cores mode.
+  /// On a size-1 pool this always runs inline and returns true.
+  bool try_run(const std::function<void(int)>& fn);
 
  private:
   void worker_loop(int thread_id);
+  /// Fans fn out to the workers and joins; requires team ownership.
+  /// Releases ownership (and wakes one parked run() caller) on every
+  /// path, including exceptions.
+  void run_owned(const std::function<void(int)>& fn);
+  bool try_acquire_team() {
+    bool expected = false;
+    return team_busy_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acquire);
+  }
 
   int size_;
   std::vector<std::thread> workers_;
 
-  /// Serializes concurrent run() callers. Without this, two
-  /// simultaneous callers race on job_/generation_/pending_ and both
-  /// jobs' completion accounting corrupts (each worker runs whichever
-  /// job_ it happens to read). Held for the whole job so the job slot
-  /// is exclusively owned.
-  std::mutex caller_mutex_;
+  /// Team ownership: exactly one caller may fan a job out at a time.
+  /// Acquired by CAS (never a lock on the fast path); run() callers
+  /// that lose park on caller_cv_, try_run() callers just get false.
+  std::atomic<bool> team_busy_{false};
+  std::mutex caller_mutex_;  // parks blocked run() callers only
+  std::condition_variable caller_cv_;
 
   std::mutex mutex_;
   std::condition_variable job_cv_;

@@ -77,20 +77,15 @@ IndexBackend::IndexBackend(std::shared_ptr<panda::Index> index)
 IndexBackend::~IndexBackend() = default;
 
 std::unique_ptr<IndexBackend::Scratch> IndexBackend::acquire_scratch() {
-  {
-    std::lock_guard<std::mutex> lock(scratch_mutex_);
-    if (!scratch_pool_.empty()) {
-      auto scratch = std::move(scratch_pool_.back());
-      scratch_pool_.pop_back();
-      return scratch;
-    }
-  }
+  std::unique_ptr<Scratch> scratch;
+  if (scratch_pool_.try_pop(scratch)) return scratch;
   return std::make_unique<Scratch>(index_->dims());
 }
 
 void IndexBackend::release_scratch(std::unique_ptr<Scratch> scratch) {
-  std::lock_guard<std::mutex> lock(scratch_mutex_);
-  scratch_pool_.push_back(std::move(scratch));
+  // Full ring (more concurrent callers than slots): let the extra
+  // scratch die — correctness never depends on the pool retaining it.
+  (void)scratch_pool_.try_push(std::move(scratch));
 }
 
 void IndexBackend::run_batch(std::span<const Request> batch,

@@ -31,12 +31,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "api/index.hpp"
+#include "parallel/mpmc_queue.hpp"
 
 namespace panda::serve {
 
@@ -120,9 +120,12 @@ class IndexBackend final : public Backend {
 
   std::shared_ptr<panda::Index> index_;
   /// Reusable per-caller scratch (batch plan, staged query sets, flat
-  /// result tables, search workspace).
-  std::mutex scratch_mutex_;
-  std::vector<std::unique_ptr<Scratch>> scratch_pool_;
+  /// result tables, search workspace), pooled through a lock-free MPMC
+  /// ring so run_batch never takes a mutex: acquire pops a warm
+  /// instance or builds a fresh one; release pushes it back, or drops
+  /// it in the (unreachable in practice) case of more concurrent
+  /// callers than ring slots.
+  parallel::MpmcQueue<std::unique_ptr<Scratch>> scratch_pool_{64};
 };
 
 }  // namespace panda::serve

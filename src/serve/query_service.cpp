@@ -8,19 +8,58 @@
 
 namespace panda::serve {
 
+namespace {
+
+// The eventcount handshakes below need a full seq_cst fence between a
+// relaxed publish and a relaxed read of the waiter counter. TSan does
+// not model standalone fences (GCC rejects them outright under
+// -fsanitize=thread -Werror), so under TSan we substitute a seq_cst
+// RMW on a shared dummy atomic: both sides of each handshake pass
+// through it, which gives the same pairwise ordering guarantee in a
+// form the race detector understands.
+#if !defined(PANDA_TSAN) && defined(__SANITIZE_THREAD__)
+#define PANDA_TSAN 1
+#endif
+#if !defined(PANDA_TSAN) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PANDA_TSAN 1
+#endif
+#endif
+#if defined(PANDA_TSAN)
+inline void seq_cst_fence() {
+  static std::atomic<unsigned> dummy{0};
+  dummy.fetch_add(1, std::memory_order_seq_cst);
+}
+#else
+inline void seq_cst_fence() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+#endif
+
+}  // namespace
+
 QueryService::QueryService(std::shared_ptr<Backend> backend,
                            const ServeConfig& config)
-    : config_(config),
-      backend_(std::move(backend)),
-      start_(std::chrono::steady_clock::now()) {
-  PANDA_CHECK_MSG(backend_ != nullptr, "QueryService needs a backend");
+    : config_(config), start_(std::chrono::steady_clock::now()) {
+  PANDA_CHECK_MSG(backend != nullptr, "QueryService needs a backend");
   PANDA_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
   PANDA_CHECK_MSG(config_.queue_capacity >= 1, "queue_capacity must be >= 1");
   PANDA_CHECK_MSG(config_.workers >= 1, "workers must be >= 1");
-  dims_ = backend_->dims();
-  workers_.reserve(static_cast<std::size_t>(config_.workers));
-  for (int w = 0; w < config_.workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+  PANDA_CHECK_MSG(config_.shards >= 1, "shards must be >= 1");
+  dims_ = backend->dims();
+  const auto shard_count = static_cast<std::size_t>(config_.shards);
+  shard_capacity_ = (config_.queue_capacity + shard_count - 1) / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>(shard_capacity_);
+    shard->backend.store(backend);
+    shards_.push_back(std::move(shard));
+  }
+  workers_.reserve(shard_count * static_cast<std::size_t>(config_.workers));
+  for (auto& shard : shards_) {
+    for (int w = 0; w < config_.workers; ++w) {
+      workers_.emplace_back([this, s = shard.get()] { worker_loop(*s); });
+    }
   }
 }
 
@@ -36,45 +75,127 @@ void QueryService::validate(const Request& request) const {
   }
 }
 
+std::size_t QueryService::route(const Request& request) const {
+  if (shards_.size() == 1) return 0;
+  // FNV-1a over the query bytes: the same query point always routes to
+  // the same shard, so repeated queries hit a warm top-of-tree cache.
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const float v : request.query) {
+    hash = (hash ^ std::bit_cast<std::uint32_t>(v)) * 1099511628211ull;
+  }
+  return static_cast<std::size_t>(hash % shards_.size());
+}
+
+bool QueryService::shard_push(Shard& shard, Pending& pending) {
+  // Logical occupancy bounds admission at exactly shard_capacity_
+  // (the ring itself is the next power of two). Reserve space first:
+  // once reserved, the ring push below cannot fail permanently.
+  const std::uint64_t depth =
+      shard.depth.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (depth > shard_capacity_) {
+    shard.depth.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::uint64_t seen = shard.max_depth.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !shard.max_depth.compare_exchange_weak(seen, depth,
+                                                std::memory_order_relaxed)) {
+  }
+  pending.enqueued = std::chrono::steady_clock::now();
+  unsigned spins = 0;
+  while (!shard.queue.try_push(std::move(pending))) {
+    // Space is reserved, so the ring is only transiently wrap-blocked
+    // by a consumer mid-recycle; spin it out.
+    parallel::spin_backoff(spins);
+  }
+  // Eventcount handoff (publish, fence, read parked): either the
+  // parked worker's final re-pop sees this push, or its parked count
+  // is visible here and we wake it under its mutex.
+  seq_cst_fence();
+  if (shard.parked.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lock(shard.park_mutex);
+    shard.work_cv.notify_one();
+  }
+  return true;
+}
+
+bool QueryService::shard_pop(Shard& shard, Pending& out) {
+  if (!shard.queue.try_pop(out)) return false;
+  shard.depth.fetch_sub(1, std::memory_order_acq_rel);
+  // Mirror-image eventcount for Block-policy submitters parked on a
+  // full service.
+  seq_cst_fence();
+  if (space_waiters_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lock(space_mutex_);
+    space_cv_.notify_all();
+  }
+  return true;
+}
+
 bool QueryService::admit(Request&& request, std::future<Result>* out,
                          bool blocking) {
   validate(request);
+  // Admission guard: shutdown() closes state_, then waits for this
+  // count to settle before raising drain_ — so every request that
+  // passes the state check below is guaranteed a worker will pop it.
+  admissions_in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  struct InFlightGuard {
+    std::atomic<int>& count;
+    ~InFlightGuard() { count.fetch_sub(1, std::memory_order_seq_cst); }
+  } guard{admissions_in_flight_};
+  if (state_.load(std::memory_order_seq_cst) != kRunning) return false;
+
   Pending pending;
   pending.request = std::move(request);
   std::future<Result> future = pending.promise.get_future();
-  {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    if (blocking) {
-      space_cv_.wait(lock, [&] {
-        return stop_ || queue_.size() < config_.queue_capacity;
-      });
+  const std::size_t primary = route(pending.request);
+  const std::size_t n = shards_.size();
+  for (;;) {
+    // Hash-routed with round-robin fallback: probe the other shards
+    // before declaring the service full, so one hot shard sheds to
+    // its neighbors instead of rejecting.
+    for (std::size_t probe = 0; probe < n; ++probe) {
+      if (shard_push(*shards_[(primary + probe) % n], pending)) {
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        *out = std::move(future);
+        return true;
+      }
     }
-    if (stop_) return false;  // not shed load: submit() reports shutdown
-    if (queue_.size() >= config_.queue_capacity) {
+    if (!blocking) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    pending.enqueued = std::chrono::steady_clock::now();
-    queue_.push_back(std::move(pending));
-    max_queue_depth_ = std::max<std::uint64_t>(max_queue_depth_,
-                                               queue_.size());
+    // Every shard full: park until a worker frees space (cold edge;
+    // the 1 ms backstop makes a lost wakeup a hiccup, not a hang).
+    space_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    seq_cst_fence();
+    {
+      std::unique_lock<std::mutex> lock(space_mutex_);
+      space_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        if (state_.load(std::memory_order_relaxed) != kRunning) return true;
+        for (const auto& shard : shards_) {
+          if (shard->depth.load(std::memory_order_relaxed) <
+              shard_capacity_) {
+            return true;
+          }
+        }
+        return false;
+      });
+    }
+    space_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    if (state_.load(std::memory_order_seq_cst) != kRunning) return false;
   }
-  queue_cv_.notify_one();
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  *out = std::move(future);
-  return true;
 }
 
 std::future<Result> QueryService::submit(Request request) {
   std::future<Result> future;
   const bool blocking = config_.overflow == ServeConfig::Overflow::Block;
   if (admit(std::move(request), &future, blocking)) return future;
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    PANDA_CHECK_MSG(!stop_, "QueryService is shut down");
-  }
-  // Overflow::Reject with a full queue: fail the future, not the call,
-  // so open-loop clients can keep a uniform submit-and-collect shape.
+  PANDA_CHECK_MSG(state_.load(std::memory_order_seq_cst) == kRunning,
+                  "QueryService is shut down");
+  // Overflow::Reject with a full service: fail the future, not the
+  // call, so open-loop clients can keep a uniform submit-and-collect
+  // shape.
   std::promise<Result> broken;
   broken.set_exception(
       std::make_exception_ptr(Error("serve queue full (rejected)")));
@@ -90,59 +211,97 @@ void QueryService::swap_backend(std::shared_ptr<Backend> next) {
   PANDA_CHECK_MSG(next != nullptr, "swap_backend needs a backend");
   PANDA_CHECK_MSG(next->dims() == dims_,
                   "swapped index must keep the served dimensionality");
-  std::lock_guard<std::mutex> lock(backend_mutex_);
-  backend_ = std::move(next);
+  // Staged across shards: each store is atomic, every batch pins
+  // exactly one snapshot, and a request admitted after this loop
+  // returns is answered by `next` (its batch's pin happens-after the
+  // admission, which happens-after the store).
+  for (auto& shard : shards_) shard->backend.store(next);
   swaps_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::shared_ptr<Backend> QueryService::backend() const {
-  std::lock_guard<std::mutex> lock(backend_mutex_);
-  return backend_;
+  return shards_.front()->backend.load();
 }
 
-void QueryService::worker_loop() {
+bool QueryService::acquire_first(Shard& shard, Pending& out) {
   for (;;) {
-    std::vector<Pending> batch;
-    FlushReason reason = FlushReason::Size;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      if (queue_.size() < config_.max_batch && !stop_) {
-        // Window flush: the deadline is anchored at the *oldest*
-        // queued request, so no request waits longer than flush_window
-        // for co-batched company.
-        const auto deadline = queue_.front().enqueued + config_.flush_window;
-        queue_cv_.wait_until(lock, deadline, [&] {
-          return stop_ || queue_.size() >= config_.max_batch;
-        });
-        if (queue_.empty()) continue;  // another worker drained it
-      }
-      reason = queue_.size() >= config_.max_batch
-                   ? FlushReason::Size
-                   : (stop_ ? FlushReason::Drain : FlushReason::Window);
-      const std::size_t take = std::min(queue_.size(), config_.max_batch);
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+    // Fast path: work is already queued.
+    for (int spin = 0; spin < 64; ++spin) {
+      if (shard_pop(shard, out)) return true;
+      parallel::cpu_relax();
     }
-    space_cv_.notify_all();
-    execute(batch, reason);
+    if (drain_.load(std::memory_order_acquire)) {
+      // Draining: one final pop; an empty shard means every admitted
+      // request has been claimed by some worker — exit.
+      return shard_pop(shard, out);
+    }
+    // Park (cold edge). Advertise, fence, re-check: a racing push
+    // either sees parked > 0 and notifies under the mutex, or this
+    // final pop sees its item. The bounded wait is a backstop only.
+    shard.parked.fetch_add(1, std::memory_order_seq_cst);
+    seq_cst_fence();
+    if (shard_pop(shard, out)) {
+      shard.parked.fetch_sub(1, std::memory_order_seq_cst);
+      return true;
+    }
+    {
+      std::unique_lock<std::mutex> lock(shard.park_mutex);
+      shard.work_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return drain_.load(std::memory_order_relaxed) ||
+               shard.depth.load(std::memory_order_relaxed) > 0;
+      });
+    }
+    shard.parked.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
 
-void QueryService::execute(std::vector<Pending>& batch, FlushReason reason) {
-  // Pin the snapshot for exactly this batch (swap-safe).
-  std::shared_ptr<Backend> backend;
-  {
-    std::lock_guard<std::mutex> lock(backend_mutex_);
-    backend = backend_;
+QueryService::FlushReason QueryService::collect_rest(
+    Shard& shard, std::vector<Pending>& batch) {
+  // The deadline is anchored at the *oldest* request in the batch, so
+  // no request waits longer than flush_window for co-batched company.
+  const auto deadline = batch.front().enqueued + config_.flush_window;
+  unsigned spins = 0;
+  while (batch.size() < config_.max_batch) {
+    Pending next;
+    if (shard_pop(shard, next)) {
+      batch.push_back(std::move(next));
+      spins = 0;
+      continue;
+    }
+    if (drain_.load(std::memory_order_acquire)) return FlushReason::Drain;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return FlushReason::Window;
+    if (spins < 64) {
+      ++spins;
+      parallel::cpu_relax();
+    } else {
+      // Sleep toward the deadline in small slices so a drain or a
+      // filling batch is noticed promptly even under long windows.
+      std::this_thread::sleep_for(std::min<
+          std::chrono::steady_clock::duration>(
+          deadline - now, std::chrono::microseconds(100)));
+    }
   }
+  return FlushReason::Size;
+}
+
+void QueryService::worker_loop(Shard& shard) {
+  std::vector<Pending> batch;
+  batch.reserve(config_.max_batch);
+  for (;;) {
+    Pending first;
+    if (!acquire_first(shard, first)) return;
+    batch.clear();
+    batch.push_back(std::move(first));
+    const FlushReason reason = collect_rest(shard, batch);
+    execute(shard, batch, reason);
+  }
+}
+
+void QueryService::execute(Shard& shard, std::vector<Pending>& batch,
+                           FlushReason reason) {
+  // Pin the shard's snapshot for exactly this batch (swap-safe).
+  std::shared_ptr<Backend> backend = shard.backend.load();
 
   std::vector<Request> requests;
   requests.reserve(batch.size());
@@ -207,16 +366,31 @@ void QueryService::execute(std::vector<Pending>& batch, FlushReason reason) {
 }
 
 void QueryService::shutdown() {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (stop_ && workers_.empty()) return;
-    stop_ = true;
-  }
-  queue_cv_.notify_all();
-  space_cv_.notify_all();
-  for (auto& w : workers_) w.join();
-  workers_.clear();
+  std::call_once(shutdown_once_, [this] {
+    // 1. Close admission.
+    state_.store(kDraining, std::memory_order_seq_cst);
+    // 2. Wake Block-policy submitters so they observe the closed state.
+    {
+      std::lock_guard<std::mutex> lock(space_mutex_);
+    }
+    space_cv_.notify_all();
+    // 3. Let racing admissions settle: after this loop every request
+    //    that will ever be admitted is in some shard's queue.
+    while (admissions_in_flight_.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+    // 4. Raise drain: workers flush their queues and exit on empty.
+    drain_.store(true, std::memory_order_seq_cst);
+    for (auto& shard : shards_) {
+      {
+        std::lock_guard<std::mutex> lock(shard->park_mutex);
+      }
+      shard->work_cv.notify_all();
+    }
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    state_.store(kStopped, std::memory_order_seq_cst);
+  });
 }
 
 ServeStats QueryService::stats() const {
@@ -242,10 +416,16 @@ ServeStats QueryService::stats() const {
                 batched_requests_.load(std::memory_order_relaxed)) /
                 static_cast<double>(out.batches);
   out.latency = latency_.summary();
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    out.max_queue_depth = max_queue_depth_;
-    out.current_queue_depth = queue_.size();
+  out.shards = shards_.size();
+  out.shard_max_queue_depth.reserve(shards_.size());
+  out.shard_current_queue_depth.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::uint64_t smax = shard->max_depth.load(std::memory_order_relaxed);
+    const std::uint64_t scur = shard->depth.load(std::memory_order_relaxed);
+    out.shard_max_queue_depth.push_back(smax);
+    out.shard_current_queue_depth.push_back(scur);
+    out.max_queue_depth = std::max(out.max_queue_depth, smax);
+    out.current_queue_depth += scur;
   }
   const double elapsed_ns = static_cast<double>(
       last_completion_ns_.load(std::memory_order_relaxed));

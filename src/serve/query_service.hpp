@@ -2,14 +2,27 @@
 //
 // QueryService turns the repository's batch engines into an online
 // service: many client threads submit individual KNN / radius
-// requests; requests are admission-queued, dynamically micro-batched
-// (flush when the batch reaches max_batch or when flush_window has
-// elapsed since the oldest queued request, whichever first), executed
-// on worker threads through a Backend snapshot, and completed through
-// per-request futures with latency accounting.
+// requests; requests are admitted into per-shard lock-free queues,
+// dynamically micro-batched (flush when the batch reaches max_batch or
+// when flush_window has elapsed since the oldest queued request,
+// whichever first), executed on per-shard worker threads through a
+// Backend snapshot, and completed through per-request futures with
+// latency accounting.
 //
-//   clients ──submit──▶ bounded queue ──collect──▶ micro-batch
-//        ◀──future───── promises      ◀──execute── Backend::run_batch
+//   clients ──submit──▶ shard 0: MPMC ring ──collect──▶ micro-batch
+//        ◀──future────  shard 1: MPMC ring ◀──execute── Backend
+//                       ...        (hash-routed, probe on overflow)
+//
+// Why shards: a single mutex-guarded admission queue serializes every
+// client and every worker on one cache line — at "millions of users"
+// rates the admission lock, not the KNN kernel, idles the cores. Each
+// shard owns a bounded Vyukov MPMC ring (parallel/mpmc_queue.hpp), its
+// own worker set, and its own snapshot handle; requests hash-route by
+// query bytes (same query point → same shard → warm cache) and probe
+// the other shards round-robin when the target is full, so load
+// balances before backpressure triggers. The hot admission path is
+// CAS + release-store only: no mutex, no condition variable, no
+// allocation beyond the promise pair.
 //
 // Why micro-batching: per-request dispatch pays the full pool fan-out,
 // queue handoff, and cache-cold descent for every query; one batched
@@ -17,17 +30,22 @@
 // KNN-join observation — throughput lives in hardware-friendly
 // batches). bench_serve measures the win.
 //
-// Index swap (rebuild-behind-traffic): the served Backend lives behind
-// a shared_ptr handle. Workers pin the current snapshot for exactly
-// one batch; swap_backend() publishes the replacement atomically, so
-// in-flight batches finish on the old index, later batches use the
-// new one, and the old index is destroyed when its last batch drops
-// the reference. Nothing blocks traffic.
+// Index swap (rebuild-behind-traffic): each shard holds the served
+// Backend in a std::atomic<std::shared_ptr>. Workers pin their shard's
+// current snapshot for exactly one batch; swap_backend() stages the
+// replacement across shards in order, so every request still observes
+// exactly one snapshot — in-flight batches finish on the old index,
+// batches pinned after the swap use the new one, and the old index is
+// destroyed when its last batch drops the reference. Nothing blocks
+// traffic.
 //
-// Backpressure: the admission queue is bounded by queue_capacity.
-// Overflow::Block makes submitters wait for space (closed-loop
-// clients); Overflow::Reject fails the request immediately (open-loop
-// frontends that would rather shed load than grow latency).
+// Backpressure: admission is bounded by queue_capacity, split across
+// shards. Overflow::Block parks submitters until space frees
+// (closed-loop clients); Overflow::Reject fails the request once every
+// shard is full (open-loop frontends that shed load instead of
+// growing latency). Both policies are spin-then-park wrappers over the
+// non-blocking ring — the lock only ever appears on the cold
+// (queue-full / queue-empty) edges.
 #pragma once
 
 #include <array>
@@ -35,13 +53,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "parallel/mpmc_queue.hpp"
 #include "serve/backend.hpp"
 #include "serve/serve_stats.hpp"
 
@@ -54,17 +72,22 @@ struct ServeConfig {
   /// request (latency bound under light traffic). Zero flushes
   /// immediately with whatever is queued.
   std::chrono::microseconds flush_window{200};
-  /// Admission queue bound (backpressure trigger).
+  /// Admission bound across ALL shards (backpressure trigger). Each
+  /// shard enforces ceil(queue_capacity / shards).
   std::size_t queue_capacity = 4096;
   enum class Overflow {
     Block,   // submit() waits for queue space
     Reject,  // submit() fails the future / try_submit() returns false
   };
   Overflow overflow = Overflow::Block;
-  /// Batch-executing worker threads. Workers share the backend's
-  /// thread pool; >1 overlaps completion/bookkeeping of one batch with
-  /// the kernel of the next.
+  /// Batch-executing worker threads PER SHARD. Workers share the
+  /// backend's thread pool; >1 overlaps completion/bookkeeping of one
+  /// batch with the kernel of the next.
   int workers = 1;
+  /// Admission shards: independent queue + worker set + snapshot
+  /// handle per shard. Size to one per core group; 1 reproduces the
+  /// single-queue service exactly.
+  int shards = 1;
 };
 
 class QueryService {
@@ -79,28 +102,30 @@ class QueryService {
   /// Submits one request; the future completes with the exact answer
   /// (ascending (dist², id), identical to a per-request engine call).
   /// Validates dimensionality and parameters (throws panda::Error).
-  /// Under Overflow::Block a full queue blocks the caller; under
+  /// Under Overflow::Block a full service blocks the caller; under
   /// Overflow::Reject the returned future holds a panda::Error.
   /// Throws panda::Error if the service has been shut down.
   std::future<Result> submit(Request request);
 
   /// Reject-style admission without the exception: returns false (and
-  /// leaves *out untouched) if the queue is full or the service is
+  /// leaves *out untouched) if every shard is full or the service is
   /// stopped, regardless of the configured Overflow policy.
   bool try_submit(Request request, std::future<Result>* out);
 
-  /// Atomically replaces the served index snapshot. In-flight batches
-  /// finish on the old snapshot; requests admitted after swap_backend
-  /// returns are answered by `next`. The old snapshot is released when
-  /// its last in-flight batch completes. dims() must match.
+  /// Replaces the served index snapshot, staged shard by shard. Every
+  /// request observes exactly one snapshot: in-flight batches finish
+  /// on the old one, requests admitted after swap_backend returns are
+  /// answered by `next`. The old snapshot is released when its last
+  /// in-flight batch completes. dims() must match.
   void swap_backend(std::shared_ptr<Backend> next);
 
-  /// The currently served snapshot.
+  /// The currently served snapshot (shard 0's handle).
   std::shared_ptr<Backend> backend() const;
 
-  /// Drains the queue (every admitted request still completes), stops
-  /// the workers, and rejects future submissions. Idempotent; also run
-  /// by the destructor.
+  /// Drains every shard's queue (every admitted request still
+  /// completes exactly once), stops the workers, and rejects future
+  /// submissions. Idempotent and safe to call concurrently (atomic
+  /// state machine + once_flag); also run by the destructor.
   void shutdown();
 
   /// Counter snapshot (see ServeStats).
@@ -109,33 +134,78 @@ class QueryService {
  private:
   enum class FlushReason { Size, Window, Drain };
 
+  /// Service lifecycle (atomic state machine, DESIGN.md §8):
+  /// Running —shutdown()→ Draining (admission closed, in-flight
+  /// admissions settling, workers still serving) → drain_ raised
+  /// (workers flush queues and exit) → Stopped.
+  enum State : int { kRunning = 0, kDraining = 1, kStopped = 2 };
+
   struct Pending {
     Request request;
     std::promise<Result> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void worker_loop();
-  void execute(std::vector<Pending>& batch, FlushReason reason);
+  /// One admission shard. The hot path touches only the ring and the
+  /// two depth atomics; park_mutex/work_cv exist solely to park idle
+  /// workers (queue-empty edge) and are never held while work exists.
+  struct Shard {
+    explicit Shard(std::size_t ring_capacity) : queue(ring_capacity) {}
+
+    parallel::MpmcQueue<Pending> queue;
+    /// Logical occupancy: bounds admission at exactly the configured
+    /// per-shard capacity (the ring rounds up to a power of two) and
+    /// doubles as the queue-depth gauge.
+    std::atomic<std::uint64_t> depth{0};
+    /// High-water mark, maintained by relaxed CAS-max on admission.
+    std::atomic<std::uint64_t> max_depth{0};
+    /// The served snapshot; batches pin it with one atomic load.
+    std::atomic<std::shared_ptr<Backend>> backend;
+
+    // Cold-edge worker parking.
+    std::mutex park_mutex;
+    std::condition_variable work_cv;
+    std::atomic<int> parked{0};
+  };
+
+  void worker_loop(Shard& shard);
+  /// Blocks (spin, then park) until a first request is popped. Returns
+  /// false when draining and the shard's queue is empty (worker exit).
+  bool acquire_first(Shard& shard, Pending& out);
+  /// Fills `batch` (which holds its first request) until max_batch,
+  /// flush_window past the first request, or drain.
+  FlushReason collect_rest(Shard& shard, std::vector<Pending>& batch);
+  void execute(Shard& shard, std::vector<Pending>& batch,
+               FlushReason reason);
   /// Core admission; returns false when rejected (full or stopped).
   bool admit(Request&& request, std::future<Result>* out, bool blocking);
+  /// Bounded push onto one shard; false when that shard is at
+  /// capacity. On success wakes a parked worker if any.
+  bool shard_push(Shard& shard, Pending& pending);
+  /// Non-blocking pop from one shard; frees logical space and wakes a
+  /// parked Block-policy submitter if any.
+  bool shard_pop(Shard& shard, Pending& out);
+  /// Hash route: FNV-1a over the query bytes, so identical query
+  /// points land on the same shard (warm top-of-tree cache).
+  std::size_t route(const Request& request) const;
   void validate(const Request& request) const;
 
   ServeConfig config_;
-
-  mutable std::mutex backend_mutex_;
-  std::shared_ptr<Backend> backend_;
   std::size_t dims_;
-
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;  // queue became non-empty / full enough
-  std::condition_variable space_cv_;  // queue has room again
-  std::deque<Pending> queue_;
-  bool stop_ = false;
-  std::uint64_t max_queue_depth_ = 0;  // guarded by queue_mutex_
-
-  std::mutex shutdown_mutex_;  // makes shutdown() safe to call twice
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
+
+  // Lifecycle (see State).
+  std::atomic<int> state_{kRunning};
+  std::atomic<bool> drain_{false};
+  std::atomic<int> admissions_in_flight_{0};
+  std::once_flag shutdown_once_;
+
+  // Cold-edge parking for Block-policy submitters (every shard full).
+  mutable std::mutex space_mutex_;
+  std::condition_variable space_cv_;
+  std::atomic<int> space_waiters_{0};
 
   // Hot-path counters: atomics, never a lock (DESIGN.md §8).
   std::atomic<std::uint64_t> submitted_{0};

@@ -67,6 +67,7 @@ LatencySummary LatencyHistogram::summary() const {
   out.p50_us = quantile(0.50);
   out.p95_us = quantile(0.95);
   out.p99_us = quantile(0.99);
+  out.p999_us = quantile(0.999);
   return out;
 }
 

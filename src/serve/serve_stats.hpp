@@ -18,13 +18,15 @@ namespace panda::serve {
 
 /// Completion-latency quantiles in microseconds. Quantiles are read
 /// from a geometric histogram (~19 % bucket resolution), which is the
-/// right fidelity for p50/p95/p99 dashboards; mean and max are exact.
+/// right fidelity for p50/p95/p99/p999 dashboards; mean and max are
+/// exact.
 struct LatencySummary {
   std::uint64_t count = 0;
   double mean_us = 0.0;
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  double p999_us = 0.0;  // the tail the saturation bench watches
   double max_us = 0.0;
 };
 
@@ -54,13 +56,18 @@ class LatencyHistogram {
 /// Snapshot of a QueryService's counters, returned by
 /// QueryService::stats(). Plain values — safe to copy, print, diff.
 struct ServeStats {
-  // Admission.
+  // Admission. Queue-depth tracking is per shard (one bounded MPMC
+  // ring each, DESIGN.md §8): max_queue_depth is the max over shards'
+  // high-water marks, current_queue_depth the sum of live depths.
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;   // bounded-queue rejects (Overflow::Reject)
   std::uint64_t completed = 0;  // promises fulfilled with a result
   std::uint64_t failed = 0;     // promises completed with an exception
   std::uint64_t max_queue_depth = 0;
   std::uint64_t current_queue_depth = 0;
+  std::uint64_t shards = 1;
+  std::vector<std::uint64_t> shard_max_queue_depth;      // one per shard
+  std::vector<std::uint64_t> shard_current_queue_depth;  // one per shard
 
   // Micro-batching.
   std::uint64_t batches = 0;

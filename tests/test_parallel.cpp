@@ -65,6 +65,51 @@ TEST(ThreadPool, ConcurrentCallersSerializeJobs) {
   EXPECT_EQ(total.load(), 4u * 50u * 4u);
 }
 
+// try_run: non-blocking team acquisition for callers that can fall
+// back to inline execution (the serving workers' "no idle cores" path).
+TEST(ThreadPool, TryRunExecutesWhenTeamIsFree) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  EXPECT_TRUE(pool.try_run([&](int tid) {
+    hits[static_cast<std::size_t>(tid)]++;
+  }));
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(t)].load(), 1) << t;
+  }
+}
+
+TEST(ThreadPool, TryRunFailsWhileAnotherCallerHoldsTheTeam) {
+  ThreadPool pool(2);
+  std::atomic<bool> job_started{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    pool.run([&](int tid) {
+      if (tid == 0) job_started.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (!job_started.load()) std::this_thread::yield();
+  EXPECT_FALSE(pool.try_run([](int) {}));  // busy: must not block
+  release.store(true);
+  holder.join();
+  // And usable again once the team frees up.
+  std::atomic<int> count{0};
+  EXPECT_TRUE(pool.try_run([&](int) { count++; }));
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, TryRunOnSizeOnePoolAlwaysRunsInline) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int j = 0; j < 10; ++j) {
+    EXPECT_TRUE(pool.try_run([&](int tid) {
+      EXPECT_EQ(tid, 0);
+      count++;
+    }));
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
 TEST(ThreadPool, RejectsZeroThreads) {
   EXPECT_THROW(ThreadPool pool(0), panda::Error);
 }

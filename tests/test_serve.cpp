@@ -6,6 +6,7 @@
 // tests here are the ones ci.sh tsan runs under ThreadSanitizer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -472,6 +473,246 @@ TEST(Serve, BlockPolicyStallsSubmittersInsteadOfShedding) {
   EXPECT_EQ(stats.submitted, 3u);
   EXPECT_EQ(stats.rejected, 0u);
   EXPECT_EQ(stats.max_queue_depth, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Sharded admission (DESIGN.md §8: per-shard MPMC rings)
+// ---------------------------------------------------------------------
+
+// The shard count is a pure routing/throughput knob: the same request
+// stream must produce id-identical answers at every shard count.
+TEST(Serve, ShardSweepStaysIdExactAcrossShardCounts) {
+  const std::uint64_t n = 2000;
+  Fixture f = make_fixture("gmm", n, 33);
+  const auto qgen = data::make_generator("gmm", 33);
+
+  std::vector<Request> stream;
+  for (int j = 0; j < 96; ++j) {
+    auto q = query_point(*qgen, n + static_cast<std::uint64_t>(j));
+    stream.push_back(
+        (j % 3 == 2)
+            ? Request::radius_search(std::move(q), 0.06f)
+            : Request::knn(std::move(q), 1 + static_cast<std::size_t>(j % 5)));
+  }
+  std::vector<Result> oracle;
+  oracle.reserve(stream.size());
+  for (const Request& request : stream) {
+    oracle.push_back(oracle_for(f.points, request));
+  }
+
+  for (const int shards : {1, 2, 4}) {
+    ServeConfig config;
+    config.max_batch = 8;
+    config.flush_window = std::chrono::microseconds(300);
+    config.shards = shards;
+    QueryService service(f.backend, config);
+
+    std::vector<std::future<Result>> futures;
+    futures.reserve(stream.size());
+    for (const Request& request : stream) {
+      futures.push_back(service.submit(request));
+    }
+    for (std::size_t j = 0; j < futures.size(); ++j) {
+      EXPECT_EQ(futures[j].get(), oracle[j]) << "shards=" << shards
+                                             << " request " << j;
+    }
+
+    const ServeStats stats = service.stats();
+    EXPECT_EQ(stats.shards, static_cast<std::uint64_t>(shards));
+    ASSERT_EQ(stats.shard_max_queue_depth.size(),
+              static_cast<std::size_t>(shards));
+    ASSERT_EQ(stats.shard_current_queue_depth.size(),
+              static_cast<std::size_t>(shards));
+    EXPECT_EQ(stats.submitted, stream.size());
+    EXPECT_EQ(stats.completed, stream.size());
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.current_queue_depth, 0u);  // all drained
+    std::uint64_t max_over_shards = 0;
+    for (const std::uint64_t d : stats.shard_max_queue_depth) {
+      max_over_shards = std::max(max_over_shards, d);
+    }
+    EXPECT_EQ(stats.max_queue_depth, max_over_shards);
+  }
+}
+
+// swap_backend stages the new snapshot across every shard before it
+// returns: a request admitted afterwards must be answered by B no
+// matter which shard it routes to.
+TEST(Serve, SwapStagesAcrossAllShards) {
+  constexpr std::uint64_t kIdOffset = 1000000;
+  const std::uint64_t n = 1000;
+  const auto gen_a = data::make_generator("gmm", 51);
+  const auto gen_b = data::make_generator("gmm", 52);
+  const data::PointSet points_a = gen_a->generate_all(n);
+  data::PointSet points_b = gen_b->generate_all(n);
+  for (std::uint64_t i = 0; i < points_b.size(); ++i) {
+    points_b.set_id(i, points_b.id(i) + kIdOffset);
+  }
+
+  auto pool = std::make_shared<parallel::ThreadPool>(2);
+  IndexOptions options;
+  options.pool = pool;
+  auto backend_a = std::make_shared<IndexBackend>(
+      panda::Index::build(points_a, options));
+  auto backend_b = std::make_shared<IndexBackend>(
+      panda::Index::build(points_b, options));
+  std::weak_ptr<IndexBackend> watch_a = backend_a;
+
+  ServeConfig config;
+  config.max_batch = 4;
+  config.flush_window = std::chrono::microseconds(200);
+  config.shards = 4;
+  QueryService service(backend_a, config);
+  backend_a.reset();
+
+  const auto qgen = data::make_generator("gmm", 53);
+  const std::size_t k = 3;
+  // Warm traffic on A...
+  for (std::uint64_t j = 0; j < 8; ++j) {
+    const Result r =
+        service.submit(Request::knn(query_point(*qgen, 7000 + j), k)).get();
+    ASSERT_FALSE(r.empty());
+    EXPECT_LT(r.front().id, kIdOffset);
+  }
+  // ...swap, then hit all shards: 32 distinct queries make every
+  // shard overwhelmingly likely to serve at least one.
+  service.swap_backend(backend_b);
+  for (std::uint64_t j = 0; j < 32; ++j) {
+    const auto q = query_point(*qgen, 8000 + j);
+    const Result r = service.submit(Request::knn(q, k)).get();
+    ASSERT_FALSE(r.empty());
+    EXPECT_GE(r.front().id, kIdOffset) << "request " << j
+                                       << " answered by the old snapshot";
+    EXPECT_EQ(r, baselines::brute_force_knn(points_b, q, k));
+  }
+  EXPECT_EQ(service.stats().swaps, 1u);
+  service.shutdown();
+  EXPECT_TRUE(watch_a.expired());  // no shard still pins A
+}
+
+// Reject policy with sharded admission: workers stall inside the
+// backend, the bounded shards absorb at most (in-flight + queued)
+// requests, and everything admitted completes id-exact once released.
+TEST(Serve, RejectPolicyShedsAcrossStalledShards) {
+  Fixture f = make_fixture("gmm", 400, 23, /*pool_threads=*/1);
+  auto stall = std::make_shared<StallBackend>(f.backend);
+  ServeConfig config;
+  config.max_batch = 1;
+  config.flush_window = std::chrono::microseconds(0);
+  config.queue_capacity = 2;  // 1 per shard
+  config.shards = 2;
+  config.overflow = ServeConfig::Overflow::Reject;
+  QueryService service(stall, config);
+
+  const auto qgen = data::make_generator("gmm", 23);
+  std::vector<Request> sent;
+  std::vector<std::future<Result>> accepted;
+  int rejected = 0;
+  for (std::uint64_t j = 0; j < 10; ++j) {
+    Request request = Request::knn(query_point(*qgen, 3000 + j), 3);
+    std::future<Result> future;
+    if (service.try_submit(request, &future)) {
+      sent.push_back(std::move(request));
+      accepted.push_back(std::move(future));
+    } else {
+      ++rejected;
+    }
+  }
+  // Two stalled workers hold one request each; two shard slots queue
+  // one more each — at most 4 of the 10 can be absorbed.
+  EXPECT_GE(accepted.size(), 1u);
+  EXPECT_LE(accepted.size(), 4u);
+  EXPECT_EQ(rejected, 10 - static_cast<int>(accepted.size()));
+
+  stall->open();
+  for (std::size_t j = 0; j < accepted.size(); ++j) {
+    EXPECT_EQ(accepted[j].get(), oracle_for(f.points, sent[j])) << j;
+  }
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.shards, 2u);
+  EXPECT_EQ(stats.submitted, accepted.size());
+  EXPECT_EQ(stats.completed, accepted.size());
+  EXPECT_EQ(stats.rejected, static_cast<std::uint64_t>(rejected));
+  EXPECT_LE(stats.max_queue_depth, 1u);  // per-shard bound held
+}
+
+// Block policy with every shard full parks the submitter (instead of
+// spinning the admission path) and admits it as soon as space frees.
+TEST(Serve, BlockPolicyParksWhenEveryShardIsFull) {
+  Fixture f = make_fixture("gmm", 400, 24, /*pool_threads=*/1);
+  auto stall = std::make_shared<StallBackend>(f.backend);
+  ServeConfig config;
+  config.max_batch = 1;
+  config.flush_window = std::chrono::microseconds(0);
+  config.queue_capacity = 2;  // 1 per shard
+  config.shards = 2;
+  config.overflow = ServeConfig::Overflow::Block;
+  QueryService service(stall, config);
+
+  const auto qgen = data::make_generator("gmm", 24);
+  // Saturate: 2 in-flight + 2 queued fills the service no matter how
+  // the requests hash (admission probes every shard before parking).
+  std::vector<std::future<Result>> filled;
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    filled.push_back(
+        service.submit(Request::knn(query_point(*qgen, 4000 + j), 2)));
+  }
+  std::atomic<bool> fifth_admitted{false};
+  std::future<Result> f5;
+  std::thread blocked([&] {
+    f5 = service.submit(Request::knn(query_point(*qgen, 4004), 2));
+    fifth_admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Workers may have drained queue slots by stalling on their first
+  // batch, so the fifth submitter may or may not still be parked here;
+  // what matters is that it is admitted once the backend opens.
+  stall->open();
+  blocked.join();
+  EXPECT_TRUE(fifth_admitted.load());
+  for (auto& future : filled) EXPECT_FALSE(future.get().empty());
+  EXPECT_FALSE(f5.get().empty());
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_LE(stats.max_queue_depth, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Shutdown state machine
+// ---------------------------------------------------------------------
+
+TEST(Serve, ShutdownIsIdempotentAndSafeUnderConcurrentCalls) {
+  Fixture f = make_fixture("gmm", 500, 25);
+  ServeConfig config;
+  config.max_batch = 4;
+  config.flush_window = std::chrono::seconds(60);
+  config.shards = 2;
+  QueryService service(f.backend, config);
+
+  const auto qgen = data::make_generator("gmm", 25);
+  std::vector<std::future<Result>> futures;
+  for (std::uint64_t j = 0; j < 6; ++j) {
+    futures.push_back(
+        service.submit(Request::knn(query_point(*qgen, 500 + j), 3)));
+  }
+
+  // Three racing shutdown calls: exactly one drains, the others are
+  // no-ops that still return only after the service is stopped.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] { service.shutdown(); });
+  }
+  for (auto& t : threads) t.join();
+  service.shutdown();  // and once more, sequentially
+
+  for (auto& future : futures) EXPECT_FALSE(future.get().empty());
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.current_queue_depth, 0u);
+  EXPECT_THROW(service.submit(Request::knn(query_point(*qgen, 900), 1)),
+               panda::Error);
+  // The destructor runs shutdown() yet again — must also be a no-op.
 }
 
 // ---------------------------------------------------------------------
