@@ -15,7 +15,11 @@
 #   ci.sh sanitize   — the same test suite built with
 #                      -fsanitize=address,undefined, with per-test
 #                      timeouts; leak- and UB-checks the poll-loop and
-#                      coalescing paths of the distributed engines.
+#                      coalescing paths of the distributed engines,
+#                      the mmap open/storage-view suites (test_storage,
+#                      test_kdtree_io — out-of-bounds reads through
+#                      mapped spans), and the external-build spill
+#                      pipeline (test_external_build).
 #   ci.sh tsan       — the concurrency suites (MPMC ring, serving
 #                      frontend, thread pool) built with
 #                      -fsanitize=thread: data-race checks the
@@ -23,13 +27,16 @@
 #                      micro-batcher, snapshot swap, shared pool, and
 #                      the distributed index session.
 #   ci.sh bench-smoke — Release build of the perf harnesses
-#                      (bench_hotpath, bench_serve, bench_facade) run
-#                      at tiny sizes from the build directory (no
-#                      checked-in JSON is touched), so the harnesses
-#                      themselves cannot rot. bench_facade also
-#                      digest-gates the panda::Index facade against
-#                      direct engine calls. Runs automatically at the
-#                      end of the default mode.
+#                      (bench_hotpath, bench_serve, bench_facade,
+#                      bench_mmap) run at tiny sizes from the build
+#                      directory (no checked-in JSON is touched), so
+#                      the harnesses themselves cannot rot.
+#                      bench_facade digest-gates the panda::Index
+#                      facade against direct engine calls; bench_mmap
+#                      digest-gates mapped-index queries against the
+#                      owned build and gates v3 open latency under the
+#                      v2 full read. Runs automatically at the end of
+#                      the default mode.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -121,7 +128,8 @@ fi
 
 bench_smoke() {
   cmake -B build -S .
-  cmake --build build -j --target bench_hotpath bench_serve bench_facade
+  cmake --build build -j --target bench_hotpath bench_serve bench_facade \
+    bench_mmap
   # Run inside build/ so smoke outputs (bench_serve writes
   # BENCH_serve.json and BENCH_serve_shard.json to its cwd) never
   # clobber the checked-in baselines; bench_hotpath/bench_facade
@@ -132,6 +140,10 @@ bench_smoke() {
   (cd build && ./bench_hotpath --smoke 20000 1024)
   (cd build && ./bench_serve 20000 8 20)
   (cd build && ./bench_facade --smoke 20000 1024)
+  # bench_mmap writes its smoke BENCH_mmap.json into build/ (the
+  # checked-in one at the repo root is the full-size run) and exits
+  # nonzero on a digest mismatch or an open-latency regression.
+  (cd build && ./bench_mmap --smoke)
   echo "ci.sh: bench-smoke OK"
 }
 

@@ -15,7 +15,15 @@
 //   3. the ServeStats panel prints what an SRE would watch: QPS,
 //      latency quantiles, queue depth, batch-size histogram.
 //
+// With --mmap <path> the service serves off a memory-mapped v3 index
+// file instead of an owned in-RAM tree (building and saving the file
+// first when it does not exist yet). Open latency and resident set
+// are printed — the point of the mapped path is that both stay flat
+// no matter how big the index is. The mid-run rebuild+swap phase is
+// skipped in this mode: the index under test is the on-disk one.
+//
 // Run:  ./serving_frontend [points] [clients] [seconds] [--shards N]
+//                          [--mmap path]
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -23,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,20 +42,49 @@
 #include "example_args.hpp"
 #include "serve/query_service.hpp"
 
+namespace {
+
+/// Resident set (VmRSS) of this process in KiB, from
+/// /proc/self/status; 0 when unavailable (non-Linux).
+std::uint64_t vm_rss_kib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %" SCNu64, &kib) == 1) break;
+  }
+  std::fclose(f);
+  return kib;
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace panda;
   std::uint64_t n = 100000;
   int clients = 8;
   int seconds = 2;
   int shards = 2;
-  // --shards is a flag (admission shards, one queue + worker set
-  // each); the remaining arguments stay positional.
+  std::string mmap_path;
+  // --shards / --mmap are flags; the remaining arguments stay
+  // positional.
   std::vector<const char*> positional;
   bool parsed = true;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--shards") == 0) {
       parsed = parsed && a + 1 < argc &&
                examples::parse_int(argv[++a], shards);
+    } else if (std::strcmp(argv[a], "--mmap") == 0) {
+      parsed = parsed && a + 1 < argc;
+      if (parsed) mmap_path = argv[++a];
     } else {
       positional.push_back(argv[a]);
     }
@@ -60,10 +98,11 @@ int main(int argc, char** argv) {
   if (!parsed || n == 0 || clients < 1 || seconds < 1 || shards < 1) {
     std::fprintf(stderr,
                  "usage: serving_frontend [points>0] [clients>=1] "
-                 "[seconds>=1] [--shards N>=1]\n");
+                 "[seconds>=1] [--shards N>=1] [--mmap path]\n");
     return 1;
   }
   const std::size_t k = 5;
+  const bool use_mmap = !mmap_path.empty();
 
   // ------------------------------------------------------------------
   // Index v1 and the service.
@@ -72,8 +111,27 @@ int main(int argc, char** argv) {
   const data::PointSet points = gen->generate_all(n);
   IndexOptions index_options;
   index_options.pool = std::make_shared<parallel::ThreadPool>(8);
-  auto backend = std::make_shared<serve::IndexBackend>(
-      Index::build(points, index_options));
+
+  std::shared_ptr<serve::IndexBackend> backend;
+  if (use_mmap) {
+    if (!file_exists(mmap_path)) {
+      std::printf("--mmap: %s does not exist; building and saving it\n",
+                  mmap_path.c_str());
+      Index::build(points, index_options)->save(mmap_path);
+    }
+    const std::uint64_t rss_before = vm_rss_kib();
+    WallTimer open_watch;
+    auto index = Index::open(mmap_path, index_options);
+    const double open_seconds = open_watch.seconds();
+    std::printf("--mmap: opened %s in %.3f ms (zero-copy; resident set "
+                "%" PRIu64 " KiB -> %" PRIu64 " KiB)\n",
+                mmap_path.c_str(), open_seconds * 1e3, rss_before,
+                vm_rss_kib());
+    backend = std::make_shared<serve::IndexBackend>(std::move(index));
+  } else {
+    backend = std::make_shared<serve::IndexBackend>(
+        Index::build(points, index_options));
+  }
 
   serve::ServeConfig config;
   config.max_batch = 64;
@@ -120,23 +178,29 @@ int main(int argc, char** argv) {
 
   // ------------------------------------------------------------------
   // Rebuild behind traffic: drift every particle (next timestep) and
-  // swap the fresh index in while the clients keep hammering.
+  // swap the fresh index in while the clients keep hammering. In mmap
+  // mode the on-disk index *is* the subject under test, so traffic
+  // just runs against it for the whole window.
   // ------------------------------------------------------------------
   std::this_thread::sleep_for(std::chrono::milliseconds(500 * seconds));
-  data::PointSet drifted = points;
-  for (std::uint64_t i = 0; i < drifted.size(); ++i) {
-    Rng rng(derive_seed(0x5EED5, drifted.id(i)));
-    for (std::size_t d = 0; d < drifted.dims(); ++d) {
-      double x = drifted.at(i, d) + rng.normal(0.0, 0.005);
-      x = x - std::floor(x);
-      drifted.set(i, d, static_cast<float>(x));
+  double rebuild_seconds = 0.0;
+  std::uint64_t answered_at_swap = 0;
+  if (!use_mmap) {
+    data::PointSet drifted = points;
+    for (std::uint64_t i = 0; i < drifted.size(); ++i) {
+      Rng rng(derive_seed(0x5EED5, drifted.id(i)));
+      for (std::size_t d = 0; d < drifted.dims(); ++d) {
+        double x = drifted.at(i, d) + rng.normal(0.0, 0.005);
+        x = x - std::floor(x);
+        drifted.set(i, d, static_cast<float>(x));
+      }
     }
+    WallTimer rebuild_watch;
+    service.swap_backend(std::make_shared<serve::IndexBackend>(
+        Index::build(drifted, index_options)));
+    rebuild_seconds = rebuild_watch.seconds();
+    answered_at_swap = answered.load();
   }
-  WallTimer rebuild_watch;
-  service.swap_backend(std::make_shared<serve::IndexBackend>(
-      Index::build(drifted, index_options)));
-  const double rebuild_seconds = rebuild_watch.seconds();
-  const std::uint64_t answered_at_swap = answered.load();
 
   std::this_thread::sleep_for(std::chrono::milliseconds(500 * seconds));
   stop.store(true);
@@ -147,13 +211,19 @@ int main(int argc, char** argv) {
   // The operator's panel.
   // ------------------------------------------------------------------
   const serve::ServeStats stats = service.stats();
-  std::printf("\nswap: index v2 (drifted positions) built + swapped in "
-              "%.3fs behind live traffic\n",
-              rebuild_seconds);
-  std::printf("  requests before swap: %" PRIu64 ", after: %" PRIu64
-              " — zero failed (%" PRIu64 " errors)\n",
-              answered_at_swap, answered.load() - answered_at_swap,
-              stats.failed);
+  if (use_mmap) {
+    std::printf("\nmmap: served the whole window off %s (resident set "
+                "now %" PRIu64 " KiB), %" PRIu64 " errors\n",
+                mmap_path.c_str(), vm_rss_kib(), stats.failed);
+  } else {
+    std::printf("\nswap: index v2 (drifted positions) built + swapped in "
+                "%.3fs behind live traffic\n",
+                rebuild_seconds);
+    std::printf("  requests before swap: %" PRIu64 ", after: %" PRIu64
+                " — zero failed (%" PRIu64 " errors)\n",
+                answered_at_swap, answered.load() - answered_at_swap,
+                stats.failed);
+  }
   std::printf("\nServeStats\n");
   std::printf("  throughput: %.0f qps sustained (%" PRIu64
               " requests, %" PRIu64 " neighbors returned)\n",

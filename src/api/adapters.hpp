@@ -13,7 +13,13 @@ namespace panda::api {
 
 std::unique_ptr<Index> make_local_index(const data::PointSet& points,
                                         const IndexOptions& options);
-/// Wraps an already-built (e.g. loaded) tree; used by Index::open.
+/// Storage-view build: consumes any resident backend directly and
+/// routes to the out-of-core build when options.memory_budget_bytes
+/// says the points exceed RAM.
+std::unique_ptr<Index> make_local_index(const data::PointStorage& points,
+                                        const IndexOptions& options);
+/// Wraps an already-built (e.g. loaded or mapped) tree; used by
+/// Index::open.
 std::unique_ptr<Index> make_local_index(core::KdTree tree,
                                         const IndexOptions& options);
 std::unique_ptr<Index> make_dist_index(const data::PointSet& points,

@@ -1,6 +1,9 @@
 // panda::Index — construction dispatch and the convenience shims.
 #include "api/index.hpp"
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <utility>
 
@@ -104,15 +107,62 @@ std::unique_ptr<Index> Index::build(const data::PointSet& points,
   throw Error("IndexOptions.engine is not a known engine");
 }
 
+std::unique_ptr<Index> Index::build(const data::PointStorage& points,
+                                    const IndexOptions& options) {
+  PANDA_CHECK_MSG(points.dims() >= 1,
+                  "Index::build needs points with at least one dimension");
+  validate_options(options);
+  if (options.engine == IndexOptions::Engine::Local) {
+    return api::make_local_index(points, options);
+  }
+  // The non-local engines take owned PointSets; materialize through
+  // the chunk protocol (works on every backend, needs the collection
+  // to fit in RAM).
+  const data::PointSet owned = points.to_point_set();
+  return build(owned, options);
+}
+
+namespace {
+
+/// Version field of a kd-tree index file (0 when the file is too
+/// short to say — the loader's truncation diagnostics then apply).
+std::uint32_t peek_index_version(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PANDA_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  return in.good() ? version : 0;
+}
+
+}  // namespace
+
 std::unique_ptr<Index> Index::open(const std::string& path,
                                    const IndexOptions& options) {
   PANDA_CHECK_MSG(options.engine == IndexOptions::Engine::Local,
                   "Index::open loads the core::KdTree on-disk format; "
                   "options.engine must be Local");
   validate_options(options);
-  // KdTree::load's diagnostics (missing file, truncation, version-1
-  // refusal) surface verbatim — no wrapping.
-  return api::make_local_index(core::KdTree::load(path), options);
+  if (peek_index_version(path) == 3) {
+    // Zero-copy: map + validate the header, bind the query views.
+    // No section is read, so open cost is O(1) in index size.
+    return api::make_local_index(core::KdTree::open_mmap(path), options);
+  }
+  // Older formats go through the loader — its diagnostics (missing
+  // file, truncation, version-1 refusal) surface verbatim. A v2 tree
+  // loads fine; convert it to v3 in place (atomic rename) so the next
+  // opens — and this one — are mmap-served.
+  core::KdTree tree = core::KdTree::load(path);
+  try {
+    const std::string tmp = path + ".v3.tmp";
+    tree.save(tmp);
+    std::filesystem::rename(tmp, path);
+    return api::make_local_index(core::KdTree::open_mmap(path), options);
+  } catch (const std::exception&) {
+    // Read-only location: serve the owned tree, leave the file as-is.
+    return api::make_local_index(std::move(tree), options);
+  }
 }
 
 }  // namespace panda

@@ -54,6 +54,7 @@
 #include "core/neighbor_table.hpp"
 #include "core/query_workspace.hpp"
 #include "data/point_set.hpp"
+#include "data/storage.hpp"
 #include "dist/dist_kdtree.hpp"
 #include "net/cluster.hpp"
 #include "parallel/thread_pool.hpp"
@@ -105,6 +106,19 @@ struct IndexOptions {
 
   /// Engine::SimpleTree: split policy and bucket size.
   baselines::SimpleBuildConfig simple;
+
+  /// Engine::Local: approximate RAM the build may use (0 = unlimited).
+  /// When the estimated in-RAM build footprint exceeds this budget,
+  /// Index::build switches to core::KdTree::build_external — the
+  /// out-of-core chunked build streaming into a v3 index file at
+  /// `external_index_path` (required then), served memory-mapped.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Where the external build writes its v3 index file. The file must
+  /// outlive the index (its storage is the mapped file).
+  std::string external_index_path;
+  /// Spill-chunk scratch directory of the external build (removed
+  /// when the build finishes). Empty: external_index_path + ".spill".
+  std::string external_scratch_dir;
 };
 
 /// Per-call search parameters, shared by every adapter.
@@ -222,11 +236,27 @@ class Index {
   static std::unique_ptr<Index> build(const data::PointSet& points,
                                       const IndexOptions& options = {});
 
+  /// Storage-view overload: builds over any data::PointStorage
+  /// backend — owned, memory-mapped, or spill-chunked. The Local
+  /// engine consumes the view directly (and honors
+  /// options.memory_budget_bytes, switching to the out-of-core build
+  /// when the points exceed it); the other engines materialize a
+  /// PointSet first, so they require the collection to fit in RAM.
+  static std::unique_ptr<Index> build(const data::PointStorage& points,
+                                      const IndexOptions& options = {});
+
   /// Opens an index saved by save(). The on-disk format is the
   /// core::KdTree format, so `options.engine` must be Local (the
   /// default); `options.pool` / `options.threads` configure the
-  /// query pool. I/O and format failures throw panda::Error — a
-  /// version-1 file is refused with the loader's diagnostic verbatim.
+  /// query pool.
+  ///
+  /// A v3 file is opened zero-copy (memory-mapped; open cost is
+  /// independent of index size). A v2 file is loaded into owned
+  /// memory and converted in place to v3 — one atomic rewrite, after
+  /// which the mapped file serves; if the rewrite fails (read-only
+  /// location), the owned tree serves and the file is left untouched.
+  /// I/O and format failures throw panda::Error — a version-1 file is
+  /// refused with the loader's diagnostic verbatim.
   static std::unique_ptr<Index> open(const std::string& path,
                                      const IndexOptions& options = {});
 

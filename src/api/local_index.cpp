@@ -55,11 +55,47 @@ class LocalIndex final : public Index {
 
 }  // namespace
 
-std::unique_ptr<Index> make_local_index(const data::PointSet& points,
+namespace {
+
+/// Rough in-RAM build footprint, mirroring the external build's
+/// estimate: the points themselves, the builder's index arrays, and
+/// the packed copy.
+std::uint64_t estimate_build_bytes(const data::PointStorage& points) {
+  return points.size() *
+         3 * (points.dims() * sizeof(float) + 2 * sizeof(std::uint64_t));
+}
+
+}  // namespace
+
+std::unique_ptr<Index> make_local_index(const data::PointStorage& points,
                                         const IndexOptions& options) {
   auto pool = resolve_pool(options);
-  core::KdTree tree = core::KdTree::build(points, options.build, *pool);
+  const bool external =
+      options.memory_budget_bytes > 0 &&
+      (estimate_build_bytes(points) > options.memory_budget_bytes ||
+       !points.resident());
+  core::KdTree tree;
+  if (external) {
+    PANDA_CHECK_MSG(!options.external_index_path.empty(),
+                    "IndexOptions.memory_budget_bytes needs "
+                    "external_index_path: the out-of-core build writes (and "
+                    "serves) a v3 index file");
+    core::ExternalBuildOptions ext;
+    ext.memory_budget_bytes = options.memory_budget_bytes;
+    ext.scratch_dir = options.external_scratch_dir;
+    ext.out_path = options.external_index_path;
+    tree = core::KdTree::build_external(points, options.build, *pool, ext);
+  } else {
+    tree = core::KdTree::build(points, options.build, *pool);
+  }
   return std::make_unique<LocalIndex>(std::move(tree), std::move(pool));
+}
+
+std::unique_ptr<Index> make_local_index(const data::PointSet& points,
+                                        const IndexOptions& options) {
+  const data::PointSetView view(points);
+  return make_local_index(static_cast<const data::PointStorage&>(view),
+                          options);
 }
 
 std::unique_ptr<Index> make_local_index(core::KdTree tree,

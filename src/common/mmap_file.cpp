@@ -1,0 +1,49 @@
+#include "common/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace panda::common {
+
+std::shared_ptr<MmapFile> MmapFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  PANDA_CHECK_MSG(fd >= 0, "cannot open for mapping: " << path << " ("
+                                                       << std::strerror(errno)
+                                                       << ")");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    PANDA_CHECK_MSG(false,
+                    "cannot stat: " << path << " (" << std::strerror(err)
+                                    << ")");
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      PANDA_CHECK_MSG(false,
+                      "mmap failed: " << path << " (" << std::strerror(err)
+                                      << ")");
+    }
+  }
+  // The mapping outlives the descriptor.
+  ::close(fd);
+  return std::shared_ptr<MmapFile>(new MmapFile(addr, size, path));
+}
+
+MmapFile::~MmapFile() {
+  if (addr_ != nullptr && size_ > 0) ::munmap(addr_, size_);
+}
+
+}  // namespace panda::common

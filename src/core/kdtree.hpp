@@ -37,19 +37,30 @@
 // per-thread workspace internally); QueryStats out-parameters are
 // caller-owned, so concurrent callers must pass distinct instances
 // (the batch entry points already accumulate per-thread).
+//
+// Storage backing (DESIGN.md §11): the query kernels read the tree
+// through std::span views. A built or load()ed tree owns its arrays;
+// an open_mmap()ed tree binds the same views straight into a mapped
+// v3 index file — open cost is one mmap plus header validation, no
+// matter how many points the index holds. Either way the views are
+// immutable after construction, so KdTree is move-only (a copy would
+// alias the owner's buffers).
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/mmap_file.hpp"
 #include "core/knn_heap.hpp"
 #include "core/neighbor_table.hpp"
 #include "core/query_workspace.hpp"
 #include "data/point_set.hpp"
+#include "data/storage.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace panda::core {
@@ -85,6 +96,21 @@ struct BuildConfig {
   /// Histogram binning via the SIMD sub-interval searcher (true) or
   /// plain binary search (false) — the paper's 42 % ablation.
   bool use_subinterval_search = true;
+};
+
+/// Out-of-core build parameters (KdTree::build_external).
+struct ExternalBuildOptions {
+  /// Approximate peak bytes of point + tree data held in RAM at once.
+  /// The build splits the input into enough on-disk chunks that one
+  /// chunk's in-RAM subtree build fits the budget. 0 means unlimited
+  /// (degenerates to an in-RAM build that is then saved and mapped).
+  std::uint64_t memory_budget_bytes = 0;
+  /// Directory for the spill chunk files (scratch, removed when the
+  /// build finishes). Empty: out_path + ".spill".
+  std::string scratch_dir;
+  /// Where the v3 index file is written (required). The returned tree
+  /// is the zero-copy mapped view of this file.
+  std::string out_path;
 };
 
 /// Build-phase wall-clock seconds, keyed like Figure 5(b).
@@ -124,11 +150,40 @@ class KdTree {
  public:
   KdTree() = default;
 
-  /// Builds from `points` using all threads of `pool`. The PointSet is
-  /// copied into packed storage; the original may be discarded.
+  // The query kernels read through span views into this tree's own
+  // arrays (or its mapping); copying would alias the source's buffers,
+  // so the tree is move-only. Moves keep the views valid: vector moves
+  // preserve the heap buffers the spans point into.
+  KdTree(const KdTree&) = delete;
+  KdTree& operator=(const KdTree&) = delete;
+  KdTree(KdTree&&) = default;
+  KdTree& operator=(KdTree&&) = default;
+
+  /// Builds from resident `points` using all threads of `pool`. The
+  /// points are copied into packed storage; the original may be
+  /// discarded. Throws panda::Error when `points` is not resident
+  /// (use build_external for spill-backed storage).
+  static KdTree build(const data::PointStorage& points,
+                      const BuildConfig& config, parallel::ThreadPool& pool,
+                      BuildBreakdown* breakdown = nullptr);
+
+  /// Compatibility shim: builds from a PointSet through a stack view.
   static KdTree build(const data::PointSet& points, const BuildConfig& config,
                       parallel::ThreadPool& pool,
                       BuildBreakdown* breakdown = nullptr);
+
+  /// Out-of-core build (DESIGN.md §11): routes `points` through a
+  /// sampled top-level splitter into on-disk chunks sized to
+  /// options.memory_budget_bytes, builds one in-RAM subtree per chunk,
+  /// and stitches the results directly into the v3 on-disk layout at
+  /// options.out_path. Returns the memory-mapped view of that file.
+  /// Exact queries on the result are id-identical to an in-RAM build
+  /// of the same points. `points` may be any storage backend; only
+  /// the chunk protocol is used.
+  static KdTree build_external(const data::PointStorage& points,
+                               const BuildConfig& config,
+                               parallel::ThreadPool& pool,
+                               const ExternalBuildOptions& options);
 
   std::size_t dims() const { return dims_; }
   std::size_t size() const { return stats_.points; }
@@ -274,18 +329,38 @@ class KdTree {
 
   /// Persists the built tree (hot/cold node arrays + packed leaf
   /// storage) so that a reused index — the common case the paper
-  /// designs for — need not be rebuilt across process runs. Throws
+  /// designs for — need not be rebuilt across process runs. Writes
+  /// format v3: every section at a 64-byte-aligned offset recorded in
+  /// the header, so open_mmap can serve the file zero-copy. Throws
   /// panda::Error on I/O failure.
   void save(const std::string& path) const;
 
-  /// Loads a tree written by save(). Queries on the loaded tree return
-  /// bit-identical results. Throws panda::Error on I/O or format
-  /// errors, including trees written by the pre-hot/cold format
-  /// (version 1), which cannot be represented losslessly.
+  /// Writes the legacy v2 layout (packed sections, no offsets).
+  /// Exists so the v2 -> v3 migration path stays testable.
+  void save_legacy_v2(const std::string& path) const;
+
+  /// Loads a tree written by save() into owned memory (v3, or legacy
+  /// v2). Queries on the loaded tree return bit-identical results.
+  /// Throws panda::Error on I/O or format errors, including trees
+  /// written by the pre-hot/cold format (version 1), which cannot be
+  /// represented losslessly.
   static KdTree load(const std::string& path);
+
+  /// Opens a v3 index zero-copy: maps the file, validates the header
+  /// (magic, version, dims, section offsets/alignment against the
+  /// file size), and binds the query views straight into the map —
+  /// no section is read, so open cost is independent of index size.
+  /// Throws panda::Error on any mismatch; v2 files are refused with a
+  /// convert hint (load() still reads them into owned memory).
+  static KdTree open_mmap(const std::string& path);
+
+  /// True when the tree's arrays live in a mapped file rather than
+  /// owned memory.
+  bool mapped() const { return mapping_ != nullptr; }
 
  private:
   friend class KdTreeBuilder;
+  friend class ExternalBuilder;
 
   /// Hot traversal record: everything the descent loop reads. Sibling
   /// children occupy adjacent slots (left = child, right = child + 1)
@@ -340,22 +415,50 @@ class KdTree {
                        QueryWorkspace& ws, NeighborTable& results,
                        QueryStats& stats) const;
 
+  /// Owned backing arrays — populated by build()/load(), empty on a
+  /// mapped tree. Only rebind_owned() and the builders touch these;
+  /// everything else reads the span views below.
+  struct OwnedArrays {
+    std::vector<HotNode> nodes;
+    std::vector<LeafInfo> leaves;
+    std::vector<std::uint32_t> leaf_nodes;
+    AlignedVector<float> packed;
+    std::vector<std::uint64_t> packed_ids;
+    std::vector<std::uint64_t> packed_local_idx;
+  };
+
+  /// Points the query views at the owned arrays. Builders and load()
+  /// call this once after filling own_.
+  void rebind_owned() {
+    nodes_ = own_.nodes;
+    leaves_ = own_.leaves;
+    leaf_nodes_ = own_.leaf_nodes;
+    packed_ = std::span<const float>(own_.packed.data(), own_.packed.size());
+    packed_ids_ = own_.packed_ids;
+    packed_local_idx_ = own_.packed_local_idx;
+  }
+
   std::size_t dims_ = 0;
   BuildConfig config_;
-  // Packed leaf storage: leaf with packed_begin s0 and padded stride
+  OwnedArrays own_;
+  /// Keeps a mapped index file alive for the views below; null on an
+  /// owned tree.
+  std::shared_ptr<common::MmapFile> mapping_;
+  // Query views — into own_ or into mapping_. Packed leaf storage:
+  // leaf with packed_begin s0 and padded stride
   // st = simd::padded_count(count) occupies floats
   // [s0*dims, (s0+st)*dims), coordinate d of bucket point i at
   // packed_[s0*dims + d*st + i]; packed_ids_[s0+i] is its global id.
-  std::vector<HotNode> nodes_;
-  std::vector<LeafInfo> leaves_;
+  std::span<const HotNode> nodes_;
+  std::span<const LeafInfo> leaves_;
   /// Hot node index of each leaf record (leaf_nodes_[leaves index]);
-  /// recomputed from nodes_ on load.
-  std::vector<std::uint32_t> leaf_nodes_;
-  AlignedVector<float> packed_;
-  std::vector<std::uint64_t> packed_ids_;
+  /// serialized in v3, recomputed from nodes_ on a legacy v2 load.
+  std::span<const std::uint32_t> leaf_nodes_;
+  std::span<const float> packed_;
+  std::span<const std::uint64_t> packed_ids_;
   /// Build-time point index of each packed slot (padding slots hold
   /// ~0): the self-KNN batch writes its result rows through this map.
-  std::vector<std::uint64_t> packed_local_idx_;
+  std::span<const std::uint64_t> packed_local_idx_;
   TreeStats stats_;
 };
 

@@ -38,11 +38,14 @@ struct BuildNode {
 
 class KdTreeBuilder {
  public:
-  KdTreeBuilder(const data::PointSet& points, const BuildConfig& config,
+  KdTreeBuilder(const data::PointStorage& points, const BuildConfig& config,
                 parallel::ThreadPool& pool)
       : points_(points), config_(config), pool_(pool) {
     PANDA_CHECK_MSG(config.bucket_size >= 1, "bucket_size must be >= 1");
     PANDA_CHECK_MSG(points.dims() >= 1, "points must have dimensions");
+    PANDA_CHECK_MSG(points.resident(),
+                    "KdTree::build needs resident storage; use "
+                    "build_external for spill-backed storage");
     depth_limit_ = 2 * ceil_log2_u64(points.size() + 1) + 64;
   }
 
@@ -139,6 +142,7 @@ class KdTreeBuilder {
     // children adjacent), then SIMD-pack the leaf buckets.
     linearize(tree);
     pack_leaves(tree);
+    tree.rebind_owned();
     const double packing_seconds = watch.seconds();
 
     compute_stats(tree);
@@ -427,17 +431,18 @@ class KdTreeBuilder {
   /// until pack_leaves assigns packed slots). Pre-order DFS, left
   /// subtree first — deterministic for a given build.
   void linearize(KdTree& tree) {
-    tree.nodes_.clear();
-    tree.leaves_.clear();
-    tree.leaf_nodes_.clear();
-    tree.nodes_.reserve(nodes_.size());
+    auto& out = tree.own_;
+    out.nodes.clear();
+    out.leaves.clear();
+    out.leaf_nodes.clear();
+    out.nodes.reserve(nodes_.size());
     if (nodes_.empty()) return;
     struct Item {
       std::uint32_t old_node;
       std::uint32_t new_node;
     };
     std::vector<Item> stack;
-    tree.nodes_.emplace_back();
+    out.nodes.emplace_back();
     stack.push_back({0, 0});
     while (!stack.empty()) {
       const Item item = stack.back();
@@ -447,17 +452,17 @@ class KdTreeBuilder {
       hot.split = b.split;
       hot.dim = b.dim;
       if (b.dim == KdTree::kLeafMarker) {
-        hot.child = static_cast<std::uint32_t>(tree.leaves_.size());
-        tree.leaves_.push_back({b.idx_lo, b.count});
-        tree.leaf_nodes_.push_back(item.new_node);
+        hot.child = static_cast<std::uint32_t>(out.leaves.size());
+        out.leaves.push_back({b.idx_lo, b.count});
+        out.leaf_nodes.push_back(item.new_node);
       } else {
-        hot.child = static_cast<std::uint32_t>(tree.nodes_.size());
-        tree.nodes_.emplace_back();
-        tree.nodes_.emplace_back();
+        hot.child = static_cast<std::uint32_t>(out.nodes.size());
+        out.nodes.emplace_back();
+        out.nodes.emplace_back();
         stack.push_back({b.right, hot.child + 1});
         stack.push_back({b.left, hot.child});
       }
-      tree.nodes_[item.new_node] = hot;
+      out.nodes[item.new_node] = hot;
     }
   }
 
@@ -465,30 +470,32 @@ class KdTreeBuilder {
   /// SoA storage (paper step iv).
   void pack_leaves(KdTree& tree) {
     const std::size_t dims = points_.dims();
+    auto& out = tree.own_;
     struct LeafRef {
       std::uint64_t idx_lo;
       std::uint32_t count;
       std::uint64_t slot_begin;
     };
     std::vector<LeafRef> leaves;
-    leaves.reserve(tree.leaves_.size());
+    leaves.reserve(out.leaves.size());
     std::uint64_t slots = 0;
-    for (KdTree::LeafInfo& leaf : tree.leaves_) {
+    for (KdTree::LeafInfo& leaf : out.leaves) {
       leaves.push_back({leaf.packed_begin, leaf.count, slots});
       leaf.packed_begin = slots;
       slots += simd::padded_count(leaf.count);
     }
-    tree.packed_.assign(slots * dims, simd::kPadSentinel);
-    tree.packed_ids_.assign(slots, ~std::uint64_t{0});
-    tree.packed_local_idx_.assign(slots, ~std::uint64_t{0});
+    out.packed.assign(slots * dims, simd::kPadSentinel);
+    out.packed_ids.assign(slots, ~std::uint64_t{0});
+    out.packed_local_idx.assign(slots, ~std::uint64_t{0});
 
+    const auto ids = points_.ids();
     parallel::parallel_for_dynamic(
         pool_, 0, leaves.size(), 8,
         [&](int, std::uint64_t a, std::uint64_t b) {
           for (std::uint64_t l = a; l < b; ++l) {
             const LeafRef& ref = leaves[l];
             const std::uint64_t stride = simd::padded_count(ref.count);
-            float* block = tree.packed_.data() + ref.slot_begin * dims;
+            float* block = out.packed.data() + ref.slot_begin * dims;
             for (std::size_t d = 0; d < dims; ++d) {
               const auto coords = points_.coordinate(d);
               float* row = block + d * stride;
@@ -497,10 +504,8 @@ class KdTreeBuilder {
               }
             }
             for (std::uint32_t i = 0; i < ref.count; ++i) {
-              tree.packed_ids_[ref.slot_begin + i] =
-                  points_.id(idx_[ref.idx_lo + i]);
-              tree.packed_local_idx_[ref.slot_begin + i] =
-                  idx_[ref.idx_lo + i];
+              out.packed_ids[ref.slot_begin + i] = ids[idx_[ref.idx_lo + i]];
+              out.packed_local_idx[ref.slot_begin + i] = idx_[ref.idx_lo + i];
             }
           }
         });
@@ -538,7 +543,7 @@ class KdTreeBuilder {
     tree.stats_ = stats;
   }
 
-  const data::PointSet& points_;
+  const data::PointStorage& points_;
   BuildConfig config_;
   parallel::ThreadPool& pool_;
   std::uint32_t depth_limit_ = 64;
@@ -547,10 +552,18 @@ class KdTreeBuilder {
   std::vector<BuildNode> nodes_;
 };
 
-KdTree KdTree::build(const data::PointSet& points, const BuildConfig& config,
-                     parallel::ThreadPool& pool, BuildBreakdown* breakdown) {
+KdTree KdTree::build(const data::PointStorage& points,
+                     const BuildConfig& config, parallel::ThreadPool& pool,
+                     BuildBreakdown* breakdown) {
   KdTreeBuilder builder(points, config, pool);
   return builder.build(breakdown);
+}
+
+KdTree KdTree::build(const data::PointSet& points, const BuildConfig& config,
+                     parallel::ThreadPool& pool, BuildBreakdown* breakdown) {
+  const data::PointSetView view(points);
+  return build(static_cast<const data::PointStorage&>(view), config, pool,
+               breakdown);
 }
 
 }  // namespace panda::core

@@ -1,0 +1,85 @@
+// On-disk layout of the PANDA kd-tree index file (KdTree::save /
+// load / open_mmap). Shared between the serializer (kdtree_io.cpp)
+// and the out-of-core build (kdtree_external.cpp), which streams its
+// stitched tree straight into this layout; nothing outside src/core
+// should need these definitions.
+//
+// Revisions:
+//   v1 — pre-hot/cold unified node records. Refused (cannot be
+//        represented losslessly in the split layout).
+//   v2 — hot/cold split, sections butted against a packed header.
+//        Loadable into owned memory only; leaf_nodes is recomputed
+//        from the node array on load.
+//   v3 — mmap revision: a 256-byte header block records a 64-byte-
+//        aligned offset per section (hot nodes, cold leaf infos,
+//        leaf-node map, packed SoA floats, packed ids, local-index
+//        map), and leaf_nodes is serialized rather than derived — so
+//        open_mmap binds query views into the map after reading
+//        nothing but the header. Open cost is O(1) in index size.
+//
+// All integers little-endian; a byte-swapped magic is diagnosed as an
+// endianness mismatch rather than "not an index".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/kdtree.hpp"
+
+namespace panda::core::detail {
+
+inline constexpr std::uint64_t kKdTreeMagic = 0x50414e44414b4454ULL;
+inline constexpr std::uint32_t kKdTreeVersionHotCold = 2;
+inline constexpr std::uint32_t kKdTreeVersionAligned = 3;
+
+/// Upper bound on believable dimensionality (matches the point-file
+/// bound): a corrupt header fails validation instead of driving a
+/// huge allocation or an out-of-bounds span.
+inline constexpr std::uint32_t kMaxKdTreeDims = 4096;
+
+/// v2 header, written packed, sections immediately following.
+struct KdTreeHeaderV2 {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t dims;
+  std::uint64_t node_count;
+  std::uint64_t leaf_count;
+  std::uint64_t packed_count;  // floats
+  std::uint64_t id_count;      // slots (ids and local-index map)
+  TreeStats stats;
+  BuildConfig config;
+};
+
+/// v3 header; the file reserves kKdTreeHeaderSpanV3 bytes for it
+/// (zero-padded) so the first section starts 64-aligned.
+struct KdTreeHeaderV3 {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t dims;
+  std::uint64_t node_count;
+  std::uint64_t leaf_count;
+  std::uint64_t packed_count;  // floats
+  std::uint64_t id_count;      // slots (ids and local-index map)
+  std::uint64_t file_size;     // total bytes, for validation
+  // Section offsets, each 64-byte-aligned from the file start.
+  std::uint64_t nodes_off;
+  std::uint64_t leaves_off;
+  std::uint64_t leaf_nodes_off;
+  std::uint64_t packed_off;
+  std::uint64_t ids_off;
+  std::uint64_t local_idx_off;
+  TreeStats stats;
+  BuildConfig config;
+};
+inline constexpr std::size_t kKdTreeHeaderSpanV3 = 256;
+static_assert(sizeof(KdTreeHeaderV3) <= kKdTreeHeaderSpanV3);
+
+inline constexpr std::uint64_t align64(std::uint64_t x) {
+  return (x + 63) & ~std::uint64_t{63};
+}
+
+inline constexpr std::uint64_t byteswap64(std::uint64_t x) {
+  return __builtin_bswap64(x);
+}
+
+}  // namespace panda::core::detail

@@ -1,36 +1,44 @@
 // Persistence for built kd-trees.
 //
-// Format version 2 (the hot/cold node split, DESIGN.md §9): header,
-// then the flat HotNode array, the cold LeafInfo array, the packed SoA
-// leaf storage, and the packed ids. Version-1 files (the old unified
-// 32-byte Node records) are refused with a clear diagnostic — the old
-// layout cannot be loaded into the split representation without a
-// rebuild, and silently misreading it would corrupt every query.
+// Format version 3 (the mmap revision, see core/kdtree_format.hpp):
+// a 256-byte header records a 64-byte-aligned offset per section —
+// hot nodes, cold leaf infos, the leaf-node map, packed SoA floats,
+// packed ids, the local-index map — so open_mmap() binds the query
+// views straight into a mapped file after validating nothing but the
+// header. Version-2 files (packed sections) load into owned memory;
+// version-1 files (the old unified 32-byte Node records) are refused
+// with a clear diagnostic — the old layout cannot be loaded into the
+// split representation without a rebuild, and silently misreading it
+// would corrupt every query.
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 
 #include "common/error.hpp"
 #include "core/kdtree.hpp"
+#include "core/kdtree_format.hpp"
 
 namespace panda::core {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x50414e44414b4454ULL;  // "PANDAKDT"
-constexpr std::uint32_t kVersion = 2;
+using detail::align64;
+using detail::byteswap64;
+using detail::KdTreeHeaderV2;
+using detail::KdTreeHeaderV3;
+using detail::kKdTreeHeaderSpanV3;
+using detail::kKdTreeMagic;
+using detail::kKdTreeVersionAligned;
+using detail::kKdTreeVersionHotCold;
+using detail::kMaxKdTreeDims;
+
 constexpr std::uint32_t kLeafMarkerValue = 0xffffffffu;
 
-struct Header {
-  std::uint64_t magic;
-  std::uint32_t version;
-  std::uint32_t dims;
-  std::uint64_t node_count;
-  std::uint64_t leaf_count;
-  std::uint64_t packed_count;   // floats
-  std::uint64_t id_count;       // slots (ids and local-index map)
-  TreeStats stats;
-  BuildConfig config;
-};
+// Section element sizes, spelled as constants because HotNode /
+// LeafInfo are private to KdTree; save() static_asserts they match.
+constexpr std::uint64_t kHotNodeBytes = 12;
+constexpr std::uint64_t kLeafInfoBytes = 16;
 
 template <typename T>
 void write_raw(std::ofstream& out, const T* data, std::size_t count) {
@@ -44,6 +52,68 @@ void read_raw(std::ifstream& in, T* data, std::size_t count) {
           static_cast<std::streamsize>(count * sizeof(T)));
 }
 
+void write_padding(std::ofstream& out, std::uint64_t from, std::uint64_t to) {
+  static constexpr char zeros[64] = {};
+  while (from < to) {
+    const std::uint64_t n = std::min<std::uint64_t>(to - from, sizeof(zeros));
+    out.write(zeros, static_cast<std::streamsize>(n));
+    from += n;
+  }
+}
+
+/// Full v3 header validation — everything that must hold before any
+/// section pointer is formed or any allocation is sized from a header
+/// field. `actual_size` is the real file size.
+void validate_v3(const KdTreeHeaderV3& h, std::uint64_t actual_size,
+                 const std::string& path) {
+  PANDA_CHECK_MSG(h.dims >= 1 && h.dims <= kMaxKdTreeDims,
+                  "kd-tree header field 'dims' out of bounds ("
+                      << h.dims << ", expected 1.." << kMaxKdTreeDims
+                      << "): " << path);
+  PANDA_CHECK_MSG(h.file_size == actual_size,
+                  "kd-tree header field 'file_size' inconsistent ("
+                      << h.file_size << " recorded, " << actual_size
+                      << " actual): " << path);
+  // Child links and leaf references are 32-bit.
+  PANDA_CHECK_MSG(h.node_count < 0xffffffffull &&
+                      h.leaf_count < 0xffffffffull,
+                  "kd-tree header node/leaf counts out of bounds: " << path);
+  const std::uint64_t offs[] = {h.nodes_off,  h.leaves_off, h.leaf_nodes_off,
+                                h.packed_off, h.ids_off,    h.local_idx_off};
+  for (const std::uint64_t off : offs) {
+    PANDA_CHECK_MSG(off % 64 == 0,
+                    "kd-tree header has misaligned section offsets: " << path);
+  }
+  const std::uint64_t ends[] = {
+      h.nodes_off + h.node_count * kHotNodeBytes,
+      h.leaves_off + h.leaf_count * kLeafInfoBytes,
+      h.leaf_nodes_off + h.leaf_count * sizeof(std::uint32_t),
+      h.packed_off + h.packed_count * sizeof(float),
+      h.ids_off + h.id_count * sizeof(std::uint64_t),
+      h.local_idx_off + h.id_count * sizeof(std::uint64_t)};
+  for (std::size_t s = 0; s < 6; ++s) {
+    PANDA_CHECK_MSG(offs[s] >= kKdTreeHeaderSpanV3 && ends[s] >= offs[s] &&
+                        ends[s] <= actual_size,
+                    "kd-tree header section " << s
+                                              << " out of file bounds: "
+                                              << path);
+  }
+}
+
+/// Section offsets for the tree described by `h` in the canonical
+/// (tightly packed, 64-aligned) order save() emits.
+void layout_v3(KdTreeHeaderV3& h) {
+  h.nodes_off = kKdTreeHeaderSpanV3;
+  h.leaves_off = align64(h.nodes_off + h.node_count * kHotNodeBytes);
+  h.leaf_nodes_off = align64(h.leaves_off + h.leaf_count * kLeafInfoBytes);
+  h.packed_off =
+      align64(h.leaf_nodes_off + h.leaf_count * sizeof(std::uint32_t));
+  h.ids_off = align64(h.packed_off + h.packed_count * sizeof(float));
+  h.local_idx_off =
+      align64(h.ids_off + h.id_count * sizeof(std::uint64_t));
+  h.file_size = h.local_idx_off + h.id_count * sizeof(std::uint64_t);
+}
+
 }  // namespace
 
 void KdTree::save(const std::string& path) const {
@@ -51,12 +121,52 @@ void KdTree::save(const std::string& path) const {
   static_assert(std::is_trivially_copyable_v<LeafInfo>);
   static_assert(std::is_trivially_copyable_v<TreeStats>);
   static_assert(std::is_trivially_copyable_v<BuildConfig>);
+  static_assert(sizeof(HotNode) == kHotNodeBytes);
+  static_assert(sizeof(LeafInfo) == kLeafInfoBytes);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   PANDA_CHECK_MSG(out.good(), "cannot open for writing: " << path);
 
-  Header header{};
-  header.magic = kMagic;
-  header.version = kVersion;
+  KdTreeHeaderV3 header{};
+  header.magic = kKdTreeMagic;
+  header.version = kKdTreeVersionAligned;
+  header.dims = static_cast<std::uint32_t>(dims_);
+  header.node_count = nodes_.size();
+  header.leaf_count = leaves_.size();
+  header.packed_count = packed_.size();
+  header.id_count = packed_ids_.size();
+  header.stats = stats_;
+  header.config = config_;
+  layout_v3(header);
+
+  write_raw(out, &header, 1);
+  write_padding(out, sizeof(header), header.nodes_off);
+  write_raw(out, nodes_.data(), nodes_.size());
+  write_padding(out, header.nodes_off + nodes_.size_bytes(),
+                header.leaves_off);
+  write_raw(out, leaves_.data(), leaves_.size());
+  write_padding(out, header.leaves_off + leaves_.size_bytes(),
+                header.leaf_nodes_off);
+  write_raw(out, leaf_nodes_.data(), leaf_nodes_.size());
+  write_padding(out, header.leaf_nodes_off + leaf_nodes_.size_bytes(),
+                header.packed_off);
+  write_raw(out, packed_.data(), packed_.size());
+  write_padding(out, header.packed_off + packed_.size_bytes(),
+                header.ids_off);
+  write_raw(out, packed_ids_.data(), packed_ids_.size());
+  write_padding(out, header.ids_off + packed_ids_.size_bytes(),
+                header.local_idx_off);
+  write_raw(out, packed_local_idx_.data(), packed_local_idx_.size());
+  out.flush();
+  PANDA_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+void KdTree::save_legacy_v2(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PANDA_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+
+  KdTreeHeaderV2 header{};
+  header.magic = kKdTreeMagic;
+  header.version = kKdTreeVersionHotCold;
   header.dims = static_cast<std::uint32_t>(dims_);
   header.node_count = nodes_.size();
   header.leaf_count = leaves_.size();
@@ -77,48 +187,131 @@ void KdTree::save(const std::string& path) const {
 KdTree KdTree::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   PANDA_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t actual_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
 
-  // The version field sits at the same offset in every format
+  // Magic and version sit at the same offsets in every format
   // revision, so an old file is identified exactly, not as garbage.
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
   read_raw(in, &magic, 1);
   read_raw(in, &version, 1);
   PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
-  PANDA_CHECK_MSG(magic == kMagic, "not a PANDA kd-tree: " << path);
-  PANDA_CHECK_MSG(version == kVersion,
+  PANDA_CHECK_MSG(magic != byteswap64(kKdTreeMagic),
+                  "kd-tree file has byte-swapped magic (endianness "
+                  "mismatch — file written on a big-endian host?): "
+                      << path);
+  PANDA_CHECK_MSG(magic == kKdTreeMagic, "not a PANDA kd-tree: " << path);
+
+  if (version == kKdTreeVersionHotCold) {
+    in.seekg(0);
+    KdTreeHeaderV2 header{};
+    read_raw(in, &header, 1);
+    PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+
+    KdTree tree;
+    tree.dims_ = header.dims;
+    tree.stats_ = header.stats;
+    tree.config_ = header.config;
+    tree.own_.nodes.resize(header.node_count);
+    read_raw(in, tree.own_.nodes.data(), tree.own_.nodes.size());
+    tree.own_.leaves.resize(header.leaf_count);
+    read_raw(in, tree.own_.leaves.data(), tree.own_.leaves.size());
+    tree.own_.packed.resize(header.packed_count);
+    read_raw(in, tree.own_.packed.data(), tree.own_.packed.size());
+    tree.own_.packed_ids.resize(header.id_count);
+    read_raw(in, tree.own_.packed_ids.data(), tree.own_.packed_ids.size());
+    tree.own_.packed_local_idx.resize(header.id_count);
+    read_raw(in, tree.own_.packed_local_idx.data(),
+             tree.own_.packed_local_idx.size());
+    PANDA_CHECK_MSG(in.good(), "truncated payload: " << path);
+    // v2 does not serialize leaf_nodes: rebuild the leaf-record ->
+    // hot-node map from the node array.
+    tree.own_.leaf_nodes.resize(tree.own_.leaves.size());
+    for (std::uint32_t v = 0; v < tree.own_.nodes.size(); ++v) {
+      if (tree.own_.nodes[v].dim == kLeafMarkerValue) {
+        tree.own_.leaf_nodes[tree.own_.nodes[v].child] = v;
+      }
+    }
+    tree.rebind_owned();
+    return tree;
+  }
+
+  PANDA_CHECK_MSG(version == kKdTreeVersionAligned,
                   "unsupported kd-tree version "
-                      << version << " (expected " << kVersion
+                      << version << " (expected " << kKdTreeVersionAligned
                       << "); rebuild and re-save the index");
 
   in.seekg(0);
-  Header header{};
+  KdTreeHeaderV3 header{};
   read_raw(in, &header, 1);
   PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+  validate_v3(header, actual_size, path);
 
   KdTree tree;
   tree.dims_ = header.dims;
   tree.stats_ = header.stats;
   tree.config_ = header.config;
-  tree.nodes_.resize(header.node_count);
-  read_raw(in, tree.nodes_.data(), tree.nodes_.size());
-  tree.leaves_.resize(header.leaf_count);
-  read_raw(in, tree.leaves_.data(), tree.leaves_.size());
-  tree.packed_.resize(header.packed_count);
-  read_raw(in, tree.packed_.data(), tree.packed_.size());
-  tree.packed_ids_.resize(header.id_count);
-  read_raw(in, tree.packed_ids_.data(), tree.packed_ids_.size());
-  tree.packed_local_idx_.resize(header.id_count);
-  read_raw(in, tree.packed_local_idx_.data(), tree.packed_local_idx_.size());
+  auto read_section = [&](auto& vec, std::uint64_t off, std::uint64_t count) {
+    vec.resize(count);
+    in.seekg(static_cast<std::streamoff>(off));
+    read_raw(in, vec.data(), vec.size());
+  };
+  read_section(tree.own_.nodes, header.nodes_off, header.node_count);
+  read_section(tree.own_.leaves, header.leaves_off, header.leaf_count);
+  read_section(tree.own_.leaf_nodes, header.leaf_nodes_off,
+               header.leaf_count);
+  read_section(tree.own_.packed, header.packed_off, header.packed_count);
+  read_section(tree.own_.packed_ids, header.ids_off, header.id_count);
+  read_section(tree.own_.packed_local_idx, header.local_idx_off,
+               header.id_count);
   PANDA_CHECK_MSG(in.good(), "truncated payload: " << path);
-  // leaf_nodes_ is derived state: rebuild the leaf-record -> hot-node
-  // map rather than serializing it.
-  tree.leaf_nodes_.resize(tree.leaves_.size());
-  for (std::uint32_t v = 0; v < tree.nodes_.size(); ++v) {
-    if (tree.nodes_[v].dim == kLeafMarkerValue) {
-      tree.leaf_nodes_[tree.nodes_[v].child] = v;
-    }
-  }
+  tree.rebind_owned();
+  return tree;
+}
+
+KdTree KdTree::open_mmap(const std::string& path) {
+  auto file = common::MmapFile::open(path);
+  PANDA_CHECK_MSG(file->size() >= kKdTreeHeaderSpanV3,
+                  "kd-tree file too small for a header: " << path);
+  KdTreeHeaderV3 header{};
+  std::memcpy(&header, file->data(), sizeof(header));
+  PANDA_CHECK_MSG(header.magic != byteswap64(kKdTreeMagic),
+                  "kd-tree file has byte-swapped magic (endianness "
+                  "mismatch — file written on a big-endian host?): "
+                      << path);
+  PANDA_CHECK_MSG(header.magic == kKdTreeMagic,
+                  "not a PANDA kd-tree: " << path);
+  PANDA_CHECK_MSG(header.version == kKdTreeVersionAligned,
+                  "kd-tree file " << path << " is format version "
+                                  << header.version
+                                  << "; open_mmap needs version "
+                                  << kKdTreeVersionAligned
+                                  << " (load() and save() to convert)");
+  validate_v3(header, file->size(), path);
+
+  KdTree tree;
+  tree.dims_ = header.dims;
+  tree.stats_ = header.stats;
+  tree.config_ = header.config;
+  tree.mapping_ = std::move(file);
+  const std::byte* base = tree.mapping_->data();
+  tree.nodes_ = {reinterpret_cast<const HotNode*>(base + header.nodes_off),
+                 header.node_count};
+  tree.leaves_ = {reinterpret_cast<const LeafInfo*>(base + header.leaves_off),
+                  header.leaf_count};
+  tree.leaf_nodes_ = {
+      reinterpret_cast<const std::uint32_t*>(base + header.leaf_nodes_off),
+      header.leaf_count};
+  tree.packed_ = {reinterpret_cast<const float*>(base + header.packed_off),
+                  header.packed_count};
+  tree.packed_ids_ = {
+      reinterpret_cast<const std::uint64_t*>(base + header.ids_off),
+      header.id_count};
+  tree.packed_local_idx_ = {
+      reinterpret_cast<const std::uint64_t*>(base + header.local_idx_off),
+      header.id_count};
   return tree;
 }
 

@@ -9,11 +9,10 @@
 
 namespace panda::core {
 
-double sampled_variance(const data::PointSet& points,
-                        std::span<const std::uint64_t> idx, std::size_t dim,
+double sampled_variance(std::span<const float> coords,
+                        std::span<const std::uint64_t> idx,
                         std::size_t max_samples) {
   const auto sample_positions = strided_indices(idx.size(), max_samples);
-  const auto coords = points.coordinate(dim);
   double mean = 0.0;
   double m2 = 0.0;
   std::uint64_t count = 0;
@@ -27,29 +26,10 @@ double sampled_variance(const data::PointSet& points,
   return count == 0 ? 0.0 : m2 / static_cast<double>(count);
 }
 
-std::size_t choose_dimension_by_variance(const data::PointSet& points,
-                                         std::span<const std::uint64_t> idx,
-                                         std::size_t max_samples,
-                                         double* variance_out) {
-  std::size_t best_dim = 0;
-  double best_var = -1.0;
-  for (std::size_t d = 0; d < points.dims(); ++d) {
-    const double var = sampled_variance(points, idx, d, max_samples);
-    if (var > best_var) {
-      best_var = var;
-      best_dim = d;
-    }
-  }
-  if (variance_out != nullptr) *variance_out = best_var;
-  return best_dim;
-}
-
-std::vector<float> sample_boundaries(const data::PointSet& points,
+std::vector<float> sample_boundaries(std::span<const float> coords,
                                      std::span<const std::uint64_t> idx,
-                                     std::size_t dim,
                                      std::size_t max_samples) {
   const auto sample_positions = strided_indices(idx.size(), max_samples);
-  const auto coords = points.coordinate(dim);
   std::vector<float> values;
   values.reserve(sample_positions.size());
   for (const std::uint64_t s : sample_positions) {
@@ -59,12 +39,87 @@ std::vector<float> sample_boundaries(const data::PointSet& points,
   return values;
 }
 
+float sample_median(std::span<const float> coords,
+                    std::span<const std::uint64_t> idx,
+                    std::size_t max_samples) {
+  PANDA_CHECK(!idx.empty());
+  auto values = sample_boundaries(coords, idx, max_samples);
+  return values[values.size() / 2];
+}
+
+namespace {
+
+template <typename Points>
+std::size_t choose_dimension_impl(const Points& points,
+                                  std::span<const std::uint64_t> idx,
+                                  std::size_t max_samples,
+                                  double* variance_out) {
+  std::size_t best_dim = 0;
+  double best_var = -1.0;
+  for (std::size_t d = 0; d < points.dims(); ++d) {
+    const double var =
+        sampled_variance(points.coordinate(d), idx, max_samples);
+    if (var > best_var) {
+      best_var = var;
+      best_dim = d;
+    }
+  }
+  if (variance_out != nullptr) *variance_out = best_var;
+  return best_dim;
+}
+
+}  // namespace
+
+double sampled_variance(const data::PointSet& points,
+                        std::span<const std::uint64_t> idx, std::size_t dim,
+                        std::size_t max_samples) {
+  return sampled_variance(points.coordinate(dim), idx, max_samples);
+}
+
+double sampled_variance(const data::PointStorage& points,
+                        std::span<const std::uint64_t> idx, std::size_t dim,
+                        std::size_t max_samples) {
+  return sampled_variance(points.coordinate(dim), idx, max_samples);
+}
+
+std::size_t choose_dimension_by_variance(const data::PointSet& points,
+                                         std::span<const std::uint64_t> idx,
+                                         std::size_t max_samples,
+                                         double* variance_out) {
+  return choose_dimension_impl(points, idx, max_samples, variance_out);
+}
+
+std::size_t choose_dimension_by_variance(const data::PointStorage& points,
+                                         std::span<const std::uint64_t> idx,
+                                         std::size_t max_samples,
+                                         double* variance_out) {
+  return choose_dimension_impl(points, idx, max_samples, variance_out);
+}
+
+std::vector<float> sample_boundaries(const data::PointSet& points,
+                                     std::span<const std::uint64_t> idx,
+                                     std::size_t dim,
+                                     std::size_t max_samples) {
+  return sample_boundaries(points.coordinate(dim), idx, max_samples);
+}
+
+std::vector<float> sample_boundaries(const data::PointStorage& points,
+                                     std::span<const std::uint64_t> idx,
+                                     std::size_t dim,
+                                     std::size_t max_samples) {
+  return sample_boundaries(points.coordinate(dim), idx, max_samples);
+}
+
 float sample_median(const data::PointSet& points,
                     std::span<const std::uint64_t> idx, std::size_t dim,
                     std::size_t max_samples) {
-  PANDA_CHECK(!idx.empty());
-  auto values = sample_boundaries(points, idx, dim, max_samples);
-  return values[values.size() / 2];
+  return sample_median(points.coordinate(dim), idx, max_samples);
+}
+
+float sample_median(const data::PointStorage& points,
+                    std::span<const std::uint64_t> idx, std::size_t dim,
+                    std::size_t max_samples) {
+  return sample_median(points.coordinate(dim), idx, max_samples);
 }
 
 std::size_t pick_split_boundary(std::span<const std::uint64_t> hist,

@@ -18,12 +18,36 @@
 #include <vector>
 
 #include "data/point_set.hpp"
+#include "data/storage.hpp"
 
 namespace panda::core {
 
-/// Variance of dimension d over the points selected by `idx`, using at
+// The primitives work on one dimension's contiguous coordinate span —
+// whatever storage backend it came from; the PointSet / PointStorage
+// overloads below just resolve the span.
+
+/// Variance of `coords` over the points selected by `idx`, using at
 /// most `max_samples` strided samples.
+double sampled_variance(std::span<const float> coords,
+                        std::span<const std::uint64_t> idx,
+                        std::size_t max_samples);
+
+/// Strided sample of `coords` values over `idx`, sorted ascending —
+/// the histogram's non-uniform bin boundaries.
+std::vector<float> sample_boundaries(std::span<const float> coords,
+                                     std::span<const std::uint64_t> idx,
+                                     std::size_t max_samples);
+
+/// Approximate median: the middle of a sorted sample. Cheap path used
+/// by the serial thread-parallel phase.
+float sample_median(std::span<const float> coords,
+                    std::span<const std::uint64_t> idx,
+                    std::size_t max_samples);
+
 double sampled_variance(const data::PointSet& points,
+                        std::span<const std::uint64_t> idx, std::size_t dim,
+                        std::size_t max_samples);
+double sampled_variance(const data::PointStorage& points,
                         std::span<const std::uint64_t> idx, std::size_t dim,
                         std::size_t max_samples);
 
@@ -33,17 +57,24 @@ std::size_t choose_dimension_by_variance(const data::PointSet& points,
                                          std::span<const std::uint64_t> idx,
                                          std::size_t max_samples,
                                          double* variance_out = nullptr);
+std::size_t choose_dimension_by_variance(const data::PointStorage& points,
+                                         std::span<const std::uint64_t> idx,
+                                         std::size_t max_samples,
+                                         double* variance_out = nullptr);
 
-/// Strided sample of coordinate `dim` values over `idx`, sorted
-/// ascending — the histogram's non-uniform bin boundaries.
 std::vector<float> sample_boundaries(const data::PointSet& points,
                                      std::span<const std::uint64_t> idx,
                                      std::size_t dim,
                                      std::size_t max_samples);
+std::vector<float> sample_boundaries(const data::PointStorage& points,
+                                     std::span<const std::uint64_t> idx,
+                                     std::size_t dim,
+                                     std::size_t max_samples);
 
-/// Approximate median: the middle of a sorted sample. Cheap path used
-/// by the serial thread-parallel phase.
 float sample_median(const data::PointSet& points,
+                    std::span<const std::uint64_t> idx, std::size_t dim,
+                    std::size_t max_samples);
+float sample_median(const data::PointStorage& points,
                     std::span<const std::uint64_t> idx, std::size_t dim,
                     std::size_t max_samples);
 

@@ -1,0 +1,66 @@
+// On-disk layout of the PANDA point-file format (data/io.hpp).
+//
+// Shared between the serializer (io.cpp) and the zero-copy view
+// (MmapStorage in storage.cpp); nothing outside src/data should need
+// these definitions. Two revisions exist:
+//
+//   v1 (legacy)  — 24-byte packed header, ids and coordinate arrays
+//                  butted directly against it. Readable by
+//                  load_points, refused by MmapStorage (arrays are
+//                  not alignment-guaranteed).
+//   v2 (aligned) — 64-byte header block; the id array and every
+//                  per-dimension coordinate array start at 64-byte-
+//                  aligned offsets recorded in the header, so a
+//                  mapped file serves SIMD-aligned spans in place.
+//
+// All integers little-endian; a byte-swapped magic is diagnosed as an
+// endianness mismatch rather than "not a point file".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace panda::data::detail {
+
+inline constexpr std::uint64_t kPointsMagic = 0x50414e4441505453ULL;
+inline constexpr std::uint32_t kPointsVersionLegacy = 1;
+inline constexpr std::uint32_t kPointsVersionAligned = 2;
+
+/// Upper bound on believable dimensionality: a corrupt header must
+/// fail this check rather than drive a huge allocation.
+inline constexpr std::uint32_t kMaxPointDims = 4096;
+
+/// v1 header, written packed (no trailing padding on disk).
+struct PointsHeaderV1 {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t dims;
+  std::uint64_t count;
+};
+inline constexpr std::size_t kPointsHeaderV1Bytes = 24;
+
+/// v2 header; the file reserves kPointsHeaderSpan bytes for it
+/// (zero-padded) so the first section can start 64-aligned.
+struct PointsHeaderV2 {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t dims;
+  std::uint64_t count;
+  std::uint64_t ids_off;            // 64-aligned
+  std::uint64_t coords_off;         // 64-aligned; dim d at coords_off +
+                                    // d * coord_stride_bytes
+  std::uint64_t coord_stride_bytes; // 64-aligned, >= count * 4
+  std::uint64_t file_size;          // total bytes, for validation
+};
+inline constexpr std::size_t kPointsHeaderSpan = 64;
+static_assert(sizeof(PointsHeaderV2) <= kPointsHeaderSpan);
+
+inline constexpr std::uint64_t align64(std::uint64_t x) {
+  return (x + 63) & ~std::uint64_t{63};
+}
+
+inline constexpr std::uint64_t byteswap64(std::uint64_t x) {
+  return __builtin_bswap64(x);
+}
+
+}  // namespace panda::data::detail

@@ -3,22 +3,49 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
 #include "common/error.hpp"
+#include "data/file_format.hpp"
 
 namespace panda::data {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x50414e4441505453ULL;  // "PANDAPTS"
-constexpr std::uint32_t kVersion = 1;
+using detail::align64;
+using detail::kMaxPointDims;
+using detail::kPointsHeaderSpan;
+using detail::kPointsHeaderV1Bytes;
+using detail::kPointsMagic;
+using detail::kPointsVersionAligned;
+using detail::kPointsVersionLegacy;
+using detail::PointsHeaderV1;
+using detail::PointsHeaderV2;
 
-struct Header {
-  std::uint64_t magic;
-  std::uint32_t version;
-  std::uint32_t dims;
-  std::uint64_t count;
-};
+void write_padding(std::ofstream& out, std::uint64_t from, std::uint64_t to) {
+  static constexpr char zeros[64] = {};
+  while (from < to) {
+    const std::uint64_t n = std::min<std::uint64_t>(to - from, sizeof(zeros));
+    out.write(zeros, static_cast<std::streamsize>(n));
+    from += n;
+  }
+}
+
+/// Shared header validation: magic (with the endianness diagnosis)
+/// and dims bounds — everything that must hold before believing any
+/// size field.
+void validate_magic_and_dims(std::uint64_t magic, std::uint32_t dims,
+                             const std::string& path) {
+  PANDA_CHECK_MSG(magic != detail::byteswap64(kPointsMagic),
+                  "point file has byte-swapped magic (endianness "
+                  "mismatch — file written on a big-endian host?): "
+                      << path);
+  PANDA_CHECK_MSG(magic == kPointsMagic, "not a PANDA point file: " << path);
+  PANDA_CHECK_MSG(dims >= 1 && dims <= kMaxPointDims,
+                  "point file header field 'dims' out of bounds ("
+                      << dims << ", expected 1.." << kMaxPointDims
+                      << "): " << path);
+}
 
 }  // namespace
 
@@ -26,17 +53,29 @@ void save_points(const PointSet& points, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   PANDA_CHECK_MSG(out.good(), "cannot open for writing: " << path);
 
-  Header header{kMagic, kVersion, static_cast<std::uint32_t>(points.dims()),
-                points.size()};
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  const std::uint64_t count = points.size();
+  PointsHeaderV2 header{};
+  header.magic = kPointsMagic;
+  header.version = kPointsVersionAligned;
+  header.dims = static_cast<std::uint32_t>(points.dims());
+  header.count = count;
+  header.ids_off = kPointsHeaderSpan;
+  header.coords_off = align64(header.ids_off + count * sizeof(std::uint64_t));
+  header.coord_stride_bytes = align64(count * sizeof(float));
+  header.file_size =
+      header.coords_off + points.dims() * header.coord_stride_bytes;
 
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  write_padding(out, sizeof(header), header.ids_off);
   const auto ids = points.ids();
   out.write(reinterpret_cast<const char*>(ids.data()),
             static_cast<std::streamsize>(ids.size_bytes()));
+  write_padding(out, header.ids_off + ids.size_bytes(), header.coords_off);
   for (std::size_t d = 0; d < points.dims(); ++d) {
     const auto coords = points.coordinate(d);
     out.write(reinterpret_cast<const char*>(coords.data()),
               static_cast<std::streamsize>(coords.size_bytes()));
+    write_padding(out, coords.size_bytes(), header.coord_stride_bytes);
   }
   out.flush();
   PANDA_CHECK_MSG(out.good(), "write failed: " << path);
@@ -45,22 +84,91 @@ void save_points(const PointSet& points, const std::string& path) {
 PointSet load_points(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   PANDA_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t actual_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
 
-  Header header{};
+  // Magic and version sit at the same offsets in every revision, so an
+  // old or foreign file is identified exactly, not read as garbage.
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+
+  if (version == kPointsVersionLegacy && magic == kPointsMagic) {
+    in.seekg(0);
+    PointsHeaderV1 header{};
+    static_assert(sizeof(header) == kPointsHeaderV1Bytes);
+    in.read(reinterpret_cast<char*>(&header), sizeof(header));
+    PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+    validate_magic_and_dims(header.magic, header.dims, path);
+    // The count field drives every allocation below: require it to be
+    // exactly consistent with the file's size first.
+    const std::uint64_t expected =
+        kPointsHeaderV1Bytes +
+        header.count * (sizeof(std::uint64_t) + header.dims * sizeof(float));
+    PANDA_CHECK_MSG(expected == actual_size,
+                    "point file header field 'count' inconsistent with file "
+                    "size (count "
+                        << header.count << " implies " << expected
+                        << " bytes, file has " << actual_size
+                        << "): " << path);
+
+    PointSet points(header.dims, header.count);
+    {
+      std::vector<std::uint64_t> ids(header.count);
+      in.read(reinterpret_cast<char*>(ids.data()),
+              static_cast<std::streamsize>(ids.size() *
+                                           sizeof(std::uint64_t)));
+      for (std::size_t i = 0; i < ids.size(); ++i) points.set_id(i, ids[i]);
+    }
+    for (std::size_t d = 0; d < header.dims; ++d) {
+      auto coords = points.coordinate(d);
+      in.read(reinterpret_cast<char*>(coords.data()),
+              static_cast<std::streamsize>(coords.size_bytes()));
+    }
+    PANDA_CHECK_MSG(in.good(), "truncated payload: " << path);
+    return points;
+  }
+
+  validate_magic_and_dims(magic, 1, path);  // magic/endianness first
+  PANDA_CHECK_MSG(version == kPointsVersionAligned,
+                  "unsupported point file version " << version << ": "
+                                                    << path);
+  in.seekg(0);
+  PointsHeaderV2 header{};
   in.read(reinterpret_cast<char*>(&header), sizeof(header));
   PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
-  PANDA_CHECK_MSG(header.magic == kMagic, "not a PANDA point file: " << path);
-  PANDA_CHECK_MSG(header.version == kVersion,
-                  "unsupported version " << header.version << ": " << path);
+  validate_magic_and_dims(header.magic, header.dims, path);
+  PANDA_CHECK_MSG(header.file_size == actual_size,
+                  "point file header field 'file_size' inconsistent ("
+                      << header.file_size << " recorded, " << actual_size
+                      << " actual): " << path);
+  PANDA_CHECK_MSG(header.ids_off % 64 == 0 && header.coords_off % 64 == 0 &&
+                      header.coord_stride_bytes % 64 == 0,
+                  "point file header has misaligned section offsets: "
+                      << path);
+  PANDA_CHECK_MSG(
+      header.coord_stride_bytes >= header.count * sizeof(float) &&
+          header.ids_off + header.count * sizeof(std::uint64_t) <=
+              header.coords_off &&
+          header.coords_off + header.dims * header.coord_stride_bytes <=
+              actual_size,
+      "point file header field 'count' inconsistent with section layout: "
+          << path);
 
   PointSet points(header.dims, header.count);
   {
+    in.seekg(static_cast<std::streamoff>(header.ids_off));
     std::vector<std::uint64_t> ids(header.count);
     in.read(reinterpret_cast<char*>(ids.data()),
             static_cast<std::streamsize>(ids.size() * sizeof(std::uint64_t)));
     for (std::size_t i = 0; i < ids.size(); ++i) points.set_id(i, ids[i]);
   }
   for (std::size_t d = 0; d < header.dims; ++d) {
+    in.seekg(static_cast<std::streamoff>(header.coords_off +
+                                         d * header.coord_stride_bytes));
     auto coords = points.coordinate(d);
     in.read(reinterpret_cast<char*>(coords.data()),
             static_cast<std::streamsize>(coords.size_bytes()));

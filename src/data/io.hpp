@@ -3,9 +3,16 @@
 // The paper stores its science data as HDF5 one-array-per-property;
 // HDF5 is not available offline, so PANDA ships a self-describing
 // little-endian binary format with the same one-array-per-property
-// layout: header (magic, version, dims, count) followed by the id
-// array and one coordinate array per dimension. Used by the examples
-// to persist generated datasets between runs.
+// layout. Format v2 (the aligned revision, see data/file_format.hpp)
+// places the id array and every coordinate array at 64-byte-aligned
+// offsets so MmapStorage can serve the file zero-copy; v1 files
+// remain loadable into owned memory.
+//
+// Headers are validated BEFORE any allocation: magic (including the
+// byte-swapped endianness case), version, dims bounds, and the
+// count/section offsets against the actual file size — a corrupt
+// size field produces a panda::Error naming the offending field, not
+// a multi-gigabyte allocation attempt.
 #pragma once
 
 #include <string>
@@ -14,11 +21,12 @@
 
 namespace panda::data {
 
-/// Writes `points` to `path`. Throws panda::Error on I/O failure.
+/// Writes `points` to `path` in format v2 (aligned). Throws
+/// panda::Error on I/O failure.
 void save_points(const PointSet& points, const std::string& path);
 
-/// Reads a PointSet written by save_points. Throws panda::Error on
-/// I/O failure or format mismatch.
+/// Reads a PointSet written by save_points (v1 or v2). Throws
+/// panda::Error on I/O failure or format mismatch.
 PointSet load_points(const std::string& path);
 
 }  // namespace panda::data

@@ -75,4 +75,80 @@ data::PointSet redistribute_by_owner(net::Comm& comm,
   return exchange_points(comm, local, destinations);
 }
 
+namespace {
+
+/// Shared streaming exchange: walks `local` one chunk at a time,
+/// asking `dest_of(point coords, global position)` for each point's
+/// rank, then runs the same one-shot alltoallv as the PointSet path.
+template <typename DestFn>
+data::PointSet exchange_streaming(net::Comm& comm,
+                                  const data::PointStorage& local,
+                                  DestFn&& dest_of) {
+  const int ranks = comm.size();
+  const std::size_t dims = local.dims();
+  const std::size_t point_bytes =
+      sizeof(std::uint64_t) + dims * sizeof(float);
+
+  std::vector<detail::WireWriter> writers(static_cast<std::size_t>(ranks));
+  std::vector<float> p(dims);
+  data::PointSet chunk(dims);
+  std::vector<std::uint64_t> positions;
+  for (std::size_t c = 0; c < local.chunk_count(); ++c) {
+    local.read_chunk(c, chunk, &positions);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      chunk.copy_point(i, p.data());
+      const int d = dest_of(std::span<const float>(p), positions[i]);
+      PANDA_CHECK_MSG(d >= 0 && d < ranks,
+                      "exchange_points: destination rank out of range");
+      auto& writer = writers[static_cast<std::size_t>(d)];
+      writer.put<std::uint64_t>(chunk.id(i));
+      writer.put_span(std::span<const float>(p));
+    }
+  }
+  std::vector<std::vector<std::byte>> rows(static_cast<std::size_t>(ranks));
+  for (int d = 0; d < ranks; ++d) {
+    rows[static_cast<std::size_t>(d)] =
+        writers[static_cast<std::size_t>(d)].take();
+  }
+  const auto rows_in = comm.alltoallv(rows);
+
+  std::size_t total = 0;
+  for (const auto& row : rows_in) total += row.size() / point_bytes;
+  data::PointSet received(dims);
+  received.reserve(total);
+  for (int s = 0; s < ranks; ++s) {
+    detail::WireReader reader(rows_in[static_cast<std::size_t>(s)]);
+    while (!reader.done()) {
+      const auto id = reader.get<std::uint64_t>();
+      reader.get_into(std::span<float>(p));
+      received.push_point(p, id);
+    }
+  }
+  return received;
+}
+
+}  // namespace
+
+data::PointSet exchange_points(net::Comm& comm,
+                               const data::PointStorage& local,
+                               std::span<const int> destinations) {
+  PANDA_CHECK_MSG(destinations.size() == local.size(),
+                  "exchange_points: one destination per point required");
+  return exchange_streaming(
+      comm, local,
+      [&destinations](std::span<const float>, std::uint64_t position) {
+        return destinations[position];
+      });
+}
+
+data::PointSet redistribute_by_owner(net::Comm& comm,
+                                     const data::PointStorage& local,
+                                     const GlobalTree& tree) {
+  return exchange_streaming(
+      comm, local,
+      [&tree](std::span<const float> coords, std::uint64_t) {
+        return tree.owner_of(coords);
+      });
+}
+
 }  // namespace panda::dist

@@ -13,6 +13,7 @@
 #include <span>
 
 #include "data/point_set.hpp"
+#include "data/storage.hpp"
 #include "dist/global_tree.hpp"
 #include "net/comm.hpp"
 
@@ -34,6 +35,18 @@ data::PointSet exchange_points(net::Comm& comm, const data::PointSet& local,
 /// Collective convenience: destinations[i] = tree.owner_of(point i).
 data::PointSet redistribute_by_owner(net::Comm& comm,
                                      const data::PointSet& local,
+                                     const GlobalTree& tree);
+
+/// Storage-view overloads: stream `local` through the chunk protocol
+/// (one chunk resident at a time), so a rank's send-side points may
+/// live in any backend — owned, memory-mapped, or spill-chunked.
+/// destinations are indexed by the storage's global order. The
+/// received points are returned owned, as above.
+data::PointSet exchange_points(net::Comm& comm,
+                               const data::PointStorage& local,
+                               std::span<const int> destinations);
+data::PointSet redistribute_by_owner(net::Comm& comm,
+                                     const data::PointStorage& local,
                                      const GlobalTree& tree);
 
 }  // namespace panda::dist

@@ -1,10 +1,17 @@
 // Tests for kd-tree persistence: save/load round trips preserve query
-// results bit-for-bit; malformed inputs are rejected.
+// results bit-for-bit; v3 files open zero-copy via mmap; malformed
+// inputs are rejected with header diagnostics; legacy versions take
+// their documented paths (v2 converts on open, v1 is refused).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <string>
+#include <vector>
 
+#include "api/index.hpp"
 #include "common/error.hpp"
 #include "core/kdtree.hpp"
 #include "data/generators.hpp"
@@ -12,6 +19,40 @@
 
 namespace panda::core {
 namespace {
+
+/// Error message of an expression expected to throw panda::Error.
+template <typename Fn>
+std::string error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+void patch_file(const std::string& path, std::uint64_t off, const void* bytes,
+                std::size_t n) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good());
+  f.seekp(static_cast<std::streamoff>(off));
+  f.write(static_cast<const char*>(bytes), static_cast<std::streamsize>(n));
+}
+
+void expect_identical_queries(const KdTree& a, const KdTree& b,
+                              const data::PointSet& queries, std::size_t k) {
+  std::vector<float> q(queries.dims());
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    queries.copy_point(i, q.data());
+    const auto ra = a.query(q, k);
+    const auto rb = b.query(q, k);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      ASSERT_EQ(ra[j].id, rb[j].id);
+      ASSERT_EQ(ra[j].dist2, rb[j].dist2);
+    }
+  }
+}
 
 TEST(KdTreeIo, RoundTripPreservesQueries) {
   const auto gen = data::make_generator("cosmo", 77);
@@ -104,6 +145,205 @@ TEST(KdTreeIo, TruncatedPayloadRejected) {
     out.write(half.data(), static_cast<std::streamsize>(half.size()));
   }
   EXPECT_THROW(KdTree::load(path), panda::Error);
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, MmapOpenMatchesOwnedLoadExactly) {
+  const auto gen = data::make_generator("cosmo", 81);
+  const data::PointSet points = gen->generate_all(30000);
+  const data::PointSet queries = gen->generate_all(200);
+  parallel::ThreadPool pool(4);
+  const KdTree original = KdTree::build(points, BuildConfig{}, pool);
+
+  const std::string path = ::testing::TempDir() + "/panda_tree_v3.kdt";
+  original.save(path);
+  const KdTree mapped = KdTree::open_mmap(path);
+  EXPECT_TRUE(mapped.mapped());
+  EXPECT_FALSE(original.mapped());
+  EXPECT_EQ(mapped.size(), original.size());
+  EXPECT_EQ(mapped.stats().nodes, original.stats().nodes);
+  expect_identical_queries(original, mapped, queries, 7);
+
+  // Radius searches read the packed sections through the same views.
+  std::vector<float> q(points.dims());
+  queries.copy_point(0, q.data());
+  const auto ra = original.query_radius(q, 0.05f);
+  const auto rb = mapped.query_radius(q, 0.05f);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t j = 0; j < ra.size(); ++j) {
+    ASSERT_EQ(ra[j].id, rb[j].id);
+    ASSERT_EQ(ra[j].dist2, rb[j].dist2);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, MmapRejectsTruncatedFile) {
+  const auto gen = data::make_generator("uniform", 82);
+  const data::PointSet points = gen->generate_all(2000);
+  parallel::ThreadPool pool(2);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  const std::string path = ::testing::TempDir() + "/panda_tree_v3_trunc.kdt";
+  tree.save(path);
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const auto size = in.tellg();
+    std::vector<char> half(static_cast<std::size_t>(size) / 2);
+    in.seekg(0);
+    in.read(half.data(), static_cast<std::streamsize>(half.size()));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(half.data(), static_cast<std::streamsize>(half.size()));
+  }
+  // The header's file_size no longer matches the actual size: named.
+  EXPECT_NE(error_of([&] { KdTree::open_mmap(path); }).find("'file_size'"),
+            std::string::npos);
+  EXPECT_THROW(KdTree::load(path), Error);
+
+  // A stub shorter than the header span is its own diagnostic.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("PANDAKDT-ish", 12);
+  }
+  EXPECT_NE(error_of([&] { KdTree::open_mmap(path); })
+                .find("too small for a header"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, MmapRejectsBadAndByteSwappedMagic) {
+  const auto gen = data::make_generator("uniform", 83);
+  const data::PointSet points = gen->generate_all(1000);
+  parallel::ThreadPool pool(2);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  const std::string path = ::testing::TempDir() + "/panda_tree_v3_magic.kdt";
+
+  tree.save(path);
+  const std::uint64_t garbage = 0x1122334455667788ULL;
+  patch_file(path, 0, &garbage, 8);
+  EXPECT_NE(error_of([&] { KdTree::open_mmap(path); })
+                .find("not a PANDA kd-tree"),
+            std::string::npos);
+
+  tree.save(path);
+  const std::uint64_t swapped = __builtin_bswap64(0x50414e44414b4454ULL);
+  patch_file(path, 0, &swapped, 8);
+  EXPECT_NE(error_of([&] { KdTree::open_mmap(path); }).find("endianness"),
+            std::string::npos);
+  EXPECT_NE(error_of([&] { KdTree::load(path); }).find("endianness"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, MmapRejectsMisalignedSectionOffsets) {
+  const auto gen = data::make_generator("uniform", 84);
+  const data::PointSet points = gen->generate_all(1000);
+  parallel::ThreadPool pool(2);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  const std::string path = ::testing::TempDir() + "/panda_tree_v3_align.kdt";
+  tree.save(path);
+
+  // nodes_off lives at byte 56 of the v3 header (after magic, version,
+  // dims, four counts, file_size). Knock it off the 64-byte grid.
+  std::uint64_t nodes_off = 0;
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(56);
+    in.read(reinterpret_cast<char*>(&nodes_off), 8);
+    ASSERT_EQ(nodes_off % 64, 0u) << "test patches the wrong header byte";
+  }
+  const std::uint64_t misaligned = nodes_off + 4;
+  patch_file(path, 56, &misaligned, 8);
+  EXPECT_NE(error_of([&] { KdTree::open_mmap(path); })
+                .find("misaligned section offsets"),
+            std::string::npos);
+  EXPECT_NE(error_of([&] { KdTree::load(path); })
+                .find("misaligned section offsets"),
+            std::string::npos);
+
+  // An aligned offset pointing past the end of the file is also out.
+  const std::uint64_t wild = 1ull << 40;
+  patch_file(path, 56, &wild, 8);
+  EXPECT_NE(error_of([&] { KdTree::open_mmap(path); })
+                .find("out of file bounds"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, VersionOneIsRefusedVerbatimThroughIndexOpen) {
+  // Hand-write a version-1 stub: correct magic, version 1, padding.
+  const std::string path = ::testing::TempDir() + "/panda_tree_v1.kdt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint64_t magic = 0x50414e44414b4454ULL;
+    const std::uint32_t version = 1;
+    out.write(reinterpret_cast<const char*>(&magic), 8);
+    out.write(reinterpret_cast<const char*>(&version), 4);
+    const char zeros[244] = {};
+    out.write(zeros, sizeof(zeros));
+  }
+  const std::string want =
+      "unsupported kd-tree version 1 (expected 3); rebuild and re-save "
+      "the index";
+  EXPECT_NE(error_of([&] { KdTree::load(path); }).find(want),
+            std::string::npos);
+  // The facade surfaces the loader's diagnostic verbatim.
+  EXPECT_NE(error_of([&] { Index::open(path); }).find(want),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, VersionTwoConvertsOnOpenAndMatchesOracle) {
+  const auto gen = data::make_generator("gmm", 85);
+  const data::PointSet points = gen->generate_all(8000);
+  const data::PointSet queries = gen->generate_all(150);
+  parallel::ThreadPool pool(4);
+  const KdTree original = KdTree::build(points, BuildConfig{}, pool);
+
+  const std::string path = ::testing::TempDir() + "/panda_tree_v2.kdt";
+  original.save_legacy_v2(path);
+  // A v2 file is not mappable...
+  EXPECT_NE(error_of([&] { KdTree::open_mmap(path); })
+                .find("format version 2"),
+            std::string::npos);
+  // ...but Index::open converts it in place and serves it mapped.
+  const auto index = Index::open(path);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0;
+    in.read(reinterpret_cast<char*>(&magic), 8);
+    in.read(reinterpret_cast<char*>(&version), 4);
+    EXPECT_EQ(version, 3u) << "convert-on-open left the file at v2";
+  }
+
+  // Results through the converted index match a brute-force oracle.
+  IndexOptions brute;
+  brute.engine = IndexOptions::Engine::BruteForce;
+  const auto oracle = Index::build(points, brute);
+  std::vector<float> q(points.dims());
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    queries.copy_point(i, q.data());
+    const auto a = oracle->knn(q, 9);
+    const auto b = index->knn(q, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      ASSERT_EQ(a[j].id, b[j].id);
+      ASSERT_EQ(a[j].dist2, b[j].dist2);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, LegacyV2LoadStillRoundTrips) {
+  const auto gen = data::make_generator("uniform", 86);
+  const data::PointSet points = gen->generate_all(3000);
+  const data::PointSet queries = gen->generate_all(50);
+  parallel::ThreadPool pool(2);
+  const KdTree original = KdTree::build(points, BuildConfig{}, pool);
+  const std::string path = ::testing::TempDir() + "/panda_tree_v2_load.kdt";
+  original.save_legacy_v2(path);
+  const KdTree loaded = KdTree::load(path);
+  EXPECT_FALSE(loaded.mapped());
+  expect_identical_queries(original, loaded, queries, 5);
   std::remove(path.c_str());
 }
 
