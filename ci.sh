@@ -21,22 +21,27 @@
 #                      mapped spans), and the external-build spill
 #                      pipeline (test_external_build).
 #   ci.sh tsan       — the concurrency suites (MPMC ring, serving
-#                      frontend, thread pool) built with
-#                      -fsanitize=thread: data-race checks the
+#                      frontend, thread pool, mutable index) built
+#                      with -fsanitize=thread: data-race checks the
 #                      lock-free admission rings, sharded
-#                      micro-batcher, snapshot swap, shared pool, and
-#                      the distributed index session.
+#                      micro-batcher, snapshot swap, shared pool, the
+#                      distributed index session, and the mutable
+#                      tier's merge thread + COW snapshot publishing
+#                      (readers racing insert/erase/seal/merge).
 #   ci.sh bench-smoke — Release build of the perf harnesses
 #                      (bench_hotpath, bench_serve, bench_facade,
-#                      bench_mmap) run at tiny sizes from the build
-#                      directory (no checked-in JSON is touched), so
-#                      the harnesses themselves cannot rot.
-#                      bench_facade digest-gates the panda::Index
+#                      bench_mmap, bench_mutable) run at tiny sizes
+#                      from the build directory (no checked-in JSON is
+#                      touched), so the harnesses themselves cannot
+#                      rot. bench_facade digest-gates the panda::Index
 #                      facade against direct engine calls; bench_mmap
 #                      digest-gates mapped-index queries against the
 #                      owned build and gates v3 open latency under the
-#                      v2 full read. Runs automatically at the end of
-#                      the default mode.
+#                      v2 full read; bench_mutable digest-gates the
+#                      live forest against a from-scratch build and
+#                      gates the no-rebuild-stall + bounded-merge-
+#                      interference contract. Runs automatically at
+#                      the end of the default mode.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -106,21 +111,24 @@ if [[ "$MODE" == "tsan" ]]; then
     -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
     -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
   cmake --build build-tsan -j --target test_mpmc_queue test_serve \
-    test_parallel test_neighbor_table test_index
+    test_parallel test_neighbor_table test_index test_mutable_index
   # TSan serializes heavily on this container's core count; the mpmc /
   # serve / parallel suites are the ones whose bugs would be data
   # races (test_mpmc_queue hammers the Vyukov ring's release/acquire
   # protocol, test_serve the sharded admission + swap paths),
   # test_neighbor_table drives > 64-query batches through the parallel
   # flat-table kernels (concurrent row writes, per-thread workspaces,
-  # chunk-stealing loops), and test_index covers the dist-index
-  # session handoff (facade thread <-> rank 0 <-> peer ranks).
+  # chunk-stealing loops), test_index covers the dist-index
+  # session handoff (facade thread <-> rank 0 <-> peer ranks), and
+  # test_mutable_index races query batches against the mutable tier's
+  # insert/erase/background-merge machinery (the serve ingest tests in
+  # test_serve drive the same paths through QueryService).
   # tsan.supp silences one libstdc++-internal report (the GCC 12
   # atomic<shared_ptr> lock-bit protocol — see the file); our own code
   # is still fully race-checked.
   (cd build-tsan && TSAN_OPTIONS="suppressions=$(pwd)/../tsan.supp" \
     ctest --output-on-failure \
-    -R '^(test_mpmc_queue|test_serve|test_parallel|test_neighbor_table|test_index)$' \
+    -R '^(test_mpmc_queue|test_serve|test_parallel|test_neighbor_table|test_index|test_mutable_index)$' \
     --timeout 900)
   echo "ci.sh: tsan OK"
   exit 0
@@ -129,7 +137,7 @@ fi
 bench_smoke() {
   cmake -B build -S .
   cmake --build build -j --target bench_hotpath bench_serve bench_facade \
-    bench_mmap
+    bench_mmap bench_mutable
   # Run inside build/ so smoke outputs (bench_serve writes
   # BENCH_serve.json and BENCH_serve_shard.json to its cwd) never
   # clobber the checked-in baselines; bench_hotpath/bench_facade
@@ -144,6 +152,11 @@ bench_smoke() {
   # checked-in one at the repo root is the full-size run) and exits
   # nonzero on a digest mismatch or an open-latency regression.
   (cd build && ./bench_mmap --smoke)
+  # bench_mutable likewise smokes into build/: exits nonzero if forest
+  # answers are not digest-identical to a from-scratch build, if any
+  # insert call stalled a full-rebuild's worth, or if query p99 during
+  # background merges exceeds 2x the quiesced p99.
+  (cd build && ./bench_mutable --smoke)
   echo "ci.sh: bench-smoke OK"
 }
 

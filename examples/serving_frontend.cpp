@@ -22,8 +22,16 @@
 // no matter how big the index is. The mid-run rebuild+swap phase is
 // skipped in this mode: the index under test is the on-disk one.
 //
+// With --ingest-rate R the served index is Engine::Mutable and an
+// ingest thread streams ~R new points/s (plus periodic erases)
+// through QueryService::ingest while the clients keep querying — the
+// query-while-ingest story of DESIGN.md §12: no rebuild, no swap, no
+// stalled request, writes visible as soon as ingest() returns. The
+// rebuild+swap phase is skipped (live updates replace it).
+//
 // Run:  ./serving_frontend [points] [clients] [seconds] [--shards N]
-//                          [--mmap path]
+//                          [--mmap path | --ingest-rate R]
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -73,6 +81,7 @@ int main(int argc, char** argv) {
   int clients = 8;
   int seconds = 2;
   int shards = 2;
+  std::uint64_t ingest_rate = 0;
   std::string mmap_path;
   // --shards / --mmap are flags; the remaining arguments stay
   // positional.
@@ -85,6 +94,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[a], "--mmap") == 0) {
       parsed = parsed && a + 1 < argc;
       if (parsed) mmap_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--ingest-rate") == 0) {
+      parsed = parsed && a + 1 < argc &&
+               examples::parse_u64(argv[++a], ingest_rate) &&
+               ingest_rate > 0;
     } else {
       positional.push_back(argv[a]);
     }
@@ -95,14 +108,17 @@ int main(int argc, char** argv) {
             examples::parse_int(positional[1], clients)) &&
            (positional.size() < 3 ||
             examples::parse_int(positional[2], seconds));
-  if (!parsed || n == 0 || clients < 1 || seconds < 1 || shards < 1) {
+  if (!parsed || n == 0 || clients < 1 || seconds < 1 || shards < 1 ||
+      (!mmap_path.empty() && ingest_rate > 0)) {
     std::fprintf(stderr,
                  "usage: serving_frontend [points>0] [clients>=1] "
-                 "[seconds>=1] [--shards N>=1] [--mmap path]\n");
+                 "[seconds>=1] [--shards N>=1] "
+                 "[--mmap path | --ingest-rate R>0]\n");
     return 1;
   }
   const std::size_t k = 5;
   const bool use_mmap = !mmap_path.empty();
+  const bool use_ingest = ingest_rate > 0;
 
   // ------------------------------------------------------------------
   // Index v1 and the service.
@@ -128,6 +144,13 @@ int main(int argc, char** argv) {
                 mmap_path.c_str(), open_seconds * 1e3, rss_before,
                 vm_rss_kib());
     backend = std::make_shared<serve::IndexBackend>(std::move(index));
+  } else if (use_ingest) {
+    index_options.engine = IndexOptions::Engine::Mutable;
+    backend = std::make_shared<serve::IndexBackend>(
+        Index::build(points, index_options));
+    std::printf("--ingest-rate: serving a mutable index, streaming ~%" PRIu64
+                " points/s behind the query traffic\n",
+                ingest_rate);
   } else {
     backend = std::make_shared<serve::IndexBackend>(
         Index::build(points, index_options));
@@ -177,15 +200,57 @@ int main(int argc, char** argv) {
   }
 
   // ------------------------------------------------------------------
+  // Ingest behind traffic (--ingest-rate): a writer thread streams
+  // fresh points through service.ingest() at the requested rate, with
+  // a periodic erase batch, while the clients keep hammering. No
+  // rebuild, no swap — the logarithmic merge machinery absorbs the
+  // writes and queries never block (DESIGN.md §12).
+  // ------------------------------------------------------------------
+  const std::uint64_t size_before = backend->size();
+  std::thread ingest_thread;
+  if (use_ingest) {
+    ingest_thread = std::thread([&] {
+      const auto igen = data::make_generator("cosmo", /*seed=*/4242);
+      // ~50 ingest calls per second keeps batches small enough that
+      // pacing tracks the target rate.
+      const std::uint64_t chunk =
+          std::max<std::uint64_t>(1, ingest_rate / 50);
+      std::uint64_t next_id = n + 1000000;  // clear of the base ids
+      std::uint64_t sent = 0;
+      std::uint64_t batch_no = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      while (!stop.load(std::memory_order_relaxed)) {
+        data::PointSet fresh(igen->dims());
+        igen->generate(next_id, next_id + chunk, fresh);
+        service.ingest(fresh);
+        sent += chunk;
+        // Every 8th batch, erase the first half of the batch just
+        // ingested — the erase path runs behind traffic too.
+        if (++batch_no % 8 == 0) {
+          std::vector<std::uint64_t> doomed;
+          for (std::uint64_t id = next_id; id < next_id + chunk / 2; ++id)
+            doomed.push_back(id);
+          if (!doomed.empty()) service.erase_ids(doomed);
+        }
+        next_id += chunk;
+        std::this_thread::sleep_until(
+            t0 + std::chrono::nanoseconds(sent * 1000000000ull /
+                                          ingest_rate));
+      }
+    });
+  }
+
+  // ------------------------------------------------------------------
   // Rebuild behind traffic: drift every particle (next timestep) and
   // swap the fresh index in while the clients keep hammering. In mmap
-  // mode the on-disk index *is* the subject under test, so traffic
-  // just runs against it for the whole window.
+  // mode the on-disk index *is* the subject under test, and in ingest
+  // mode live updates replace the rebuild, so traffic just runs
+  // against the one index for the whole window.
   // ------------------------------------------------------------------
   std::this_thread::sleep_for(std::chrono::milliseconds(500 * seconds));
   double rebuild_seconds = 0.0;
   std::uint64_t answered_at_swap = 0;
-  if (!use_mmap) {
+  if (!use_mmap && !use_ingest) {
     data::PointSet drifted = points;
     for (std::uint64_t i = 0; i < drifted.size(); ++i) {
       Rng rng(derive_seed(0x5EED5, drifted.id(i)));
@@ -205,6 +270,7 @@ int main(int argc, char** argv) {
   std::this_thread::sleep_for(std::chrono::milliseconds(500 * seconds));
   stop.store(true);
   for (auto& t : threads) t.join();
+  if (ingest_thread.joinable()) ingest_thread.join();
   service.shutdown();
 
   // ------------------------------------------------------------------
@@ -215,6 +281,14 @@ int main(int argc, char** argv) {
     std::printf("\nmmap: served the whole window off %s (resident set "
                 "now %" PRIu64 " KiB), %" PRIu64 " errors\n",
                 mmap_path.c_str(), vm_rss_kib(), stats.failed);
+  } else if (use_ingest) {
+    std::printf("\ningest: %" PRIu64 " points in %" PRIu64 " batches "
+                "(%" PRIu64 " ids erased) streamed behind live traffic — "
+                "index grew %" PRIu64 " -> %" PRIu64 " points, "
+                "%" PRIu64 " errors, zero rebuilds, zero swaps\n",
+                stats.ingested_points, stats.ingest_batches,
+                stats.erased_ids, size_before, backend->size(),
+                stats.failed);
   } else {
     std::printf("\nswap: index v2 (drifted positions) built + swapped in "
                 "%.3fs behind live traffic\n",

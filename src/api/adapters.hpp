@@ -28,6 +28,12 @@ std::unique_ptr<Index> make_brute_force_index(const data::PointSet& points,
                                               const IndexOptions& options);
 std::unique_ptr<Index> make_simple_tree_index(const data::PointSet& points,
                                               const IndexOptions& options);
+std::unique_ptr<Index> make_mutable_index(const data::PointSet& points,
+                                          const IndexOptions& options);
+/// Seeds the forest's largest level with an already-built (loaded or
+/// mapped) tree; used by Index::open under Engine::Mutable.
+std::unique_ptr<Index> make_mutable_index(core::KdTree tree,
+                                          const IndexOptions& options);
 
 /// Shared pool resolution: the caller's shared pool if set, else a
 /// fresh pool of options.threads (0 = hardware concurrency, min 1).

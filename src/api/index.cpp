@@ -25,6 +25,13 @@ void validate_options(const IndexOptions& options) {
     PANDA_CHECK_MSG(options.dist_batch_size >= 1,
                     "IndexOptions.dist_batch_size must be >= 1");
   }
+  if (options.engine == IndexOptions::Engine::Mutable) {
+    PANDA_CHECK_MSG(options.mutable_config.buffer_capacity >= 1,
+                    "IndexOptions.mutable_config.buffer_capacity must be "
+                    ">= 1");
+    PANDA_CHECK_MSG(options.mutable_config.merge_fan_in >= 2,
+                    "IndexOptions.mutable_config.merge_fan_in must be >= 2");
+  }
 }
 
 }  // namespace
@@ -47,7 +54,20 @@ std::shared_ptr<parallel::ThreadPool> resolve_pool(
 void Index::save(const std::string&) const {
   throw Error(std::string("panda::Index::save is not supported by the ") +
               engine_name() +
-              " adapter (only Local indexes persist; rebuild instead)");
+              " adapter (Local and Mutable indexes persist; rebuild "
+              "instead)");
+}
+
+void Index::insert(const data::PointSet&) {
+  throw Error(std::string("panda::Index::insert is not supported by the ") +
+              engine_name() +
+              " adapter (build with Engine::Mutable for live updates)");
+}
+
+std::size_t Index::erase(std::span<const std::uint64_t>) {
+  throw Error(std::string("panda::Index::erase is not supported by the ") +
+              engine_name() +
+              " adapter (build with Engine::Mutable for live updates)");
 }
 
 void Index::radius_into(const data::PointSet& queries,
@@ -103,6 +123,8 @@ std::unique_ptr<Index> Index::build(const data::PointSet& points,
       return api::make_brute_force_index(points, options);
     case IndexOptions::Engine::SimpleTree:
       return api::make_simple_tree_index(points, options);
+    case IndexOptions::Engine::Mutable:
+      return api::make_mutable_index(points, options);
   }
   throw Error("IndexOptions.engine is not a known engine");
 }
@@ -138,16 +160,31 @@ std::uint32_t peek_index_version(const std::string& path) {
 
 }  // namespace
 
+namespace {
+
+std::unique_ptr<Index> wrap_opened_tree(core::KdTree tree,
+                                        const IndexOptions& options) {
+  if (options.engine == IndexOptions::Engine::Mutable) {
+    // The saved tree seeds the forest's largest level; new writes
+    // stack on top of it (DESIGN.md §12).
+    return api::make_mutable_index(std::move(tree), options);
+  }
+  return api::make_local_index(std::move(tree), options);
+}
+
+}  // namespace
+
 std::unique_ptr<Index> Index::open(const std::string& path,
                                    const IndexOptions& options) {
-  PANDA_CHECK_MSG(options.engine == IndexOptions::Engine::Local,
+  PANDA_CHECK_MSG(options.engine == IndexOptions::Engine::Local ||
+                      options.engine == IndexOptions::Engine::Mutable,
                   "Index::open loads the core::KdTree on-disk format; "
-                  "options.engine must be Local");
+                  "options.engine must be Local or Mutable");
   validate_options(options);
   if (peek_index_version(path) == 3) {
     // Zero-copy: map + validate the header, bind the query views.
     // No section is read, so open cost is O(1) in index size.
-    return api::make_local_index(core::KdTree::open_mmap(path), options);
+    return wrap_opened_tree(core::KdTree::open_mmap(path), options);
   }
   // Older formats go through the loader — its diagnostics (missing
   // file, truncation, version-1 refusal) surface verbatim. A v2 tree
@@ -158,10 +195,10 @@ std::unique_ptr<Index> Index::open(const std::string& path,
     const std::string tmp = path + ".v3.tmp";
     tree.save(tmp);
     std::filesystem::rename(tmp, path);
-    return api::make_local_index(core::KdTree::open_mmap(path), options);
+    return wrap_opened_tree(core::KdTree::open_mmap(path), options);
   } catch (const std::exception&) {
     // Read-only location: serve the owned tree, leave the file as-is.
-    return api::make_local_index(std::move(tree), options);
+    return wrap_opened_tree(std::move(tree), options);
   }
 }
 

@@ -51,6 +51,7 @@
 
 #include "baselines/simple_tree.hpp"
 #include "core/kdtree.hpp"
+#include "core/mutable_index.hpp"
 #include "core/neighbor_table.hpp"
 #include "core/query_workspace.hpp"
 #include "data/point_set.hpp"
@@ -79,6 +80,13 @@ struct IndexOptions {
     /// policies of the paper's Figure 7 (`simple` selects the
     /// policy). Exact results, baseline-grade performance.
     SimpleTree,
+    /// Live-updatable single node: core::MutableIndex, the
+    /// logarithmic-method forest of packed kd-trees (DESIGN.md §12).
+    /// The only engine whose insert()/erase() succeed — streaming
+    /// writes absorb into a buffer and background merges, queries
+    /// stay exact and never block on writers. `mutable_config`
+    /// shapes the forest.
+    Mutable,
   };
   Engine engine = Engine::Local;
 
@@ -106,6 +114,10 @@ struct IndexOptions {
 
   /// Engine::SimpleTree: split policy and bucket size.
   baselines::SimpleBuildConfig simple;
+
+  /// Engine::Mutable: write-buffer capacity and merge fan-in of the
+  /// logarithmic-method forest.
+  core::MutableConfig mutable_config;
 
   /// Engine::Local: approximate RAM the build may use (0 = unlimited).
   /// When the estimated in-RAM build footprint exceeds this budget,
@@ -147,6 +159,13 @@ struct SearchStats {
   std::uint64_t request_bytes = 0;
   /// Alpha–beta model cost of the coalesced traffic.
   double model_comm_seconds = 0.0;
+
+  // Mutation counters, filled by the Mutable adapter (lifetime totals
+  // of the index at the time of the call; zero on immutable
+  // adapters).
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t compactions = 0;
 };
 
 /// Caller-owned, reusable scratch for Index searches: grow-only, so a
@@ -156,6 +175,9 @@ struct SearchWorkspace {
   core::BatchWorkspace batch;
   /// Uniform-radius staging of the radius_into convenience overload.
   std::vector<float> radii;
+  /// Forest-query scratch of the Mutable adapter (per-tree tables,
+  /// buffer-scan heap, merge staging). Untouched by other adapters.
+  core::ForestWorkspace forest;
 };
 
 class Index {
@@ -204,9 +226,33 @@ class Index {
                              SearchWorkspace& ws,
                              SearchStats* stats = nullptr) = 0;
 
-  /// Persists the index for Index::open. Only the Local adapter
-  /// supports persistence; the others throw panda::Error.
+  /// Persists the index for Index::open. The Local adapter writes its
+  /// tree; the Mutable adapter compacts its forest (buffer + trees,
+  /// tombstones dropped) into one packed v3 tree first, so the file
+  /// round-trips through Index::open under either engine. The other
+  /// adapters throw panda::Error.
   virtual void save(const std::string& path) const;
+
+  // -------------------------------------------------------------------
+  // Mutations (Engine::Mutable only — DESIGN.md §12).
+  // -------------------------------------------------------------------
+
+  /// True when this index accepts insert()/erase() (the Mutable
+  /// adapter).
+  virtual bool mutable_index() const { return false; }
+
+  /// Inserts a batch of new points. Ids must be unique among the live
+  /// set (an erased id may be re-inserted); on a collision the whole
+  /// batch is rejected with panda::Error and nothing is inserted.
+  /// Visible to every search that starts after insert() returns;
+  /// concurrent searches never block. Immutable adapters throw a
+  /// typed panda::Error.
+  virtual void insert(const data::PointSet& points);
+
+  /// Erases points by global id (unknown ids are ignored); returns
+  /// how many were live. Invisible to every search that starts after
+  /// erase() returns. Immutable adapters throw a typed panda::Error.
+  virtual std::size_t erase(std::span<const std::uint64_t> ids);
 
   // -------------------------------------------------------------------
   // Convenience shims: internal staging, std::vector results.
@@ -247,8 +293,9 @@ class Index {
 
   /// Opens an index saved by save(). The on-disk format is the
   /// core::KdTree format, so `options.engine` must be Local (the
-  /// default); `options.pool` / `options.threads` configure the
-  /// query pool.
+  /// default) or Mutable — a Mutable open seeds the forest's largest
+  /// level with the saved tree, ready to absorb new writes on top;
+  /// `options.pool` / `options.threads` configure the query pool.
   ///
   /// A v3 file is opened zero-copy (memory-mapped; open cost is
   /// independent of index size). A v2 file is loaded into owned

@@ -327,6 +327,14 @@ class KdTree {
   /// query point (the tree depth along the query's path).
   std::uint32_t path_depth(std::span<const float> query) const;
 
+  /// Appends every indexed point (global id + coordinates, de-padded
+  /// from the packed SoA leaf blocks) to `out`, leaf-contiguous order.
+  /// out.dims() must equal dims(). This is how the mutable tier's
+  /// level merges rebuild larger trees from smaller ones
+  /// (core::MutableIndex, DESIGN.md §12); works identically on owned
+  /// and mapped trees.
+  void export_points(data::PointSet& out) const;
+
   /// Persists the built tree (hot/cold node arrays + packed leaf
   /// storage) so that a reused index — the common case the paper
   /// designs for — need not be rebuilt across process runs. Writes

@@ -1,0 +1,826 @@
+// MutableIndex — the logarithmic method over packed kd-trees
+// (DESIGN.md §12).
+//
+// Concurrency shape in one paragraph: mutex_ guards the write-side
+// state (runs, sealed groups, forest, live-id set); every mutation
+// ends by publishing a fresh immutable Snapshot through one
+// atomic<shared_ptr> store, and queries only ever touch that snapshot.
+// The merge thread claims work under the lock (copying the claimed
+// Run/TreeShard values, whose payloads are immutable shared state),
+// builds the replacement tree outside the lock, and re-locks only to
+// splice the forest and publish. Erases that land while a merge is in
+// flight COW the *current* containers; at publish time the merge
+// computes the residual (current dead minus dead-at-claim) and carries
+// it onto the new tree, so no tombstone is ever lost or resurrected.
+#include "core/mutable_index.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace panda::core {
+
+namespace {
+
+bool contains(const std::vector<std::uint64_t>& sorted, std::uint64_t id) {
+  return std::binary_search(sorted.begin(), sorted.end(), id);
+}
+
+/// Ascending copy of `ids`; throws on duplicates (seed trees must
+/// carry unique ids for the live set to mean anything).
+std::vector<std::uint64_t> sorted_unique_ids(
+    std::span<const std::uint64_t> ids) {
+  std::vector<std::uint64_t> sorted(ids.begin(), ids.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  PANDA_CHECK_MSG(dup == sorted.end(),
+                  "MutableIndex seed has duplicate id " << *dup);
+  return sorted;
+}
+
+/// Reorders `points` ascending by id — the self-KNN row order and the
+/// deterministic point order of compaction/save builds.
+data::PointSet sort_by_id(const data::PointSet& points) {
+  std::vector<std::uint64_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              return points.id(a) < points.id(b);
+            });
+  return points.extract(order);
+}
+
+}  // namespace
+
+MutableIndex::MutableIndex(std::size_t dims, const MutableConfig& config,
+                           const BuildConfig& build,
+                           std::shared_ptr<parallel::ThreadPool> pool)
+    : dims_(dims), config_(config), build_(build), pool_(std::move(pool)) {
+  PANDA_CHECK_MSG(dims_ >= 1, "MutableIndex needs dims >= 1");
+  PANDA_CHECK_MSG(config_.buffer_capacity >= 1,
+                  "MutableConfig.buffer_capacity must be >= 1");
+  PANDA_CHECK_MSG(config_.merge_fan_in >= 2,
+                  "MutableConfig.merge_fan_in must be >= 2");
+  PANDA_CHECK_MSG(pool_ != nullptr, "MutableIndex needs a thread pool");
+  snapshot_.store(std::make_shared<const Snapshot>(),
+                  std::memory_order_release);
+  seal_thread_ = std::thread([this] { seal_loop(); });
+  merge_thread_ = std::thread([this] { merge_loop(); });
+}
+
+MutableIndex::MutableIndex(KdTree seed, const MutableConfig& config,
+                           const BuildConfig& build,
+                           std::shared_ptr<parallel::ThreadPool> pool)
+    : MutableIndex(seed.dims(), config, build, std::move(pool)) {
+  if (!seed.empty()) {
+    data::PointSet exported(dims_);
+    seed.export_points(exported);
+    auto ids =
+        std::make_shared<const IdList>(sorted_unique_ids(exported.ids()));
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.insert(ids->begin(), ids->end());
+    live_count_.store(ids->size(), std::memory_order_relaxed);
+    TreeShard shard;
+    shard.level = level_for_size(seed.size());
+    shard.ids = std::move(ids);
+    shard.tree = std::make_shared<const KdTree>(std::move(seed));
+    trees_.push_back(std::move(shard));
+    publish_locked();
+  }
+}
+
+MutableIndex::~MutableIndex() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  seal_cv_.notify_all();
+  merge_cv_.notify_all();
+  if (seal_thread_.joinable()) seal_thread_.join();
+  if (merge_thread_.joinable()) merge_thread_.join();
+}
+
+// ---------------------------------------------------------------------
+// Write side
+// ---------------------------------------------------------------------
+
+void MutableIndex::insert(const data::PointSet& points) {
+  PANDA_CHECK_MSG(points.dims() == dims_,
+                  "insert dimensionality mismatch: batch has "
+                      << points.dims() << " dims, index has " << dims_);
+  if (points.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // All-or-nothing admission: a collision rolls back the ids this
+  // batch already claimed, so a failed insert leaves no trace.
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    if (!live_.insert(points.id(p)).second) {
+      for (std::size_t q = 0; q < p; ++q) live_.erase(points.id(q));
+      throw Error("MutableIndex::insert: id " +
+                  std::to_string(points.id(p)) +
+                  " is already live (erase it first or use a fresh id)");
+    }
+  }
+  Run run;
+  run.points = std::make_shared<const data::PointSet>(points);
+  open_runs_.push_back(std::move(run));
+  open_points_ += points.size();
+  inserts_ += points.size();
+  live_count_.fetch_add(points.size(), std::memory_order_relaxed);
+  if (open_points_ >= config_.buffer_capacity) {
+    sealed_groups_.push_back(std::move(open_runs_));
+    open_runs_.clear();
+    open_points_ = 0;
+    seal_cv_.notify_one();
+  }
+  publish_locked();
+}
+
+std::size_t MutableIndex::erase(std::span<const std::uint64_t> ids) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t erased = 0;
+  for (const std::uint64_t id : ids) {
+    const auto it = live_.find(id);
+    if (it == live_.end()) continue;  // unknown or already erased
+    live_.erase(it);
+    tombstone_locked(id);
+    ++erased;
+  }
+  if (erased > 0) {
+    erases_ += erased;
+    live_count_.fetch_sub(erased, std::memory_order_relaxed);
+    publish_locked();
+  }
+  return erased;
+}
+
+void MutableIndex::tombstone_locked(std::uint64_t id) {
+  const auto add_dead = [id](std::shared_ptr<const IdList>& dead) {
+    // Copy-on-write: pinned snapshots keep reading the old list.
+    auto next = dead ? std::make_shared<IdList>(*dead)
+                     : std::make_shared<IdList>();
+    next->insert(std::upper_bound(next->begin(), next->end(), id), id);
+    dead = std::move(next);
+  };
+  const auto run_holds_live = [id](const Run& run) {
+    if (run.dead != nullptr && contains(*run.dead, id)) return false;
+    const auto ids = run.points->ids();
+    return std::find(ids.begin(), ids.end(), id) != ids.end();
+  };
+  for (Run& run : open_runs_) {
+    if (run_holds_live(run)) {
+      add_dead(run.dead);
+      return;
+    }
+  }
+  for (auto& group : sealed_groups_) {
+    for (Run& run : group) {
+      if (run_holds_live(run)) {
+        add_dead(run.dead);
+        return;
+      }
+    }
+  }
+  for (TreeShard& shard : trees_) {
+    if (contains(*shard.ids, id) &&
+        !(shard.dead != nullptr && contains(*shard.dead, id))) {
+      add_dead(shard.dead);
+      return;
+    }
+  }
+  PANDA_CHECK_MSG(false, "internal: live id " << id
+                                              << " found in no container");
+}
+
+void MutableIndex::publish_locked() {
+  auto snap = std::make_shared<Snapshot>();
+  std::size_t n_runs = open_runs_.size();
+  for (const auto& group : sealed_groups_) n_runs += group.size();
+  snap->runs.reserve(n_runs);
+  for (const auto& group : sealed_groups_) {
+    snap->runs.insert(snap->runs.end(), group.begin(), group.end());
+  }
+  snap->runs.insert(snap->runs.end(), open_runs_.begin(), open_runs_.end());
+  snap->trees = trees_;
+  snapshot_.store(std::shared_ptr<const Snapshot>(std::move(snap)),
+                  std::memory_order_release);
+}
+
+std::uint32_t MutableIndex::level_for_size(std::uint64_t points) const {
+  // Level ℓ holds trees of up to capacity · fan^ℓ points, so a tree of
+  // `points` lands at ceil(log_fan(points / capacity)).
+  std::uint32_t level = 0;
+  std::uint64_t scale = std::max<std::uint64_t>(config_.buffer_capacity, 1);
+  while (points > scale) {
+    scale *= config_.merge_fan_in;
+    ++level;
+  }
+  return level;
+}
+
+int MutableIndex::overfull_level_locked() const {
+  std::vector<std::uint32_t> counts;
+  for (const TreeShard& shard : trees_) {
+    if (counts.size() <= shard.level) counts.resize(shard.level + 1, 0);
+    ++counts[shard.level];
+  }
+  for (std::size_t level = 0; level < counts.size(); ++level) {
+    if (counts[level] >= config_.merge_fan_in) {
+      return static_cast<int>(level);
+    }
+  }
+  return -1;
+}
+
+bool MutableIndex::has_work_locked() const {
+  return !sealed_groups_.empty() || overfull_level_locked() >= 0;
+}
+
+// ---------------------------------------------------------------------
+// Background merges
+// ---------------------------------------------------------------------
+
+// Both lanes run at normal priority on purpose: a deprioritized
+// background thread starves on a saturated box, work piles up, and
+// queries degrade *structurally* (ever-longer brute scans over
+// unsealed runs, ever-deeper forests) — worse than the CPU it saves.
+// The interference bound comes from merge_build_pool_ being size 1
+// instead: each lane builds on its own single thread, query batches
+// keep the whole shared-pool team.
+
+void MutableIndex::seal_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    seal_cv_.wait(lock, [&] { return stop_ || !sealed_groups_.empty(); });
+    if (stop_) return;  // abandon pending work; the index is dying
+    seal_busy_ = true;
+    // Claim by value: the Run payloads are immutable, and the dead
+    // lists are COW — this copy IS the dead-at-claim baseline.
+    std::vector<Run> claimed = sealed_groups_.front();
+    lock.unlock();
+    do_seal(std::move(claimed));
+    lock.lock();
+    seal_busy_ = false;
+    merge_cv_.notify_one();  // the new level-0 tree may overfill level 0
+    idle_cv_.notify_all();
+  }
+}
+
+void MutableIndex::merge_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Cascading overfull levels (a merge into level L+1 overfilling
+    // L+1) re-enter through the wait predicate, which re-evaluates
+    // before parking.
+    merge_cv_.wait(lock,
+                   [&] { return stop_ || overfull_level_locked() >= 0; });
+    if (stop_) return;
+    merge_busy_ = true;
+    const int level = overfull_level_locked();
+    std::vector<TreeShard> claimed;
+    for (const TreeShard& shard : trees_) {
+      if (static_cast<int>(shard.level) == level) claimed.push_back(shard);
+    }
+    lock.unlock();
+    do_level_merge(static_cast<std::uint32_t>(level), std::move(claimed));
+    lock.lock();
+    merge_busy_ = false;
+    idle_cv_.notify_all();
+  }
+}
+
+void MutableIndex::do_seal(std::vector<Run> claimed) {
+  // Gather the points live at claim time and build outside the lock;
+  // queries keep brute-scanning the runs from their pinned snapshots.
+  data::PointSet pts(dims_);
+  std::vector<float> buf(dims_);
+  for (const Run& run : claimed) {
+    const data::PointSet& ps = *run.points;
+    for (std::size_t p = 0; p < ps.size(); ++p) {
+      const std::uint64_t id = ps.id(p);
+      if (run.dead != nullptr && contains(*run.dead, id)) continue;
+      ps.copy_point(p, buf.data());
+      pts.push_point(buf, id);
+    }
+  }
+  std::shared_ptr<const KdTree> tree;
+  std::shared_ptr<const IdList> ids;
+  if (!pts.empty()) {
+    tree = std::make_shared<const KdTree>(
+        KdTree::build(pts, build_, merge_build_pool_));
+    ids = std::make_shared<const IdList>(sorted_unique_ids(pts.ids()));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Writers only ever COW dead lists inside the queued group, so the
+  // front still matches `claimed` position by position. Ids erased
+  // since the claim are inside the new tree — carry them as residual
+  // tombstones.
+  IdList residual;
+  const std::vector<Run>& current = sealed_groups_.front();
+  for (std::size_t r = 0; r < current.size(); ++r) {
+    if (current[r].dead == nullptr) continue;
+    for (const std::uint64_t id : *current[r].dead) {
+      if (claimed[r].dead == nullptr || !contains(*claimed[r].dead, id)) {
+        residual.push_back(id);
+      }
+    }
+  }
+  sealed_groups_.pop_front();
+  if (tree != nullptr) {
+    std::sort(residual.begin(), residual.end());
+    TreeShard shard;
+    shard.tree = std::move(tree);
+    shard.level = 0;
+    shard.ids = std::move(ids);
+    if (!residual.empty()) {
+      shard.dead = std::make_shared<const IdList>(std::move(residual));
+    }
+    trees_.push_back(std::move(shard));
+  } else {
+    // Everything was dead at claim: nothing live remained for an
+    // erase to target afterwards, so there can be no residual.
+    PANDA_ASSERT(residual.empty());
+  }
+  ++seals_;
+  publish_locked();
+}
+
+void MutableIndex::do_level_merge(std::uint32_t level,
+                                  std::vector<TreeShard> claimed) {
+  data::PointSet pts(dims_);
+  data::PointSet exported(dims_);
+  std::vector<float> buf(dims_);
+  for (const TreeShard& shard : claimed) {
+    exported.clear();
+    shard.tree->export_points(exported);
+    for (std::size_t p = 0; p < exported.size(); ++p) {
+      const std::uint64_t id = exported.id(p);
+      if (shard.dead != nullptr && contains(*shard.dead, id)) continue;
+      exported.copy_point(p, buf.data());
+      pts.push_point(buf, id);
+    }
+  }
+  std::shared_ptr<const KdTree> tree;
+  std::shared_ptr<const IdList> ids;
+  if (!pts.empty()) {
+    tree = std::make_shared<const KdTree>(
+        KdTree::build(pts, build_, merge_build_pool_));
+    ids = std::make_shared<const IdList>(sorted_unique_ids(pts.ids()));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  IdList residual;
+  std::vector<TreeShard> rest;
+  rest.reserve(trees_.size());
+  for (TreeShard& current : trees_) {
+    const auto source = std::find_if(
+        claimed.begin(), claimed.end(), [&](const TreeShard& c) {
+          return c.tree.get() == current.tree.get();
+        });
+    if (source == claimed.end()) {
+      rest.push_back(std::move(current));
+      continue;
+    }
+    if (current.dead != nullptr) {
+      for (const std::uint64_t id : *current.dead) {
+        if (source->dead == nullptr || !contains(*source->dead, id)) {
+          residual.push_back(id);
+        }
+      }
+    }
+  }
+  trees_ = std::move(rest);
+  if (tree != nullptr) {
+    std::sort(residual.begin(), residual.end());
+    TreeShard shard;
+    shard.tree = std::move(tree);
+    shard.level = level + 1;
+    shard.ids = std::move(ids);
+    if (!residual.empty()) {
+      shard.dead = std::make_shared<const IdList>(std::move(residual));
+    }
+    trees_.push_back(std::move(shard));
+  } else {
+    PANDA_ASSERT(residual.empty());
+  }
+  ++merges_;
+  publish_locked();
+}
+
+void MutableIndex::quiesce() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] {
+    return !seal_busy_ && !merge_busy_ && !has_work_locked();
+  });
+}
+
+void MutableIndex::compact() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Drain both background lanes first: their publish steps match
+  // containers positionally / by pointer, so the forest must not
+  // change shape under a claim. The wait releases the lock, letting
+  // them finish.
+  idle_cv_.wait(lock, [&] {
+    return !seal_busy_ && !merge_busy_ && !has_work_locked();
+  });
+  data::PointSet pts(dims_);
+  gather_live_locked(pts);
+  data::PointSet sorted = sort_by_id(pts);
+  open_runs_.clear();
+  open_points_ = 0;
+  trees_.clear();
+  if (!sorted.empty()) {
+    // Built under the lock: writers wait, queries keep serving the
+    // pre-compaction snapshot.
+    TreeShard shard;
+    shard.tree = std::make_shared<const KdTree>(
+        KdTree::build(sorted, build_, *pool_));
+    shard.level = level_for_size(sorted.size());
+    shard.ids = std::make_shared<const IdList>(
+        sorted_unique_ids(sorted.ids()));
+    trees_.push_back(std::move(shard));
+  }
+  ++compactions_;
+  publish_locked();
+}
+
+void MutableIndex::gather_live_locked(data::PointSet& out) const {
+  std::vector<float> buf(dims_);
+  const auto gather_run = [&](const Run& run) {
+    const data::PointSet& ps = *run.points;
+    for (std::size_t p = 0; p < ps.size(); ++p) {
+      const std::uint64_t id = ps.id(p);
+      if (run.dead != nullptr && contains(*run.dead, id)) continue;
+      ps.copy_point(p, buf.data());
+      out.push_point(buf, id);
+    }
+  };
+  for (const auto& group : sealed_groups_) {
+    for (const Run& run : group) gather_run(run);
+  }
+  for (const Run& run : open_runs_) gather_run(run);
+  data::PointSet exported(dims_);
+  for (const TreeShard& shard : trees_) {
+    exported.clear();
+    shard.tree->export_points(exported);
+    for (std::size_t p = 0; p < exported.size(); ++p) {
+      const std::uint64_t id = exported.id(p);
+      if (shard.dead != nullptr && contains(*shard.dead, id)) continue;
+      exported.copy_point(p, buf.data());
+      out.push_point(buf, id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Read side
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Appends the live points of one pinned snapshot (runs, then trees).
+void gather_snapshot_live(std::size_t dims, const auto& runs,
+                          const auto& trees, data::PointSet& out) {
+  std::vector<float> buf(dims);
+  for (const auto& run : runs) {
+    const data::PointSet& ps = *run.points;
+    for (std::size_t p = 0; p < ps.size(); ++p) {
+      const std::uint64_t id = ps.id(p);
+      if (run.dead != nullptr && contains(*run.dead, id)) continue;
+      ps.copy_point(p, buf.data());
+      out.push_point(buf, id);
+    }
+  }
+  data::PointSet exported(dims);
+  for (const auto& shard : trees) {
+    exported.clear();
+    shard.tree->export_points(exported);
+    for (std::size_t p = 0; p < exported.size(); ++p) {
+      const std::uint64_t id = exported.id(p);
+      if (shard.dead != nullptr && contains(*shard.dead, id)) continue;
+      exported.copy_point(p, buf.data());
+      out.push_point(buf, id);
+    }
+  }
+}
+
+}  // namespace
+
+void MutableIndex::knn_batch(const data::PointSet& queries, std::size_t k,
+                             NeighborTable& results, ForestWorkspace& ws,
+                             TraversalPolicy policy) const {
+  PANDA_CHECK_MSG(queries.dims() == dims_, "query dimensionality mismatch");
+  PANDA_CHECK_MSG(k >= 1, "k must be >= 1");
+  const auto snap = snapshot();
+  results.reset_topk(queries.size(), k);
+  if (queries.empty()) return;
+  knn_rows(queries, k, *snap, policy, results, ws);
+}
+
+void MutableIndex::knn_rows(const data::PointSet& queries, std::size_t k,
+                            const Snapshot& snap, TraversalPolicy policy,
+                            NeighborTable& results,
+                            ForestWorkspace& ws) const {
+  // One chunk-stolen parallel region answers every query end to end:
+  // buffer scan, every tree (the single-query kernel — documented
+  // identical to the batch kernel's rows — with lazy tombstone
+  // over-fetch), and the (dist², id) row merge. One fork-join per batch, NOT one
+  // per tree: a mid-merge forest is deep (up to fan_in trees per
+  // level), and on a loaded box every extra barrier's join tail costs
+  // a scheduler round against the background build — the per-tree
+  // two-pass form was the dominant term in bench_mutable's
+  // p99-during-merges gate. Rows are disjoint and the snapshot is
+  // immutable, so threads share nothing but the work counter.
+  // Per-tree over-fetch CAP: at min(k + |dead|, tree size) a full
+  // return always holds >= k live points, so the per-query retry loop
+  // terminates there. The common case fetches far less.
+  const std::size_t n_trees = snap.trees.size();
+  if (ws.k_pad.size() < n_trees) ws.k_pad.resize(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    const TreeShard& shard = snap.trees[t];
+    const std::size_t dead = shard.dead != nullptr ? shard.dead->size() : 0;
+    ws.k_pad[t] =
+        std::min(k + dead, static_cast<std::size_t>(shard.tree->size()));
+  }
+  // Visit trees descending by size: the biggest tree establishes a
+  // tight k-th-best bound that the per-query loop carries into every
+  // later traversal, so the small trees of a deep mid-merge forest
+  // prune to near-nothing instead of each paying a fresh unbounded
+  // descent.
+  ws.tree_order.resize(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) ws.tree_order[t] = t;
+  std::sort(ws.tree_order.begin(), ws.tree_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return snap.trees[a].tree->size() > snap.trees[b].tree->size();
+            });
+  const std::uint64_t n = queries.size();
+  const auto threads = static_cast<std::size_t>(pool_->size());
+  if (ws.merge.size() < threads) ws.merge.resize(threads);
+  struct Ctx {
+    const MutableIndex* self;
+    const data::PointSet* queries;
+    const Snapshot* snap;
+    NeighborTable* results;
+    ForestWorkspace* ws;
+    std::size_t k;
+    TraversalPolicy policy;
+    std::uint64_t n;
+    std::uint64_t grain;
+    std::atomic<std::uint64_t> next{0};
+  } ctx{this,
+        &queries,
+        &snap,
+        &results,
+        &ws,
+        k,
+        policy,
+        n,
+        // Finer grain than the tree kernels (16 chunks/thread, not 4):
+        // the batch ends when the last chunk finishes, and on a box
+        // where a background merge thread competes for cores, a fat
+        // final chunk on a descheduled straggler stretches the whole
+        // batch. Steal cost is one relaxed fetch_add per chunk.
+        std::clamp<std::uint64_t>(
+            n / (static_cast<std::uint64_t>(threads) * 16 + 1), 1, 32),
+        {}};
+  const auto body = [c = &ctx](int tid) {
+    ForestWorkspace::MergeScratch& w =
+        c->ws->merge[static_cast<std::size_t>(tid)];
+    const std::span<const std::size_t> k_pads(c->ws->k_pad.data(),
+                                              c->snap->trees.size());
+    const std::span<const std::size_t> tree_order(
+        c->ws->tree_order.data(), c->snap->trees.size());
+    for (;;) {
+      const std::uint64_t lo =
+          c->next.fetch_add(c->grain, std::memory_order_relaxed);
+      if (lo >= c->n) break;
+      const std::uint64_t hi = std::min(lo + c->grain, c->n);
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        c->self->answer_one_query(*c->queries, i, c->k, *c->snap, k_pads,
+                                  tree_order, c->policy, *c->results, w);
+      }
+    }
+  };
+  // Same inline cutoffs as dispatch_batch in the tree kernels: tiny
+  // batches and size-1 pools skip the fan-out, a busy team falls back
+  // to covering the whole range inline (the body self-schedules).
+  if (n <= 64 || pool_->size() == 1) {
+    body(0);
+    return;
+  }
+  if (!pool_->try_run(body)) body(0);
+}
+
+void MutableIndex::answer_one_query(const data::PointSet& queries,
+                                    std::size_t i, std::size_t k,
+                                    const Snapshot& snap,
+                                    std::span<const std::size_t> k_pads,
+                                    std::span<const std::size_t> tree_order,
+                                    TraversalPolicy policy,
+                                    NeighborTable& results,
+                                    ForestWorkspace::MergeScratch& w) const {
+  // The buffer scan accumulates in dimension order — the same
+  // arithmetic as the SIMD leaf kernel and brute_force_knn — so merged
+  // results are bit-identical to a from-scratch build over the live
+  // points.
+  w.query.resize(dims_);
+  queries.copy_point(i, w.query.data());
+  w.heap.reset(k);
+  // Blocked over the SoA columns so the compiler vectorizes across
+  // points; each point's accumulation still runs in dimension order,
+  // preserving the bit-identical contract above. Admission stays a
+  // scalar pass with the same comparison sequence as before.
+  constexpr std::size_t kScanBlock = 256;
+  if (w.dist.size() < kScanBlock) w.dist.resize(kScanBlock);
+  for (const Run& run : snap.runs) {
+    const data::PointSet& ps = *run.points;
+    for (std::size_t base = 0; base < ps.size(); base += kScanBlock) {
+      const std::size_t len = std::min(kScanBlock, ps.size() - base);
+      float* dist = w.dist.data();
+      std::fill_n(dist, len, 0.0f);
+      for (std::size_t d = 0; d < dims_; ++d) {
+        const float q = w.query[d];
+        const float* col = ps.coordinate(d).data() + base;
+        for (std::size_t p = 0; p < len; ++p) {
+          const float diff = q - col[p];
+          dist[p] += diff * diff;
+        }
+      }
+      for (std::size_t p = 0; p < len; ++p) {
+        if (dist[p] <= w.heap.bound()) {
+          const std::uint64_t id = ps.id(base + p);
+          if (run.dead != nullptr && contains(*run.dead, id)) continue;
+          w.heap.offer(dist[p], id);
+        }
+      }
+    }
+  }
+  const auto slot = results.slot(i);
+  std::size_t count = w.heap.extract_sorted_into(slot.data());
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  for (const std::size_t t : tree_order) {
+    const TreeShard& shard = snap.trees[t];
+    const std::size_t cap = k_pads[t];
+    const std::size_t dead_n = shard.dead != nullptr ? shard.dead->size() : 0;
+    if (w.row.size() < cap) w.row.resize(cap);
+    // Carry the running k-th best as the traversal bound: only
+    // candidates strictly below (kth dist², kth id) in the §5 tie
+    // order can still displace a merged result, which is exactly
+    // query_sq_into's admission rule — results stay exact, later
+    // (smaller) trees prune to near-nothing.
+    float bound2 = kInf;
+    std::uint64_t bound_id = 0;
+    if (count == k) {
+      bound2 = slot[k - 1].dist2;
+      bound_id = slot[k - 1].id;
+    }
+    // Tombstones over-fetch lazily: ask for k plus a little, filter,
+    // and double only if the dead ids actually crowded this query's
+    // neighborhood — padding outright to k + |dead| would turn every
+    // k=5 query on a 125-tombstone tree into a k=130 one. Exactness:
+    // if got < k_try the tree returned every point admissible under
+    // the bound, so the filtered list is already complete; any
+    // unreturned point ranks after the k_try-th returned one, so k
+    // live survivors bound the true top-k; and at the cap
+    // min(k + |dead|, tree size) a full return holds at least k live
+    // points by counting.
+    std::size_t k_try = std::min(k + std::min<std::size_t>(dead_n, 8), cap);
+    std::span<const Neighbor> incoming;
+    for (;;) {
+      const std::size_t got = shard.tree->query_sq_into(
+          std::span<const float>(w.query.data(), dims_), k_try, bound2,
+          w.tree_ws, std::span<Neighbor>(w.row.data(), k_try), policy,
+          nullptr, bound_id);
+      incoming = std::span<const Neighbor>(w.row.data(), got);
+      if (shard.dead != nullptr) {
+        w.filtered.clear();
+        for (const Neighbor& nb : incoming) {
+          if (!contains(*shard.dead, nb.id)) w.filtered.push_back(nb);
+        }
+        incoming = w.filtered;
+      }
+      if (got < k_try || incoming.size() >= k || k_try >= cap) break;
+      k_try = std::min(cap, k_try * 2);
+    }
+    count = merge_topk_into_row(slot, count, incoming, k, w.scratch);
+  }
+  results.set_count(i, count);
+}
+
+void MutableIndex::radius_batch(const data::PointSet& queries,
+                                std::span<const float> radii,
+                                NeighborTable& results,
+                                ForestWorkspace& ws) const {
+  PANDA_CHECK_MSG(queries.dims() == dims_, "query dimensionality mismatch");
+  PANDA_CHECK_MSG(radii.size() == queries.size(),
+                  "radius_batch needs one radius per query");
+  for (const float radius : radii) {
+    PANDA_CHECK_MSG(radius >= 0.0f, "radius must be non-negative");
+  }
+  const auto snap = snapshot();
+  results.reset_rows(queries.size());
+  if (queries.empty()) return;
+  if (ws.tree_tables.size() < snap->trees.size()) {
+    ws.tree_tables.resize(snap->trees.size());
+  }
+  for (std::size_t t = 0; t < snap->trees.size(); ++t) {
+    snap->trees[t].tree->query_radius_batch(queries, radii, *pool_,
+                                            ws.tree_tables[t], ws.batch);
+  }
+  ws.query.resize(dims_);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries.copy_point(i, ws.query.data());
+    const float r2 = radii[i] * radii[i];
+    ws.merged.clear();
+    for (const Run& run : snap->runs) {
+      const data::PointSet& ps = *run.points;
+      for (std::size_t p = 0; p < ps.size(); ++p) {
+        float acc = 0.0f;
+        for (std::size_t d = 0; d < dims_; ++d) {
+          const float diff = ws.query[d] - ps.at(p, d);
+          acc += diff * diff;
+        }
+        if (acc < r2) {
+          const std::uint64_t id = ps.id(p);
+          if (run.dead != nullptr && contains(*run.dead, id)) continue;
+          ws.merged.push_back(Neighbor{acc, id});
+        }
+      }
+    }
+    for (std::size_t t = 0; t < snap->trees.size(); ++t) {
+      const TreeShard& shard = snap->trees[t];
+      for (const Neighbor& nb : ws.tree_tables[t].row(i)) {
+        if (shard.dead != nullptr && contains(*shard.dead, nb.id)) continue;
+        ws.merged.push_back(nb);
+      }
+    }
+    std::sort(ws.merged.begin(), ws.merged.end());
+    results.append_row(i, ws.merged);
+  }
+}
+
+void MutableIndex::self_knn_batch(std::size_t k, NeighborTable& results,
+                                  ForestWorkspace& ws) const {
+  // One snapshot serves both the query set and the answers, so the
+  // call is exact even while writers race it.
+  const auto snap = snapshot();
+  data::PointSet live(dims_);
+  gather_snapshot_live(dims_, snap->runs, snap->trees, live);
+  const data::PointSet queries = sort_by_id(live);
+  PANDA_CHECK_MSG(k >= 1, "k must be >= 1");
+  results.reset_topk(queries.size(), k);
+  if (queries.empty()) return;
+  knn_rows(queries, k, *snap, TraversalPolicy::Exact, results, ws);
+}
+
+data::PointSet MutableIndex::live_points() const {
+  const auto snap = snapshot();
+  data::PointSet live(dims_);
+  gather_snapshot_live(dims_, snap->runs, snap->trees, live);
+  return sort_by_id(live);
+}
+
+void MutableIndex::save(const std::string& path) const {
+  // Compact-on-save: the artifact is always one packed v3 tree with
+  // zero tombstones, built over the pinned snapshot's live points in
+  // ascending-id order. The in-memory forest is untouched (save is
+  // const and concurrent-safe); Index::open seeds a fresh forest's
+  // largest level from the file.
+  const data::PointSet live = live_points();
+  PANDA_CHECK_MSG(!live.empty(),
+                  "cannot save an empty mutable index (insert points first)");
+  const KdTree compacted = KdTree::build(live, build_, *pool_);
+  compacted.save(path);
+}
+
+MutationStats MutableIndex::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MutationStats out;
+  out.inserts = inserts_;
+  out.erases = erases_;
+  out.seals = seals_;
+  out.merges = merges_;
+  out.compactions = compactions_;
+  out.live_points = live_count_.load(std::memory_order_relaxed);
+  out.buffered_points = 0;
+  out.tombstones = 0;
+  const auto count_run = [&](const Run& run) {
+    out.buffered_points += run.points->size();
+    if (run.dead != nullptr) out.tombstones += run.dead->size();
+  };
+  for (const auto& group : sealed_groups_) {
+    for (const Run& run : group) count_run(run);
+  }
+  for (const Run& run : open_runs_) count_run(run);
+  for (const TreeShard& shard : trees_) {
+    if (shard.dead != nullptr) out.tombstones += shard.dead->size();
+  }
+  out.trees = trees_.size();
+  out.pending_sealed_groups = sealed_groups_.size();
+  out.merge_in_flight = seal_busy_ || merge_busy_;
+  return out;
+}
+
+}  // namespace panda::core

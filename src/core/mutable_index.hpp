@@ -1,0 +1,331 @@
+// Live-updatable index: the logarithmic method over packed kd-trees
+// (DESIGN.md §12).
+//
+// Every other index in the repository is build-once; the only way to
+// absorb new data used to be a full rebuild plus a serving snapshot
+// swap. MutableIndex removes that assumption with the classic
+// Bentley–Saxe decomposition:
+//
+//   inserts  — each insert() batch becomes one immutable Run (a copied
+//     PointSet, brute-force scanned by queries). When the buffered
+//     runs reach MutableConfig::buffer_capacity points they are sealed
+//     as a group and a background seal thread compacts them into a
+//     level-0 packed kd-tree; a separate background merge thread
+//     compacts merge_fan_in trees at one level into one tree at the
+//     next (two lanes, so a small seal never queues behind a long
+//     level merge and the scanned buffer stays bounded). The forest
+//     thus holds
+//     O(log(n / capacity)) trees of geometrically growing sizes and
+//     every point is rebuilt O(log n) times in total. No insert ever
+//     rebuilds the whole index — the full-rebuild stall is gone
+//     (bench_mutable pins this).
+//
+//   erases   — tombstones. Each container (run or tree) carries its
+//     own copy-on-write sorted dead-id list; buffer scans skip dead
+//     ids, and tree queries over-fetch slightly (k + min(|dead|, 8)),
+//     filter, and retry with a doubled k only in the rare case the
+//     dead ids actually crowded the query's neighborhood — capped at
+//     min(k + |dead|, tree points), where at least k live neighbors
+//     are guaranteed to survive the filter. Results stay exact, never
+//     approximate, no matter how tombstone-heavy the forest gets.
+//     Per-container (not global) dead sets are what make
+//     erase-then-reinsert of the same id correct: the old copy is dead
+//     in its old container, the new copy is live in its new one.
+//
+//   queries  — lock-free. Writers publish an immutable Snapshot
+//     (runs + tree shards) through one atomic<shared_ptr> store;
+//     queries pin exactly one snapshot for the whole batch. One
+//     chunk-stolen parallel region answers each query end to end —
+//     buffer-scan candidates, every tree at its tombstone-padded k,
+//     and the row merge — under the deterministic (dist², id) total
+//     order of DESIGN.md §5 (one fork-join per batch, not one per
+//     tree, so a deep mid-merge forest costs no extra barriers).
+//     Buffer scans and the SIMD leaf kernel accumulate distances in
+//     the same dimension order, so results are bit-identical to a
+//     from-scratch build over the live points — tests/
+//     test_mutable_index.cpp pins id-exactness against an
+//     incrementally-maintained brute-force oracle after every
+//     mutation, and bench_mutable digest-gates it.
+//
+// Thread safety: any number of concurrent query callers (each with its
+// own ForestWorkspace/NeighborTable); mutations are serialized
+// internally and may run concurrently with queries — a query never
+// blocks on a writer or on the merge thread. Background seal/merge
+// builds never touch the shared pool: they run inline on the merge
+// thread (a private size-1 build pool), so a query batch always gets
+// the full pool team and maintenance can take at most one thread's
+// share of the machine while it churns — bench_mutable gates the
+// interference at p99-during <= 2x quiesced p99.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/kdtree.hpp"
+#include "core/knn_heap.hpp"
+#include "core/neighbor_table.hpp"
+#include "core/query_workspace.hpp"
+#include "data/point_set.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace panda::core {
+
+/// Shape of the logarithmic method (facade knob: IndexOptions::
+/// mutable_config).
+struct MutableConfig {
+  /// Buffered points that trigger a background seal into a level-0
+  /// tree. Smaller = cheaper buffer scans but more frequent merges.
+  std::size_t buffer_capacity = 1024;
+  /// Trees at one level that compact into one tree at the next
+  /// (>= 2). Smaller = fewer trees per query but more merge work.
+  std::uint32_t merge_fan_in = 4;
+};
+
+/// Mutation-side counters (monotonic since construction) plus a gauge
+/// of the current forest shape. stats() snapshots are consistent.
+struct MutationStats {
+  std::uint64_t inserts = 0;  // points accepted by insert()
+  std::uint64_t erases = 0;   // live ids actually erased
+  std::uint64_t seals = 0;    // buffer groups compacted to level 0
+  std::uint64_t merges = 0;   // level merges completed
+  std::uint64_t compactions = 0;  // explicit compact() calls
+  std::uint64_t live_points = 0;
+  /// Points still run-buffered (unsealed, or sealed and awaiting the
+  /// background build), dead entries included.
+  std::uint64_t buffered_points = 0;
+  std::uint64_t tombstones = 0;       // dead entries still in containers
+  std::uint64_t trees = 0;            // forest trees right now
+  std::uint64_t pending_sealed_groups = 0;
+  bool merge_in_flight = false;
+};
+
+/// Caller-owned, grow-only scratch for MutableIndex queries — one per
+/// concurrent caller, reusable across calls (the forest analogue of
+/// BatchWorkspace; SearchWorkspace embeds one).
+struct ForestWorkspace {
+  BatchWorkspace batch;
+  /// One table per forest tree — the radius path only (per-tree
+  /// radius batches, stitched serially afterwards).
+  std::vector<NeighborTable> tree_tables;
+  /// Per-pool-thread scratch for the single-fork-join KNN path: each
+  /// thread drives its query chunk through the buffer scan and every
+  /// tree serially, so one scratch holds a traversal workspace plus
+  /// one padded row and merge buffers.
+  struct MergeScratch {
+    KnnHeap heap{1};
+    QueryWorkspace tree_ws;
+    std::vector<float> query;
+    std::vector<float> dist;  // buffer-scan distance block
+    std::vector<Neighbor> row;
+    std::vector<Neighbor> filtered;
+    std::vector<Neighbor> scratch;
+  };
+  std::vector<MergeScratch> merge;
+  std::vector<std::size_t> k_pad;       // per-tree over-fetch cap
+  std::vector<std::size_t> tree_order;  // trees descending by size
+  std::vector<float> query;        // radius merge loop (serial)
+  std::vector<Neighbor> merged;    // radius merge loop (serial)
+};
+
+class MutableIndex {
+ public:
+  /// An empty live index of `dims` dimensions.
+  MutableIndex(std::size_t dims, const MutableConfig& config,
+               const BuildConfig& build,
+               std::shared_ptr<parallel::ThreadPool> pool);
+  /// Seeds the forest with an already-built tree at its size-matched
+  /// level (the Index::open path: a saved v3 file becomes the largest
+  /// level and new writes stack on top). The seed's ids must be
+  /// unique.
+  MutableIndex(KdTree seed, const MutableConfig& config,
+               const BuildConfig& build,
+               std::shared_ptr<parallel::ThreadPool> pool);
+  ~MutableIndex();
+
+  MutableIndex(const MutableIndex&) = delete;
+  MutableIndex& operator=(const MutableIndex&) = delete;
+
+  std::size_t dims() const { return dims_; }
+  /// Live (inserted and not erased) points.
+  std::uint64_t size() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
+
+  // -------------------------------------------------------------------
+  // Mutations (serialized internally; safe concurrently with queries).
+  // -------------------------------------------------------------------
+
+  /// Inserts a batch of points. Ids must not collide with any live id
+  /// (or repeat within the batch) — throws panda::Error and accepts
+  /// none of the batch on collision; an erased id may be re-inserted.
+  /// The points are visible to every query batch that starts after
+  /// insert() returns.
+  void insert(const data::PointSet& points);
+
+  /// Erases by global id; unknown ids are ignored. Returns how many
+  /// were live. Erased points are invisible to every query batch that
+  /// starts after erase() returns.
+  std::size_t erase(std::span<const std::uint64_t> ids);
+
+  /// Synchronously compacts the whole forest (and buffer) into one
+  /// packed tree with zero tombstones, after draining background
+  /// merges. Queries keep serving the old snapshot throughout.
+  void compact();
+
+  /// Blocks until no background seal/merge is queued or running. The
+  /// buffer keeps its unsealed runs (quiesce is about merge activity,
+  /// not about emptying the write side).
+  void quiesce();
+
+  // -------------------------------------------------------------------
+  // Queries (lock-free: pin one snapshot, never block on writers).
+  // -------------------------------------------------------------------
+
+  /// K nearest live neighbors of every query, top-k mode rows of
+  /// ascending (dist², id) — bit-identical to a fresh build over the
+  /// live points.
+  void knn_batch(const data::PointSet& queries, std::size_t k,
+                 NeighborTable& results, ForestWorkspace& ws,
+                 TraversalPolicy policy = TraversalPolicy::Exact) const;
+
+  /// All live neighbors with dist² < radii[i]² (rows mode, ascending).
+  void radius_batch(const data::PointSet& queries,
+                    std::span<const float> radii, NeighborTable& results,
+                    ForestWorkspace& ws) const;
+
+  /// Bulk self-KNN of the live set: row i answers the i-th live point
+  /// in ascending id order (the only stable ordering a mutating index
+  /// can offer; equals build position when ids were inserted
+  /// ascending).
+  void self_knn_batch(std::size_t k, NeighborTable& results,
+                      ForestWorkspace& ws) const;
+
+  /// The live points, ascending by id (the self_knn_batch row order).
+  /// Gathered from the same snapshot a query batch would pin.
+  data::PointSet live_points() const;
+
+  /// Persists the state as of the call: gathers the live points from
+  /// the current snapshot, builds one packed tree (zero tombstones,
+  /// ascending-id point order), and saves it as a v3 file — the
+  /// compact-on-save contract of Index::save. The in-memory forest is
+  /// untouched; Index::open seeds a new forest from the file.
+  void save(const std::string& path) const;
+
+  MutationStats stats() const;
+
+ private:
+  /// Sorted dead-id list, copy-on-write: erase() publishes a new list,
+  /// pinned snapshots keep reading the old one.
+  using IdList = std::vector<std::uint64_t>;
+
+  /// One immutable insert batch, brute-force scanned by queries until
+  /// a background seal packs it into a level-0 tree.
+  struct Run {
+    std::shared_ptr<const data::PointSet> points;
+    std::shared_ptr<const IdList> dead;  // null = none
+  };
+
+  /// One forest tree plus its sorted id set (tombstone lookup) and
+  /// dead list.
+  struct TreeShard {
+    std::shared_ptr<const KdTree> tree;
+    std::uint32_t level = 0;
+    std::shared_ptr<const IdList> ids;
+    std::shared_ptr<const IdList> dead;  // null = none
+  };
+
+  /// What queries pin: one immutable view of the whole forest.
+  struct Snapshot {
+    std::vector<Run> runs;
+    std::vector<TreeShard> trees;
+  };
+
+  std::shared_ptr<const Snapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  // All *_locked members require mutex_.
+  void publish_locked();
+  bool has_work_locked() const;
+  int overfull_level_locked() const;
+  void tombstone_locked(std::uint64_t id);
+  /// Appends every live point of the current state to `out` (and its
+  /// id to `ids` when non-null). Order: runs first, then trees.
+  void gather_live_locked(data::PointSet& out) const;
+  std::uint32_t level_for_size(std::uint64_t points) const;
+
+  void seal_loop();
+  void merge_loop();
+  void do_seal(std::vector<Run> claimed);
+  void do_level_merge(std::uint32_t level, std::vector<TreeShard> claimed);
+
+  /// The KNN engine behind knn_batch/self_knn_batch: one chunk-stolen
+  /// parallel region answers every query end to end (buffer scan +
+  /// all trees + row merge). `results` must already be reset to
+  /// top-k mode.
+  void knn_rows(const data::PointSet& queries, std::size_t k,
+                const Snapshot& snap, TraversalPolicy policy,
+                NeighborTable& results, ForestWorkspace& ws) const;
+  void answer_one_query(const data::PointSet& queries, std::size_t i,
+                        std::size_t k, const Snapshot& snap,
+                        std::span<const std::size_t> k_pads,
+                        std::span<const std::size_t> tree_order,
+                        TraversalPolicy policy, NeighborTable& results,
+                        ForestWorkspace::MergeScratch& w) const;
+
+  std::size_t dims_;
+  MutableConfig config_;
+  BuildConfig build_;
+  std::shared_ptr<parallel::ThreadPool> pool_;
+  /// Background seal/merge builds run on this size-1 pool — i.e.
+  /// inline on the (deprioritized) merge thread — never on the shared
+  /// pool, so maintenance cannot steal the query batch kernels' team.
+  /// Synchronous rebuilds (compact(), save()) still use pool_.
+  parallel::ThreadPool merge_build_pool_{1};
+
+  mutable std::mutex mutex_;
+  std::condition_variable seal_cv_;   // seal thread parks here
+  std::condition_variable merge_cv_;  // level-merge thread parks here
+  std::condition_variable idle_cv_;   // quiesce()/compact() park here
+  bool stop_ = false;
+  bool seal_busy_ = false;
+  bool merge_busy_ = false;
+
+  std::vector<Run> open_runs_;
+  std::size_t open_points_ = 0;  // total points across open runs
+  std::deque<std::vector<Run>> sealed_groups_;
+  std::vector<TreeShard> trees_;
+  /// The live-id set: duplicate-insert rejection and erase routing.
+  std::unordered_set<std::uint64_t> live_;
+  std::atomic<std::uint64_t> live_count_{0};
+
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+
+  std::uint64_t inserts_ = 0;
+  std::uint64_t erases_ = 0;
+  std::uint64_t seals_ = 0;
+  std::uint64_t merges_ = 0;
+  std::uint64_t compactions_ = 0;
+
+  /// Two background lanes, LSM-style: seals (small, frequent level-0
+  /// builds) must never queue behind a level merge (large, rare) —
+  /// otherwise sealed groups pile up during a long merge and every
+  /// query brute-scans the backlog. The lanes compose under mutex_:
+  /// do_seal only pops sealed_groups_.front() and appends a level-0
+  /// tree; do_level_merge splices by tree pointer, so trees sealed
+  /// mid-merge survive its publish.
+  std::thread seal_thread_;
+  std::thread merge_thread_;
+};
+
+}  // namespace panda::core

@@ -69,6 +69,18 @@ struct IndexBackend::Scratch {
   SearchWorkspace ws;
 };
 
+void Backend::ingest(const data::PointSet&) {
+  throw Error(
+      "serve::Backend::ingest: this backend serves an immutable index "
+      "(serve an Engine::Mutable panda::Index for live updates)");
+}
+
+std::size_t Backend::erase_ids(std::span<const std::uint64_t>) {
+  throw Error(
+      "serve::Backend::erase_ids: this backend serves an immutable index "
+      "(serve an Engine::Mutable panda::Index for live updates)");
+}
+
 IndexBackend::IndexBackend(std::shared_ptr<panda::Index> index)
     : index_(std::move(index)) {
   PANDA_CHECK_MSG(index_ != nullptr, "IndexBackend needs an index");

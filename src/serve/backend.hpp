@@ -90,6 +90,20 @@ class Backend {
   /// service workers.
   virtual void run_batch(std::span<const Request> batch,
                          std::vector<Result>& results) = 0;
+
+  /// True when the served index absorbs writes (an Engine::Mutable
+  /// panda::Index behind IndexBackend).
+  virtual bool mutable_index() const { return false; }
+
+  /// Routes a write batch to the served index (see panda::Index::
+  /// insert for the id contract). Safe concurrently with run_batch —
+  /// the mutable index publishes immutable snapshots, so in-flight
+  /// batches keep the view they pinned and writers never block a
+  /// query. The default (immutable backend) throws panda::Error.
+  virtual void ingest(const data::PointSet& points);
+
+  /// Erase counterpart of ingest(); returns how many ids were live.
+  virtual std::size_t erase_ids(std::span<const std::uint64_t> ids);
 };
 
 /// The production backend: any panda::Index served as a snapshot.
@@ -108,6 +122,14 @@ class IndexBackend final : public Backend {
   std::uint64_t size() const override { return index_->size(); }
   void run_batch(std::span<const Request> batch,
                  std::vector<Result>& results) override;
+
+  bool mutable_index() const override { return index_->mutable_index(); }
+  void ingest(const data::PointSet& points) override {
+    index_->insert(points);
+  }
+  std::size_t erase_ids(std::span<const std::uint64_t> ids) override {
+    return index_->erase(ids);
+  }
 
   const panda::Index& index() const { return *index_; }
 

@@ -207,6 +207,30 @@ bool QueryService::try_submit(Request request, std::future<Result>* out) {
   return admit(std::move(request), out, /*blocking=*/false);
 }
 
+void QueryService::ingest(const data::PointSet& points) {
+  PANDA_CHECK_MSG(state_.load(std::memory_order_seq_cst) == kRunning,
+                  "QueryService::ingest after shutdown");
+  PANDA_CHECK_MSG(points.dims() == dims_,
+                  "ingest batch must keep the served dimensionality");
+  // Pin the currently served backend exactly like a worker pins it
+  // for a batch (shard 0's handle — swap_backend stages the same
+  // pointer across shards). The mutable index serializes writers
+  // internally; queries keep draining against their own pins.
+  const std::shared_ptr<Backend> backend = shards_.front()->backend.load();
+  backend->ingest(points);
+  ingest_batches_.fetch_add(1, std::memory_order_relaxed);
+  ingested_points_.fetch_add(points.size(), std::memory_order_relaxed);
+}
+
+std::size_t QueryService::erase_ids(std::span<const std::uint64_t> ids) {
+  PANDA_CHECK_MSG(state_.load(std::memory_order_seq_cst) == kRunning,
+                  "QueryService::erase_ids after shutdown");
+  const std::shared_ptr<Backend> backend = shards_.front()->backend.load();
+  const std::size_t erased = backend->erase_ids(ids);
+  erased_ids_.fetch_add(erased, std::memory_order_relaxed);
+  return erased;
+}
+
 void QueryService::swap_backend(std::shared_ptr<Backend> next) {
   PANDA_CHECK_MSG(next != nullptr, "swap_backend needs a backend");
   PANDA_CHECK_MSG(next->dims() == dims_,
@@ -404,6 +428,9 @@ ServeStats QueryService::stats() const {
   out.flushes_on_window = flushes_on_window_.load(std::memory_order_relaxed);
   out.flushes_on_drain = flushes_on_drain_.load(std::memory_order_relaxed);
   out.swaps = swaps_.load(std::memory_order_relaxed);
+  out.ingest_batches = ingest_batches_.load(std::memory_order_relaxed);
+  out.ingested_points = ingested_points_.load(std::memory_order_relaxed);
+  out.erased_ids = erased_ids_.load(std::memory_order_relaxed);
   out.batch_size_log2.resize(kBatchBuckets);
   for (std::size_t b = 0; b < kBatchBuckets; ++b) {
     out.batch_size_log2[b] = batch_size_log2_[b].load(

@@ -112,6 +112,22 @@ class QueryService {
   /// stopped, regardless of the configured Overflow policy.
   bool try_submit(Request request, std::future<Result>* out);
 
+  /// Ingest path (live-updatable indexes, DESIGN.md §12): routes a
+  /// write batch to the currently served backend. The backend must be
+  /// mutable (an Engine::Mutable index behind IndexBackend) — an
+  /// immutable backend surfaces its typed panda::Error. Visibility
+  /// follows the snapshot rule of the mutable tier: every request
+  /// admitted after ingest() returns observes the new points;
+  /// in-flight batches finish on the snapshot they pinned and never
+  /// block on the writer. Throws panda::Error after shutdown.
+  void ingest(const data::PointSet& points);
+
+  /// Erase counterpart of ingest(): removes points by global id from
+  /// the served mutable index, with the same visibility ordering
+  /// (requests admitted after the call never return an erased id).
+  /// Returns how many ids were live.
+  std::size_t erase_ids(std::span<const std::uint64_t> ids);
+
   /// Replaces the served index snapshot, staged shard by shard. Every
   /// request observes exactly one snapshot: in-flight batches finish
   /// on the old one, requests admitted after swap_backend returns are
@@ -217,6 +233,9 @@ class QueryService {
   std::atomic<std::uint64_t> flushes_on_window_{0};
   std::atomic<std::uint64_t> flushes_on_drain_{0};
   std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> ingest_batches_{0};
+  std::atomic<std::uint64_t> ingested_points_{0};
+  std::atomic<std::uint64_t> erased_ids_{0};
   static constexpr std::size_t kBatchBuckets = 20;
   std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_size_log2_{};
   std::atomic<std::uint64_t> batched_requests_{0};

@@ -81,6 +81,11 @@ struct ServeStats {
   // Index snapshot swaps observed (rebuild-behind-traffic).
   std::uint64_t swaps = 0;
 
+  // Live-update ingest path (mutable backends, DESIGN.md §12).
+  std::uint64_t ingest_batches = 0;
+  std::uint64_t ingested_points = 0;
+  std::uint64_t erased_ids = 0;
+
   // Latency and throughput. qps is completed requests divided by the
   // time from service start to the most recent completion — a
   // sustained-traffic number, not diluted by trailing idle time.

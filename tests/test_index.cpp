@@ -55,6 +55,17 @@ std::vector<std::pair<std::string, IndexOptions>> adapter_matrix() {
     o.engine = IndexOptions::Engine::SimpleTree;
     out.emplace_back("simple-tree", o);
   }
+  {
+    // Small buffer + fan-in so mid-size builds take the seed-tree path
+    // and small ones stay run-buffered — both forest shapes answer
+    // through the same matrix.
+    IndexOptions o;
+    o.engine = IndexOptions::Engine::Mutable;
+    o.threads = 2;
+    o.mutable_config.buffer_capacity = 128;
+    o.mutable_config.merge_fan_in = 2;
+    out.emplace_back("mutable", o);
+  }
   return out;
 }
 
@@ -302,6 +313,18 @@ TEST(FacadeBuild, RejectsBadOptions) {
   }
   {
     IndexOptions o;
+    o.engine = IndexOptions::Engine::Mutable;
+    o.mutable_config.buffer_capacity = 0;
+    EXPECT_THROW((void)Index::build(points, o), panda::Error);
+  }
+  {
+    IndexOptions o;
+    o.engine = IndexOptions::Engine::Mutable;
+    o.mutable_config.merge_fan_in = 1;
+    EXPECT_THROW((void)Index::build(points, o), panda::Error);
+  }
+  {
+    IndexOptions o;
     o.engine = IndexOptions::Engine::Dist;
     o.dist_batch_size = 0;
     EXPECT_THROW((void)Index::build(points, o), panda::Error);
@@ -420,6 +443,158 @@ TEST(FacadeOpen, SurfacesVersion1RefusalVerbatim) {
         << what;
     std::remove(path.c_str());
   }
+}
+
+TEST(FacadeMutate, ImmutableAdaptersRejectMutationsTyped) {
+  const auto gen = data::make_generator("uniform", 31);
+  const data::PointSet points = gen->generate_all(120);
+  data::PointSet extra(gen->dims());
+  gen->generate(1000, 1004, extra);
+  const std::uint64_t ids[] = {1, 2};
+
+  for (const auto& [name, options] : adapter_matrix()) {
+    auto index = Index::build(points, options);
+    if (name == "mutable") {
+      EXPECT_TRUE(index->mutable_index());
+      continue;
+    }
+    EXPECT_FALSE(index->mutable_index()) << name;
+    try {
+      index->insert(extra);
+      FAIL() << name << " must reject insert()";
+    } catch (const panda::Error& e) {
+      // The message must point at the fix, not just refuse.
+      EXPECT_NE(std::string(e.what()).find("Engine::Mutable"),
+                std::string::npos)
+          << name << ": " << e.what();
+    }
+    EXPECT_THROW((void)index->erase(ids), panda::Error) << name;
+    EXPECT_EQ(index->size(), points.size()) << name;
+  }
+}
+
+TEST(FacadeMutate, InsertEraseMatchOracleThroughTheFacade) {
+  const auto gen = data::make_generator("gmm", 808);
+  IndexOptions options;
+  options.engine = IndexOptions::Engine::Mutable;
+  options.threads = 2;
+  options.mutable_config.buffer_capacity = 64;
+  options.mutable_config.merge_fan_in = 2;
+
+  data::PointSet live = gen->generate_all(150);
+  auto index = Index::build(live, options);
+
+  // Grow live alongside the index: insert two more chunks, erase a
+  // stripe, and the facade must stay oracle-exact throughout.
+  for (int round = 0; round < 2; ++round) {
+    data::PointSet fresh(gen->dims());
+    gen->generate(live.size(), live.size() + 90, fresh);
+    index->insert(fresh);
+    std::vector<float> p(gen->dims());
+    for (std::uint64_t i = 0; i < fresh.size(); ++i) {
+      fresh.copy_point(i, p.data());
+      live.push_point(p, fresh.id(i));
+    }
+  }
+  std::vector<std::uint64_t> doomed;
+  for (std::uint64_t id = 10; id < 300; id += 10) doomed.push_back(id);
+  EXPECT_EQ(index->erase(doomed), doomed.size());
+  data::PointSet survivors(gen->dims());
+  std::vector<float> p(gen->dims());
+  for (std::uint64_t i = 0; i < live.size(); ++i) {
+    if (live.id(i) >= 10 && live.id(i) < 300 && live.id(i) % 10 == 0) {
+      continue;
+    }
+    live.copy_point(i, p.data());
+    survivors.push_point(p, live.id(i));
+  }
+  EXPECT_EQ(index->size(), survivors.size());
+
+  data::PointSet queries(gen->dims());
+  gen->generate(5000, 5020, queries);
+  SearchParams params;
+  params.k = 7;
+  core::NeighborTable results;
+  SearchWorkspace ws;
+  index->knn_into(queries, params, results, ws);
+  std::vector<float> q(gen->dims());
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    queries.copy_point(i, q.data());
+    expect_row_equals(results[i],
+                      baselines::brute_force_knn(survivors, q, params.k),
+                      "facade mutate query " + std::to_string(i));
+  }
+
+  // Lifetime mutation counters surface through SearchStats. The 150
+  // build points arrived through the synchronous seed tree, not
+  // insert(), so only the two streamed chunks count.
+  SearchStats stats;
+  index->self_knn_into(params, results, ws, &stats);
+  EXPECT_EQ(stats.inserts, 90u + 90u);
+  EXPECT_EQ(stats.erases, doomed.size());
+}
+
+TEST(FacadeOpen, MutableSaveOpenRoundTrip) {
+  const auto gen = data::make_generator("uniform", 272);
+  IndexOptions mutable_options;
+  mutable_options.engine = IndexOptions::Engine::Mutable;
+  mutable_options.threads = 2;
+  mutable_options.mutable_config.buffer_capacity = 64;
+
+  const data::PointSet points = gen->generate_all(400);
+  auto built = Index::build(points, mutable_options);
+  data::PointSet fresh(gen->dims());
+  gen->generate(400, 460, fresh);
+  built->insert(fresh);
+  const std::uint64_t doomed[] = {3, 77, 411};
+  ASSERT_EQ(built->erase(doomed), 3u);
+
+  // save() compacts the forest (buffer, trees, tombstones) into one
+  // v3 file; the file round-trips under either engine.
+  const std::string path = temp_path("panda_mutable_roundtrip.kdt");
+  built->save(path);
+
+  data::PointSet queries(gen->dims());
+  gen->generate(9000, 9024, queries);
+  SearchParams params;
+  params.k = 6;
+  core::NeighborTable expected;
+  core::NeighborTable got;
+  SearchWorkspace ws;
+  built->knn_into(queries, params, expected, ws);
+
+  auto as_local = Index::open(path, IndexOptions{});
+  EXPECT_FALSE(as_local->mutable_index());
+  as_local->knn_into(queries, params, got, ws);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expect_row_equals(got[i], {expected[i].begin(), expected[i].end()},
+                      "opened-as-local query " + std::to_string(i));
+  }
+
+  auto as_mutable = Index::open(path, mutable_options);
+  std::remove(path.c_str());
+  EXPECT_TRUE(as_mutable->mutable_index());
+  EXPECT_STREQ(as_mutable->engine_name(), "mutable");
+  EXPECT_EQ(as_mutable->size(), built->size());
+  as_mutable->knn_into(queries, params, got, ws);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expect_row_equals(got[i], {expected[i].begin(), expected[i].end()},
+                      "opened-as-mutable query " + std::to_string(i));
+  }
+
+  // The reopened index is live: stack new points on the seeded tree
+  // and the erased ids stay erased.
+  data::PointSet more(gen->dims());
+  gen->generate(2000, 2010, more);
+  as_mutable->insert(more);
+  EXPECT_EQ(as_mutable->size(), built->size() + 10);
+  std::vector<float> q(gen->dims());
+  more.copy_point(0, q.data());
+  const auto row = as_mutable->knn(q, 1);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0].id, 2000u);
+  EXPECT_EQ(row[0].dist2, 0.0f);
 }
 
 TEST(FacadeBuild, EmptyQuerySetsAndEngineNames) {

@@ -774,6 +774,199 @@ TEST(Serve, DistBackendServesMixedTrafficExactly) {
 }
 
 // ---------------------------------------------------------------------
+// Live updates through the service (DESIGN.md §12). These run under
+// ThreadSanitizer via ci.sh tsan.
+// ---------------------------------------------------------------------
+
+/// A mutable-index fixture: Engine::Mutable with a buffer small enough
+/// that the schedules below drive seals and background merges while
+/// the service answers traffic.
+Fixture make_mutable_fixture(std::uint64_t n, std::uint64_t seed,
+                             std::size_t buffer_capacity) {
+  Fixture f;
+  const auto gen = data::make_generator("uniform", seed);
+  f.points = gen->generate_all(n);
+  f.pool = std::make_shared<parallel::ThreadPool>(2);
+  IndexOptions options;
+  options.pool = f.pool;
+  options.engine = IndexOptions::Engine::Mutable;
+  options.mutable_config.buffer_capacity = buffer_capacity;
+  options.mutable_config.merge_fan_in = 2;
+  f.backend = std::make_shared<IndexBackend>(
+      panda::Index::build(f.points, options));
+  return f;
+}
+
+TEST(ServeIngest, ImmutableBackendRejectsWritesTyped) {
+  Fixture f = make_fixture("uniform", 200, 1);
+  EXPECT_FALSE(f.backend->mutable_index());
+  ServeConfig config;
+  QueryService service(f.backend, config);
+
+  data::PointSet fresh(f.points.dims());
+  const auto gen = data::make_generator("uniform", 2);
+  gen->generate(1000, 1004, fresh);
+  try {
+    service.ingest(fresh);
+    FAIL() << "immutable backend must reject ingest";
+  } catch (const panda::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("Engine::Mutable"),
+              std::string::npos)
+        << e.what();
+  }
+  const std::uint64_t ids[] = {1, 2};
+  EXPECT_THROW((void)service.erase_ids(ids), panda::Error);
+
+  // Rejected writes leave no trace in the counters, and reads still
+  // work.
+  const auto qgen = data::make_generator("uniform", 3);
+  auto result =
+      service.submit(Request::knn(query_point(*qgen, 555), 3)).get();
+  EXPECT_EQ(result.size(), 3u);
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.ingest_batches, 0u);
+  EXPECT_EQ(stats.ingested_points, 0u);
+  EXPECT_EQ(stats.erased_ids, 0u);
+
+  service.shutdown();
+  EXPECT_THROW(service.ingest(fresh), panda::Error);
+}
+
+TEST(ServeIngest, WritesVisibleOnReturnAndExactBehindTraffic) {
+  const std::uint64_t n = 400;
+  Fixture f = make_mutable_fixture(n, 11, /*buffer_capacity=*/64);
+  ASSERT_TRUE(f.backend->mutable_index());
+  ServeConfig config;
+  config.shards = 2;
+  QueryService service(f.backend, config);
+
+  // Background clients keep the queues and merge machinery busy; their
+  // answers race mutations so they are only required to complete.
+  const auto qgen = data::make_generator("uniform", 12);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      std::uint64_t j = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto q = query_point(*qgen, 5000 + c * 100 + (j++ % 64));
+        (void)service.submit(Request::knn(std::move(q), 4)).get();
+      }
+    });
+  }
+
+  // The checked schedule: every mutation is verified oracle-exact by a
+  // request submitted after the mutating call returned — the
+  // visibility contract, under live traffic. `live` tracks ground
+  // truth.
+  const auto gen = data::make_generator("uniform", 11);
+  data::PointSet live = f.points;
+  std::vector<float> p(live.dims());
+  std::uint64_t next_id = n;
+  for (int round = 0; round < 10; ++round) {
+    data::PointSet fresh(live.dims());
+    gen->generate(next_id, next_id + 48, fresh);
+    service.ingest(fresh);
+    for (std::uint64_t i = 0; i < fresh.size(); ++i) {
+      fresh.copy_point(i, p.data());
+      live.push_point(p, fresh.id(i));
+    }
+
+    // Probe at the first point of the batch: itself at distance 0.
+    fresh.copy_point(0, p.data());
+    auto hit = service.submit(Request::knn(p, 5)).get();
+    EXPECT_EQ(hit, oracle_for(live, Request::knn(p, 5)))
+        << "round " << round;
+    ASSERT_FALSE(hit.empty());
+    EXPECT_EQ(hit[0].id, next_id) << "round " << round;
+    EXPECT_EQ(hit[0].dist2, 0.0f) << "round " << round;
+
+    // Erase it again: gone from every request admitted afterwards.
+    const std::uint64_t doomed[] = {next_id};
+    EXPECT_EQ(service.erase_ids(doomed), 1u);
+    data::PointSet survivors(live.dims());
+    for (std::uint64_t i = 0; i < live.size(); ++i) {
+      if (live.id(i) == next_id) continue;
+      live.copy_point(i, p.data());
+      survivors.push_point(p, live.id(i));
+    }
+    live = std::move(survivors);
+    auto after = service.submit(Request::knn(p, 5)).get();
+    EXPECT_EQ(after, oracle_for(live, Request::knn(p, 5)))
+        << "round " << round;
+    for (const auto& nb : after) EXPECT_NE(nb.id, next_id);
+
+    next_id += 48;
+  }
+
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  service.shutdown();
+
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.ingest_batches, 10u);
+  EXPECT_EQ(stats.ingested_points, 480u);
+  EXPECT_EQ(stats.erased_ids, 10u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(f.backend->size(), live.size());
+}
+
+TEST(ServeIngest, SnapshotsAreBatchAtomicDuringMerges) {
+  // Pairs of points at one fixed location are inserted and erased as
+  // two-point batches while readers hammer that location. Every read
+  // must see both points of the current generation or neither — one
+  // visible without its twin would mean a torn snapshot. buffer=8
+  // keeps seals/merges churning underneath the whole time.
+  const std::uint64_t n = 64;
+  Fixture f = make_mutable_fixture(n, 21, /*buffer_capacity=*/8);
+  ServeConfig config;
+  QueryService service(f.backend, config);
+
+  const std::vector<float> spot{10.0f, 10.0f, 10.0f};  // far from data
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      // A few reads even if the writer laps the schedule before this
+      // thread first runs (single-core scheduling).
+      int remaining_min_reads = 5;
+      while (remaining_min_reads-- > 0 ||
+             !stop.load(std::memory_order_relaxed)) {
+        const auto row = service.submit(Request::knn(spot, 2)).get();
+        std::size_t at_spot = 0;
+        for (const auto& nb : row) {
+          if (nb.dist2 == 0.0f) ++at_spot;
+        }
+        if (at_spot == 1) {
+          ADD_FAILURE() << "torn snapshot: one of a pair visible";
+          stop.store(true);
+          return;
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::uint64_t next_id = 1000;
+  for (int generation = 0; generation < 40; ++generation) {
+    data::PointSet pair(f.points.dims());
+    pair.push_point(spot, next_id);
+    pair.push_point(spot, next_id + 1);
+    service.ingest(pair);
+    const std::uint64_t doomed[] = {next_id, next_id + 1};
+    EXPECT_EQ(service.erase_ids(doomed), 2u);
+    next_id += 2;
+  }
+
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  service.shutdown();
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(service.stats().failed, 0u);
+}
+
+// ---------------------------------------------------------------------
 // Latency histogram
 // ---------------------------------------------------------------------
 
