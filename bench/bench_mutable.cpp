@@ -32,7 +32,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -276,6 +278,61 @@ int main(int argc, char** argv) {
                 p99_during, p99_quiesced);
   }
 
+  // ------------------------------------------------------------------
+  // Phase 4: what durability costs (DESIGN.md §13). The same ingest
+  // stream three ways — no WAL, the group-committed default, and
+  // fsync-per-batch — isolated to fresh indexes so merge state from
+  // the phases above doesn't contaminate the comparison. Gate: the
+  // default WAL keeps at least half the WAL-off throughput.
+  // ------------------------------------------------------------------
+  const std::uint64_t wal_points = std::min<std::uint64_t>(n / 4, 100000);
+  const auto ingest_pps = [&](const core::MutableConfig& wal_config) {
+    core::MutableIndex walled(gen->dims(), wal_config, core::BuildConfig{},
+                              pool);
+    double seconds = 0.0;
+    for (std::uint64_t begin = 0; begin < wal_points; begin += chunk) {
+      const std::uint64_t end = std::min(wal_points, begin + chunk);
+      data::PointSet fresh_points(gen->dims());
+      gen->generate(begin, end, fresh_points);
+      WallTimer watch;
+      walled.insert(fresh_points);
+      seconds += watch.seconds();
+    }
+    return static_cast<double>(wal_points) / seconds;
+  };
+  const std::string wal_dir =
+      (std::filesystem::temp_directory_path() / "panda_bench_wal").string();
+  core::MutableConfig wal_off = config;
+  core::MutableConfig wal_batched = config;
+  wal_batched.durable_dir = wal_dir;
+  core::MutableConfig wal_every = wal_batched;
+  wal_every.wal_flush_every = 1;
+
+  const double pps_off = ingest_pps(wal_off);
+  std::filesystem::remove_all(wal_dir);
+  const double pps_batched = ingest_pps(wal_batched);
+  std::filesystem::remove_all(wal_dir);
+  const double pps_every = ingest_pps(wal_every);
+  std::filesystem::remove_all(wal_dir);
+  const bool wal_gate = pps_batched >= 0.5 * pps_off;
+
+  std::printf("ingest with WAL (%s points):\n",
+              bench::human_count(wal_points).c_str());
+  std::printf("  off              %11.0f points/s\n", pps_off);
+  std::printf("  group commit     %11.0f points/s  (%.2fx of off, "
+              "flush_every=%zu/%"  PRIu64 "us; gate >= 0.5x)\n",
+              pps_batched, pps_off > 0.0 ? pps_batched / pps_off : 0.0,
+              wal_batched.wal_flush_every,
+              wal_batched.wal_flush_interval_us);
+  std::printf("  fsync per batch  %11.0f points/s  (%.2fx of off — the "
+              "power-loss-durable setting)\n",
+              pps_every, pps_off > 0.0 ? pps_every / pps_off : 0.0);
+  if (!wal_gate) {
+    std::printf("GATE FAILED: group-committed WAL ingest (%.0f pps) below "
+                "0.5x WAL-off (%.0f pps)\n",
+                pps_batched, pps_off);
+  }
+
   FILE* json = std::fopen("BENCH_mutable.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"bench\": \"mutable_stream\",\n");
@@ -305,14 +362,23 @@ int main(int argc, char** argv) {
                  "  \"trees\": %" PRIu64 ",\n  \"seals\": %" PRIu64
                  ",\n  \"merges\": %" PRIu64 ",\n",
                  stats.trees, stats.seals, stats.merges);
+    std::fprintf(json,
+                 "  \"wal_points\": %" PRIu64 ",\n"
+                 "  \"wal_off_points_per_s\": %.0f,\n"
+                 "  \"wal_batched_points_per_s\": %.0f,\n"
+                 "  \"wal_fsync_each_points_per_s\": %.0f,\n",
+                 wal_points, pps_off, pps_batched, pps_every);
     std::fprintf(json, "  \"digests_match\": %s,\n",
                  digests_match ? "true" : "false");
-    std::fprintf(json, "  \"latency_gate\": %s\n",
+    std::fprintf(json, "  \"latency_gate\": %s,\n",
                  latency_gate ? "true" : "false");
+    std::fprintf(json, "  \"wal_gate\": %s\n", wal_gate ? "true" : "false");
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("wrote BENCH_mutable.json\n");
   }
 
-  return digests_match && rebuild_stalls == 0 && latency_gate ? 0 : 1;
+  return digests_match && rebuild_stalls == 0 && latency_gate && wal_gate
+             ? 0
+             : 1;
 }

@@ -20,6 +20,13 @@
 #                      test_kdtree_io — out-of-bounds reads through
 #                      mapped spans), and the external-build spill
 #                      pipeline (test_external_build).
+#   ci.sh crash      — the crash-safety suites (DESIGN.md §13):
+#                      test_crash_recovery re-execs itself as child
+#                      processes killed at armed failpoints mid-commit
+#                      and verifies acked-write durability; test_wal,
+#                      test_checksum, test_kdtree_io, and test_storage
+#                      pin the CRC formats, torn-tail replay, and the
+#                      corruption matrices.
 #   ci.sh tsan       — the concurrency suites (MPMC ring, serving
 #                      frontend, thread pool, mutable index) built
 #                      with -fsanitize=thread: data-race checks the
@@ -104,6 +111,17 @@ if [[ "$MODE" == "sanitize" ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == "crash" ]]; then
+  cmake -B build -S .
+  cmake --build build -j --target test_crash_recovery test_wal \
+    test_checksum test_kdtree_io test_storage test_mutable_index
+  (cd build && ctest --output-on-failure \
+    -R '^(test_crash_recovery|test_wal|test_checksum|test_kdtree_io|test_storage|test_mutable_index)$' \
+    --timeout 900)
+  echo "ci.sh: crash OK"
+  exit 0
+fi
+
 if [[ "$MODE" == "tsan" ]]; then
   TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   cmake -B build-tsan -S . \
@@ -111,7 +129,8 @@ if [[ "$MODE" == "tsan" ]]; then
     -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
     -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
   cmake --build build-tsan -j --target test_mpmc_queue test_serve \
-    test_parallel test_neighbor_table test_index test_mutable_index
+    test_parallel test_neighbor_table test_index test_mutable_index \
+    test_wal
   # TSan serializes heavily on this container's core count; the mpmc /
   # serve / parallel suites are the ones whose bugs would be data
   # races (test_mpmc_queue hammers the Vyukov ring's release/acquire
@@ -121,14 +140,17 @@ if [[ "$MODE" == "tsan" ]]; then
   # chunk-stealing loops), test_index covers the dist-index
   # session handoff (facade thread <-> rank 0 <-> peer ranks), and
   # test_mutable_index races query batches against the mutable tier's
-  # insert/erase/background-merge machinery (the serve ingest tests in
-  # test_serve drive the same paths through QueryService).
+  # insert/erase/background-merge machinery — now including the
+  # durable mode's WAL appends and rotations on the seal/merge threads
+  # (the serve ingest tests in test_serve drive the same paths through
+  # QueryService) — and test_wal covers the log's own append/sync
+  # surface.
   # tsan.supp silences one libstdc++-internal report (the GCC 12
   # atomic<shared_ptr> lock-bit protocol — see the file); our own code
   # is still fully race-checked.
   (cd build-tsan && TSAN_OPTIONS="suppressions=$(pwd)/../tsan.supp" \
     ctest --output-on-failure \
-    -R '^(test_mpmc_queue|test_serve|test_parallel|test_neighbor_table|test_index|test_mutable_index)$' \
+    -R '^(test_mpmc_queue|test_serve|test_parallel|test_neighbor_table|test_index|test_mutable_index|test_wal)$' \
     --timeout 900)
   echo "ci.sh: tsan OK"
   exit 0
@@ -154,8 +176,9 @@ bench_smoke() {
   (cd build && ./bench_mmap --smoke)
   # bench_mutable likewise smokes into build/: exits nonzero if forest
   # answers are not digest-identical to a from-scratch build, if any
-  # insert call stalled a full-rebuild's worth, or if query p99 during
-  # background merges exceeds 2x the quiesced p99.
+  # insert call stalled a full-rebuild's worth, if query p99 during
+  # background merges exceeds 2x the quiesced p99, or if the
+  # group-committed WAL drops ingest below half the WAL-off rate.
   (cd build && ./bench_mutable --smoke)
   echo "ci.sh: bench-smoke OK"
 }
@@ -166,7 +189,7 @@ if [[ "$MODE" == "bench-smoke" ]]; then
 fi
 
 if [[ "$MODE" != "default" ]]; then
-  echo "usage: ci.sh [format|headers|sanitize|tsan|bench-smoke]" >&2
+  echo "usage: ci.sh [format|headers|sanitize|crash|tsan|bench-smoke]" >&2
   exit 1
 fi
 

@@ -34,6 +34,11 @@ std::unique_ptr<Index> make_mutable_index(const data::PointSet& points,
 /// mapped) tree; used by Index::open under Engine::Mutable.
 std::unique_ptr<Index> make_mutable_index(core::KdTree tree,
                                           const IndexOptions& options);
+/// Recovers a durable MutableIndex directory
+/// (options.mutable_config.durable_dir must be set); used by
+/// Index::open on a directory path.
+std::unique_ptr<Index> make_mutable_index(std::size_t dims,
+                                          const IndexOptions& options);
 
 /// Shared pool resolution: the caller's shared pool if set, else a
 /// fresh pool of options.threads (0 = hardware concurrency, min 1).

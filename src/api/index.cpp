@@ -158,6 +158,25 @@ std::uint32_t peek_index_version(const std::string& path) {
   return in.good() ? version : 0;
 }
 
+/// Dims field of a durable directory's MANIFEST — just enough parsing
+/// to size the MutableIndex; recovery re-reads and fully validates the
+/// file (CRC included).
+std::uint32_t peek_manifest_dims(const std::string& manifest) {
+  std::ifstream in(manifest, std::ios::binary);
+  PANDA_CHECK_MSG(in.good(),
+                  "not a durable index directory (no readable MANIFEST): "
+                      << manifest);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t dims = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&dims), sizeof(dims));
+  PANDA_CHECK_MSG(in.good() && dims >= 1,
+                  "durable MANIFEST truncated: " << manifest);
+  return dims;
+}
+
 }  // namespace
 
 namespace {
@@ -181,21 +200,36 @@ std::unique_ptr<Index> Index::open(const std::string& path,
                   "Index::open loads the core::KdTree on-disk format; "
                   "options.engine must be Local or Mutable");
   validate_options(options);
-  if (peek_index_version(path) == 3) {
-    // Zero-copy: map + validate the header, bind the query views.
-    // No section is read, so open cost is O(1) in index size.
-    return wrap_opened_tree(core::KdTree::open_mmap(path), options);
+  if (std::filesystem::is_directory(path)) {
+    // A durable MutableIndex directory: recover the committed trees +
+    // WAL (DESIGN.md §13).
+    PANDA_CHECK_MSG(options.engine == IndexOptions::Engine::Mutable,
+                    "Index::open: " << path
+                                    << " is a durable index directory; open "
+                                       "it with Engine::Mutable");
+    IndexOptions durable = options;
+    durable.mutable_config.durable_dir = path;
+    const std::uint32_t dims = peek_manifest_dims(path + "/MANIFEST");
+    return api::make_mutable_index(static_cast<std::size_t>(dims), durable);
+  }
+  if (peek_index_version(path) == 4) {
+    // Zero-copy: map + validate the header (CRC included), bind the
+    // query views. With verify_on_open the section checksums stream
+    // the file once; without it no section is read and open cost is
+    // O(1) in index size.
+    return wrap_opened_tree(
+        core::KdTree::open_mmap(path, options.verify_on_open), options);
   }
   // Older formats go through the loader — its diagnostics (missing
-  // file, truncation, version-1 refusal) surface verbatim. A v2 tree
-  // loads fine; convert it to v3 in place (atomic rename) so the next
-  // opens — and this one — are mmap-served.
+  // file, truncation, version-1 refusal) surface verbatim. A v2/v3
+  // tree loads fine; convert it to v4 in place (save() is an atomic
+  // tmp-write + rename) so the next opens — and this one — are
+  // mmap-served.
   core::KdTree tree = core::KdTree::load(path);
   try {
-    const std::string tmp = path + ".v3.tmp";
-    tree.save(tmp);
-    std::filesystem::rename(tmp, path);
-    return wrap_opened_tree(core::KdTree::open_mmap(path), options);
+    tree.save(path);
+    return wrap_opened_tree(
+        core::KdTree::open_mmap(path, options.verify_on_open), options);
   } catch (const std::exception&) {
     // Read-only location: serve the owned tree, leave the file as-is.
     return wrap_opened_tree(std::move(tree), options);

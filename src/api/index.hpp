@@ -116,8 +116,18 @@ struct IndexOptions {
   baselines::SimpleBuildConfig simple;
 
   /// Engine::Mutable: write-buffer capacity and merge fan-in of the
-  /// logarithmic-method forest.
+  /// logarithmic-method forest; its durable_dir / wal_flush_* fields
+  /// switch on crash-safe persistence (DESIGN.md §13).
   core::MutableConfig mutable_config;
+
+  /// Index::open: verify the per-section CRC32C checksums of a v4
+  /// index file at open time (detects any on-disk corruption before
+  /// the first query, at the cost of streaming the whole file once).
+  /// false keeps the zero-copy open O(1) in index size — the header
+  /// checksum is still verified, and corruption then surfaces only if
+  /// the damaged pages are touched. Checksum mismatches throw
+  /// panda::Error naming the corrupt section.
+  bool verify_on_open = true;
 
   /// Engine::Local: approximate RAM the build may use (0 = unlimited).
   /// When the estimated in-RAM build footprint exceeds this budget,
@@ -297,13 +307,20 @@ class Index {
   /// level with the saved tree, ready to absorb new writes on top;
   /// `options.pool` / `options.threads` configure the query pool.
   ///
-  /// A v3 file is opened zero-copy (memory-mapped; open cost is
-  /// independent of index size). A v2 file is loaded into owned
-  /// memory and converted in place to v3 — one atomic rewrite, after
-  /// which the mapped file serves; if the rewrite fails (read-only
-  /// location), the owned tree serves and the file is left untouched.
-  /// I/O and format failures throw panda::Error — a version-1 file is
-  /// refused with the loader's diagnostic verbatim.
+  /// A v4 (checksummed) file is opened zero-copy (memory-mapped; with
+  /// options.verify_on_open = false the open cost is independent of
+  /// index size). A v2/v3 file is loaded into owned memory and
+  /// converted in place to v4 — one atomic rewrite, after which the
+  /// mapped file serves; if the rewrite fails (read-only location),
+  /// the owned tree serves and the file is left untouched. I/O and
+  /// format failures throw panda::Error — a version-1 file is refused
+  /// with the loader's diagnostic verbatim.
+  ///
+  /// When `path` is a *directory*, it is opened as a durable
+  /// MutableIndex directory (requires options.engine == Mutable):
+  /// the committed trees are mapped, the ingest WAL is replayed, and
+  /// every acknowledged write from the previous process is back
+  /// (DESIGN.md §13).
   static std::unique_ptr<Index> open(const std::string& path,
                                      const IndexOptions& options = {});
 

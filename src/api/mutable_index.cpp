@@ -109,4 +109,11 @@ std::unique_ptr<Index> make_mutable_index(core::KdTree tree,
   return std::make_unique<MutableIndexAdapter>(std::move(core));
 }
 
+std::unique_ptr<Index> make_mutable_index(std::size_t dims,
+                                          const IndexOptions& options) {
+  auto core = std::make_unique<core::MutableIndex>(
+      dims, options.mutable_config, options.build, resolve_pool(options));
+  return std::make_unique<MutableIndexAdapter>(std::move(core));
+}
+
 }  // namespace panda::api

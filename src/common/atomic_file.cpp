@@ -1,0 +1,146 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+
+namespace panda::common {
+
+void throw_io_error(const std::string& what, const std::string& path,
+                    const std::string& syscall_name, int saved_errno) {
+  throw Error(what + " '" + path + "': " + syscall_name +
+              " failed: " + std::strerror(saved_errno));
+}
+
+void fsync_parent_dir(const std::string& path) {
+  std::filesystem::path p(path);
+  std::error_code ec;
+  std::filesystem::path dir =
+      std::filesystem::is_directory(p, ec) ? p : p.parent_path();
+  if (dir.empty()) dir = ".";
+  PANDA_FAILPOINT("atomic_file.dirsync");
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    throw_io_error("cannot sync directory", dir.string(), "open", errno);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw_io_error("cannot sync directory", dir.string(), "fsync", saved);
+  }
+  ::close(fd);
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  PANDA_FAILPOINT("atomic_file.open");
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw_io_error("cannot create file", tmp_path_, "open", errno);
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!committed_) {
+    ::unlink(tmp_path_.c_str());  // abandon: leave the old `path_` intact
+  }
+}
+
+void AtomicFileWriter::write(const void* data, std::size_t len) {
+  namespace fp = failpoint;
+  std::size_t effective = len;
+  bool die_after = false;
+  if (fp::any_armed()) {
+    switch (fp::fire("atomic_file.write")) {
+      case fp::Action::None:
+        break;
+      case fp::Action::Error:
+        throw Error("failpoint 'atomic_file.write' fired (injected fault)");
+      case fp::Action::Short:
+        effective = len / 2;
+        break;
+      case fp::Action::ShortAbort:
+        effective = len / 2;
+        die_after = true;
+        break;
+    }
+  }
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t remaining = effective;
+  while (remaining > 0) {
+    const ::ssize_t n = ::write(fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io_error("cannot write file", tmp_path_, "write", errno);
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+    written_ += static_cast<std::uint64_t>(n);
+  }
+  if (die_after) fp::exit_now();
+  if (effective != len) {
+    throw Error("failpoint 'atomic_file.write' fired (torn write: " +
+                std::to_string(effective) + " of " + std::to_string(len) +
+                " bytes)");
+  }
+}
+
+void AtomicFileWriter::pad(std::size_t len) {
+  static const std::vector<unsigned char> zeros(4096, 0);
+  while (len > 0) {
+    const std::size_t chunk = len < zeros.size() ? len : zeros.size();
+    write(zeros.data(), chunk);
+    len -= chunk;
+  }
+}
+
+void AtomicFileWriter::overwrite(std::uint64_t offset, const void* data,
+                                 std::size_t len) {
+  PANDA_CHECK_MSG(offset + len <= written_,
+                  "AtomicFileWriter::overwrite past written bytes");
+  PANDA_FAILPOINT("atomic_file.write");
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t remaining = len;
+  auto off = static_cast<::off_t>(offset);
+  while (remaining > 0) {
+    const ::ssize_t n = ::pwrite(fd_, p, remaining, off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io_error("cannot write file", tmp_path_, "pwrite", errno);
+    }
+    p += n;
+    off += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+}
+
+void AtomicFileWriter::commit() {
+  PANDA_CHECK_MSG(fd_ >= 0 && !committed_,
+                  "AtomicFileWriter::commit on a spent writer");
+  PANDA_FAILPOINT("atomic_file.fsync");
+  if (::fsync(fd_) != 0) {
+    throw_io_error("cannot sync file", tmp_path_, "fsync", errno);
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    throw_io_error("cannot close file", tmp_path_, "close", errno);
+  }
+  fd_ = -1;
+  PANDA_FAILPOINT("atomic_file.rename");
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    throw_io_error("cannot replace file", path_, "rename", errno);
+  }
+  committed_ = true;  // from here the tmp no longer exists
+  fsync_parent_dir(path_);
+}
+
+}  // namespace panda::common

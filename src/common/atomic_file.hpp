@@ -1,0 +1,76 @@
+// Atomic file replacement — the single save path for every PANDA
+// on-disk artifact (DESIGN.md §13).
+//
+// The classic recipe: write the full payload to `<path>.tmp`, fsync
+// the file, rename() over the destination, fsync the parent
+// directory. rename() is atomic on POSIX, so a reader (or a crash at
+// any instant) sees either the old complete file or the new complete
+// file — never a prefix. The directory fsync pins the rename itself
+// against power loss.
+//
+// Implemented on raw fds rather than iostreams so the failure
+// surface is explicit: every syscall that can fail reports through
+// panda::Error with the path, the syscall name, and errno text, and
+// every boundary carries a failpoint ("atomic_file.open", ".write",
+// ".fsync", ".rename", ".dirsync") for the fault-injection suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace panda::common {
+
+/// Throws panda::Error "<what> '<path>': <syscall> failed: <errno text>".
+/// Shared by every persistence path so failure messages are uniform.
+[[noreturn]] void throw_io_error(const std::string& what,
+                                 const std::string& path,
+                                 const std::string& syscall_name,
+                                 int saved_errno);
+
+/// fsync the directory containing `path` (or `path` itself if it is a
+/// directory), making a completed rename durable.
+void fsync_parent_dir(const std::string& path);
+
+/// Writes `<path>.tmp` and atomically promotes it to `path` on
+/// commit(). If the writer is destroyed before commit() (error
+/// unwind, crash-free abandonment), the temp file is unlinked and the
+/// previous content of `path` — if any — is untouched.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Appends `len` bytes; loops on partial writes. Throws on failure.
+  void write(const void* data, std::size_t len);
+
+  /// Appends `len` zero bytes (section padding).
+  void pad(std::size_t len);
+
+  /// Overwrites `len` bytes at absolute `offset` (must already be
+  /// written). For headers whose checksums are only known after the
+  /// sections have been streamed. Does not change size().
+  void overwrite(std::uint64_t offset, const void* data, std::size_t len);
+
+  /// Bytes written so far.
+  std::uint64_t size() const { return written_; }
+
+  /// fsync(tmp) → rename(tmp, path) → fsync(parent dir). After this
+  /// returns, `path` holds the new content durably; the writer is
+  /// spent and only the destructor may run afterwards.
+  void commit();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  std::uint64_t written_ = 0;
+  bool committed_ = false;
+};
+
+}  // namespace panda::common

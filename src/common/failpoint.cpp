@@ -1,0 +1,182 @@
+#include "common/failpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace panda::common::failpoint {
+
+namespace detail {
+std::atomic<std::uint32_t> armed_count{0};
+}  // namespace detail
+
+namespace {
+
+struct Entry {
+  Mode mode = Mode::Off;
+  std::uint64_t trigger_at = 0;  // hit number (1-based) that fires first
+  std::uint64_t hit_count = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Entry> entries;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: fire() runs at exit paths
+  return *r;
+}
+
+Mode parse_mode(const std::string& text) {
+  if (text == "error") return Mode::Error;
+  if (text == "short") return Mode::Short;
+  if (text == "abort") return Mode::Abort;
+  if (text == "short-abort") return Mode::ShortAbort;
+  if (text == "off") return Mode::Off;
+  throw Error("PANDA_FAILPOINTS: unknown mode '" + text +
+              "' (expected error|short|abort|short-abort|off)");
+}
+
+/// One-time parse of PANDA_FAILPOINTS ("name=mode[@N];name=mode...").
+/// @N fires at the N-th hit (1-based, default 1), sticky afterwards.
+void load_env_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("PANDA_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    std::string spec(env);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t end = spec.find(';', pos);
+      if (end == std::string::npos) end = spec.size();
+      const std::string item = spec.substr(pos, end - pos);
+      pos = end + 1;
+      if (item.empty()) continue;
+      const std::size_t eq = item.find('=');
+      PANDA_CHECK_MSG(eq != std::string::npos,
+                      "PANDA_FAILPOINTS: missing '=' in '" << item << "'");
+      const std::string name = item.substr(0, eq);
+      std::string mode_text = item.substr(eq + 1);
+      std::uint64_t trigger_at = 1;
+      const std::size_t at = mode_text.find('@');
+      if (at != std::string::npos) {
+        trigger_at = std::strtoull(mode_text.c_str() + at + 1, nullptr, 10);
+        PANDA_CHECK_MSG(trigger_at >= 1,
+                        "PANDA_FAILPOINTS: @N must be >= 1 in '" << item
+                                                                 << "'");
+        mode_text.resize(at);
+      }
+      arm(name, parse_mode(mode_text), trigger_at - 1);
+    }
+  });
+}
+
+/// Applied at program start, not lazily: the PANDA_FAILPOINT macro's
+/// any_armed() fast path never reaches fire() while armed_count is
+/// zero, so a purely env-activated configuration must arm before the
+/// first site executes. A malformed spec is reported and fatal — the
+/// variable exists only to inject faults, so silently ignoring a typo
+/// would "pass" the crash test it was meant to drive.
+const bool env_applied = [] {
+  try {
+    load_env_once();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::_Exit(1);
+  }
+  return true;
+}();
+
+}  // namespace
+
+void arm(const std::string& name, Mode mode, std::uint64_t skip) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Entry& e = reg.entries[name];
+  const bool was_armed = e.mode != Mode::Off;
+  e.mode = mode;
+  e.trigger_at = e.hit_count + skip + 1;
+  const bool is_armed = e.mode != Mode::Off;
+  if (is_armed && !was_armed) {
+    detail::armed_count.fetch_add(1, std::memory_order_relaxed);
+  } else if (!is_armed && was_armed) {
+    detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm(const std::string& name) { arm(name, Mode::Off, 0); }
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, e] : reg.entries) {
+    if (e.mode != Mode::Off) {
+      detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    e.mode = Mode::Off;
+    e.hit_count = 0;
+    e.trigger_at = 0;
+  }
+}
+
+std::uint64_t hits(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.entries.find(name);
+  return it == reg.entries.end() ? 0 : it->second.hit_count;
+}
+
+Action fire(const std::string& name) {
+  load_env_once();
+  Registry& reg = registry();
+  Mode mode;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.entries.find(name);
+    if (it == reg.entries.end()) return Action::None;
+    Entry& e = it->second;
+    ++e.hit_count;
+    if (e.mode == Mode::Off || e.hit_count < e.trigger_at) {
+      return Action::None;
+    }
+    mode = e.mode;
+  }
+  switch (mode) {
+    case Mode::Error:
+      return Action::Error;
+    case Mode::Short:
+      return Action::Short;
+    case Mode::Abort:
+      exit_now();
+    case Mode::ShortAbort:
+      return Action::ShortAbort;
+    case Mode::Off:
+      break;
+  }
+  return Action::None;
+}
+
+void fire_or_throw(const std::string& name) {
+  switch (fire(name)) {
+    case Action::None:
+      return;
+    case Action::ShortAbort:
+      exit_now();
+    case Action::Error:
+    case Action::Short:
+      throw Error("failpoint '" + name + "' fired (injected fault)");
+  }
+}
+
+void exit_now() {
+  // _Exit: no atexit handlers, no stream flush, no unwinding — the
+  // closest userspace approximation of kill -9. Bytes already handed
+  // to the kernel survive; everything buffered in the process is lost.
+  std::_Exit(kFailpointExitCode);
+}
+
+}  // namespace panda::common::failpoint

@@ -1,0 +1,103 @@
+// Named failpoints — deterministic fault injection for the
+// persistence layer (DESIGN.md §13).
+//
+// Every fsync/write/rename boundary in the durability stack carries a
+// PANDA_FAILPOINT("site.name"); in production nothing is armed and a
+// hit costs one relaxed atomic load. Tests (and the crash-recovery
+// harness's child processes) arm sites programmatically or through
+// the PANDA_FAILPOINTS environment variable to exercise exactly the
+// failures a real deployment meets: ENOSPC-style write errors, torn
+// (short) writes, and a process killed mid-commit.
+//
+//   PANDA_FAILPOINTS="wal.pre_fsync=abort;atomic_file.write=error@3"
+//
+// arms `wal.pre_fsync` to kill the process at its first hit and
+// `atomic_file.write` to throw panda::Error at its third hit (and
+// every later one — a sticky trigger, so retry loops keep failing).
+//
+// Modes:
+//   error       — throw panda::Error naming the failpoint (the
+//                 error-return/throw mode: our I/O layer reports all
+//                 failures by exception).
+//   short       — the site performs a torn write (roughly half the
+//                 bytes), then throws. Sites that cannot tear treat
+//                 it as `error`.
+//   abort       — _Exit(kFailpointExitCode) at the hit: the process
+//                 dies without flushing or unwinding, exactly like
+//                 kill -9 (page-cache state survives, process state
+//                 does not).
+//   short-abort — torn write, then _Exit: the mid-write crash that
+//                 leaves a half-frame on disk.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace panda::common::failpoint {
+
+/// Exit status of an `abort`-mode hit; crash tests assert on it to
+/// distinguish a failpoint kill from an ordinary failure.
+inline constexpr int kFailpointExitCode = 42;
+
+enum class Mode : std::uint8_t {
+  Off = 0,
+  Error,       // throw panda::Error at the site
+  Short,       // torn write, then throw
+  Abort,       // _Exit(kFailpointExitCode) at the site
+  ShortAbort,  // torn write, then _Exit
+};
+
+/// What a site must do after fire() returns (Abort never returns).
+enum class Action : std::uint8_t {
+  None = 0,
+  Error,       // throw
+  Short,       // write ~half, then throw
+  ShortAbort,  // write ~half, then _Exit
+};
+
+namespace detail {
+extern std::atomic<std::uint32_t> armed_count;
+}
+
+/// Fast-path guard: true only when at least one failpoint is armed.
+inline bool any_armed() {
+  return detail::armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arms `name` to trigger in `mode` starting at its `skip + 1`-th hit
+/// from now (sticky once triggered). Re-arming replaces the previous
+/// state. Also (re)applies on top of any PANDA_FAILPOINTS env config.
+void arm(const std::string& name, Mode mode, std::uint64_t skip = 0);
+
+/// Disarms one site / every site (hit counters reset too).
+void disarm(const std::string& name);
+void disarm_all();
+
+/// Lifetime hit count of a site (counted even while disarmed, from
+/// the first arm/query of that name on).
+std::uint64_t hits(const std::string& name);
+
+/// Evaluates one hit of `name`: counts it, and if the site is armed
+/// and past its skip window returns the action (Abort exits the
+/// process right here). Called via the macros below.
+Action fire(const std::string& name);
+
+/// fire() + throw on Error; Short actions also throw here (for sites
+/// with nothing to tear). Returns normally only when the action is
+/// None.
+void fire_or_throw(const std::string& name);
+
+/// Terminate as an armed Abort would (used by sites finishing a
+/// ShortAbort after tearing their write).
+[[noreturn]] void exit_now();
+
+}  // namespace panda::common::failpoint
+
+/// The injection macro: a no-op unless a test armed this site.
+#define PANDA_FAILPOINT(name)                                \
+  do {                                                       \
+    if (::panda::common::failpoint::any_armed()) {           \
+      ::panda::common::failpoint::fire_or_throw(name);       \
+    }                                                        \
+  } while (0)

@@ -338,29 +338,38 @@ class KdTree {
   /// Persists the built tree (hot/cold node arrays + packed leaf
   /// storage) so that a reused index — the common case the paper
   /// designs for — need not be rebuilt across process runs. Writes
-  /// format v3: every section at a 64-byte-aligned offset recorded in
-  /// the header, so open_mmap can serve the file zero-copy. Throws
-  /// panda::Error on I/O failure.
+  /// format v4: every section at a 64-byte-aligned offset recorded in
+  /// the header, so open_mmap can serve the file zero-copy, plus a
+  /// CRC32C per section and over the header (DESIGN.md §13). The file
+  /// is replaced atomically (tmp + fsync + rename): a crash mid-save
+  /// leaves the previous index intact. Throws panda::Error with path,
+  /// syscall, and errno text on I/O failure.
   void save(const std::string& path) const;
 
   /// Writes the legacy v2 layout (packed sections, no offsets).
-  /// Exists so the v2 -> v3 migration path stays testable.
+  /// Exists so the v2 -> v4 migration path stays testable.
   void save_legacy_v2(const std::string& path) const;
 
-  /// Loads a tree written by save() into owned memory (v3, or legacy
-  /// v2). Queries on the loaded tree return bit-identical results.
-  /// Throws panda::Error on I/O or format errors, including trees
-  /// written by the pre-hot/cold format (version 1), which cannot be
-  /// represented losslessly.
+  /// Loads a tree written by save() into owned memory (v4, v3, or
+  /// legacy v2). Queries on the loaded tree return bit-identical
+  /// results. v4 checksums (header + every section) are always
+  /// verified — load() reads the whole file anyway. Throws
+  /// panda::Error on I/O or format errors, including trees written by
+  /// the pre-hot/cold format (version 1), which cannot be represented
+  /// losslessly.
   static KdTree load(const std::string& path);
 
-  /// Opens a v3 index zero-copy: maps the file, validates the header
+  /// Opens a v4 index zero-copy: maps the file, validates the header
   /// (magic, version, dims, section offsets/alignment against the
-  /// file size), and binds the query views straight into the map —
-  /// no section is read, so open cost is independent of index size.
-  /// Throws panda::Error on any mismatch; v2 files are refused with a
-  /// convert hint (load() still reads them into owned memory).
-  static KdTree open_mmap(const std::string& path);
+  /// file size, header CRC), and binds the query views straight into
+  /// the map. With verify_sections (the default) every section CRC is
+  /// checked too — a full sequential read; pass false to keep open
+  /// cost independent of index size and trust the mapping (the header
+  /// CRC is always checked). Throws panda::Error on any mismatch;
+  /// v2/v3 files are refused with a convert hint (load() still reads
+  /// them into owned memory).
+  static KdTree open_mmap(const std::string& path,
+                          bool verify_sections = true);
 
   /// True when the tree's arrays live in a mapped file rather than
   /// owned memory.

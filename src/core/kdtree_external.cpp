@@ -17,8 +17,10 @@
 //      temporary section files;
 //   5. stitch + stream — the top tree is linearized into the hot
 //      sibling-adjacent layout with one stub slot per chunk, each
-//      stub overwritten by its chunk's root; the v3 file is then
-//      written as header + top nodes (RAM) + streamed section tails.
+//      stub overwritten by its chunk's root; the v4 file is then
+//      written as header + top nodes (RAM) + streamed section tails,
+//      section CRCs accumulated while the tails are copied and
+//      patched into the header before the atomic commit.
 //
 // The returned tree is KdTree::open_mmap(out_path). Because exact
 // queries are order-insensitive under the deterministic (dist², id)
@@ -33,6 +35,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/atomic_file.hpp"
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 #include "core/kdtree.hpp"
 #include "core/kdtree_format.hpp"
@@ -44,11 +48,12 @@ namespace panda::core {
 
 namespace {
 
+using common::crc32c;
 using detail::align64;
-using detail::KdTreeHeaderV3;
+using detail::KdTreeHeaderV4;
 using detail::kKdTreeHeaderSpanV3;
 using detail::kKdTreeMagic;
-using detail::kKdTreeVersionAligned;
+using detail::kKdTreeVersionChecksummed;
 
 constexpr std::size_t kMaxSamplePoints = 65536;
 constexpr std::size_t kMaxChunks = 1024;
@@ -59,22 +64,6 @@ constexpr std::size_t kMaxChunks = 1024;
 /// the build-phase node arrays.
 std::uint64_t build_bytes_per_point(std::size_t dims) {
   return 3 * (dims * sizeof(float) + 2 * sizeof(std::uint64_t));
-}
-
-void write_padding(std::ofstream& out, std::uint64_t from, std::uint64_t to) {
-  static constexpr char zeros[64] = {};
-  while (from < to) {
-    const std::uint64_t n = std::min<std::uint64_t>(to - from, sizeof(zeros));
-    out.write(zeros, static_cast<std::streamsize>(n));
-    from += n;
-  }
-}
-
-void append_file(std::ofstream& out, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PANDA_CHECK_MSG(in.good(), "cannot reopen section file: " << path);
-  out << in.rdbuf();
-  PANDA_CHECK_MSG(out.good(), "section append failed from: " << path);
 }
 
 /// Append-only temporary file holding one final-layout section.
@@ -98,12 +87,25 @@ class SectionFile {
     PANDA_CHECK_MSG(out_.good(), "section write failed: " << path_);
   }
 
-  /// Flushes and streams the accumulated bytes into `out`.
-  void drain_into(std::ofstream& out) {
+  /// Flushes and streams the accumulated bytes into `out`, folding
+  /// them into the running section CRC seeded with `crc` (the CRC of
+  /// any in-RAM block already written ahead of this tail). Returns
+  /// the section's final CRC.
+  std::uint32_t drain_into(common::AtomicFileWriter& out, std::uint32_t crc) {
     out_.flush();
     PANDA_CHECK_MSG(out_.good(), "section flush failed: " << path_);
     out_.close();
-    append_file(out, path_);
+    std::ifstream in(path_, std::ios::binary);
+    PANDA_CHECK_MSG(in.good(), "cannot reopen section file: " << path_);
+    std::vector<char> block(1 << 18);
+    while (in) {
+      in.read(block.data(), static_cast<std::streamsize>(block.size()));
+      const auto n = static_cast<std::size_t>(in.gcount());
+      if (n == 0) break;
+      crc = crc32c(block.data(), n, crc);
+      out.write(block.data(), n);
+    }
+    return crc;
   }
 
  private:
@@ -477,9 +479,9 @@ class ExternalBuilder {
                                              << points_.size() << " points");
 
     // Header + aggregate stats.
-    KdTreeHeaderV3 header{};
+    KdTreeHeaderV4 header{};
     header.magic = kKdTreeMagic;
-    header.version = kKdTreeVersionAligned;
+    header.version = kKdTreeVersionChecksummed;
     header.dims = static_cast<std::uint32_t>(dims);
     header.node_count = top_count + tail_nodes;
     header.leaf_count = leaf_total;
@@ -509,36 +511,36 @@ class ExternalBuilder {
     header.file_size =
         header.local_idx_off + header.id_count * sizeof(std::uint64_t);
 
-    std::ofstream out(options_.out_path,
-                      std::ios::binary | std::ios::trunc);
-    PANDA_CHECK_MSG(out.good(),
-                    "cannot open for writing: " << options_.out_path);
-    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-    write_padding(out, sizeof(header), header.nodes_off);
-    out.write(reinterpret_cast<const char*>(top.data()),
-              static_cast<std::streamsize>(top.size() * sizeof(HotNode)));
-    nodes_tail.drain_into(out);
-    write_padding(out, header.nodes_off + header.node_count * sizeof(HotNode),
-                  header.leaves_off);
-    leaves_tail.drain_into(out);
-    write_padding(out,
-                  header.leaves_off + header.leaf_count * sizeof(LeafInfo),
-                  header.leaf_nodes_off);
-    leaf_nodes_tail.drain_into(out);
-    write_padding(
-        out, header.leaf_nodes_off + header.leaf_count * sizeof(std::uint32_t),
-        header.packed_off);
-    packed_tail.drain_into(out);
-    write_padding(out, header.packed_off + header.packed_count * sizeof(float),
-                  header.ids_off);
-    ids_tail.drain_into(out);
-    write_padding(
-        out, header.ids_off + header.id_count * sizeof(std::uint64_t),
-        header.local_idx_off);
-    local_idx_tail.drain_into(out);
-    out.flush();
-    PANDA_CHECK_MSG(out.good(), "write failed: " << options_.out_path);
-    out.close();
+    // Stream the file: a header with zeroed checksums first, section
+    // CRCs accumulated as each tail is copied, then the finished
+    // header patched in place before the atomic commit. The top node
+    // block is checksummed from RAM and chained into the tail's CRC.
+    common::AtomicFileWriter out(options_.out_path);
+    out.write(&header, sizeof(header));
+    out.pad(header.nodes_off - sizeof(header));
+    const std::uint32_t top_crc =
+        crc32c(top.data(), top.size() * sizeof(HotNode));
+    out.write(top.data(), top.size() * sizeof(HotNode));
+    header.section_crc[0] = nodes_tail.drain_into(out, top_crc);
+    out.pad(header.leaves_off -
+            (header.nodes_off + header.node_count * sizeof(HotNode)));
+    header.section_crc[1] = leaves_tail.drain_into(out, 0);
+    out.pad(header.leaf_nodes_off -
+            (header.leaves_off + header.leaf_count * sizeof(LeafInfo)));
+    header.section_crc[2] = leaf_nodes_tail.drain_into(out, 0);
+    out.pad(header.packed_off -
+            (header.leaf_nodes_off + header.leaf_count * sizeof(std::uint32_t)));
+    header.section_crc[3] = packed_tail.drain_into(out, 0);
+    out.pad(header.ids_off -
+            (header.packed_off + header.packed_count * sizeof(float)));
+    header.section_crc[4] = ids_tail.drain_into(out, 0);
+    out.pad(header.local_idx_off -
+            (header.ids_off + header.id_count * sizeof(std::uint64_t)));
+    header.section_crc[5] = local_idx_tail.drain_into(out, 0);
+    header.header_crc = 0;
+    header.header_crc = crc32c(&header, sizeof(header));
+    out.overwrite(0, &header, sizeof(header));
+    out.commit();
 
     return KdTree::open_mmap(options_.out_path);
   }

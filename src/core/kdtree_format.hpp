@@ -16,6 +16,13 @@
 //        map), and leaf_nodes is serialized rather than derived — so
 //        open_mmap binds query views into the map after reading
 //        nothing but the header. Open cost is O(1) in index size.
+//   v4 — checksummed revision (DESIGN.md §13): the v3 layout plus a
+//        CRC32C per section and a CRC32C over the header itself, all
+//        inside the same 256-byte header block (offsets of the v3
+//        fields are unchanged, so diagnostics that name a field keep
+//        pointing at the same bytes). The header CRC is verified on
+//        every open; section CRCs eagerly or lazily per the caller's
+//        verify knob.
 //
 // All integers little-endian; a byte-swapped magic is diagnosed as an
 // endianness mismatch rather than "not an index".
@@ -31,6 +38,15 @@ namespace panda::core::detail {
 inline constexpr std::uint64_t kKdTreeMagic = 0x50414e44414b4454ULL;
 inline constexpr std::uint32_t kKdTreeVersionHotCold = 2;
 inline constexpr std::uint32_t kKdTreeVersionAligned = 3;
+inline constexpr std::uint32_t kKdTreeVersionChecksummed = 4;
+
+/// Number of checksummed sections in a v4 file, in file order: hot
+/// nodes, cold leaf infos, leaf-node map, packed floats, packed ids,
+/// local-index map. kKdTreeSectionNames matches this order and is the
+/// vocabulary of corruption diagnostics.
+inline constexpr std::size_t kKdTreeSectionCount = 6;
+inline constexpr const char* kKdTreeSectionNames[kKdTreeSectionCount] = {
+    "nodes", "leaves", "leaf_nodes", "packed", "ids", "local_idx"};
 
 /// Upper bound on believable dimensionality (matches the point-file
 /// bound): a corrupt header fails validation instead of driving a
@@ -73,6 +89,37 @@ struct KdTreeHeaderV3 {
 };
 inline constexpr std::size_t kKdTreeHeaderSpanV3 = 256;
 static_assert(sizeof(KdTreeHeaderV3) <= kKdTreeHeaderSpanV3);
+
+/// v4 header: the v3 layout (field offsets unchanged) plus integrity
+/// checksums. `section_crc[i]` covers the live bytes of section i (in
+/// kKdTreeSectionNames order — alignment padding between sections is
+/// excluded, so the checksum is a property of the data, not the
+/// layout). `header_crc` covers the first sizeof(KdTreeHeaderV4)
+/// bytes with the header_crc field itself zeroed.
+struct KdTreeHeaderV4 {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t dims;
+  std::uint64_t node_count;
+  std::uint64_t leaf_count;
+  std::uint64_t packed_count;  // floats
+  std::uint64_t id_count;      // slots (ids and local-index map)
+  std::uint64_t file_size;     // total bytes, for validation
+  // Section offsets, each 64-byte-aligned from the file start.
+  std::uint64_t nodes_off;
+  std::uint64_t leaves_off;
+  std::uint64_t leaf_nodes_off;
+  std::uint64_t packed_off;
+  std::uint64_t ids_off;
+  std::uint64_t local_idx_off;
+  TreeStats stats;
+  BuildConfig config;
+  std::uint32_t section_crc[kKdTreeSectionCount];
+  std::uint32_t header_crc;
+};
+static_assert(sizeof(KdTreeHeaderV4) <= kKdTreeHeaderSpanV3);
+static_assert(offsetof(KdTreeHeaderV4, nodes_off) ==
+              offsetof(KdTreeHeaderV3, nodes_off));
 
 inline constexpr std::uint64_t align64(std::uint64_t x) {
   return (x + 63) & ~std::uint64_t{63};

@@ -1,20 +1,29 @@
 // Persistence for built kd-trees.
 //
-// Format version 3 (the mmap revision, see core/kdtree_format.hpp):
-// a 256-byte header records a 64-byte-aligned offset per section —
-// hot nodes, cold leaf infos, the leaf-node map, packed SoA floats,
-// packed ids, the local-index map — so open_mmap() binds the query
-// views straight into a mapped file after validating nothing but the
-// header. Version-2 files (packed sections) load into owned memory;
-// version-1 files (the old unified 32-byte Node records) are refused
-// with a clear diagnostic — the old layout cannot be loaded into the
-// split representation without a rebuild, and silently misreading it
-// would corrupt every query.
+// Format version 4 (the checksummed revision, see
+// core/kdtree_format.hpp): the v3 mmap layout — a 256-byte header
+// recording a 64-byte-aligned offset per section (hot nodes, cold
+// leaf infos, the leaf-node map, packed SoA floats, packed ids, the
+// local-index map) — plus a CRC32C per section and over the header,
+// so torn writes and bit rot are detected instead of served.
+// open_mmap() binds the query views straight into a mapped file after
+// validating the header (and, unless the caller opts out, the section
+// checksums). Version-3 files (no checksums) and version-2 files
+// (packed sections) load into owned memory; version-1 files (the old
+// unified 32-byte Node records) are refused with a clear diagnostic —
+// the old layout cannot be loaded into the split representation
+// without a rebuild, and silently misreading it would corrupt every
+// query. All saves go through common::AtomicFileWriter: a crash mid-
+// save leaves the previous file intact, never a prefix.
 #include <algorithm>
+#include <array>
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 
+#include "common/atomic_file.hpp"
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 #include "core/kdtree.hpp"
 #include "core/kdtree_format.hpp"
@@ -23,13 +32,18 @@ namespace panda::core {
 
 namespace {
 
+using common::crc32c;
 using detail::align64;
 using detail::byteswap64;
 using detail::KdTreeHeaderV2;
 using detail::KdTreeHeaderV3;
+using detail::KdTreeHeaderV4;
 using detail::kKdTreeHeaderSpanV3;
 using detail::kKdTreeMagic;
+using detail::kKdTreeSectionCount;
+using detail::kKdTreeSectionNames;
 using detail::kKdTreeVersionAligned;
+using detail::kKdTreeVersionChecksummed;
 using detail::kKdTreeVersionHotCold;
 using detail::kMaxKdTreeDims;
 
@@ -41,31 +55,35 @@ constexpr std::uint64_t kHotNodeBytes = 12;
 constexpr std::uint64_t kLeafInfoBytes = 16;
 
 template <typename T>
-void write_raw(std::ofstream& out, const T* data, std::size_t count) {
-  out.write(reinterpret_cast<const char*>(data),
-            static_cast<std::streamsize>(count * sizeof(T)));
-}
-
-template <typename T>
 void read_raw(std::ifstream& in, T* data, std::size_t count) {
   in.read(reinterpret_cast<char*>(data),
           static_cast<std::streamsize>(count * sizeof(T)));
 }
 
-void write_padding(std::ofstream& out, std::uint64_t from, std::uint64_t to) {
-  static constexpr char zeros[64] = {};
-  while (from < to) {
-    const std::uint64_t n = std::min<std::uint64_t>(to - from, sizeof(zeros));
-    out.write(zeros, static_cast<std::streamsize>(n));
-    from += n;
-  }
+/// Byte size of each checksummed section, in kKdTreeSectionNames
+/// order (live bytes only — no alignment padding).
+template <typename H>
+std::array<std::uint64_t, kKdTreeSectionCount> section_sizes(const H& h) {
+  return {h.node_count * kHotNodeBytes,
+          h.leaf_count * kLeafInfoBytes,
+          h.leaf_count * sizeof(std::uint32_t),
+          h.packed_count * sizeof(float),
+          h.id_count * sizeof(std::uint64_t),
+          h.id_count * sizeof(std::uint64_t)};
 }
 
-/// Full v3 header validation — everything that must hold before any
-/// section pointer is formed or any allocation is sized from a header
-/// field. `actual_size` is the real file size.
-void validate_v3(const KdTreeHeaderV3& h, std::uint64_t actual_size,
-                 const std::string& path) {
+template <typename H>
+std::array<std::uint64_t, kKdTreeSectionCount> section_offsets(const H& h) {
+  return {h.nodes_off,  h.leaves_off, h.leaf_nodes_off,
+          h.packed_off, h.ids_off,    h.local_idx_off};
+}
+
+/// Structural header validation shared by v3 and v4 — everything that
+/// must hold before any section pointer is formed or any allocation
+/// is sized from a header field. `actual_size` is the real file size.
+template <typename H>
+void validate_structural(const H& h, std::uint64_t actual_size,
+                         const std::string& path) {
   PANDA_CHECK_MSG(h.dims >= 1 && h.dims <= kMaxKdTreeDims,
                   "kd-tree header field 'dims' out of bounds ("
                       << h.dims << ", expected 1.." << kMaxKdTreeDims
@@ -78,31 +96,61 @@ void validate_v3(const KdTreeHeaderV3& h, std::uint64_t actual_size,
   PANDA_CHECK_MSG(h.node_count < 0xffffffffull &&
                       h.leaf_count < 0xffffffffull,
                   "kd-tree header node/leaf counts out of bounds: " << path);
-  const std::uint64_t offs[] = {h.nodes_off,  h.leaves_off, h.leaf_nodes_off,
-                                h.packed_off, h.ids_off,    h.local_idx_off};
+  const auto offs = section_offsets(h);
   for (const std::uint64_t off : offs) {
     PANDA_CHECK_MSG(off % 64 == 0,
                     "kd-tree header has misaligned section offsets: " << path);
   }
-  const std::uint64_t ends[] = {
-      h.nodes_off + h.node_count * kHotNodeBytes,
-      h.leaves_off + h.leaf_count * kLeafInfoBytes,
-      h.leaf_nodes_off + h.leaf_count * sizeof(std::uint32_t),
-      h.packed_off + h.packed_count * sizeof(float),
-      h.ids_off + h.id_count * sizeof(std::uint64_t),
-      h.local_idx_off + h.id_count * sizeof(std::uint64_t)};
-  for (std::size_t s = 0; s < 6; ++s) {
-    PANDA_CHECK_MSG(offs[s] >= kKdTreeHeaderSpanV3 && ends[s] >= offs[s] &&
-                        ends[s] <= actual_size,
+  const auto sizes = section_sizes(h);
+  for (std::size_t s = 0; s < kKdTreeSectionCount; ++s) {
+    const std::uint64_t end = offs[s] + sizes[s];
+    PANDA_CHECK_MSG(offs[s] >= kKdTreeHeaderSpanV3 && end >= offs[s] &&
+                        end <= actual_size,
                     "kd-tree header section " << s
                                               << " out of file bounds: "
                                               << path);
   }
 }
 
+/// Checks the v4 header checksum (header bytes with the crc field
+/// zeroed). Runs after the structural checks so a corrupted named
+/// field still gets its named diagnostic.
+void verify_header_crc(const KdTreeHeaderV4& h, const std::string& path) {
+  KdTreeHeaderV4 copy = h;
+  copy.header_crc = 0;
+  const std::uint32_t computed = crc32c(&copy, sizeof(copy));
+  PANDA_CHECK_MSG(computed == h.header_crc,
+                  "kd-tree header checksum mismatch (stored 0x"
+                      << std::hex << h.header_crc << ", computed 0x"
+                      << computed << std::dec << "): " << path);
+}
+
+/// Checks one section's stored CRC against `computed`; the diagnostic
+/// names the section so corruption is attributable.
+void check_section_crc(const KdTreeHeaderV4& h, std::size_t s,
+                       std::uint32_t computed, const std::string& path) {
+  PANDA_CHECK_MSG(computed == h.section_crc[s],
+                  "kd-tree section '" << kKdTreeSectionNames[s]
+                                      << "' checksum mismatch (stored 0x"
+                                      << std::hex << h.section_crc[s]
+                                      << ", computed 0x" << computed
+                                      << std::dec << "): " << path);
+}
+
+/// Verifies every section CRC against the mapped/loaded bytes.
+void verify_section_crcs(const KdTreeHeaderV4& h, const std::byte* base,
+                         const std::string& path) {
+  const auto offs = section_offsets(h);
+  const auto sizes = section_sizes(h);
+  for (std::size_t s = 0; s < kKdTreeSectionCount; ++s) {
+    check_section_crc(h, s, crc32c(base + offs[s], sizes[s]), path);
+  }
+}
+
 /// Section offsets for the tree described by `h` in the canonical
 /// (tightly packed, 64-aligned) order save() emits.
-void layout_v3(KdTreeHeaderV3& h) {
+template <typename H>
+void layout_sections(H& h) {
   h.nodes_off = kKdTreeHeaderSpanV3;
   h.leaves_off = align64(h.nodes_off + h.node_count * kHotNodeBytes);
   h.leaf_nodes_off = align64(h.leaves_off + h.leaf_count * kLeafInfoBytes);
@@ -123,12 +171,10 @@ void KdTree::save(const std::string& path) const {
   static_assert(std::is_trivially_copyable_v<BuildConfig>);
   static_assert(sizeof(HotNode) == kHotNodeBytes);
   static_assert(sizeof(LeafInfo) == kLeafInfoBytes);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  PANDA_CHECK_MSG(out.good(), "cannot open for writing: " << path);
 
-  KdTreeHeaderV3 header{};
+  KdTreeHeaderV4 header{};
   header.magic = kKdTreeMagic;
-  header.version = kKdTreeVersionAligned;
+  header.version = kKdTreeVersionChecksummed;
   header.dims = static_cast<std::uint32_t>(dims_);
   header.node_count = nodes_.size();
   header.leaf_count = leaves_.size();
@@ -136,34 +182,36 @@ void KdTree::save(const std::string& path) const {
   header.id_count = packed_ids_.size();
   header.stats = stats_;
   header.config = config_;
-  layout_v3(header);
+  layout_sections(header);
+  header.section_crc[0] = crc32c(nodes_.data(), nodes_.size_bytes());
+  header.section_crc[1] = crc32c(leaves_.data(), leaves_.size_bytes());
+  header.section_crc[2] = crc32c(leaf_nodes_.data(), leaf_nodes_.size_bytes());
+  header.section_crc[3] = crc32c(packed_.data(), packed_.size_bytes());
+  header.section_crc[4] = crc32c(packed_ids_.data(), packed_ids_.size_bytes());
+  header.section_crc[5] =
+      crc32c(packed_local_idx_.data(), packed_local_idx_.size_bytes());
+  header.header_crc = 0;
+  header.header_crc = crc32c(&header, sizeof(header));
 
-  write_raw(out, &header, 1);
-  write_padding(out, sizeof(header), header.nodes_off);
-  write_raw(out, nodes_.data(), nodes_.size());
-  write_padding(out, header.nodes_off + nodes_.size_bytes(),
-                header.leaves_off);
-  write_raw(out, leaves_.data(), leaves_.size());
-  write_padding(out, header.leaves_off + leaves_.size_bytes(),
-                header.leaf_nodes_off);
-  write_raw(out, leaf_nodes_.data(), leaf_nodes_.size());
-  write_padding(out, header.leaf_nodes_off + leaf_nodes_.size_bytes(),
-                header.packed_off);
-  write_raw(out, packed_.data(), packed_.size());
-  write_padding(out, header.packed_off + packed_.size_bytes(),
-                header.ids_off);
-  write_raw(out, packed_ids_.data(), packed_ids_.size());
-  write_padding(out, header.ids_off + packed_ids_.size_bytes(),
-                header.local_idx_off);
-  write_raw(out, packed_local_idx_.data(), packed_local_idx_.size());
-  out.flush();
-  PANDA_CHECK_MSG(out.good(), "write failed: " << path);
+  common::AtomicFileWriter out(path);
+  out.write(&header, sizeof(header));
+  out.pad(header.nodes_off - sizeof(header));
+  out.write(nodes_.data(), nodes_.size_bytes());
+  out.pad(header.leaves_off - (header.nodes_off + nodes_.size_bytes()));
+  out.write(leaves_.data(), leaves_.size_bytes());
+  out.pad(header.leaf_nodes_off - (header.leaves_off + leaves_.size_bytes()));
+  out.write(leaf_nodes_.data(), leaf_nodes_.size_bytes());
+  out.pad(header.packed_off -
+          (header.leaf_nodes_off + leaf_nodes_.size_bytes()));
+  out.write(packed_.data(), packed_.size_bytes());
+  out.pad(header.ids_off - (header.packed_off + packed_.size_bytes()));
+  out.write(packed_ids_.data(), packed_ids_.size_bytes());
+  out.pad(header.local_idx_off - (header.ids_off + packed_ids_.size_bytes()));
+  out.write(packed_local_idx_.data(), packed_local_idx_.size_bytes());
+  out.commit();
 }
 
 void KdTree::save_legacy_v2(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  PANDA_CHECK_MSG(out.good(), "cannot open for writing: " << path);
-
   KdTreeHeaderV2 header{};
   header.magic = kKdTreeMagic;
   header.version = kKdTreeVersionHotCold;
@@ -174,19 +222,22 @@ void KdTree::save_legacy_v2(const std::string& path) const {
   header.id_count = packed_ids_.size();
   header.stats = stats_;
   header.config = config_;
-  write_raw(out, &header, 1);
-  write_raw(out, nodes_.data(), nodes_.size());
-  write_raw(out, leaves_.data(), leaves_.size());
-  write_raw(out, packed_.data(), packed_.size());
-  write_raw(out, packed_ids_.data(), packed_ids_.size());
-  write_raw(out, packed_local_idx_.data(), packed_local_idx_.size());
-  out.flush();
-  PANDA_CHECK_MSG(out.good(), "write failed: " << path);
+
+  common::AtomicFileWriter out(path);
+  out.write(&header, sizeof(header));
+  out.write(nodes_.data(), nodes_.size_bytes());
+  out.write(leaves_.data(), leaves_.size_bytes());
+  out.write(packed_.data(), packed_.size_bytes());
+  out.write(packed_ids_.data(), packed_ids_.size_bytes());
+  out.write(packed_local_idx_.data(), packed_local_idx_.size_bytes());
+  out.commit();
 }
 
 KdTree KdTree::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  PANDA_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+  if (!in.good()) {
+    common::throw_io_error("cannot open kd-tree", path, "open", errno);
+  }
   in.seekg(0, std::ios::end);
   const std::uint64_t actual_size = static_cast<std::uint64_t>(in.tellg());
   in.seekg(0);
@@ -238,25 +289,56 @@ KdTree KdTree::load(const std::string& path) {
     return tree;
   }
 
-  PANDA_CHECK_MSG(version == kKdTreeVersionAligned,
+  PANDA_CHECK_MSG(version == kKdTreeVersionAligned ||
+                      version == kKdTreeVersionChecksummed,
                   "unsupported kd-tree version "
-                      << version << " (expected " << kKdTreeVersionAligned
+                      << version << " (expected "
+                      << kKdTreeVersionChecksummed
                       << "); rebuild and re-save the index");
 
+  KdTreeHeaderV4 header{};
   in.seekg(0);
-  KdTreeHeaderV3 header{};
-  read_raw(in, &header, 1);
-  PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
-  validate_v3(header, actual_size, path);
+  if (version == kKdTreeVersionChecksummed) {
+    read_raw(in, &header, 1);
+    PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+    validate_structural(header, actual_size, path);
+    verify_header_crc(header, path);
+  } else {
+    // v3: same layout fields, no checksums to verify.
+    KdTreeHeaderV3 h3{};
+    read_raw(in, &h3, 1);
+    PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+    validate_structural(h3, actual_size, path);
+    header.dims = h3.dims;
+    header.node_count = h3.node_count;
+    header.leaf_count = h3.leaf_count;
+    header.packed_count = h3.packed_count;
+    header.id_count = h3.id_count;
+    header.nodes_off = h3.nodes_off;
+    header.leaves_off = h3.leaves_off;
+    header.leaf_nodes_off = h3.leaf_nodes_off;
+    header.packed_off = h3.packed_off;
+    header.ids_off = h3.ids_off;
+    header.local_idx_off = h3.local_idx_off;
+    header.stats = h3.stats;
+    header.config = h3.config;
+  }
 
   KdTree tree;
   tree.dims_ = header.dims;
   tree.stats_ = header.stats;
   tree.config_ = header.config;
+  std::size_t section = 0;
   auto read_section = [&](auto& vec, std::uint64_t off, std::uint64_t count) {
     vec.resize(count);
     in.seekg(static_cast<std::streamoff>(off));
     read_raw(in, vec.data(), vec.size());
+    if (version == kKdTreeVersionChecksummed && in.good()) {
+      using Elem = typename std::remove_reference_t<decltype(vec)>::value_type;
+      check_section_crc(header, section,
+                        crc32c(vec.data(), vec.size() * sizeof(Elem)), path);
+    }
+    ++section;
   };
   read_section(tree.own_.nodes, header.nodes_off, header.node_count);
   read_section(tree.own_.leaves, header.leaves_off, header.leaf_count);
@@ -271,11 +353,11 @@ KdTree KdTree::load(const std::string& path) {
   return tree;
 }
 
-KdTree KdTree::open_mmap(const std::string& path) {
+KdTree KdTree::open_mmap(const std::string& path, bool verify_sections) {
   auto file = common::MmapFile::open(path);
   PANDA_CHECK_MSG(file->size() >= kKdTreeHeaderSpanV3,
                   "kd-tree file too small for a header: " << path);
-  KdTreeHeaderV3 header{};
+  KdTreeHeaderV4 header{};
   std::memcpy(&header, file->data(), sizeof(header));
   PANDA_CHECK_MSG(header.magic != byteswap64(kKdTreeMagic),
                   "kd-tree file has byte-swapped magic (endianness "
@@ -283,13 +365,17 @@ KdTree KdTree::open_mmap(const std::string& path) {
                       << path);
   PANDA_CHECK_MSG(header.magic == kKdTreeMagic,
                   "not a PANDA kd-tree: " << path);
-  PANDA_CHECK_MSG(header.version == kKdTreeVersionAligned,
+  PANDA_CHECK_MSG(header.version == kKdTreeVersionChecksummed,
                   "kd-tree file " << path << " is format version "
                                   << header.version
                                   << "; open_mmap needs version "
-                                  << kKdTreeVersionAligned
+                                  << kKdTreeVersionChecksummed
                                   << " (load() and save() to convert)");
-  validate_v3(header, file->size(), path);
+  validate_structural(header, file->size(), path);
+  verify_header_crc(header, path);
+  if (verify_sections) {
+    verify_section_crcs(header, file->data(), path);
+  }
 
   KdTree tree;
   tree.dims_ = header.dims;

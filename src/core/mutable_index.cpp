@@ -15,14 +15,36 @@
 #include "core/mutable_index.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <utility>
 
+#include "common/atomic_file.hpp"
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 
 namespace panda::core {
 
 namespace {
+
+// Durable-mode MANIFEST (DESIGN.md §13): the single commit point. A
+// flat little-endian record naming the committed state — the tree
+// files and the WAL that together reconstruct the index — replaced
+// atomically (write-temp / fsync / rename) on every state change.
+// Anything in the directory the MANIFEST does not name is an
+// uncommitted leftover from a crash and is swept at recovery.
+//
+//   magic u64  version u32  dims u32
+//   wal_seq u64  next_file_seq u64  tree_count u64
+//   per tree: file_seq u64, level u32, pad u32
+//   crc32c u32 (over all preceding bytes)
+constexpr std::uint64_t kManifestMagic = 0x50414e44414d414eULL;  // PANDAMAN
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr std::size_t kManifestFixedBytes = 8 + 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t kManifestTreeBytes = 16;
 
 bool contains(const std::vector<std::uint64_t>& sorted, std::uint64_t id) {
   return std::binary_search(sorted.begin(), sorted.end(), id);
@@ -64,8 +86,14 @@ MutableIndex::MutableIndex(std::size_t dims, const MutableConfig& config,
   PANDA_CHECK_MSG(config_.merge_fan_in >= 2,
                   "MutableConfig.merge_fan_in must be >= 2");
   PANDA_CHECK_MSG(pool_ != nullptr, "MutableIndex needs a thread pool");
+  PANDA_CHECK_MSG(!durable() || config_.wal_flush_every >= 1,
+                  "MutableConfig.wal_flush_every must be >= 1");
   snapshot_.store(std::make_shared<const Snapshot>(),
                   std::memory_order_release);
+  // Durable setup (and recovery) runs before the background threads
+  // exist: replayed state is complete by the time anything can claim
+  // work from it.
+  if (durable()) init_durable();
   seal_thread_ = std::thread([this] { seal_loop(); });
   merge_thread_ = std::thread([this] { merge_loop(); });
 }
@@ -80,13 +108,28 @@ MutableIndex::MutableIndex(KdTree seed, const MutableConfig& config,
     auto ids =
         std::make_shared<const IdList>(sorted_unique_ids(exported.ids()));
     std::lock_guard<std::mutex> lock(mutex_);
+    if (durable()) {
+      // Seeding writes the seed as committed state; a directory that
+      // recovered content would be silently shadowed by it.
+      PANDA_CHECK_MSG(live_.empty(),
+                      "cannot seed a MutableIndex into non-empty durable "
+                      "directory "
+                          << config_.durable_dir
+                          << " (open it without a seed, or point at a fresh "
+                             "directory)");
+    }
     live_.insert(ids->begin(), ids->end());
     live_count_.store(ids->size(), std::memory_order_relaxed);
     TreeShard shard;
     shard.level = level_for_size(seed.size());
     shard.ids = std::move(ids);
     shard.tree = std::make_shared<const KdTree>(std::move(seed));
+    if (durable()) {
+      shard.file_seq = next_file_seq_++;
+      shard.tree->save(tree_path(shard.file_seq));
+    }
     trees_.push_back(std::move(shard));
+    if (durable()) write_manifest_locked();
     publish_locked();
   }
 }
@@ -100,6 +143,15 @@ MutableIndex::~MutableIndex() {
   merge_cv_.notify_all();
   if (seal_thread_.joinable()) seal_thread_.join();
   if (merge_thread_.joinable()) merge_thread_.join();
+  // Close the group-commit window on clean shutdown: acknowledged
+  // frames not yet fsynced become power-loss durable too.
+  if (wal_.has_value()) {
+    try {
+      wal_->sync();
+    } catch (...) {
+      // Destructor: nowhere to report; the frames are still write()n.
+    }
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -113,7 +165,9 @@ void MutableIndex::insert(const data::PointSet& points) {
   if (points.empty()) return;
   std::lock_guard<std::mutex> lock(mutex_);
   // All-or-nothing admission: a collision rolls back the ids this
-  // batch already claimed, so a failed insert leaves no trace.
+  // batch already claimed, so a failed insert leaves no trace. The
+  // admission check runs *before* logging — a rejected batch must not
+  // reach the WAL, or recovery would replay the collision.
   for (std::size_t p = 0; p < points.size(); ++p) {
     if (!live_.insert(points.id(p)).second) {
       for (std::size_t q = 0; q < p; ++q) live_.erase(points.id(q));
@@ -122,6 +176,33 @@ void MutableIndex::insert(const data::PointSet& points) {
                   " is already live (erase it first or use a fresh id)");
     }
   }
+  if (durable()) {
+    // Log before apply: once the frame is write()n the batch survives
+    // process death; a failed append rolls the admission back so
+    // neither memory nor log keeps a trace.
+    try {
+      std::vector<std::uint64_t> ids(points.ids().begin(),
+                                     points.ids().end());
+      std::vector<float> coords(points.size() * dims_);
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        points.copy_point(p, coords.data() + p * dims_);
+      }
+      wal_->append_insert(ids, coords);
+    } catch (...) {
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        live_.erase(points.id(p));
+      }
+      throw;
+    }
+  }
+  apply_insert_locked(points);
+  publish_locked();
+  if (durable()) maybe_sync_wal_locked();
+}
+
+/// The state mutation behind insert() and WAL replay: the batch's ids
+/// must already be admitted into live_ by the caller.
+void MutableIndex::apply_insert_locked(const data::PointSet& points) {
   Run run;
   run.points = std::make_shared<const data::PointSet>(points);
   open_runs_.push_back(std::move(run));
@@ -134,25 +215,49 @@ void MutableIndex::insert(const data::PointSet& points) {
     open_points_ = 0;
     seal_cv_.notify_one();
   }
-  publish_locked();
 }
 
 std::size_t MutableIndex::erase(std::span<const std::uint64_t> ids) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t erased = 0;
+  // Collect the ids that are actually live (erasing them from live_ as
+  // we go, which also deduplicates repeats within the batch) so the
+  // WAL frame holds exactly the erases this call performs.
+  std::vector<std::uint64_t> hit;
   for (const std::uint64_t id : ids) {
-    const auto it = live_.find(id);
-    if (it == live_.end()) continue;  // unknown or already erased
-    live_.erase(it);
-    tombstone_locked(id);
-    ++erased;
+    if (live_.erase(id) == 1) hit.push_back(id);
   }
-  if (erased > 0) {
-    erases_ += erased;
-    live_count_.fetch_sub(erased, std::memory_order_relaxed);
-    publish_locked();
+  if (hit.empty()) return 0;
+  if (durable()) {
+    try {
+      wal_->append_erase(hit);
+    } catch (...) {
+      live_.insert(hit.begin(), hit.end());
+      throw;
+    }
   }
-  return erased;
+  for (const std::uint64_t id : hit) tombstone_locked(id);
+  erases_ += hit.size();
+  live_count_.fetch_sub(hit.size(), std::memory_order_relaxed);
+  publish_locked();
+  if (durable()) maybe_sync_wal_locked();
+  return hit.size();
+}
+
+/// Replay-side erase: applies whichever of `ids` are live and skips
+/// the rest silently — an id a WAL frame names may have been dropped
+/// from the files by a post-rotation merge, which is not an error.
+std::vector<std::uint64_t> MutableIndex::apply_erase_locked(
+    std::span<const std::uint64_t> ids) {
+  std::vector<std::uint64_t> hit;
+  for (const std::uint64_t id : ids) {
+    if (live_.erase(id) == 1) hit.push_back(id);
+  }
+  for (const std::uint64_t id : hit) tombstone_locked(id);
+  if (!hit.empty()) {
+    erases_ += hit.size();
+    live_count_.fetch_sub(hit.size(), std::memory_order_relaxed);
+  }
+  return hit;
 }
 
 void MutableIndex::tombstone_locked(std::uint64_t id) {
@@ -256,10 +361,13 @@ void MutableIndex::seal_loop() {
     if (stop_) return;  // abandon pending work; the index is dying
     seal_busy_ = true;
     // Claim by value: the Run payloads are immutable, and the dead
-    // lists are COW — this copy IS the dead-at-claim baseline.
+    // lists are COW — this copy IS the dead-at-claim baseline. The
+    // durable file sequence is allocated at claim, under the lock, so
+    // the build can write tree-<seq>.panda without holding it.
     std::vector<Run> claimed = sealed_groups_.front();
+    const std::uint64_t seq = durable() ? next_file_seq_++ : 0;
     lock.unlock();
-    do_seal(std::move(claimed));
+    do_seal(std::move(claimed), seq);
     lock.lock();
     seal_busy_ = false;
     merge_cv_.notify_one();  // the new level-0 tree may overfill level 0
@@ -282,15 +390,17 @@ void MutableIndex::merge_loop() {
     for (const TreeShard& shard : trees_) {
       if (static_cast<int>(shard.level) == level) claimed.push_back(shard);
     }
+    const std::uint64_t seq = durable() ? next_file_seq_++ : 0;
     lock.unlock();
-    do_level_merge(static_cast<std::uint32_t>(level), std::move(claimed));
+    do_level_merge(static_cast<std::uint32_t>(level), std::move(claimed),
+                   seq);
     lock.lock();
     merge_busy_ = false;
     idle_cv_.notify_all();
   }
 }
 
-void MutableIndex::do_seal(std::vector<Run> claimed) {
+void MutableIndex::do_seal(std::vector<Run> claimed, std::uint64_t file_seq) {
   // Gather the points live at claim time and build outside the lock;
   // queries keep brute-scanning the runs from their pinned snapshots.
   data::PointSet pts(dims_);
@@ -311,6 +421,10 @@ void MutableIndex::do_seal(std::vector<Run> claimed) {
         KdTree::build(pts, build_, merge_build_pool_));
     ids = std::make_shared<const IdList>(sorted_unique_ids(pts.ids()));
   }
+  // Persist outside the lock too — the file is invisible until the
+  // MANIFEST names it, so writers/queries never stall on this I/O. An
+  // uncommitted file left by a crash is swept at recovery.
+  if (durable() && tree != nullptr) tree->save(tree_path(file_seq));
 
   std::lock_guard<std::mutex> lock(mutex_);
   // Writers only ever COW dead lists inside the queued group, so the
@@ -334,6 +448,7 @@ void MutableIndex::do_seal(std::vector<Run> claimed) {
     shard.tree = std::move(tree);
     shard.level = 0;
     shard.ids = std::move(ids);
+    shard.file_seq = file_seq;
     if (!residual.empty()) {
       shard.dead = std::make_shared<const IdList>(std::move(residual));
     }
@@ -344,11 +459,25 @@ void MutableIndex::do_seal(std::vector<Run> claimed) {
     PANDA_ASSERT(residual.empty());
   }
   ++seals_;
+  if (durable()) {
+    // Commit the seal and shrink the log in one step: rotate to a
+    // fresh WAL holding only the still-buffered state, then the
+    // MANIFEST rename makes {new tree file, new WAL} the committed
+    // truth. The old WAL (whose frames the new tree now embodies) is
+    // deleted only after the commit — a crash in between recovers
+    // from the old WAL and sweeps the new files as orphans.
+    const std::uint64_t old_wal = wal_seq_;
+    rotate_wal_locked();
+    write_manifest_locked();
+    std::error_code ec;
+    std::filesystem::remove(wal_path(old_wal), ec);
+  }
   publish_locked();
 }
 
 void MutableIndex::do_level_merge(std::uint32_t level,
-                                  std::vector<TreeShard> claimed) {
+                                  std::vector<TreeShard> claimed,
+                                  std::uint64_t file_seq) {
   data::PointSet pts(dims_);
   data::PointSet exported(dims_);
   std::vector<float> buf(dims_);
@@ -369,6 +498,7 @@ void MutableIndex::do_level_merge(std::uint32_t level,
         KdTree::build(pts, build_, merge_build_pool_));
     ids = std::make_shared<const IdList>(sorted_unique_ids(pts.ids()));
   }
+  if (durable() && tree != nullptr) tree->save(tree_path(file_seq));
 
   std::lock_guard<std::mutex> lock(mutex_);
   IdList residual;
@@ -398,6 +528,7 @@ void MutableIndex::do_level_merge(std::uint32_t level,
     shard.tree = std::move(tree);
     shard.level = level + 1;
     shard.ids = std::move(ids);
+    shard.file_seq = file_seq;
     if (!residual.empty()) {
       shard.dead = std::make_shared<const IdList>(std::move(residual));
     }
@@ -406,6 +537,16 @@ void MutableIndex::do_level_merge(std::uint32_t level,
     PANDA_ASSERT(residual.empty());
   }
   ++merges_;
+  if (durable()) {
+    // A merge is a MANIFEST-only commit: no WAL rotation (erase
+    // frames replay by live-id membership, so ids the merge dropped
+    // are skipped silently). Source files outlive the commit, then go.
+    write_manifest_locked();
+    std::error_code ec;
+    for (const TreeShard& source : claimed) {
+      std::filesystem::remove(tree_path(source.file_seq), ec);
+    }
+  }
   publish_locked();
 }
 
@@ -428,6 +569,11 @@ void MutableIndex::compact() {
   data::PointSet pts(dims_);
   gather_live_locked(pts);
   data::PointSet sorted = sort_by_id(pts);
+  std::vector<std::uint64_t> old_files;
+  if (durable()) {
+    old_files.reserve(trees_.size());
+    for (const TreeShard& shard : trees_) old_files.push_back(shard.file_seq);
+  }
   open_runs_.clear();
   open_points_ = 0;
   trees_.clear();
@@ -440,9 +586,25 @@ void MutableIndex::compact() {
     shard.level = level_for_size(sorted.size());
     shard.ids = std::make_shared<const IdList>(
         sorted_unique_ids(sorted.ids()));
+    if (durable()) {
+      shard.file_seq = next_file_seq_++;
+      shard.tree->save(tree_path(shard.file_seq));
+    }
     trees_.push_back(std::move(shard));
   }
   ++compactions_;
+  if (durable()) {
+    // The buffer is empty and the one tree has no tombstones, so the
+    // rotated WAL is just a fresh header.
+    const std::uint64_t old_wal = wal_seq_;
+    rotate_wal_locked();
+    write_manifest_locked();
+    std::error_code ec;
+    std::filesystem::remove(wal_path(old_wal), ec);
+    for (const std::uint64_t seq : old_files) {
+      std::filesystem::remove(tree_path(seq), ec);
+    }
+  }
   publish_locked();
 }
 
@@ -471,6 +633,256 @@ void MutableIndex::gather_live_locked(data::PointSet& out) const {
       exported.copy_point(p, buf.data());
       out.push_point(buf, id);
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Durability (DESIGN.md §13)
+// ---------------------------------------------------------------------
+
+std::string MutableIndex::manifest_path() const {
+  return config_.durable_dir + "/MANIFEST";
+}
+
+std::string MutableIndex::tree_path(std::uint64_t seq) const {
+  return config_.durable_dir + "/tree-" + std::to_string(seq) + ".panda";
+}
+
+std::string MutableIndex::wal_path(std::uint64_t seq) const {
+  return config_.durable_dir + "/wal-" + std::to_string(seq) + ".log";
+}
+
+void MutableIndex::init_durable() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(config_.durable_dir, ec);
+  PANDA_CHECK_MSG(!ec, "cannot create durable directory "
+                           << config_.durable_dir << ": " << ec.message());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fs::exists(manifest_path())) {
+    recover_durable();
+  } else {
+    wal_seq_ = next_file_seq_++;
+    wal_.emplace(
+        Wal::create(wal_path(wal_seq_), static_cast<std::uint32_t>(dims_)));
+    write_manifest_locked();
+  }
+  last_wal_sync_ = std::chrono::steady_clock::now();
+}
+
+void MutableIndex::recover_durable() {
+  namespace fs = std::filesystem;
+  const std::string path = manifest_path();
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    common::throw_io_error("cannot open durable MANIFEST", path, "open",
+                           errno);
+  }
+  std::error_code ec;
+  const std::uint64_t fsize = fs::file_size(path, ec);
+  PANDA_CHECK_MSG(!ec, "cannot stat durable MANIFEST: " << path);
+  std::vector<unsigned char> buf(fsize);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  PANDA_CHECK_MSG(in.good() || fsize == 0,
+                  "durable MANIFEST truncated: " << path);
+  PANDA_CHECK_MSG(buf.size() >= kManifestFixedBytes + 4,
+                  "durable MANIFEST truncated: " << path);
+  // The trailing CRC covers everything, so one check subsumes all
+  // torn-write cases — the MANIFEST is replaced atomically, but a
+  // corrupt one must never be trusted.
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - 4, 4);
+  const std::uint32_t computed = common::crc32c(buf.data(), buf.size() - 4);
+  PANDA_CHECK_MSG(computed == stored_crc,
+                  "durable MANIFEST checksum mismatch (stored 0x"
+                      << std::hex << stored_crc << ", computed 0x" << computed
+                      << std::dec << "): " << path);
+  const auto get = [&](std::size_t off, auto& value) {
+    std::memcpy(&value, buf.data() + off, sizeof(value));
+  };
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t dims32 = 0;
+  std::uint64_t tree_count = 0;
+  get(0, magic);
+  get(8, version);
+  get(12, dims32);
+  get(16, wal_seq_);
+  get(24, next_file_seq_);
+  get(32, tree_count);
+  PANDA_CHECK_MSG(magic == kManifestMagic,
+                  "not a PANDA durable MANIFEST: " << path);
+  PANDA_CHECK_MSG(version == kManifestVersion,
+                  "unsupported durable MANIFEST version " << version << ": "
+                                                          << path);
+  PANDA_CHECK_MSG(dims32 == dims_,
+                  "durable directory dims mismatch (manifest has "
+                      << dims32 << ", index opened with " << dims_
+                      << "): " << path);
+  PANDA_CHECK_MSG(
+      buf.size() == kManifestFixedBytes + tree_count * kManifestTreeBytes + 4,
+      "durable MANIFEST field 'tree_count' inconsistent with its size: "
+          << path);
+
+  // Sweep uncommitted leftovers first: tree/WAL files a crashed seal
+  // or merge wrote but never committed, and stray .tmp files.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries(tree_count);
+  for (std::uint64_t t = 0; t < tree_count; ++t) {
+    get(kManifestFixedBytes + t * kManifestTreeBytes, entries[t].first);
+    get(kManifestFixedBytes + t * kManifestTreeBytes + 8, entries[t].second);
+  }
+  std::unordered_set<std::string> keep;
+  keep.insert("MANIFEST");
+  keep.insert(fs::path(wal_path(wal_seq_)).filename().string());
+  for (const auto& [seq, level] : entries) {
+    keep.insert(fs::path(tree_path(seq)).filename().string());
+  }
+  for (const auto& entry : fs::directory_iterator(config_.durable_dir)) {
+    if (keep.count(entry.path().filename().string()) == 0) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+
+  // Committed trees: mmap-open (header + section CRCs verified), and
+  // their ids seed the live set. Dead lists are not persisted — the
+  // WAL's Tombstones/Erase frames reconstruct them below.
+  for (const auto& [seq, level] : entries) {
+    KdTree tree = KdTree::open_mmap(tree_path(seq), /*verify_sections=*/true);
+    data::PointSet exported(dims_);
+    tree.export_points(exported);
+    auto ids =
+        std::make_shared<const IdList>(sorted_unique_ids(exported.ids()));
+    live_.insert(ids->begin(), ids->end());
+    TreeShard shard;
+    shard.tree = std::make_shared<const KdTree>(std::move(tree));
+    shard.level = level;
+    shard.ids = std::move(ids);
+    shard.file_seq = seq;
+    trees_.push_back(std::move(shard));
+  }
+  live_count_.store(live_.size(), std::memory_order_relaxed);
+
+  // Replay the WAL's valid prefix in order. A torn tail is the
+  // expected shape after a crash — the torn frame was never
+  // acknowledged — so it is recorded, not thrown.
+  auto replayed =
+      Wal::replay(wal_path(wal_seq_), static_cast<std::uint32_t>(dims_));
+  if (replayed.torn) recovery_diagnostic_ = replayed.diagnostic;
+  for (const Wal::Frame& frame : replayed.frames) {
+    switch (frame.type) {
+      case Wal::FrameType::Insert: {
+        data::PointSet points(dims_);
+        for (std::size_t p = 0; p < frame.ids.size(); ++p) {
+          points.push_point(
+              std::span<const float>(frame.coords.data() + p * dims_, dims_),
+              frame.ids[p]);
+        }
+        for (std::size_t p = 0; p < points.size(); ++p) {
+          PANDA_CHECK_MSG(live_.insert(points.id(p)).second,
+                          "durable WAL replays id "
+                              << points.id(p)
+                              << " over a live id — inconsistent state in "
+                              << config_.durable_dir);
+        }
+        apply_insert_locked(points);
+        break;
+      }
+      case Wal::FrameType::Erase:
+      case Wal::FrameType::Tombstones:
+        apply_erase_locked(frame.ids);
+        break;
+    }
+  }
+  wal_.emplace(Wal::open_for_append(wal_path(wal_seq_),
+                                    static_cast<std::uint32_t>(dims_),
+                                    replayed.valid_bytes));
+  publish_locked();
+}
+
+void MutableIndex::write_manifest_locked() {
+  std::vector<unsigned char> buf;
+  buf.reserve(kManifestFixedBytes + trees_.size() * kManifestTreeBytes + 4);
+  const auto put = [&](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    buf.insert(buf.end(), b, b + n);
+  };
+  const std::uint64_t magic = kManifestMagic;
+  const std::uint32_t version = kManifestVersion;
+  const auto dims32 = static_cast<std::uint32_t>(dims_);
+  const std::uint64_t tree_count = trees_.size();
+  put(&magic, 8);
+  put(&version, 4);
+  put(&dims32, 4);
+  put(&wal_seq_, 8);
+  put(&next_file_seq_, 8);
+  put(&tree_count, 8);
+  for (const TreeShard& shard : trees_) {
+    const std::uint32_t level = shard.level;
+    const std::uint32_t pad = 0;
+    put(&shard.file_seq, 8);
+    put(&level, 4);
+    put(&pad, 4);
+  }
+  const std::uint32_t crc = common::crc32c(buf.data(), buf.size());
+  put(&crc, 4);
+  common::AtomicFileWriter out(manifest_path());
+  out.write(buf.data(), buf.size());
+  out.commit();
+}
+
+void MutableIndex::rotate_wal_locked() {
+  const std::uint64_t seq = next_file_seq_++;
+  Wal fresh =
+      Wal::create(wal_path(seq), static_cast<std::uint32_t>(dims_));
+  // The committed tree files still hold their dead points (dead lists
+  // are in-memory only), so the fresh log opens with one Tombstones
+  // frame re-seeding them.
+  IdList dead;
+  for (const TreeShard& shard : trees_) {
+    if (shard.dead != nullptr) {
+      dead.insert(dead.end(), shard.dead->begin(), shard.dead->end());
+    }
+  }
+  if (!dead.empty()) fresh.append_tombstones(dead);
+  // Re-log the still-buffered batches (live points only — a run's
+  // dead ids simply aren't carried forward).
+  std::vector<std::uint64_t> ids;
+  std::vector<float> coords;
+  std::vector<float> buf(dims_);
+  const auto relog = [&](const Run& run) {
+    ids.clear();
+    coords.clear();
+    const data::PointSet& ps = *run.points;
+    for (std::size_t p = 0; p < ps.size(); ++p) {
+      const std::uint64_t id = ps.id(p);
+      if (run.dead != nullptr && contains(*run.dead, id)) continue;
+      ids.push_back(id);
+      ps.copy_point(p, buf.data());
+      coords.insert(coords.end(), buf.begin(), buf.end());
+    }
+    if (!ids.empty()) fresh.append_insert(ids, coords);
+  };
+  for (const auto& group : sealed_groups_) {
+    for (const Run& run : group) relog(run);
+  }
+  for (const Run& run : open_runs_) relog(run);
+  fresh.sync();
+  wal_ = std::move(fresh);
+  wal_seq_ = seq;
+  last_wal_sync_ = std::chrono::steady_clock::now();
+}
+
+void MutableIndex::maybe_sync_wal_locked() {
+  if (!wal_.has_value() || wal_->frames_since_sync() == 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const bool due_count = wal_->frames_since_sync() >= config_.wal_flush_every;
+  const bool due_time =
+      now - last_wal_sync_ >=
+      std::chrono::microseconds(config_.wal_flush_interval_us);
+  if (due_count || due_time) {
+    wal_->sync();
+    last_wal_sync_ = now;
   }
 }
 

@@ -59,12 +59,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -72,6 +74,7 @@
 #include <vector>
 
 #include "core/kdtree.hpp"
+#include "core/wal.hpp"
 #include "core/knn_heap.hpp"
 #include "core/neighbor_table.hpp"
 #include "core/query_workspace.hpp"
@@ -89,6 +92,27 @@ struct MutableConfig {
   /// Trees at one level that compact into one tree at the next
   /// (>= 2). Smaller = fewer trees per query but more merge work.
   std::uint32_t merge_fan_in = 4;
+  /// Crash-safe mode (DESIGN.md §13): when non-empty, the index owns
+  /// this directory — every mutation batch is WAL-logged before it is
+  /// acknowledged, sealed/merged trees are persisted as checksummed
+  /// v4 files, and a MANIFEST names the committed state. Reopening
+  /// the same directory recovers every acknowledged write (replaying
+  /// the WAL's valid prefix past a torn tail). Empty = in-memory
+  /// only, no durability (the pre-existing behavior).
+  std::string durable_dir;
+  /// Group commit: fsync the WAL once per this many frames (1 =
+  /// fsync before every acknowledgement — full power-loss durability;
+  /// the default amortizes the ~ms fsync over many batches).
+  /// Acknowledged writes survive process kill (kill -9) in every
+  /// setting, because the frame is write()n before the ack and the
+  /// page cache outlives the process; the flush cadence only bounds
+  /// power-loss exposure, so the default trades a ~50 ms power-loss
+  /// window for ingest throughput within a small factor of WAL-off
+  /// (bench_mutable gates >= 0.5x).
+  std::size_t wal_flush_every = 256;
+  /// Also fsync when this much time passed since the last sync (checked
+  /// at the next append; an idle log is synced by the destructor).
+  std::uint64_t wal_flush_interval_us = 50000;
 };
 
 /// Mutation-side counters (monotonic since construction) plus a gauge
@@ -223,6 +247,13 @@ class MutableIndex {
 
   MutationStats stats() const;
 
+  /// Durable mode: non-empty after a recovery that found a torn WAL
+  /// tail (the Wal::replay diagnostic — informational; the valid
+  /// prefix was applied). Empty otherwise.
+  const std::string& recovery_diagnostic() const {
+    return recovery_diagnostic_;
+  }
+
  private:
   /// Sorted dead-id list, copy-on-write: erase() publishes a new list,
   /// pinned snapshots keep reading the old one.
@@ -242,6 +273,9 @@ class MutableIndex {
     std::uint32_t level = 0;
     std::shared_ptr<const IdList> ids;
     std::shared_ptr<const IdList> dead;  // null = none
+    /// Durable mode: sequence number of this tree's on-disk file
+    /// (tree-<seq>.panda); 0 = not persisted (in-memory mode).
+    std::uint64_t file_seq = 0;
   };
 
   /// What queries pin: one immutable view of the whole forest.
@@ -266,8 +300,43 @@ class MutableIndex {
 
   void seal_loop();
   void merge_loop();
-  void do_seal(std::vector<Run> claimed);
-  void do_level_merge(std::uint32_t level, std::vector<TreeShard> claimed);
+  void do_seal(std::vector<Run> claimed, std::uint64_t file_seq);
+  void do_level_merge(std::uint32_t level, std::vector<TreeShard> claimed,
+                      std::uint64_t file_seq);
+
+  // -------------------------------------------------------------------
+  // Durability (DESIGN.md §13) — all no-ops when durable_dir is empty.
+  // -------------------------------------------------------------------
+
+  bool durable() const { return !config_.durable_dir.empty(); }
+  std::string manifest_path() const;
+  std::string tree_path(std::uint64_t seq) const;
+  std::string wal_path(std::uint64_t seq) const;
+
+  /// Ctor-time setup, before the background threads start: fresh dirs
+  /// get an empty MANIFEST plus wal-1; dirs with a MANIFEST recover
+  /// (load the committed trees, replay the WAL's valid prefix, sweep
+  /// uncommitted orphan files).
+  void init_durable();
+  void recover_durable();
+  /// Atomically replaces MANIFEST with the current committed state
+  /// (trees_ file_seq/level, wal_seq_, next_file_seq_).
+  void write_manifest_locked();
+  /// Seal-time WAL rotation: a fresh wal-<seq> seeded with the forest's
+  /// dead ids (one Tombstones frame) and the still-buffered runs (one
+  /// Insert frame each), fsynced, then committed via MANIFEST; the old
+  /// log is deleted. Keeps the WAL proportional to the buffer, not to
+  /// history.
+  void rotate_wal_locked();
+
+  /// Shared apply paths: insert()/erase() log then apply; recovery
+  /// replays by applying without logging.
+  void apply_insert_locked(const data::PointSet& points);
+  std::vector<std::uint64_t> apply_erase_locked(
+      std::span<const std::uint64_t> ids);
+  /// Group commit: fsync when wal_flush_every frames accumulated or
+  /// wal_flush_interval_us elapsed since the last sync.
+  void maybe_sync_wal_locked();
 
   /// The KNN engine behind knn_batch/self_knn_batch: one chunk-stolen
   /// parallel region answers every query end to end (buffer scan +
@@ -316,6 +385,15 @@ class MutableIndex {
   std::uint64_t seals_ = 0;
   std::uint64_t merges_ = 0;
   std::uint64_t compactions_ = 0;
+
+  /// Durable-mode state (unused otherwise). wal_ lives under mutex_;
+  /// file sequence numbers are allocated under mutex_ at claim time so
+  /// background builds can write tree-<seq>.panda outside the lock.
+  std::optional<Wal> wal_;
+  std::uint64_t wal_seq_ = 0;
+  std::uint64_t next_file_seq_ = 1;
+  std::chrono::steady_clock::time_point last_wal_sync_{};
+  std::string recovery_diagnostic_;
 
   /// Two background lanes, LSM-style: seals (small, frequent level-0
   /// builds) must never queue behind a level merge (large, rare) —

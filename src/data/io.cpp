@@ -1,10 +1,13 @@
 #include "data/io.hpp"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <vector>
 
+#include "common/atomic_file.hpp"
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 #include "data/file_format.hpp"
 
@@ -12,24 +15,19 @@ namespace panda::data {
 
 namespace {
 
+using common::crc32c;
 using detail::align64;
 using detail::kMaxPointDims;
 using detail::kPointsHeaderSpan;
+using detail::kPointsHeaderSpanV3;
 using detail::kPointsHeaderV1Bytes;
 using detail::kPointsMagic;
 using detail::kPointsVersionAligned;
+using detail::kPointsVersionChecksummed;
 using detail::kPointsVersionLegacy;
 using detail::PointsHeaderV1;
 using detail::PointsHeaderV2;
-
-void write_padding(std::ofstream& out, std::uint64_t from, std::uint64_t to) {
-  static constexpr char zeros[64] = {};
-  while (from < to) {
-    const std::uint64_t n = std::min<std::uint64_t>(to - from, sizeof(zeros));
-    out.write(zeros, static_cast<std::streamsize>(n));
-    from += n;
-  }
-}
+using detail::PointsHeaderV3;
 
 /// Shared header validation: magic (with the endianness diagnosis)
 /// and dims bounds — everything that must hold before believing any
@@ -47,43 +45,73 @@ void validate_magic_and_dims(std::uint64_t magic, std::uint32_t dims,
                       << "): " << path);
 }
 
+/// Structural checks shared by the v2 and v3 readers (the v3 header is
+/// a field superset at the same offsets).
+template <typename H>
+void validate_layout(const H& header, std::uint64_t actual_size,
+                     const std::string& path) {
+  PANDA_CHECK_MSG(header.file_size == actual_size,
+                  "point file header field 'file_size' inconsistent ("
+                      << header.file_size << " recorded, " << actual_size
+                      << " actual): " << path);
+  PANDA_CHECK_MSG(header.ids_off % 64 == 0 && header.coords_off % 64 == 0 &&
+                      header.coord_stride_bytes % 64 == 0,
+                  "point file header has misaligned section offsets: "
+                      << path);
+  PANDA_CHECK_MSG(
+      header.coord_stride_bytes >= header.count * sizeof(float) &&
+          header.ids_off + header.count * sizeof(std::uint64_t) <=
+              header.coords_off &&
+          header.coords_off + header.dims * header.coord_stride_bytes <=
+              actual_size,
+      "point file header field 'count' inconsistent with section layout: "
+          << path);
+}
+
 }  // namespace
 
 void save_points(const PointSet& points, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  PANDA_CHECK_MSG(out.good(), "cannot open for writing: " << path);
-
   const std::uint64_t count = points.size();
-  PointsHeaderV2 header{};
+  PointsHeaderV3 header{};
   header.magic = kPointsMagic;
-  header.version = kPointsVersionAligned;
+  header.version = kPointsVersionChecksummed;
   header.dims = static_cast<std::uint32_t>(points.dims());
   header.count = count;
-  header.ids_off = kPointsHeaderSpan;
+  header.ids_off = kPointsHeaderSpanV3;
   header.coords_off = align64(header.ids_off + count * sizeof(std::uint64_t));
   header.coord_stride_bytes = align64(count * sizeof(float));
   header.file_size =
       header.coords_off + points.dims() * header.coord_stride_bytes;
 
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  write_padding(out, sizeof(header), header.ids_off);
   const auto ids = points.ids();
-  out.write(reinterpret_cast<const char*>(ids.data()),
-            static_cast<std::streamsize>(ids.size_bytes()));
-  write_padding(out, header.ids_off + ids.size_bytes(), header.coords_off);
+  header.ids_crc = crc32c(ids.data(), ids.size_bytes());
+  std::uint32_t coords_crc = 0;
   for (std::size_t d = 0; d < points.dims(); ++d) {
     const auto coords = points.coordinate(d);
-    out.write(reinterpret_cast<const char*>(coords.data()),
-              static_cast<std::streamsize>(coords.size_bytes()));
-    write_padding(out, coords.size_bytes(), header.coord_stride_bytes);
+    coords_crc = crc32c(coords.data(), coords.size_bytes(), coords_crc);
   }
-  out.flush();
-  PANDA_CHECK_MSG(out.good(), "write failed: " << path);
+  header.coords_crc = coords_crc;
+  header.header_crc = 0;
+  header.header_crc = crc32c(&header, sizeof(header));
+
+  common::AtomicFileWriter out(path);
+  out.write(&header, sizeof(header));
+  out.pad(header.ids_off - sizeof(header));
+  out.write(ids.data(), ids.size_bytes());
+  out.pad(header.coords_off - (header.ids_off + ids.size_bytes()));
+  for (std::size_t d = 0; d < points.dims(); ++d) {
+    const auto coords = points.coordinate(d);
+    out.write(coords.data(), coords.size_bytes());
+    out.pad(header.coord_stride_bytes - coords.size_bytes());
+  }
+  out.commit();
 }
 
 PointSet load_points(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  PANDA_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+  if (!in.good()) {
+    common::throw_io_error("cannot open point file", path, "open", errno);
+  }
   in.seekg(0, std::ios::end);
   const std::uint64_t actual_size = static_cast<std::uint64_t>(in.tellg());
   in.seekg(0);
@@ -133,30 +161,36 @@ PointSet load_points(const std::string& path) {
   }
 
   validate_magic_and_dims(magic, 1, path);  // magic/endianness first
-  PANDA_CHECK_MSG(version == kPointsVersionAligned,
+  PANDA_CHECK_MSG(version == kPointsVersionAligned ||
+                      version == kPointsVersionChecksummed,
                   "unsupported point file version " << version << ": "
                                                     << path);
   in.seekg(0);
-  PointsHeaderV2 header{};
-  in.read(reinterpret_cast<char*>(&header), sizeof(header));
-  PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
-  validate_magic_and_dims(header.magic, header.dims, path);
-  PANDA_CHECK_MSG(header.file_size == actual_size,
-                  "point file header field 'file_size' inconsistent ("
-                      << header.file_size << " recorded, " << actual_size
-                      << " actual): " << path);
-  PANDA_CHECK_MSG(header.ids_off % 64 == 0 && header.coords_off % 64 == 0 &&
-                      header.coord_stride_bytes % 64 == 0,
-                  "point file header has misaligned section offsets: "
-                      << path);
-  PANDA_CHECK_MSG(
-      header.coord_stride_bytes >= header.count * sizeof(float) &&
-          header.ids_off + header.count * sizeof(std::uint64_t) <=
-              header.coords_off &&
-          header.coords_off + header.dims * header.coord_stride_bytes <=
-              actual_size,
-      "point file header field 'count' inconsistent with section layout: "
-          << path);
+  PointsHeaderV3 header{};
+  if (version == kPointsVersionChecksummed) {
+    in.read(reinterpret_cast<char*>(&header), sizeof(header));
+    PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+    validate_magic_and_dims(header.magic, header.dims, path);
+    validate_layout(header, actual_size, path);
+    PointsHeaderV3 copy = header;
+    copy.header_crc = 0;
+    const std::uint32_t computed = crc32c(&copy, sizeof(copy));
+    PANDA_CHECK_MSG(computed == header.header_crc,
+                    "point file header checksum mismatch (stored 0x"
+                        << std::hex << header.header_crc << ", computed 0x"
+                        << computed << std::dec << "): " << path);
+  } else {
+    PointsHeaderV2 h2{};
+    in.read(reinterpret_cast<char*>(&h2), sizeof(h2));
+    PANDA_CHECK_MSG(in.good(), "truncated header: " << path);
+    validate_magic_and_dims(h2.magic, h2.dims, path);
+    validate_layout(h2, actual_size, path);
+    header.dims = h2.dims;
+    header.count = h2.count;
+    header.ids_off = h2.ids_off;
+    header.coords_off = h2.coords_off;
+    header.coord_stride_bytes = h2.coord_stride_bytes;
+  }
 
   PointSet points(header.dims, header.count);
   {
@@ -164,16 +198,32 @@ PointSet load_points(const std::string& path) {
     std::vector<std::uint64_t> ids(header.count);
     in.read(reinterpret_cast<char*>(ids.data()),
             static_cast<std::streamsize>(ids.size() * sizeof(std::uint64_t)));
+    if (version == kPointsVersionChecksummed && in.good()) {
+      const std::uint32_t computed =
+          crc32c(ids.data(), ids.size() * sizeof(std::uint64_t));
+      PANDA_CHECK_MSG(computed == header.ids_crc,
+                      "point file section 'ids' checksum mismatch (stored 0x"
+                          << std::hex << header.ids_crc << ", computed 0x"
+                          << computed << std::dec << "): " << path);
+    }
     for (std::size_t i = 0; i < ids.size(); ++i) points.set_id(i, ids[i]);
   }
+  std::uint32_t coords_crc = 0;
   for (std::size_t d = 0; d < header.dims; ++d) {
     in.seekg(static_cast<std::streamoff>(header.coords_off +
                                          d * header.coord_stride_bytes));
     auto coords = points.coordinate(d);
     in.read(reinterpret_cast<char*>(coords.data()),
             static_cast<std::streamsize>(coords.size_bytes()));
+    coords_crc = crc32c(coords.data(), coords.size_bytes(), coords_crc);
   }
   PANDA_CHECK_MSG(in.good(), "truncated payload: " << path);
+  if (version == kPointsVersionChecksummed) {
+    PANDA_CHECK_MSG(coords_crc == header.coords_crc,
+                    "point file section 'coords' checksum mismatch (stored 0x"
+                        << std::hex << header.coords_crc << ", computed 0x"
+                        << coords_crc << std::dec << "): " << path);
+  }
   return points;
 }
 

@@ -5,7 +5,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "data/file_format.hpp"
 
 namespace panda::data {
@@ -48,13 +50,13 @@ PointSet PointStorage::to_point_set() const {
 // MmapStorage
 // ---------------------------------------------------------------------
 
-MmapStorage::MmapStorage(const std::string& path)
+MmapStorage::MmapStorage(const std::string& path, bool verify_sections)
     : file_(common::MmapFile::open(path)) {
   using namespace detail;
   PANDA_CHECK_MSG(file_->size() >= kPointsHeaderSpan,
                   "point file too small for a header: " << path);
-  PointsHeaderV2 header{};
-  std::memcpy(&header, file_->data(), sizeof(header));
+  PointsHeaderV3 header{};
+  std::memcpy(&header, file_->data(), sizeof(PointsHeaderV2));
   PANDA_CHECK_MSG(header.magic != byteswap64(kPointsMagic),
                   "point file has byte-swapped magic (endianness "
                   "mismatch): "
@@ -65,9 +67,16 @@ MmapStorage::MmapStorage(const std::string& path)
                   "point file " << path
                                 << " is format v1 (unaligned) — re-save it "
                                    "with save_points to enable mmap");
-  PANDA_CHECK_MSG(header.version == kPointsVersionAligned,
+  PANDA_CHECK_MSG(header.version == kPointsVersionAligned ||
+                      header.version == kPointsVersionChecksummed,
                   "unsupported point file version " << header.version << ": "
                                                     << path);
+  const bool checksummed = header.version == kPointsVersionChecksummed;
+  if (checksummed) {
+    PANDA_CHECK_MSG(file_->size() >= kPointsHeaderSpanV3,
+                    "point file too small for a header: " << path);
+    std::memcpy(&header, file_->data(), sizeof(header));
+  }
   PANDA_CHECK_MSG(header.dims >= 1 && header.dims <= kMaxPointDims,
                   "point file header field 'dims' out of bounds ("
                       << header.dims << "): " << path);
@@ -86,6 +95,15 @@ MmapStorage::MmapStorage(const std::string& path)
               file_->size(),
       "point file header field 'count' inconsistent with section layout: "
           << path);
+  if (checksummed) {
+    PointsHeaderV3 copy = header;
+    copy.header_crc = 0;
+    const std::uint32_t computed = common::crc32c(&copy, sizeof(copy));
+    PANDA_CHECK_MSG(computed == header.header_crc,
+                    "point file header checksum mismatch (stored 0x"
+                        << std::hex << header.header_crc << ", computed 0x"
+                        << computed << std::dec << "): " << path);
+  }
 
   dims_ = header.dims;
   count_ = header.count;
@@ -95,6 +113,25 @@ MmapStorage::MmapStorage(const std::string& path)
   for (std::size_t d = 0; d < dims_; ++d) {
     coords_[d] = reinterpret_cast<const float*>(
         base + header.coords_off + d * header.coord_stride_bytes);
+  }
+
+  if (checksummed && verify_sections) {
+    const std::uint32_t ids_crc =
+        common::crc32c(ids_, count_ * sizeof(std::uint64_t));
+    PANDA_CHECK_MSG(ids_crc == header.ids_crc,
+                    "point file section 'ids' checksum mismatch (stored 0x"
+                        << std::hex << header.ids_crc << ", computed 0x"
+                        << ids_crc << std::dec << "): " << path);
+    std::uint32_t coords_crc = 0;
+    for (std::size_t d = 0; d < dims_; ++d) {
+      coords_crc =
+          common::crc32c(coords_[d], count_ * sizeof(float), coords_crc);
+    }
+    PANDA_CHECK_MSG(
+        coords_crc == header.coords_crc,
+        "point file section 'coords' checksum mismatch (stored 0x"
+            << std::hex << header.coords_crc << ", computed 0x" << coords_crc
+            << std::dec << "): " << path);
   }
 }
 
@@ -129,13 +166,26 @@ ChunkedStorage::ChunkedStorage(std::string dir, std::size_t dims,
   std::filesystem::create_directories(dir_, ec);
   PANDA_CHECK_MSG(!ec, "cannot create spill directory " << dir_ << ": "
                                                         << ec.message());
-  writers_.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    auto w = std::make_unique<Writer>();
-    w->out.open(chunk_path(c), std::ios::binary | std::ios::trunc);
-    PANDA_CHECK_MSG(w->out.good(),
-                    "cannot open spill chunk for writing: " << chunk_path(c));
-    writers_.push_back(std::move(w));
+  // A throw below leaves no constructed object (the destructor will
+  // never run), so clean up the partially created spill dir here —
+  // otherwise a failed build leaks it onto disk.
+  try {
+    writers_.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      PANDA_FAILPOINT("spill.open_chunk");
+      auto w = std::make_unique<Writer>();
+      w->out.open(chunk_path(c), std::ios::binary | std::ios::trunc);
+      PANDA_CHECK_MSG(w->out.good(),
+                      "cannot open spill chunk for writing: " << chunk_path(c));
+      writers_.push_back(std::move(w));
+    }
+  } catch (...) {
+    writers_.clear();
+    for (std::size_t c = 0; c < chunks; ++c) {
+      std::filesystem::remove(chunk_path(c), ec);
+    }
+    std::filesystem::remove(dir_, ec);
+    throw;
   }
 }
 
@@ -186,6 +236,7 @@ void ChunkedStorage::append(std::size_t chunk, const PointSet& points,
                 dims_ * sizeof(float));
     p += record;
   }
+  PANDA_FAILPOINT("spill.write");
   w.out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   PANDA_CHECK_MSG(w.out.good(), "spill write failed: " << chunk_path(chunk));
   counts_[chunk] += points.size();

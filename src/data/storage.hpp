@@ -138,10 +138,13 @@ class OwnedStorage final : public PointStorage {
 class MmapStorage final : public PointStorage {
  public:
   /// Maps `path` and validates its header (magic, version, dims and
-  /// count bounds, section offsets/alignment against the file size).
+  /// count bounds, section offsets/alignment against the file size;
+  /// for checksummed v3 files also the header CRC, plus the id/coord
+  /// section CRCs unless `verify_sections` is false — legacy v2 files
+  /// carry no checksums and are served as-is).
   /// Throws panda::Error on any mismatch, before touching the data
   /// pages.
-  explicit MmapStorage(const std::string& path);
+  explicit MmapStorage(const std::string& path, bool verify_sections = true);
 
   std::size_t dims() const override { return dims_; }
   std::uint64_t size() const override { return count_; }

@@ -1,11 +1,15 @@
 #include "net/mailbox.hpp"
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/timer.hpp"
 
 namespace panda::net {
 
 void Mailbox::put(Message message) {
+  // Fault-injection hook: lets tests fail (or kill) a rank exactly at
+  // a message send, driving the cluster abort / recovery paths.
+  PANDA_FAILPOINT("mailbox.send");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     channels_[{message.source, message.tag}].push_back(std::move(message));

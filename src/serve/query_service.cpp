@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 
 namespace panda::serve {
 
@@ -212,6 +213,10 @@ void QueryService::ingest(const data::PointSet& points) {
                   "QueryService::ingest after shutdown");
   PANDA_CHECK_MSG(points.dims() == dims_,
                   "ingest batch must keep the served dimensionality");
+  // Fault-injection hook: the crash-recovery tests kill the process
+  // here — before the backend (and its WAL) sees the batch — to prove
+  // an unacknowledged ingest leaves no trace after recovery.
+  PANDA_FAILPOINT("serve.ingest");
   // Pin the currently served backend exactly like a worker pins it
   // for a batch (shard 0's handle — swap_backend stages the same
   // pointer across shards). The mutable index serializes writers

@@ -1,0 +1,79 @@
+// CRC32C (Castagnoli) correctness: the known-answer vector, hardware
+// vs scalar agreement, seed chaining, and sensitivity — every
+// single-byte flip changes the checksum. The on-disk formats (index
+// v4, point file v3, WAL, MANIFEST) all hang their corruption
+// detection off these properties.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/checksum.hpp"
+
+namespace panda::common {
+namespace {
+
+TEST(Checksum, KnownAnswerVector) {
+  // The canonical CRC32C check value (RFC 3720 appendix / every
+  // published implementation): crc32c("123456789") == 0xe3069283.
+  const char* digits = "123456789";
+  EXPECT_EQ(crc32c(digits, 9), 0xe3069283u);
+  EXPECT_EQ(crc32c_scalar(digits, 9), 0xe3069283u);
+}
+
+TEST(Checksum, EmptyInputIsZeroWithZeroSeed) {
+  EXPECT_EQ(crc32c(nullptr, 0), 0u);
+  EXPECT_EQ(crc32c_scalar(nullptr, 0), 0u);
+}
+
+TEST(Checksum, HardwareMatchesScalarAcrossLengthsAndAlignments) {
+  std::mt19937_64 rng(123);
+  std::vector<unsigned char> buf(4096 + 64);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng());
+  // Sweep lengths through every remainder of the 8-byte hw stride and
+  // offsets through every alignment class.
+  for (std::size_t offset = 0; offset < 9; ++offset) {
+    for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{8}, std::size_t{9}, std::size_t{63},
+                            std::size_t{64}, std::size_t{65},
+                            std::size_t{1000}, std::size_t{4096}}) {
+      EXPECT_EQ(crc32c(buf.data() + offset, len),
+                crc32c_scalar(buf.data() + offset, len))
+          << "offset " << offset << " len " << len;
+    }
+  }
+}
+
+TEST(Checksum, SeedChainingEqualsOneShot) {
+  std::mt19937_64 rng(77);
+  std::vector<unsigned char> buf(1024);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng());
+  const std::uint32_t whole = crc32c(buf.data(), buf.size());
+  for (std::size_t split : {std::size_t{1}, std::size_t{13}, std::size_t{512},
+                            std::size_t{1023}}) {
+    const std::uint32_t first = crc32c(buf.data(), split);
+    const std::uint32_t chained =
+        crc32c(buf.data() + split, buf.size() - split, first);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Checksum, EverySingleByteFlipChangesTheChecksum) {
+  std::vector<unsigned char> buf(256);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 7 + 3);
+  }
+  const std::uint32_t clean = crc32c(buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] ^= 0xFF;
+    EXPECT_NE(crc32c(buf.data(), buf.size()), clean) << "flip at " << i;
+    buf[i] ^= 0xFF;
+  }
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), clean);
+}
+
+}  // namespace
+}  // namespace panda::common

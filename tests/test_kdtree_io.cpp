@@ -1,9 +1,12 @@
 // Tests for kd-tree persistence: save/load round trips preserve query
-// results bit-for-bit; v3 files open zero-copy via mmap; malformed
-// inputs are rejected with header diagnostics; legacy versions take
-// their documented paths (v2 converts on open, v1 is refused).
+// results bit-for-bit; v4 files open zero-copy via mmap; malformed
+// inputs are rejected with header diagnostics; a single flipped byte
+// in any section is caught by the CRC32C checksums with a
+// section-naming diagnostic; legacy versions take their documented
+// paths (v2/v3 convert on open, v1 is refused).
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -14,6 +17,7 @@
 #include "api/index.hpp"
 #include "common/error.hpp"
 #include "core/kdtree.hpp"
+#include "core/kdtree_format.hpp"
 #include "data/generators.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -281,7 +285,7 @@ TEST(KdTreeIo, VersionOneIsRefusedVerbatimThroughIndexOpen) {
     out.write(zeros, sizeof(zeros));
   }
   const std::string want =
-      "unsupported kd-tree version 1 (expected 3); rebuild and re-save "
+      "unsupported kd-tree version 1 (expected 4); rebuild and re-save "
       "the index";
   EXPECT_NE(error_of([&] { KdTree::load(path); }).find(want),
             std::string::npos);
@@ -312,7 +316,7 @@ TEST(KdTreeIo, VersionTwoConvertsOnOpenAndMatchesOracle) {
     std::uint32_t version = 0;
     in.read(reinterpret_cast<char*>(&magic), 8);
     in.read(reinterpret_cast<char*>(&version), 4);
-    EXPECT_EQ(version, 3u) << "convert-on-open left the file at v2";
+    EXPECT_EQ(version, 4u) << "convert-on-open left the file at v2";
   }
 
   // Results through the converted index match a brute-force oracle.
@@ -331,6 +335,101 @@ TEST(KdTreeIo, VersionTwoConvertsOnOpenAndMatchesOracle) {
     }
   }
   std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, EveryFlippedSectionByteIsCaughtAndNamed) {
+  const auto gen = data::make_generator("cosmo", 91);
+  const data::PointSet points = gen->generate_all(4000);
+  parallel::ThreadPool pool(2);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  const std::string path = ::testing::TempDir() + "/panda_tree_flip.kdt";
+  tree.save(path);
+
+  detail::KdTreeHeaderV4 header{};
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.read(reinterpret_cast<char*>(&header), sizeof(header));
+    ASSERT_TRUE(in.good());
+    ASSERT_EQ(header.version, detail::kKdTreeVersionChecksummed);
+  }
+  const std::uint64_t offsets[detail::kKdTreeSectionCount] = {
+      header.nodes_off,  header.leaves_off, header.leaf_nodes_off,
+      header.packed_off, header.ids_off,    header.local_idx_off};
+  for (std::size_t s = 0; s < detail::kKdTreeSectionCount; ++s) {
+    std::uint8_t byte = 0;
+    {
+      std::ifstream in(path, std::ios::binary);
+      in.seekg(static_cast<std::streamoff>(offsets[s]));
+      in.read(reinterpret_cast<char*>(&byte), 1);
+      ASSERT_TRUE(in.good());
+    }
+    const std::uint8_t flipped = byte ^ 0xFF;
+    patch_file(path, offsets[s], &flipped, 1);
+    const std::string want = std::string("kd-tree section '") +
+                             detail::kKdTreeSectionNames[s] +
+                             "' checksum mismatch";
+    // Both readers catch the flip and name the damaged section.
+    EXPECT_NE(error_of([&] { KdTree::open_mmap(path); }).find(want),
+              std::string::npos)
+        << "section " << detail::kKdTreeSectionNames[s];
+    EXPECT_NE(error_of([&] { KdTree::load(path); }).find(want),
+              std::string::npos)
+        << "section " << detail::kKdTreeSectionNames[s];
+    // Skipping section verification serves the map as-is — the
+    // zero-copy fast path the serving layer uses.
+    EXPECT_NO_THROW(KdTree::open_mmap(path, /*verify_sections=*/false));
+    patch_file(path, offsets[s], &byte, 1);  // restore
+  }
+  // Unflipped file still verifies end to end.
+  EXPECT_NO_THROW(KdTree::open_mmap(path));
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, FlippedHeaderByteFailsHeaderChecksum) {
+  const auto gen = data::make_generator("uniform", 92);
+  const data::PointSet points = gen->generate_all(1500);
+  parallel::ThreadPool pool(2);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  const std::string path = ::testing::TempDir() + "/panda_tree_hdrflip.kdt";
+  tree.save(path);
+  // The stats block is not structurally validated, so a flip there is
+  // caught by the header CRC (and by nothing else).
+  const std::uint64_t off = offsetof(detail::KdTreeHeaderV4, stats);
+  std::uint8_t byte = 0;
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(static_cast<std::streamoff>(off));
+    in.read(reinterpret_cast<char*>(&byte), 1);
+  }
+  const std::uint8_t flipped = byte ^ 0x5A;
+  patch_file(path, off, &flipped, 1);
+  EXPECT_NE(error_of([&] { KdTree::open_mmap(path); })
+                .find("kd-tree header checksum mismatch"),
+            std::string::npos);
+  // The header checksum is verified even with section checks off.
+  EXPECT_NE(error_of([&] {
+              KdTree::open_mmap(path, /*verify_sections=*/false);
+            }).find("kd-tree header checksum mismatch"),
+            std::string::npos);
+  EXPECT_NE(error_of([&] { KdTree::load(path); })
+                .find("kd-tree header checksum mismatch"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(KdTreeIo, SaveToUnwritablePathNamesPathAndSyscall) {
+  const auto gen = data::make_generator("uniform", 93);
+  const data::PointSet points = gen->generate_all(100);
+  parallel::ThreadPool pool(1);
+  const KdTree tree = KdTree::build(points, BuildConfig{}, pool);
+  const std::string path = "/nonexistent-panda-dir/sub/tree.kdt";
+  const std::string msg = error_of([&] { tree.save(path); });
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("open failed"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("No such file or directory"), std::string::npos) << msg;
+  // The legacy writer goes through the same atomic-replace path.
+  const std::string legacy = error_of([&] { tree.save_legacy_v2(path); });
+  EXPECT_NE(legacy.find("open failed"), std::string::npos) << legacy;
 }
 
 TEST(KdTreeIo, LegacyV2LoadStillRoundTrips) {

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -586,6 +587,168 @@ TEST(MutableStats, CountersTrackTheSchedule) {
   EXPECT_EQ(stats.trees, 1u);
   EXPECT_EQ(stats.buffered_points, 0u);
   EXPECT_EQ(stats.live_points, 47u);
+}
+
+// ---------------------------------------------------------------------
+// Durable mode (DESIGN.md §13): a directory-backed forest survives
+// destruction and reopens id- and query-exact, through seals, merges,
+// erases, and compaction.
+// ---------------------------------------------------------------------
+
+class DurableDir {
+ public:
+  DurableDir() {
+    dir_ = ::testing::TempDir() + "/panda_durable_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  ~DurableDir() { std::filesystem::remove_all(dir_); }
+  const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+MutableConfig durable_config(const std::string& dir,
+                             std::size_t buffer_capacity) {
+  MutableConfig config;
+  config.durable_dir = dir;
+  config.buffer_capacity = buffer_capacity;
+  config.merge_fan_in = 2;
+  return config;
+}
+
+TEST(MutableDurability, ReopenedDirectoryMatchesOracleExactly) {
+  DurableDir dir;
+  Harness h;
+  const auto gen = data::make_generator("gmm", /*seed=*/4242);
+  LiveOracle oracle(gen->dims());
+
+  // Phase 1: interleaved mutations against a durable forest, buffer
+  // small enough (32) that seals and merges run mid-schedule.
+  {
+    MutableIndex index(gen->dims(), durable_config(dir.path(), 32),
+                       BuildConfig{}, h.pool);
+    std::uint64_t next_id = 0;
+    for (int round = 0; round < 6; ++round) {
+      PointSet batch = gen->generate_all(40);
+      PointSet relabeled(batch.dims());
+      std::vector<float> p(batch.dims());
+      for (std::uint64_t i = 0; i < batch.size(); ++i) {
+        batch.copy_point(i, p.data());
+        relabeled.push_point(p, next_id++);
+      }
+      index.insert(relabeled);
+      oracle.insert(relabeled);
+      if (round % 2 == 1) {
+        std::vector<std::uint64_t> doomed;
+        for (std::uint64_t id = round; id < next_id; id += 7) {
+          doomed.push_back(id);
+        }
+        EXPECT_EQ(index.erase(doomed), oracle.erase(doomed));
+      }
+    }
+    index.quiesce();
+    EXPECT_EQ(index.size(), oracle.size());
+    // The destructor closes the directory cleanly (WAL synced).
+  }
+
+  // Phase 2: recovery — same live set, same answers.
+  MutableIndex reopened(gen->dims(), durable_config(dir.path(), 32),
+                        BuildConfig{}, h.pool);
+  EXPECT_TRUE(reopened.recovery_diagnostic().empty())
+      << reopened.recovery_diagnostic();
+  EXPECT_EQ(reopened.size(), oracle.size());
+  const PointSet live = reopened.live_points();
+  ASSERT_EQ(live.size(), oracle.size());
+  const auto want_ids = oracle.ids();
+  for (std::uint64_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live.id(i), want_ids[i]);
+  }
+  expect_knn_matches(reopened, oracle, oracle.points(), /*k=*/5, h.results,
+                       h.ws, "recovered knn");
+
+  // Phase 3: the recovered forest keeps mutating durably.
+  PointSet extra = gen->generate_all(10);
+  PointSet relabeled(extra.dims());
+  std::vector<float> p(extra.dims());
+  for (std::uint64_t i = 0; i < extra.size(); ++i) {
+    extra.copy_point(i, p.data());
+    relabeled.push_point(p, 10000 + i);
+  }
+  reopened.insert(relabeled);
+  oracle.insert(relabeled);
+  expect_knn_matches(reopened, oracle, oracle.points(), /*k=*/5, h.results,
+                       h.ws, "post-recovery knn");
+}
+
+TEST(MutableDurability, CompactionRotatesWalAndSurvivesReopen) {
+  DurableDir dir;
+  Harness h;
+  const auto gen = data::make_generator("gmm", /*seed=*/7);
+  LiveOracle oracle(gen->dims());
+
+  {
+    MutableIndex index(gen->dims(), durable_config(dir.path(), 16),
+                       BuildConfig{}, h.pool);
+    PointSet batch = gen->generate_all(100);
+    index.insert(batch);
+    oracle.insert(batch);
+    std::vector<std::uint64_t> doomed;
+    for (std::uint64_t i = 0; i < batch.size(); i += 3) {
+      doomed.push_back(batch.id(i));
+    }
+    EXPECT_EQ(index.erase(doomed), oracle.erase(doomed));
+    index.compact();
+    // Compaction rewrites the directory to one tree + an empty WAL;
+    // the only surviving files are MANIFEST, one tree, one wal.
+    std::size_t trees = 0, wals = 0, manifests = 0, other = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir.path())) {
+      const std::string name = entry.path().filename().string();
+      if (name == "MANIFEST") {
+        ++manifests;
+      } else if (name.starts_with("tree-")) {
+        ++trees;
+      } else if (name.starts_with("wal-")) {
+        ++wals;
+      } else {
+        ++other;
+      }
+    }
+    EXPECT_EQ(manifests, 1u);
+    EXPECT_EQ(trees, 1u);
+    EXPECT_EQ(wals, 1u);
+    EXPECT_EQ(other, 0u);
+  }
+
+  MutableIndex reopened(gen->dims(), durable_config(dir.path(), 16),
+                        BuildConfig{}, h.pool);
+  EXPECT_TRUE(reopened.recovery_diagnostic().empty());
+  EXPECT_EQ(reopened.size(), oracle.size());
+  expect_knn_matches(reopened, oracle, oracle.points(), /*k=*/4, h.results,
+                       h.ws, "post-compaction recovery");
+}
+
+TEST(MutableDurability, SeedingANonEmptyDirectoryIsRefused) {
+  DurableDir dir;
+  Harness h;
+  {
+    MutableIndex index(3, durable_config(dir.path(), 32), BuildConfig{},
+                       h.pool);
+    PointSet one(3);
+    one.push_point(std::vector<float>{1.f, 2.f, 3.f}, 1);
+    index.insert(one);
+  }
+  // Inserting a colliding id after recovery is refused like any other
+  // collision — the WAL must never record a rejected batch (replaying
+  // it would corrupt the live set).
+  MutableIndex reopened(3, durable_config(dir.path(), 32), BuildConfig{},
+                        h.pool);
+  PointSet dup(3);
+  dup.push_point(std::vector<float>{4.f, 5.f, 6.f}, 1);
+  EXPECT_THROW(reopened.insert(dup), Error);
+  EXPECT_EQ(reopened.size(), 1u);
 }
 
 }  // namespace
