@@ -12,6 +12,19 @@
 #                      header under src/ as a standalone translation
 #                      unit with -Wall -Wextra -Werror, so no header
 #                      silently depends on its includer's includes.
+#   ci.sh analyze    — static analysis (DESIGN.md §14). Three legs:
+#                      (1) tools/lint_invariants.py (self-test, then
+#                      the full src/ sweep) — python3-only, so it runs
+#                      everywhere; (2) clang++ -Wthread-safety
+#                      -Werror=thread-safety syntax-only sweep over
+#                      every src/ TU, plus a negative harness proving
+#                      the annotations fire on a deliberately broken
+#                      sample (tools/analyze/); (3) clang-tidy with
+#                      the repo .clang-tidy over src/, plus its own
+#                      negative harness. Legs 2 and 3 are tool-gated
+#                      like `format`: skipped with a warning when
+#                      clang/clang-tidy are not installed. Runs in the
+#                      default flow.
 #   ci.sh sanitize   — the same test suite built with
 #                      -fsanitize=address,undefined, with per-test
 #                      timeouts; leak- and UB-checks the poll-loop and
@@ -87,8 +100,77 @@ check_headers() {
   echo "ci.sh: headers OK"
 }
 
+check_analyze() {
+  # Leg 1: the invariant linter needs only python3 (present wherever
+  # the tests run). Self-test first so a bug in the linter itself
+  # cannot silently pass the tree.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 tools/lint_invariants.py --self-test
+    python3 tools/lint_invariants.py
+  else
+    echo "ci.sh: python3 not installed — invariant lint skipped"
+  fi
+
+  # Leg 2: clang thread-safety analysis. The annotations in
+  # common/thread_annotations.hpp only expand under clang, so this leg
+  # is tool-gated; GCC-only hosts rely on the annotations being
+  # exercised by any clang CI runner.
+  if command -v clang++ >/dev/null 2>&1; then
+    local failed=0
+    while IFS= read -r tu; do
+      if ! clang++ -std=c++20 -fsyntax-only -Isrc \
+          -Wthread-safety -Werror=thread-safety "$tu"; then
+        echo "ci.sh: thread-safety analysis FAILED: $tu"
+        failed=1
+      fi
+    done < <(find src -name '*.cpp' | sort)
+    if [[ "$failed" != 0 ]]; then
+      echo "ci.sh: analyze (thread-safety) FAILED" >&2
+      return 1
+    fi
+    # Negative harness: the deliberately broken sample MUST fail, or
+    # the annotations have gone inert (wrong flag, macro misdefined).
+    if clang++ -std=c++20 -fsyntax-only -Isrc \
+        -Wthread-safety -Werror=thread-safety \
+        tools/analyze/thread_safety_negative.cpp 2>/dev/null; then
+      echo "ci.sh: analyze FAILED — thread_safety_negative.cpp was" \
+           "accepted; -Wthread-safety is not firing" >&2
+      return 1
+    fi
+    echo "ci.sh: thread-safety analysis OK (negative harness fired)"
+  else
+    echo "ci.sh: clang++ not installed — thread-safety analysis skipped"
+  fi
+
+  # Leg 3: clang-tidy with the curated repo profile (.clang-tidy has
+  # the per-check rationale). WarningsAsErrors is set in the profile,
+  # so any finding fails the sweep.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    local files
+    files=$(find src -name '*.cpp' | sort)
+    # shellcheck disable=SC2086
+    clang-tidy --quiet $files -- -std=c++20 -Isrc
+    # Negative harness: the use-after-move sample MUST be rejected.
+    if clang-tidy --quiet tools/analyze/tidy_negative.cpp -- \
+        -std=c++20 -Isrc >/dev/null 2>&1; then
+      echo "ci.sh: analyze FAILED — tidy_negative.cpp passed clang-tidy;" \
+           "the check profile is not enforcing" >&2
+      return 1
+    fi
+    echo "ci.sh: clang-tidy OK (negative harness fired)"
+  else
+    echo "ci.sh: clang-tidy not installed — clang-tidy check skipped"
+  fi
+  echo "ci.sh: analyze OK"
+}
+
 if [[ "$MODE" == "format" ]]; then
   check_format
+  exit 0
+fi
+
+if [[ "$MODE" == "analyze" ]]; then
+  check_analyze
   exit 0
 fi
 
@@ -189,11 +271,12 @@ if [[ "$MODE" == "bench-smoke" ]]; then
 fi
 
 if [[ "$MODE" != "default" ]]; then
-  echo "usage: ci.sh [format|headers|sanitize|crash|tsan|bench-smoke]" >&2
+  echo "usage: ci.sh [format|analyze|headers|sanitize|crash|tsan|bench-smoke]" >&2
   exit 1
 fi
 
 check_format
+check_analyze
 check_headers
 
 cmake -B build -S .

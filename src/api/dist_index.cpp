@@ -28,11 +28,10 @@
 // The caller's NeighborTable is written between the command handoff
 // and the done signal, both under the session mutex, so the mutex/cv
 // pair orders every access.
-#include <condition_variable>
 #include <chrono>
 #include <cstring>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::call_once
 #include <thread>
 #include <type_traits>
 #include <unordered_map>
@@ -40,6 +39,8 @@
 
 #include "api/adapters.hpp"
 #include "common/error.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "dist/all_knn.hpp"
 #include "dist/dist_query.hpp"
 #include "dist/radius_query.hpp"
@@ -67,19 +68,25 @@ struct Session {
 
   net::Cluster cluster;
 
-  std::mutex mutex;
-  std::condition_variable cv_cmd;   // facade -> rank 0
-  std::condition_variable cv_done;  // rank 0 / driver -> facade
-  bool ready = false;
-  bool has_cmd = false;
-  bool done = false;
-  bool quit = false;
-  bool failed = false;
-  std::exception_ptr error;
+  Mutex mutex;
+  CondVar cv_cmd;   // facade -> rank 0
+  CondVar cv_done;  // rank 0 / driver -> facade
+  bool ready PANDA_GUARDED_BY(mutex) = false;
+  bool has_cmd PANDA_GUARDED_BY(mutex) = false;
+  bool done PANDA_GUARDED_BY(mutex) = false;
+  bool quit PANDA_GUARDED_BY(mutex) = false;
+  bool failed PANDA_GUARDED_BY(mutex) = false;
+  std::exception_ptr error PANDA_GUARDED_BY(mutex);
 
   // Command payload; owned by the facade call frame, valid while the
-  // has_cmd/done round-trips (the call blocks until done).
-  WireCmd cmd;
+  // has_cmd/done round-trips (the call blocks until done). The command
+  // word is written under the mutex with the handshake flags; the
+  // payload targets (queries/out/radius_scratch/self_stats) are
+  // deliberately NOT guarded_by: rank 0's engines read and write them
+  // OUTSIDE the lock during the round, ordered by the has_cmd/done
+  // handshake itself (the facade never touches them while a round is
+  // in flight — exec_mutex plus the blocked wait guarantee that).
+  WireCmd cmd PANDA_GUARDED_BY(mutex);
   const data::PointSet* queries = nullptr;     // kKnn / kRadius (rank 0)
   core::NeighborTable* out = nullptr;          // caller's table
   /// kRadius: rank 0's full r_max rows before per-query prefixing.
@@ -91,7 +98,7 @@ struct Session {
   const data::PointSet* build_points = nullptr;
 
   /// One collective round at a time.
-  std::mutex exec_mutex;
+  Mutex exec_mutex;
   std::thread driver;
 };
 
@@ -131,15 +138,16 @@ class DistIndex final : public Index {
           serve_loop(comm, build_config);
         });
       } catch (...) {
-        std::lock_guard<std::mutex> lock(session->mutex);
+        MutexLock lock(session->mutex);
         session->failed = true;
         session->error = std::current_exception();
         session->cv_done.notify_all();
       }
     });
-    std::unique_lock<std::mutex> lock(session->mutex);
-    session->cv_done.wait(lock,
-                          [&] { return session->ready || session->failed; });
+    MutexLock lock(session->mutex);
+    session->cv_done.wait(lock, [&]() PANDA_REQUIRES(session->mutex) {
+      return session->ready || session->failed;
+    });
     session->build_points = nullptr;
     if (session->failed) {
       const std::exception_ptr error = session->error;
@@ -151,7 +159,7 @@ class DistIndex final : public Index {
 
   ~DistIndex() override {
     {
-      std::lock_guard<std::mutex> lock(session_->mutex);
+      MutexLock lock(session_->mutex);
       session_->quit = true;
       session_->cv_cmd.notify_all();
     }
@@ -237,8 +245,8 @@ class DistIndex final : public Index {
   void round(const WireCmd& cmd, const data::PointSet* queries,
              core::NeighborTable* out, std::span<const float> radii = {},
              SearchStats* stats_out = nullptr) {
-    std::lock_guard<std::mutex> exec_lock(session_->exec_mutex);
-    std::unique_lock<std::mutex> lock(session_->mutex);
+    MutexLock exec_lock(session_->exec_mutex);
+    MutexLock lock(session_->mutex);
     if (session_->failed) std::rethrow_exception(session_->error);
     PANDA_CHECK_MSG(!session_->quit, "dist index session is shut down");
     session_->cmd = cmd;
@@ -247,8 +255,9 @@ class DistIndex final : public Index {
     session_->done = false;
     session_->has_cmd = true;
     session_->cv_cmd.notify_all();
-    session_->cv_done.wait(
-        lock, [&] { return session_->done || session_->failed; });
+    session_->cv_done.wait(lock, [&]() PANDA_REQUIRES(session_->mutex) {
+      return session_->done || session_->failed;
+    });
     if (session_->failed) std::rethrow_exception(session_->error);
     if (cmd.op == WireCmd::kRadius) {
       for (std::size_t i = 0; i < session_->radius_scratch.size(); ++i) {
@@ -297,7 +306,7 @@ void DistIndex::serve_loop(net::Comm& comm,
       dist::DistKdTree::build(comm, slice, build_config);
   slice = data::PointSet(dims_);  // redistributed copy lives in the tree
   if (comm.rank() == 0) {
-    std::lock_guard<std::mutex> lock(session.mutex);
+    MutexLock lock(session.mutex);
     session.ready = true;
     session.cv_done.notify_all();
   }
@@ -317,7 +326,7 @@ void DistIndex::serve_loop(net::Comm& comm,
     WireCmd cmd;
     const bool root = comm.rank() == 0;
     if (root) {
-      std::unique_lock<std::mutex> lock(session.mutex);
+      MutexLock lock(session.mutex);
       // Poll aborted() so a peer rank's failure wakes rank 0 out of
       // the command wait instead of deadlocking the session.
       while (!session.has_cmd && !session.quit) {
@@ -387,7 +396,7 @@ void DistIndex::serve_loop(net::Comm& comm,
     }
 
     if (root) {
-      std::lock_guard<std::mutex> lock(session.mutex);
+      MutexLock lock(session.mutex);
       session.has_cmd = false;
       session.done = true;
       session.cv_done.notify_all();

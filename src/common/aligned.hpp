@@ -30,8 +30,11 @@ class AlignedAllocator {
   AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
 
   [[nodiscard]] T* allocate(std::size_t n) {
+    // The Allocator named requirement demands bad_alloc here — STL
+    // containers catch/propagate it by type, so panda::Error would
+    // break the contract.
     if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
-      throw std::bad_alloc();
+      throw std::bad_alloc();  // panda-lint: allow(throw)
     const std::size_t bytes =
         ((n * sizeof(T) + kSimdAlignment - 1) / kSimdAlignment) *
         kSimdAlignment;

@@ -3,9 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+#include <mutex>  // std::call_once
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 
 namespace panda::common::failpoint {
 
@@ -22,8 +23,8 @@ struct Entry {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Entry> entries;
+  Mutex mu;
+  std::map<std::string, Entry> entries PANDA_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -95,12 +96,15 @@ const bool env_applied = [] {
 
 void arm(const std::string& name, Mode mode, std::uint64_t skip) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   Entry& e = reg.entries[name];
   const bool was_armed = e.mode != Mode::Off;
   e.mode = mode;
   e.trigger_at = e.hit_count + skip + 1;
   const bool is_armed = e.mode != Mode::Off;
+  // order: relaxed — armed_count only gates the any_armed() fast
+  // path (see failpoint.hpp); the entry state it hints at is
+  // published by reg.mu, not by this counter.
   if (is_armed && !was_armed) {
     detail::armed_count.fetch_add(1, std::memory_order_relaxed);
   } else if (!is_armed && was_armed) {
@@ -112,8 +116,9 @@ void disarm(const std::string& name) { arm(name, Mode::Off, 0); }
 
 void disarm_all() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (auto& [name, e] : reg.entries) {
+    // order: relaxed — same hint-only contract as in arm().
     if (e.mode != Mode::Off) {
       detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
     }
@@ -125,7 +130,7 @@ void disarm_all() {
 
 std::uint64_t hits(const std::string& name) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto it = reg.entries.find(name);
   return it == reg.entries.end() ? 0 : it->second.hit_count;
 }
@@ -135,7 +140,7 @@ Action fire(const std::string& name) {
   Registry& reg = registry();
   Mode mode;
   {
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     const auto it = reg.entries.find(name);
     if (it == reg.entries.end()) return Action::None;
     Entry& e = it->second;

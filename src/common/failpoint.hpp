@@ -61,6 +61,10 @@ extern std::atomic<std::uint32_t> armed_count;
 }
 
 /// Fast-path guard: true only when at least one failpoint is armed.
+// order: relaxed — armed_count is a pure hint. A site that misses a
+// concurrent arm() fires as None this hit; tests arm failpoints
+// before starting the threads they mean to trip, and fire() itself
+// re-checks the registry under its mutex.
 inline bool any_armed() {
   return detail::armed_count.load(std::memory_order_relaxed) != 0;
 }

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.hpp"
+
+namespace panda {
+
+/// Annotated drop-in for std::mutex (DESIGN.md §14). Same semantics,
+/// same cost — the wrapper adds only the capability attributes that
+/// let `clang++ -Wthread-safety` (ci.sh analyze) verify GUARDED_BY /
+/// REQUIRES contracts. Library code takes it through MutexLock;
+/// native() exists for the rare interop case (none today).
+class PANDA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PANDA_ACQUIRE() { mu_.lock(); }
+  void unlock() PANDA_RELEASE() { mu_.unlock(); }
+  bool try_lock() PANDA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for std APIs that need the real type.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped guard over a panda::Mutex — the project's replacement for
+/// both std::lock_guard and std::unique_lock. Construction acquires,
+/// destruction releases (if still held). The manual lock()/unlock()
+/// members support the drop-the-lock-for-slow-work pattern used by
+/// the MutableIndex seal/merge loops; the analysis tracks the scoped
+/// object's state across them, so touching guarded members in the
+/// unlocked window is still a -Wthread-safety error.
+class PANDA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PANDA_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() PANDA_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() PANDA_ACQUIRE() { lock_.lock(); }
+  void unlock() PANDA_RELEASE() { lock_.unlock(); }
+
+  /// The owning std::unique_lock, for CondVar and std interop.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with panda::Mutex/MutexLock. The
+/// predicate overloads are excluded from thread-safety analysis: the
+/// analysis is not inter-procedural, so inside this template it
+/// cannot see that the caller's mutex is held while `pred()` runs.
+/// Callers annotate predicates that touch guarded members with
+/// PANDA_REQUIRES(their_mutex_) — that keeps the lambda body checked
+/// (it may only be *called* with the lock held, which wait()
+/// guarantees by contract) and documents the capability in source.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `lock`, sleeps, reacquires before returning.
+  /// As in the clang reference annotations, the capability is treated
+  /// as held across the call.
+  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+
+  /// Timed wait without a predicate: returns on notify, timeout, or a
+  /// spurious wakeup — callers re-check their condition in a loop.
+  template <class Rep, class Period>
+  void wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& dur) {
+    cv_.wait_for(lock.native(), dur);
+  }
+
+  template <class Pred>
+  void wait(MutexLock& lock, Pred pred) PANDA_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(lock.native(), std::move(pred));
+  }
+
+  template <class Rep, class Period, class Pred>
+  bool wait_for(MutexLock& lock, const std::chrono::duration<Rep, Period>& dur,
+                Pred pred) PANDA_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(lock.native(), dur, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace panda

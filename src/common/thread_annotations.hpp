@@ -1,0 +1,62 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §14).
+//
+// These expand to clang's `thread_safety` attributes when the compiler
+// supports them and to nothing otherwise, so the tier-1 GCC build is
+// byte-for-byte unaffected (tests/test_annotations.cpp pins that).
+// Under `clang++ -Wthread-safety` (ci.sh analyze) they turn the
+// locking contracts documented in DESIGN.md into build breaks:
+//   - PANDA_GUARDED_BY(mu)   on a member: may only be read/written
+//     while `mu` is held.
+//   - PANDA_REQUIRES(mu)     on a function/lambda: caller must hold
+//     `mu` (the `*_locked` naming convention, now compiler-checked).
+//   - PANDA_EXCLUDES(mu)     on a function: caller must NOT hold `mu`
+//     (self-deadlock guard for functions that take `mu` themselves).
+//   - PANDA_ACQUIRE/RELEASE  on lock/unlock members and on scoped
+//     guards' constructors/destructors.
+// The vocabulary follows the clang documentation's mutex.h reference
+// header; only the subset PANDA actually uses is defined here.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PANDA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef PANDA_THREAD_ANNOTATION
+#define PANDA_THREAD_ANNOTATION(x)  // no-op: GCC and others
+#endif
+
+// Type attributes: classes that are lockable capabilities.
+#define PANDA_CAPABILITY(x) PANDA_THREAD_ANNOTATION(capability(x))
+#define PANDA_SCOPED_CAPABILITY PANDA_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member attributes.
+#define PANDA_GUARDED_BY(x) PANDA_THREAD_ANNOTATION(guarded_by(x))
+#define PANDA_PT_GUARDED_BY(x) PANDA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attributes: caller-side contracts.
+#define PANDA_REQUIRES(...) \
+  PANDA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PANDA_EXCLUDES(...) PANDA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function attributes: lock-state transitions performed by the callee.
+#define PANDA_ACQUIRE(...) \
+  PANDA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PANDA_RELEASE(...) \
+  PANDA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PANDA_TRY_ACQUIRE(...) \
+  PANDA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Escape hatch. Every use must carry a justification comment; the
+// invariant linter does not police this (clang shows each use in
+// -Wthread-safety builds), but review should.
+#define PANDA_NO_THREAD_SAFETY_ANALYSIS \
+  PANDA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Annotation-only reference to a capability returned by an accessor
+// (e.g. `PANDA_GUARDED_BY(owner_->mu())`). Unused today; kept so the
+// vocabulary matches the clang reference header.
+#define PANDA_RETURN_CAPABILITY(x) \
+  PANDA_THREAD_ANNOTATION(lock_returned(x))

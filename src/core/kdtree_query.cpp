@@ -409,6 +409,8 @@ void KdTree::query_sq_batch(const data::PointSet& queries, std::size_t k,
     dispatch_batch(pool, n, [c = &ctx](int tid) {
       QueryWorkspace& w = c->ws->per_thread[static_cast<std::size_t>(tid)];
       for (;;) {
+        // order: relaxed — work-stealing chunk counter; claims need
+        // atomicity only, the batch completion barrier orders results.
         const std::uint64_t lo =
             c->next.fetch_add(c->grain, std::memory_order_relaxed);
         if (lo >= c->n) break;
@@ -438,6 +440,8 @@ void KdTree::query_sq_batch(const data::PointSet& queries, std::size_t k,
   dispatch_batch(pool, n, [c = &ctx](int tid) {
     QueryWorkspace& w = c->ws->per_thread[static_cast<std::size_t>(tid)];
     for (;;) {
+      // order: relaxed — work-stealing chunk counter; claims need
+      // atomicity only, the batch completion barrier orders results.
       const std::uint64_t lo =
           c->next.fetch_add(c->grain, std::memory_order_relaxed);
       if (lo >= c->n) break;
@@ -462,11 +466,15 @@ void KdTree::query_sq_batch(const data::PointSet& queries, std::size_t k,
   // Phase 3: per query, prime the heap with the home bucket, then run
   // the root traversal with that bound, skipping the primed leaf.
   ctx.grain = batch_grain(n, pool.size(), 64);
+  // order: relaxed — reset between phases; the dispatch handoff below
+  // publishes it to the workers.
   ctx.next.store(0, std::memory_order_relaxed);
   dispatch_batch(pool, n, [c = &ctx](int tid) {
     QueryWorkspace& w = c->ws->per_thread[static_cast<std::size_t>(tid)];
     w.prepare(c->tree->dims_);
     for (;;) {
+      // order: relaxed — work-stealing chunk counter; claims need
+      // atomicity only, the batch completion barrier orders results.
       const std::uint64_t lo =
           c->next.fetch_add(c->grain, std::memory_order_relaxed);
       if (lo >= c->n) break;
@@ -523,6 +531,8 @@ void KdTree::query_self_batch(std::size_t k, parallel::ThreadPool& pool,
     const KdTree* t = c->tree;
     const std::size_t dims = t->dims_;
     for (;;) {
+      // order: relaxed — work-stealing chunk counter; claims need
+      // atomicity only, the batch completion barrier orders results.
       const std::uint64_t lo =
           c->next.fetch_add(c->grain, std::memory_order_relaxed);
       if (lo >= c->n) break;
@@ -751,6 +761,8 @@ void KdTree::query_radius_batch(const data::PointSet& queries,
     QueryWorkspace& w = c->ws->per_thread[static_cast<std::size_t>(tid)];
     float* offsets = w.offsets.data();
     for (;;) {
+      // order: relaxed — work-stealing chunk counter; claims need
+      // atomicity only, the batch completion barrier orders results.
       const std::uint64_t lo =
           c->next.fetch_add(c->grain, std::memory_order_relaxed);
       if (lo >= c->n) break;

@@ -88,6 +88,9 @@ MutableIndex::MutableIndex(std::size_t dims, const MutableConfig& config,
   PANDA_CHECK_MSG(pool_ != nullptr, "MutableIndex needs a thread pool");
   PANDA_CHECK_MSG(!durable() || config_.wal_flush_every >= 1,
                   "MutableConfig.wal_flush_every must be >= 1");
+  // order: release — the empty snapshot is published before any
+  // thread exists, but every later publish_locked() store pairs with
+  // snapshot()'s acquire load; keep the ctor store symmetric.
   snapshot_.store(std::make_shared<const Snapshot>(),
                   std::memory_order_release);
   // Durable setup (and recovery) runs before the background threads
@@ -107,7 +110,7 @@ MutableIndex::MutableIndex(KdTree seed, const MutableConfig& config,
     seed.export_points(exported);
     auto ids =
         std::make_shared<const IdList>(sorted_unique_ids(exported.ids()));
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (durable()) {
       // Seeding writes the seed as committed state; a directory that
       // recovered content would be silently shadowed by it.
@@ -119,6 +122,7 @@ MutableIndex::MutableIndex(KdTree seed, const MutableConfig& config,
                              "directory)");
     }
     live_.insert(ids->begin(), ids->end());
+    // order: relaxed — live_count_ is the size() gauge; see the hpp.
     live_count_.store(ids->size(), std::memory_order_relaxed);
     TreeShard shard;
     shard.level = level_for_size(seed.size());
@@ -136,7 +140,7 @@ MutableIndex::MutableIndex(KdTree seed, const MutableConfig& config,
 
 MutableIndex::~MutableIndex() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   seal_cv_.notify_all();
@@ -163,7 +167,7 @@ void MutableIndex::insert(const data::PointSet& points) {
                   "insert dimensionality mismatch: batch has "
                       << points.dims() << " dims, index has " << dims_);
   if (points.empty()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // All-or-nothing admission: a collision rolls back the ids this
   // batch already claimed, so a failed insert leaves no trace. The
   // admission check runs *before* logging — a rejected batch must not
@@ -208,6 +212,7 @@ void MutableIndex::apply_insert_locked(const data::PointSet& points) {
   open_runs_.push_back(std::move(run));
   open_points_ += points.size();
   inserts_ += points.size();
+  // order: relaxed — size() gauge; see the hpp.
   live_count_.fetch_add(points.size(), std::memory_order_relaxed);
   if (open_points_ >= config_.buffer_capacity) {
     sealed_groups_.push_back(std::move(open_runs_));
@@ -218,7 +223,7 @@ void MutableIndex::apply_insert_locked(const data::PointSet& points) {
 }
 
 std::size_t MutableIndex::erase(std::span<const std::uint64_t> ids) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Collect the ids that are actually live (erasing them from live_ as
   // we go, which also deduplicates repeats within the batch) so the
   // WAL frame holds exactly the erases this call performs.
@@ -237,6 +242,7 @@ std::size_t MutableIndex::erase(std::span<const std::uint64_t> ids) {
   }
   for (const std::uint64_t id : hit) tombstone_locked(id);
   erases_ += hit.size();
+  // order: relaxed — size() gauge; see the hpp.
   live_count_.fetch_sub(hit.size(), std::memory_order_relaxed);
   publish_locked();
   if (durable()) maybe_sync_wal_locked();
@@ -255,6 +261,7 @@ std::vector<std::uint64_t> MutableIndex::apply_erase_locked(
   for (const std::uint64_t id : hit) tombstone_locked(id);
   if (!hit.empty()) {
     erases_ += hit.size();
+    // order: relaxed — size() gauge; see the hpp.
     live_count_.fetch_sub(hit.size(), std::memory_order_relaxed);
   }
   return hit;
@@ -308,6 +315,8 @@ void MutableIndex::publish_locked() {
   }
   snap->runs.insert(snap->runs.end(), open_runs_.begin(), open_runs_.end());
   snap->trees = trees_;
+  // order: release — publishes the fully built Snapshot; pairs with the
+  // acquire load in snapshot().
   snapshot_.store(std::shared_ptr<const Snapshot>(std::move(snap)),
                   std::memory_order_release);
 }
@@ -355,9 +364,11 @@ bool MutableIndex::has_work_locked() const {
 // keep the whole shared-pool team.
 
 void MutableIndex::seal_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    seal_cv_.wait(lock, [&] { return stop_ || !sealed_groups_.empty(); });
+    seal_cv_.wait(lock, [&]() PANDA_REQUIRES(mutex_) {
+      return stop_ || !sealed_groups_.empty();
+    });
     if (stop_) return;  // abandon pending work; the index is dying
     seal_busy_ = true;
     // Claim by value: the Run payloads are immutable, and the dead
@@ -376,13 +387,14 @@ void MutableIndex::seal_loop() {
 }
 
 void MutableIndex::merge_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     // Cascading overfull levels (a merge into level L+1 overfilling
     // L+1) re-enter through the wait predicate, which re-evaluates
     // before parking.
-    merge_cv_.wait(lock,
-                   [&] { return stop_ || overfull_level_locked() >= 0; });
+    merge_cv_.wait(lock, [&]() PANDA_REQUIRES(mutex_) {
+      return stop_ || overfull_level_locked() >= 0;
+    });
     if (stop_) return;
     merge_busy_ = true;
     const int level = overfull_level_locked();
@@ -426,7 +438,7 @@ void MutableIndex::do_seal(std::vector<Run> claimed, std::uint64_t file_seq) {
   // uncommitted file left by a crash is swept at recovery.
   if (durable() && tree != nullptr) tree->save(tree_path(file_seq));
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Writers only ever COW dead lists inside the queued group, so the
   // front still matches `claimed` position by position. Ids erased
   // since the claim are inside the new tree — carry them as residual
@@ -500,7 +512,7 @@ void MutableIndex::do_level_merge(std::uint32_t level,
   }
   if (durable() && tree != nullptr) tree->save(tree_path(file_seq));
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   IdList residual;
   std::vector<TreeShard> rest;
   rest.reserve(trees_.size());
@@ -551,19 +563,19 @@ void MutableIndex::do_level_merge(std::uint32_t level,
 }
 
 void MutableIndex::quiesce() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] {
+  MutexLock lock(mutex_);
+  idle_cv_.wait(lock, [&]() PANDA_REQUIRES(mutex_) {
     return !seal_busy_ && !merge_busy_ && !has_work_locked();
   });
 }
 
 void MutableIndex::compact() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Drain both background lanes first: their publish steps match
   // containers positionally / by pointer, so the forest must not
   // change shape under a claim. The wait releases the lock, letting
   // them finish.
-  idle_cv_.wait(lock, [&] {
+  idle_cv_.wait(lock, [&]() PANDA_REQUIRES(mutex_) {
     return !seal_busy_ && !merge_busy_ && !has_work_locked();
   });
   data::PointSet pts(dims_);
@@ -658,7 +670,7 @@ void MutableIndex::init_durable() {
   fs::create_directories(config_.durable_dir, ec);
   PANDA_CHECK_MSG(!ec, "cannot create durable directory "
                            << config_.durable_dir << ": " << ec.message());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (fs::exists(manifest_path())) {
     recover_durable();
   } else {
@@ -761,6 +773,7 @@ void MutableIndex::recover_durable() {
     shard.file_seq = seq;
     trees_.push_back(std::move(shard));
   }
+  // order: relaxed — size() gauge; see the hpp.
   live_count_.store(live_.size(), std::memory_order_relaxed);
 
   // Replay the WAL's valid prefix in order. A torn tail is the
@@ -1005,6 +1018,8 @@ void MutableIndex::knn_rows(const data::PointSet& queries, std::size_t k,
     const std::span<const std::size_t> tree_order(
         c->ws->tree_order.data(), c->snap->trees.size());
     for (;;) {
+      // order: relaxed — pure work-stealing counter; chunk claims need
+      // atomicity only, the batch's completion barrier orders the data.
       const std::uint64_t lo =
           c->next.fetch_add(c->grain, std::memory_order_relaxed);
       if (lo >= c->n) break;
@@ -1208,13 +1223,14 @@ void MutableIndex::save(const std::string& path) const {
 }
 
 MutationStats MutableIndex::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MutationStats out;
   out.inserts = inserts_;
   out.erases = erases_;
   out.seals = seals_;
   out.merges = merges_;
   out.compactions = compactions_;
+  // order: relaxed — size() gauge; see the hpp.
   out.live_points = live_count_.load(std::memory_order_relaxed);
   out.buffered_points = 0;
   out.tombstones = 0;

@@ -60,12 +60,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -73,6 +71,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/kdtree.hpp"
 #include "core/wal.hpp"
 #include "core/knn_heap.hpp"
@@ -181,6 +181,9 @@ class MutableIndex {
 
   std::size_t dims() const { return dims_; }
   /// Live (inserted and not erased) points.
+  // order: relaxed — size() is a gauge; callers that need the count
+  // coherent with a snapshot's contents read stats() or pin a
+  // snapshot instead.
   std::uint64_t size() const {
     return live_count_.load(std::memory_order_relaxed);
   }
@@ -284,25 +287,32 @@ class MutableIndex {
     std::vector<TreeShard> trees;
   };
 
+  // order: acquire — pairs with publish_locked()'s release store; a
+  // pinned snapshot's runs/trees (built outside any lock) must be
+  // fully visible to the query thread that dereferences them.
   std::shared_ptr<const Snapshot> snapshot() const {
     return snapshot_.load(std::memory_order_acquire);
   }
 
-  // All *_locked members require mutex_.
-  void publish_locked();
-  bool has_work_locked() const;
-  int overfull_level_locked() const;
-  void tombstone_locked(std::uint64_t id);
+  // All *_locked members require mutex_ (compiler-enforced under
+  // clang -Wthread-safety; DESIGN.md §14).
+  void publish_locked() PANDA_REQUIRES(mutex_);
+  bool has_work_locked() const PANDA_REQUIRES(mutex_);
+  int overfull_level_locked() const PANDA_REQUIRES(mutex_);
+  void tombstone_locked(std::uint64_t id) PANDA_REQUIRES(mutex_);
   /// Appends every live point of the current state to `out` (and its
   /// id to `ids` when non-null). Order: runs first, then trees.
-  void gather_live_locked(data::PointSet& out) const;
+  void gather_live_locked(data::PointSet& out) const PANDA_REQUIRES(mutex_);
   std::uint32_t level_for_size(std::uint64_t points) const;
 
   void seal_loop();
   void merge_loop();
-  void do_seal(std::vector<Run> claimed, std::uint64_t file_seq);
+  /// The slow halves of the background lanes: claimed work is built
+  /// outside the lock, so both must be entered unlocked.
+  void do_seal(std::vector<Run> claimed, std::uint64_t file_seq)
+      PANDA_EXCLUDES(mutex_);
   void do_level_merge(std::uint32_t level, std::vector<TreeShard> claimed,
-                      std::uint64_t file_seq);
+                      std::uint64_t file_seq) PANDA_EXCLUDES(mutex_);
 
   // -------------------------------------------------------------------
   // Durability (DESIGN.md §13) — all no-ops when durable_dir is empty.
@@ -317,26 +327,27 @@ class MutableIndex {
   /// get an empty MANIFEST plus wal-1; dirs with a MANIFEST recover
   /// (load the committed trees, replay the WAL's valid prefix, sweep
   /// uncommitted orphan files).
-  void init_durable();
-  void recover_durable();
+  void init_durable() PANDA_EXCLUDES(mutex_);
+  void recover_durable() PANDA_REQUIRES(mutex_);
   /// Atomically replaces MANIFEST with the current committed state
   /// (trees_ file_seq/level, wal_seq_, next_file_seq_).
-  void write_manifest_locked();
+  void write_manifest_locked() PANDA_REQUIRES(mutex_);
   /// Seal-time WAL rotation: a fresh wal-<seq> seeded with the forest's
   /// dead ids (one Tombstones frame) and the still-buffered runs (one
   /// Insert frame each), fsynced, then committed via MANIFEST; the old
   /// log is deleted. Keeps the WAL proportional to the buffer, not to
   /// history.
-  void rotate_wal_locked();
+  void rotate_wal_locked() PANDA_REQUIRES(mutex_);
 
   /// Shared apply paths: insert()/erase() log then apply; recovery
   /// replays by applying without logging.
-  void apply_insert_locked(const data::PointSet& points);
+  void apply_insert_locked(const data::PointSet& points)
+      PANDA_REQUIRES(mutex_);
   std::vector<std::uint64_t> apply_erase_locked(
-      std::span<const std::uint64_t> ids);
+      std::span<const std::uint64_t> ids) PANDA_REQUIRES(mutex_);
   /// Group commit: fsync when wal_flush_every frames accumulated or
   /// wal_flush_interval_us elapsed since the last sync.
-  void maybe_sync_wal_locked();
+  void maybe_sync_wal_locked() PANDA_REQUIRES(mutex_);
 
   /// The KNN engine behind knn_batch/self_knn_batch: one chunk-stolen
   /// parallel region answers every query end to end (buffer scan +
@@ -362,37 +373,46 @@ class MutableIndex {
   /// Synchronous rebuilds (compact(), save()) still use pool_.
   parallel::ThreadPool merge_build_pool_{1};
 
-  mutable std::mutex mutex_;
-  std::condition_variable seal_cv_;   // seal thread parks here
-  std::condition_variable merge_cv_;  // level-merge thread parks here
-  std::condition_variable idle_cv_;   // quiesce()/compact() park here
-  bool stop_ = false;
-  bool seal_busy_ = false;
-  bool merge_busy_ = false;
+  /// The writer mutex (DESIGN.md §12/§14): every mutable member below
+  /// that carries PANDA_GUARDED_BY(mutex_) — buffer runs, seal/merge
+  /// lanes, the live-id set, counters, and the whole durable-mode
+  /// block — is reachable only while it is held.
+  mutable Mutex mutex_;
+  CondVar seal_cv_;   // seal thread parks here
+  CondVar merge_cv_;  // level-merge thread parks here
+  CondVar idle_cv_;   // quiesce()/compact() park here
+  bool stop_ PANDA_GUARDED_BY(mutex_) = false;
+  bool seal_busy_ PANDA_GUARDED_BY(mutex_) = false;
+  bool merge_busy_ PANDA_GUARDED_BY(mutex_) = false;
 
-  std::vector<Run> open_runs_;
-  std::size_t open_points_ = 0;  // total points across open runs
-  std::deque<std::vector<Run>> sealed_groups_;
-  std::vector<TreeShard> trees_;
+  std::vector<Run> open_runs_ PANDA_GUARDED_BY(mutex_);
+  /// Total points across open runs.
+  std::size_t open_points_ PANDA_GUARDED_BY(mutex_) = 0;
+  std::deque<std::vector<Run>> sealed_groups_ PANDA_GUARDED_BY(mutex_);
+  std::vector<TreeShard> trees_ PANDA_GUARDED_BY(mutex_);
   /// The live-id set: duplicate-insert rejection and erase routing.
-  std::unordered_set<std::uint64_t> live_;
+  std::unordered_set<std::uint64_t> live_ PANDA_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> live_count_{0};
 
   std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
 
-  std::uint64_t inserts_ = 0;
-  std::uint64_t erases_ = 0;
-  std::uint64_t seals_ = 0;
-  std::uint64_t merges_ = 0;
-  std::uint64_t compactions_ = 0;
+  std::uint64_t inserts_ PANDA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t erases_ PANDA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t seals_ PANDA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t merges_ PANDA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t compactions_ PANDA_GUARDED_BY(mutex_) = 0;
 
-  /// Durable-mode state (unused otherwise). wal_ lives under mutex_;
+  /// Durable-mode state (unused otherwise). wal_ lives under mutex_
+  /// (the WAL itself is externally synchronized — see core/wal.hpp);
   /// file sequence numbers are allocated under mutex_ at claim time so
   /// background builds can write tree-<seq>.panda outside the lock.
-  std::optional<Wal> wal_;
-  std::uint64_t wal_seq_ = 0;
-  std::uint64_t next_file_seq_ = 1;
-  std::chrono::steady_clock::time_point last_wal_sync_{};
+  std::optional<Wal> wal_ PANDA_GUARDED_BY(mutex_);
+  std::uint64_t wal_seq_ PANDA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_file_seq_ PANDA_GUARDED_BY(mutex_) = 1;
+  std::chrono::steady_clock::time_point last_wal_sync_
+      PANDA_GUARDED_BY(mutex_){};
+  /// Written once during ctor recovery, read-only afterwards — not
+  /// guarded (the accessor runs lock-free post-construction).
   std::string recovery_diagnostic_;
 
   /// Two background lanes, LSM-style: seals (small, frequent level-0

@@ -12,7 +12,7 @@ namespace detail {
 
 double AbortableBarrier::arrive_and_wait() {
   WallTimer watch;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t my_generation = generation_;
   if (--remaining_ == 0) {
     remaining_ = parties_;
@@ -20,7 +20,10 @@ double AbortableBarrier::arrive_and_wait() {
     cv_.notify_all();
     return watch.seconds();
   }
-  cv_.wait(lock, [&] {
+  // order: acquire — pairs with the release store in
+  // ClusterState::abort(); a waiter released by an abort must see the
+  // aborting rank's prior writes before unwinding.
+  cv_.wait(lock, [&]() PANDA_REQUIRES(mutex_) {
     return generation_ != my_generation ||
            abort_flag_.load(std::memory_order_acquire);
   });
@@ -48,6 +51,9 @@ ClusterState::ClusterState(const ClusterConfig& cfg)
 }
 
 void ClusterState::abort() {
+  // order: release — publishes the aborting rank's writes (its error
+  // state, any partially-delivered messages) to every waiter whose
+  // acquire load of abort_flag observes the abort.
   abort_flag.store(true, std::memory_order_release);
   barrier.notify_abort();
   for (auto& mb : mailboxes) mb->notify_abort();
@@ -78,6 +84,9 @@ void Cluster::run(const std::function<void(Comm&)>& fn) {
         fn(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // order: acquire — pairs with abort()'s release store; a true
+        // reading here proves another rank aborted first, so this
+        // rank's error is demoted to collateral damage below.
         is_abort_error[static_cast<std::size_t>(r)] =
             state.abort_flag.load(std::memory_order_acquire);
         state.abort();

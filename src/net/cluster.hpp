@@ -14,13 +14,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/cost_model.hpp"
 #include "net/mailbox.hpp"
 
@@ -51,11 +51,11 @@ class AbortableBarrier {
 
  private:
   const int parties_;
-  int remaining_;
-  std::uint64_t generation_ = 0;
+  int remaining_ PANDA_GUARDED_BY(mutex_);
+  std::uint64_t generation_ PANDA_GUARDED_BY(mutex_) = 0;
   const std::atomic<bool>& abort_flag_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_;
+  CondVar cv_;
 };
 
 /// Shared state visible to all Comm instances of one run.

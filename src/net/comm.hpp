@@ -50,6 +50,8 @@ class Comm {
   /// peer's failure surfaces as an exception instead of a spin-wait
   /// on messages that will never arrive.
   bool aborted() const {
+    // order: relaxed — pure poll hint; observers that act on an abort
+    // synchronize through Mailbox::take's acquire load of the flag.
     return state_.abort_flag.load(std::memory_order_relaxed);
   }
 

@@ -11,7 +11,7 @@ void Mailbox::put(Message message) {
   // a message send, driving the cluster abort / recovery paths.
   PANDA_FAILPOINT("mailbox.send");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     channels_[{message.source, message.tag}].push_back(std::move(message));
     ++depth_;
   }
@@ -20,10 +20,14 @@ void Mailbox::put(Message message) {
 
 Message Mailbox::take(int source, int tag, double* waited_seconds) {
   WallTimer watch;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::pair<int, int> key{source, tag};
   auto it = channels_.find(key);
   while (it == channels_.end() || it->second.empty()) {
+    // order: acquire — pairs with the release store in
+    // Cluster::abort(); seeing the flag must also make the aborting
+    // rank's failure state (first_error) visible to this waiter's
+    // unwinding path.
     if (abort_flag_.load(std::memory_order_acquire)) {
       throw Error("cluster aborted while waiting for message");
     }
@@ -38,13 +42,13 @@ Message Mailbox::take(int source, int tag, double* waited_seconds) {
 }
 
 bool Mailbox::poll(int source, int tag) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = channels_.find({source, tag});
   return it != channels_.end() && !it->second.empty();
 }
 
 std::size_t Mailbox::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return depth_;
 }
 

@@ -8,14 +8,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace panda::net {
 
@@ -49,14 +50,15 @@ class Mailbox {
 
  private:
   const std::atomic<bool>& abort_flag_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable Mutex mutex_;
+  CondVar cv_;
   // One FIFO per (source, tag) channel, so matching is a map lookup
   // instead of a scan of the whole backlog: poll-driven protocols (the
   // pipelined query transport) probe many channels per iteration and
   // must not pay for unrelated queued traffic.
-  std::map<std::pair<int, int>, std::deque<Message>> channels_;
-  std::size_t depth_ = 0;
+  std::map<std::pair<int, int>, std::deque<Message>> channels_
+      PANDA_GUARDED_BY(mutex_);
+  std::size_t depth_ PANDA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace panda::net

@@ -93,6 +93,8 @@ class MpmcQueue {
         cells_(std::make_unique<Cell[]>(capacity_)) {
     PANDA_CHECK_MSG(min_capacity >= 1, "MpmcQueue capacity must be >= 1");
     for (std::size_t i = 0; i < capacity_; ++i) {
+      // order: relaxed — construction is exclusive; the object is
+      // handed to other threads by whatever publishes the queue itself.
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
@@ -101,6 +103,8 @@ class MpmcQueue {
     // Destruction is exclusive, so every value in [dequeue, enqueue)
     // is fully published (seq == pos + 1). Pending values get their
     // destructors run (promises break, unique_ptrs free) exactly once.
+    // order: relaxed — exclusivity means whoever destroys the queue
+    // already synchronized with every producer/consumer (thread join).
     const std::uint64_t end = enqueue_pos_.load(std::memory_order_relaxed);
     for (std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
          pos != end; ++pos) {
@@ -118,6 +122,11 @@ class MpmcQueue {
   /// transiently wrap-blocked, see the header comment).
   bool try_push(T&& value) {
     Cell* cell;
+    // order: relaxed loads/CAS on enqueue_pos_ — the position counter
+    // only arbitrates *which* producer claims a slot; it carries no
+    // data. The value handoff is ordered entirely by the per-cell seq:
+    // acquire below pairs with the consumer's recycle release store,
+    // making the recycled cell's memory safe to reuse.
     std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
@@ -136,6 +145,8 @@ class MpmcQueue {
       }
     }
     ::new (cell->storage()) T(std::move(value));
+    // order: release — publishes the constructed value; pairs with the
+    // consumer's acquire load of seq in try_pop_into.
     cell->seq.store(pos + 1, std::memory_order_release);
     return true;
   }
@@ -146,6 +157,8 @@ class MpmcQueue {
   /// Racy size estimate (reporting only): claimed pushes minus claimed
   /// pops at one instant; never negative.
   std::size_t approx_size() const {
+    // order: relaxed — racy estimate by contract; no decision is made
+    // on the value beyond reporting.
     const std::uint64_t e = enqueue_pos_.load(std::memory_order_relaxed);
     const std::uint64_t d = dequeue_pos_.load(std::memory_order_relaxed);
     return e > d ? static_cast<std::size_t>(e - d) : 0;
@@ -161,6 +174,9 @@ class MpmcQueue {
 
   bool try_pop_into(T* out) {
     Cell* cell;
+    // order: relaxed loads/CAS on dequeue_pos_ — claim arbitration
+    // only, as in try_push. The acquire load of seq below pairs with
+    // the producer's release publish, ordering the value read.
     std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
@@ -180,6 +196,8 @@ class MpmcQueue {
     }
     *out = std::move(*cell->value());
     cell->value()->~T();
+    // order: release — recycles the cell for the producer one lap
+    // ahead; pairs with try_push's acquire load of seq.
     cell->seq.store(pos + capacity_, std::memory_order_release);
     return true;
   }

@@ -40,6 +40,8 @@ void parallel_for_dynamic(
   std::atomic<std::uint64_t> next{begin};
   pool.run([&](int tid) {
     for (;;) {
+      // order: relaxed — work-stealing chunk counter; claims need
+      // atomicity only, pool.run's completion barrier orders results.
       const std::uint64_t lo = next.fetch_add(grain, std::memory_order_relaxed);
       if (lo >= end) break;
       fn(tid, lo, std::min(lo + grain, end));
@@ -69,6 +71,8 @@ void parallel_tasks(ThreadPool& pool,
   std::atomic<std::size_t> next{0};
   pool.run([&](int) {
     for (;;) {
+      // order: relaxed — task-claim counter; claims need atomicity
+      // only, pool.run's completion barrier orders task effects.
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= tasks.size()) break;
       tasks[i]();

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(int num_threads) : size_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   job_cv_.notify_all();
@@ -31,7 +31,7 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
     // under caller_mutex_ and the releaser notifies under the same
     // mutex, so a release cannot slip between the failed CAS and the
     // sleep.
-    std::unique_lock<std::mutex> lock(caller_mutex_);
+    MutexLock lock(caller_mutex_);
     caller_cv_.wait(lock, [this] { return try_acquire_team(); });
   }
   run_owned(fn);
@@ -49,7 +49,7 @@ bool ThreadPool::try_run(const std::function<void(int)>& fn) {
 
 void ThreadPool::run_owned(const std::function<void(int)>& fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     ++generation_;
     pending_ = size_ - 1;
@@ -67,17 +67,21 @@ void ThreadPool::run_owned(const std::function<void(int)>& fn) {
 
   std::exception_ptr worker_error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(mutex_);
+    done_cv_.wait(lock, [this]() PANDA_REQUIRES(mutex_) {
+      return pending_ == 0;
+    });
     job_ = nullptr;
     worker_error = first_error_;
     first_error_ = nullptr;
   }
 
   // Hand the team to the next caller before rethrowing.
+  // order: release — pairs with try_acquire_team()'s acquire CAS; the
+  // next owner must observe this job's teardown above.
   team_busy_.store(false, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(caller_mutex_);
+    MutexLock lock(caller_mutex_);
   }
   caller_cv_.notify_one();
 
@@ -90,8 +94,8 @@ void ThreadPool::worker_loop(int thread_id) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      job_cv_.wait(lock, [&] {
+      MutexLock lock(mutex_);
+      job_cv_.wait(lock, [&]() PANDA_REQUIRES(mutex_) {
         return shutdown_ || generation_ != seen_generation;
       });
       if (shutdown_) return;
@@ -105,7 +109,7 @@ void ThreadPool::worker_loop(int thread_id) {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = error;
       if (--pending_ == 0) done_cv_.notify_all();
     }

@@ -22,12 +22,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace panda::parallel {
 
@@ -71,6 +72,9 @@ class ThreadPool {
   void run_owned(const std::function<void(int)>& fn);
   bool try_acquire_team() {
     bool expected = false;
+    // order: acquire — pairs with run_owned()'s release store; the new
+    // owner must see the previous job fully torn down (job_ cleared,
+    // errors drained) before fanning out its own.
     return team_busy_.compare_exchange_strong(expected, true,
                                               std::memory_order_acquire);
   }
@@ -82,17 +86,17 @@ class ThreadPool {
   /// Acquired by CAS (never a lock on the fast path); run() callers
   /// that lose park on caller_cv_, try_run() callers just get false.
   std::atomic<bool> team_busy_{false};
-  std::mutex caller_mutex_;  // parks blocked run() callers only
-  std::condition_variable caller_cv_;
+  Mutex caller_mutex_;  // parks blocked run() callers only; guards no data
+  CondVar caller_cv_;
 
-  std::mutex mutex_;
-  std::condition_variable job_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  CondVar job_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* job_ PANDA_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ PANDA_GUARDED_BY(mutex_) = 0;
+  int pending_ PANDA_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ PANDA_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ PANDA_GUARDED_BY(mutex_);
 };
 
 }  // namespace panda::parallel

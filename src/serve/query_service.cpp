@@ -91,12 +91,20 @@ bool QueryService::shard_push(Shard& shard, Pending& pending) {
   // Logical occupancy bounds admission at exactly shard_capacity_
   // (the ring itself is the next power of two). Reserve space first:
   // once reserved, the ring push below cannot fail permanently.
+  // order: acq_rel — the reservation both publishes this submitter's
+  // prior writes to the consumer that frees the slot and observes the
+  // release half of shard_pop()'s decrement, keeping the depth bound
+  // exact under concurrent push/pop.
   const std::uint64_t depth =
       shard.depth.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (depth > shard_capacity_) {
+    // order: relaxed — undoing our own reservation publishes nothing;
+    // the ring was never touched.
     shard.depth.fetch_sub(1, std::memory_order_relaxed);
     return false;
   }
+  // order: relaxed — max_depth is a monotonic gauge read only by
+  // stats(); it orders nothing.
   std::uint64_t seen = shard.max_depth.load(std::memory_order_relaxed);
   while (depth > seen &&
          !shard.max_depth.compare_exchange_weak(seen, depth,
@@ -112,9 +120,11 @@ bool QueryService::shard_push(Shard& shard, Pending& pending) {
   // Eventcount handoff (publish, fence, read parked): either the
   // parked worker's final re-pop sees this push, or its parked count
   // is visible here and we wake it under its mutex.
+  // order: relaxed — the seq_cst fence above supplies the ordering;
+  // the load itself only needs the fenced value.
   seq_cst_fence();
   if (shard.parked.load(std::memory_order_relaxed) > 0) {
-    std::lock_guard<std::mutex> lock(shard.park_mutex);
+    MutexLock lock(shard.park_mutex);
     shard.work_cv.notify_one();
   }
   return true;
@@ -122,12 +132,16 @@ bool QueryService::shard_push(Shard& shard, Pending& pending) {
 
 bool QueryService::shard_pop(Shard& shard, Pending& out) {
   if (!shard.queue.try_pop(out)) return false;
+  // order: acq_rel — release publishes the freed slot to the next
+  // shard_push reservation; acquire pairs with that push's release
+  // half so the consumer sees the submitter's writes.
   shard.depth.fetch_sub(1, std::memory_order_acq_rel);
   // Mirror-image eventcount for Block-policy submitters parked on a
   // full service.
+  // order: relaxed — ordering comes from the seq_cst fence above.
   seq_cst_fence();
   if (space_waiters_.load(std::memory_order_relaxed) > 0) {
-    std::lock_guard<std::mutex> lock(space_mutex_);
+    MutexLock lock(space_mutex_);
     space_cv_.notify_all();
   }
   return true;
@@ -157,12 +171,15 @@ bool QueryService::admit(Request&& request, std::future<Result>* out,
     // its neighbors instead of rejecting.
     for (std::size_t probe = 0; probe < n; ++probe) {
       if (shard_push(*shards_[(primary + probe) % n], pending)) {
+        // order: relaxed — stats counter; stats() tolerates a stale
+        // view, and completion ordering is carried by the future.
         submitted_.fetch_add(1, std::memory_order_relaxed);
         *out = std::move(future);
         return true;
       }
     }
     if (!blocking) {
+      // order: relaxed — stats counter, same contract as submitted_.
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -171,7 +188,11 @@ bool QueryService::admit(Request&& request, std::future<Result>* out,
     space_waiters_.fetch_add(1, std::memory_order_seq_cst);
     seq_cst_fence();
     {
-      std::unique_lock<std::mutex> lock(space_mutex_);
+      // order: relaxed (both loads) — the predicate is a wake hint;
+      // the authoritative state_ check below and the shard_push retry
+      // re-validate with full ordering, and the 1 ms backstop bounds
+      // any stale read.
+      MutexLock lock(space_mutex_);
       space_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
         if (state_.load(std::memory_order_relaxed) != kRunning) return true;
         for (const auto& shard : shards_) {
@@ -223,6 +244,7 @@ void QueryService::ingest(const data::PointSet& points) {
   // internally; queries keep draining against their own pins.
   const std::shared_ptr<Backend> backend = shards_.front()->backend.load();
   backend->ingest(points);
+  // order: relaxed — stats counters only.
   ingest_batches_.fetch_add(1, std::memory_order_relaxed);
   ingested_points_.fetch_add(points.size(), std::memory_order_relaxed);
 }
@@ -232,6 +254,7 @@ std::size_t QueryService::erase_ids(std::span<const std::uint64_t> ids) {
                   "QueryService::erase_ids after shutdown");
   const std::shared_ptr<Backend> backend = shards_.front()->backend.load();
   const std::size_t erased = backend->erase_ids(ids);
+  // order: relaxed — stats counter only.
   erased_ids_.fetch_add(erased, std::memory_order_relaxed);
   return erased;
 }
@@ -245,6 +268,7 @@ void QueryService::swap_backend(std::shared_ptr<Backend> next) {
   // returns is answered by `next` (its batch's pin happens-after the
   // admission, which happens-after the store).
   for (auto& shard : shards_) shard->backend.store(next);
+  // order: relaxed — stats counter only.
   swaps_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -259,6 +283,9 @@ bool QueryService::acquire_first(Shard& shard, Pending& out) {
       if (shard_pop(shard, out)) return true;
       parallel::cpu_relax();
     }
+    // order: acquire — pairs with shutdown()'s seq_cst store; a worker
+    // that sees drain must also see every admission that settled
+    // before it was raised.
     if (drain_.load(std::memory_order_acquire)) {
       // Draining: one final pop; an empty shard means every admitted
       // request has been claimed by some worker — exit.
@@ -274,7 +301,10 @@ bool QueryService::acquire_first(Shard& shard, Pending& out) {
       return true;
     }
     {
-      std::unique_lock<std::mutex> lock(shard.park_mutex);
+      // order: relaxed (both loads) — wake hint only; the loop
+      // re-checks drain_ with acquire and re-pops after waking, and
+      // the 1 ms backstop bounds a stale view.
+      MutexLock lock(shard.park_mutex);
       shard.work_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
         return drain_.load(std::memory_order_relaxed) ||
                shard.depth.load(std::memory_order_relaxed) > 0;
@@ -297,6 +327,7 @@ QueryService::FlushReason QueryService::collect_rest(
       spins = 0;
       continue;
     }
+    // order: acquire — same drain handshake as acquire_first().
     if (drain_.load(std::memory_order_acquire)) return FlushReason::Drain;
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return FlushReason::Window;
@@ -349,6 +380,10 @@ void QueryService::execute(Shard& shard, std::vector<Pending>& batch,
   // All bookkeeping happens BEFORE the promises are fulfilled: a
   // client that has observed its result must already find itself in
   // the counters (tests read stats() right after the last get()).
+  // order: relaxed (every counter below) — stats-only accounting; the
+  // client-visible ordering guarantee ("a client that has observed
+  // its result finds itself in the counters") is carried by the
+  // promise/future synchronization of set_value below, not by these.
   const auto now = std::chrono::steady_clock::now();
   if (error) {
     // Failed requests are counted but not timed: the histogram is
@@ -360,8 +395,11 @@ void QueryService::execute(Shard& shard, std::vector<Pending>& batch,
           std::chrono::duration<double, std::micro>(now - p.enqueued)
               .count());
     }
+    // order: relaxed — see the bookkeeping note above.
     completed_.fetch_add(batch.size(), std::memory_order_relaxed);
   }
+  // order: relaxed (this store and the adds below) — same stats-only
+  // contract as the bookkeeping note above.
   last_completion_ns_.store(
       static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
@@ -373,6 +411,7 @@ void QueryService::execute(Shard& shard, std::vector<Pending>& batch,
       kBatchBuckets - 1,
       static_cast<std::size_t>(std::bit_width(batch.size()) - 1));
   batch_size_log2_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // order: relaxed — flush-reason stats counters, same contract.
   switch (reason) {
     case FlushReason::Size:
       flushes_on_size_.fetch_add(1, std::memory_order_relaxed);
@@ -400,7 +439,7 @@ void QueryService::shutdown() {
     state_.store(kDraining, std::memory_order_seq_cst);
     // 2. Wake Block-policy submitters so they observe the closed state.
     {
-      std::lock_guard<std::mutex> lock(space_mutex_);
+      MutexLock lock(space_mutex_);
     }
     space_cv_.notify_all();
     // 3. Let racing admissions settle: after this loop every request
@@ -412,7 +451,7 @@ void QueryService::shutdown() {
     drain_.store(true, std::memory_order_seq_cst);
     for (auto& shard : shards_) {
       {
-        std::lock_guard<std::mutex> lock(shard->park_mutex);
+        MutexLock lock(shard->park_mutex);
       }
       shard->work_cv.notify_all();
     }
@@ -424,6 +463,10 @@ void QueryService::shutdown() {
 
 ServeStats QueryService::stats() const {
   ServeStats out;
+  // order: relaxed (every load in this function) — stats() is an
+  // unsynchronized gauge snapshot by contract: each counter is
+  // individually coherent, cross-counter consistency is not promised
+  // (see ServeStats). Tests that want exact totals quiesce first.
   out.submitted = submitted_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.completed = completed_.load(std::memory_order_relaxed);

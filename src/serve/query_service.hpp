@@ -51,14 +51,14 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "parallel/mpmc_queue.hpp"
 #include "serve/backend.hpp"
 #include "serve/serve_stats.hpp"
@@ -178,9 +178,11 @@ class QueryService {
     /// The served snapshot; batches pin it with one atomic load.
     std::atomic<std::shared_ptr<Backend>> backend;
 
-    // Cold-edge worker parking.
-    std::mutex park_mutex;
-    std::condition_variable work_cv;
+    // Cold-edge worker parking. The mutex guards no data — the state
+    // workers re-check (depth, drain_) is all atomics; it exists only
+    // so the eventcount notify/wait pair has a common rendezvous.
+    Mutex park_mutex;
+    CondVar work_cv;
     std::atomic<int> parked{0};
   };
 
@@ -219,8 +221,9 @@ class QueryService {
   std::once_flag shutdown_once_;
 
   // Cold-edge parking for Block-policy submitters (every shard full).
-  mutable std::mutex space_mutex_;
-  std::condition_variable space_cv_;
+  // Guards no data, same eventcount-rendezvous role as Shard::park_mutex.
+  mutable Mutex space_mutex_;
+  CondVar space_cv_;
   std::atomic<int> space_waiters_{0};
 
   // Hot-path counters: atomics, never a lock (DESIGN.md §8).

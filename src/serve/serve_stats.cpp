@@ -26,6 +26,10 @@ double bucket_mid(std::size_t b) {
 }  // namespace
 
 void LatencyHistogram::record(double micros) {
+  // order: relaxed throughout — independent stats counters; the class
+  // contract (hpp header comment) is a consistent-enough snapshot, not
+  // a linearizable view, so no cross-counter ordering is needed. The
+  // max update CAS loop only needs atomicity of each exchange.
   if (micros < 0.0) micros = 0.0;
   buckets_[bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -39,6 +43,9 @@ void LatencyHistogram::record(double micros) {
 }
 
 LatencySummary LatencyHistogram::summary() const {
+  // order: relaxed throughout — reporting snapshot; buckets recorded
+  // concurrently with this read may or may not be included, which the
+  // class contract explicitly allows.
   LatencySummary out;
   std::array<std::uint64_t, kBuckets> counts;
   std::uint64_t total = 0;
@@ -72,6 +79,8 @@ LatencySummary LatencyHistogram::summary() const {
 }
 
 void LatencyHistogram::reset() {
+  // order: relaxed — reset races with concurrent record() by contract;
+  // callers quiesce first if they want an exact zero.
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_tenth_us_.store(0, std::memory_order_relaxed);

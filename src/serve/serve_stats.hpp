@@ -42,6 +42,7 @@ class LatencyHistogram {
   void record(double micros);
   LatencySummary summary() const;
   std::uint64_t count() const {
+    // order: relaxed — monotone stats counter; readers tolerate lag.
     return count_.load(std::memory_order_relaxed);
   }
   void reset();

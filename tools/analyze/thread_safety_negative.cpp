@@ -1,0 +1,38 @@
+// Negative harness for `ci.sh analyze` (DESIGN.md §14): this file
+// contains a deliberate thread-safety violation and MUST FAIL to
+// compile under `clang++ -Wthread-safety -Werror=thread-safety`.
+// ci.sh asserts the failure — proving the annotations in
+// common/thread_annotations.hpp are live under clang, not silently
+// expanding to nothing (which is their intended behavior under GCC,
+// covered by tests/test_annotations.cpp).
+//
+// Not part of any build target; compiled only by ci.sh analyze.
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    panda::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // VIOLATION: reads a guarded member without holding mutex_. The
+  // analysis must reject this with -Wthread-safety-analysis.
+  long read_unlocked() const { return value_; }
+
+ private:
+  mutable panda::Mutex mutex_;
+  long value_ PANDA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment();
+  return static_cast<int>(c.read_unlocked());
+}

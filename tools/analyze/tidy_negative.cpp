@@ -1,0 +1,18 @@
+// Negative harness for the clang-tidy leg of `ci.sh analyze`
+// (DESIGN.md §14): this file contains a deliberate bugprone-use-after-move
+// violation and MUST produce a clang-tidy error under the repo's
+// .clang-tidy profile (WarningsAsErrors: '*'). ci.sh asserts the
+// nonzero exit — proving the curated check set is actually loaded and
+// enforcing, not misspelled into a no-op.
+//
+// Not part of any build target; analyzed only by ci.sh analyze.
+
+#include <string>
+#include <utility>
+
+int main() {
+  std::string s = "panda";
+  std::string t = std::move(s);
+  // VIOLATION: use after move (bugprone-use-after-move).
+  return static_cast<int>(s.size()) + static_cast<int>(t.size());
+}
